@@ -1,0 +1,246 @@
+package energysched
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exps"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Core types, re-exported. Solver entry points are methods on Problem; see
+// the package documentation for the catalogue.
+type (
+	// Graph is a weighted task DAG (nodes = tasks, edges = precedences).
+	Graph = graph.Graph
+	// SPExpr is a series-parallel expression over task IDs.
+	SPExpr = graph.SPExpr
+	// Mapping fixes the processor and execution order of every task.
+	Mapping = platform.Mapping
+	// Model describes the admissible speeds (the four energy models).
+	Model = model.Model
+	// Problem is a MinEnergy(G, D) instance over an execution graph.
+	Problem = core.Problem
+	// Solution is a feasible, independently verifiable answer.
+	Solution = core.Solution
+	// Stats carries solver diagnostics (nodes, pivots, Newton iterations…).
+	Stats = core.Stats
+	// Schedule is a fully timed execution with per-task speed profiles.
+	Schedule = sched.Schedule
+	// Profile is a piecewise-constant speed profile (Vdd-Hopping).
+	Profile = sched.Profile
+	// Segment is one constant-speed stretch of a Profile.
+	Segment = sched.Segment
+	// SimResult is the outcome of the discrete-event machine simulation.
+	SimResult = sched.SimResult
+	// ContinuousOptions tunes the interior-point continuous solver.
+	ContinuousOptions = core.ContinuousOptions
+	// DiscreteOptions tunes the exact discrete solvers.
+	DiscreteOptions = core.DiscreteOptions
+	// WeightFunc draws random task weights for the generators.
+	WeightFunc = graph.WeightFunc
+	// Report summarizes an executed schedule (utilization, energy, switches).
+	Report = sched.Report
+	// Metrics summarizes a task graph's structure (depth, width, parallelism).
+	Metrics = graph.Metrics
+	// CurvePoint is one (deadline, energy) sample of the trade-off curve.
+	CurvePoint = core.CurvePoint
+	// AlphaSolution is a continuous solution under generalized power s^α.
+	AlphaSolution = core.AlphaSolution
+)
+
+// Model kinds.
+const (
+	Continuous  = model.Continuous
+	Discrete    = model.Discrete
+	VddHopping  = model.VddHopping
+	Incremental = model.Incremental
+)
+
+// Sentinel errors.
+var (
+	// ErrInfeasible: the deadline is below the fastest possible makespan.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrSearchLimit: an exact solver ran out of budget (Theorem 4 at work).
+	ErrSearchLimit = core.ErrSearchLimit
+)
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewProblem wraps a validated execution graph and deadline.
+func NewProblem(g *Graph, deadline float64) (*Problem, error) {
+	return core.NewProblem(g, deadline)
+}
+
+// --- Energy models ---
+
+// NewContinuous returns the Continuous model with speeds in (0, smax].
+func NewContinuous(smax float64) (Model, error) { return model.NewContinuous(smax) }
+
+// NewDiscrete returns the Discrete model over strictly increasing modes.
+func NewDiscrete(modes []float64) (Model, error) { return model.NewDiscrete(modes) }
+
+// NewVddHopping returns the Vdd-Hopping model over the given modes.
+func NewVddHopping(modes []float64) (Model, error) { return model.NewVddHopping(modes) }
+
+// NewIncremental returns the Incremental model with modes smin + i·δ.
+func NewIncremental(smin, smax, delta float64) (Model, error) {
+	return model.NewIncremental(smin, smax, delta)
+}
+
+// TaskEnergy returns w·s², the energy of executing cost w at speed s.
+func TaskEnergy(w, s float64) float64 { return model.TaskEnergy(w, s) }
+
+// --- Platform and mapping ---
+
+// BuildExecutionGraph augments g with the serialization edges of mapping m.
+func BuildExecutionGraph(g *Graph, m *Mapping) (*Graph, error) {
+	return platform.BuildExecutionGraph(g, m)
+}
+
+// ListSchedule maps g onto p processors with greedy earliest-finish list
+// scheduling (bottom-level priority) at unit speed.
+func ListSchedule(g *Graph, p int) (*Mapping, error) { return platform.ListSchedule(g, p) }
+
+// RoundRobin maps g onto p processors in topological round-robin order.
+func RoundRobin(g *Graph, p int) (*Mapping, error) { return platform.RoundRobin(g, p) }
+
+// SingleProcessor serializes g onto one processor in topological order.
+func SingleProcessor(g *Graph) (*Mapping, error) { return platform.SingleProcessor(g) }
+
+// RandomMapping spreads tasks uniformly at random over p processors.
+func RandomMapping(g *Graph, p int, intn func(int) int) (*Mapping, error) {
+	return platform.RandomMapping(g, p, intn)
+}
+
+// Simulate executes the mapped application on a simulated machine and
+// returns per-task start/finish times (cross-checks the analytic schedule).
+func Simulate(g *Graph, m *Mapping, durations []float64) (*SimResult, error) {
+	return sched.Simulate(g, m, durations)
+}
+
+// FromSpeeds builds the earliest-start schedule for constant task speeds.
+func FromSpeeds(g *Graph, speeds []float64) (*Schedule, error) {
+	return sched.FromSpeeds(g, speeds)
+}
+
+// --- Workload generators ---
+
+// UniformWeights draws task weights uniformly from [lo, hi).
+func UniformWeights(lo, hi float64) WeightFunc { return graph.UniformWeights(lo, hi) }
+
+// ConstantWeights always yields w.
+func ConstantWeights(w float64) WeightFunc { return graph.ConstantWeights(w) }
+
+// Chain builds a linear chain of n tasks.
+func Chain(rng *rand.Rand, n int, wf WeightFunc) *Graph { return graph.Chain(rng, n, wf) }
+
+// Fork builds the Theorem 1 shape: a source plus n independent leaves.
+func Fork(rng *rand.Rand, n int, wf WeightFunc) *Graph { return graph.Fork(rng, n, wf) }
+
+// Join builds the mirror of Fork.
+func Join(rng *rand.Rand, n int, wf WeightFunc) *Graph { return graph.Join(rng, n, wf) }
+
+// ForkJoin builds source → width branches of the given length → sink.
+func ForkJoin(rng *rand.Rand, width, length int, wf WeightFunc) *Graph {
+	return graph.ForkJoin(rng, width, length, wf)
+}
+
+// Layered builds a random layered DAG (layers × width, edge probability p).
+func Layered(rng *rand.Rand, layers, width int, p float64, wf WeightFunc) *Graph {
+	return graph.Layered(rng, layers, width, p, wf)
+}
+
+// GnpDAG builds an Erdős–Rényi DAG on n tasks with forward edge probability p.
+func GnpDAG(rng *rand.Rand, n int, p float64, wf WeightFunc) *Graph {
+	return graph.GnpDAG(rng, n, p, wf)
+}
+
+// RandomOutTree builds a random recursive out-tree on n tasks.
+func RandomOutTree(rng *rand.Rand, n int, wf WeightFunc) *Graph {
+	return graph.RandomOutTree(rng, n, wf)
+}
+
+// RandomInTree builds a random in-tree on n tasks.
+func RandomInTree(rng *rand.Rand, n int, wf WeightFunc) *Graph {
+	return graph.RandomInTree(rng, n, wf)
+}
+
+// RandomSP builds a random series-parallel task graph with its expression.
+func RandomSP(rng *rand.Rand, n int, wf WeightFunc) (*Graph, *SPExpr) {
+	return graph.RandomSP(rng, n, wf)
+}
+
+// LUElimination builds the blocked dense-factorization DAG on a b×b grid.
+func LUElimination(b int, blockWeight float64) *Graph {
+	return graph.LUElimination(b, blockWeight)
+}
+
+// Stencil builds a rows×cols 2-D wavefront dependence grid.
+func Stencil(rows, cols int, weight float64) *Graph { return graph.Stencil(rows, cols, weight) }
+
+// FFT builds the radix-2 butterfly DAG on 2^stages points.
+func FFT(stages int, weight float64) *Graph { return graph.FFT(stages, weight) }
+
+// Pipeline builds a stages×items software-pipeline DAG.
+func Pipeline(stages, items int, weights []float64) *Graph {
+	return graph.Pipeline(stages, items, weights)
+}
+
+// MapReduce builds an m-mapper, r-reducer two-stage DAG.
+func MapReduce(maps, reduces int, mapWeight, reduceWeight float64) *Graph {
+	return graph.MapReduce(maps, reduces, mapWeight, reduceWeight)
+}
+
+// --- Series-parallel structure ---
+
+// SPLeaf, SPSeries and SPParallel build SP expressions by hand.
+func SPLeaf(task int) *SPExpr                { return graph.SPLeaf(task) }
+func SPSeries(children ...*SPExpr) *SPExpr   { return graph.SPSeriesOf(children...) }
+func SPParallel(children ...*SPExpr) *SPExpr { return graph.SPParallelOf(children...) }
+func DecomposeSP(g *Graph) (*SPExpr, bool)   { return graph.DecomposeSP(g) }
+func TreeToSP(g *Graph) (*SPExpr, bool)      { return graph.TreeToSP(g) }
+func MaterializeSP(e *SPExpr, weights []float64) (*Graph, error) {
+	return graph.MaterializeSP(e, weights)
+}
+
+// --- Energy–deadline trade-off curves ---
+
+// EnergyDeadlineCurve samples the continuous-optimal energy at
+// D = factor × Dmin(smax) for each factor.
+func EnergyDeadlineCurve(g *Graph, smax float64, factors []float64, opts ContinuousOptions) ([]CurvePoint, error) {
+	return core.EnergyDeadlineCurve(g, smax, factors, opts)
+}
+
+// MarginalEnergyRate estimates dE/dD — the energy price of one more second.
+func MarginalEnergyRate(g *Graph, smax, deadline, h float64, opts ContinuousOptions) (float64, error) {
+	return core.MarginalEnergyRate(g, smax, deadline, h, opts)
+}
+
+// --- Approximation bounds (Theorem 5 / Proposition 1) ---
+
+// Theorem5Bound returns (1+δ/smin)²(1+1/K)² for an Incremental model.
+func Theorem5Bound(m Model, K int) float64 { return core.Theorem5Bound(m, K) }
+
+// Proposition1ContinuousBound returns (1+δ/smin)².
+func Proposition1ContinuousBound(m Model) float64 { return core.Proposition1ContinuousBound(m) }
+
+// Proposition1DiscreteBound returns (1+α/s₁)²(1+1/K)².
+func Proposition1DiscreteBound(m Model, K int) float64 {
+	return core.Proposition1DiscreteBound(m, K)
+}
+
+// --- Experiment harness (used by cmd/experiments and the benches) ---
+
+// ExperimentConfig scales the experiment suite.
+type ExperimentConfig = exps.Config
+
+// ExperimentTable is a rendered result table.
+type ExperimentTable = exps.Table
+
+// Experiments returns the full suite (T1–T5, F1–F5) in report order.
+func Experiments() []exps.Experiment { return exps.All() }

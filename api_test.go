@@ -1,0 +1,186 @@
+package energysched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the documented end-to-end path through the
+// public façade: build → map → solve under all four models → verify.
+func TestQuickstartFlow(t *testing.T) {
+	g := NewGraph()
+	a := g.AddTask("prep", 4)
+	bTask := g.AddTask("left", 6)
+	c := g.AddTask("right", 2)
+	g.MustAddEdge(a, bTask)
+	g.MustAddEdge(a, c)
+
+	mapping, err := ListSchedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := BuildExecutionGraph(g, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewProblem(exec, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cont, err := prob.SolveContinuous(2, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []float64{0.5, 1, 2}
+	vm, err := NewVddHopping(modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd, err := prob.SolveVddHopping(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, _ := NewDiscrete(modes)
+	disc, err := prob.SolveDiscreteBB(dm, DiscreteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _ := NewIncremental(0.5, 2, 0.25)
+	incr, err := prob.SolveIncrementalApprox(im, 8, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's hierarchy, through the public API.
+	if !(cont.Energy <= vdd.Energy*(1+1e-6) && vdd.Energy <= disc.Energy*(1+1e-6)) {
+		t.Fatalf("hierarchy broken: cont %v, vdd %v, disc %v", cont.Energy, vdd.Energy, disc.Energy)
+	}
+	for _, sol := range []*Solution{cont, vdd, disc, incr} {
+		if err := prob.Verify(sol, 1e-6); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGeneratorsAndSPHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range []*Graph{
+		Chain(rng, 5, ConstantWeights(1)),
+		Fork(rng, 5, UniformWeights(1, 2)),
+		Join(rng, 5, UniformWeights(1, 2)),
+		ForkJoin(rng, 3, 2, UniformWeights(1, 2)),
+		Layered(rng, 3, 3, 0.5, UniformWeights(1, 2)),
+		GnpDAG(rng, 10, 0.2, UniformWeights(1, 2)),
+		RandomOutTree(rng, 8, UniformWeights(1, 2)),
+		RandomInTree(rng, 8, UniformWeights(1, 2)),
+		LUElimination(3, 1),
+		Stencil(3, 3, 1),
+		FFT(2, 1),
+		Pipeline(2, 3, []float64{1, 2}),
+		MapReduce(3, 2, 1, 2),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spg, expr := RandomSP(rng, 7, UniformWeights(1, 2))
+	if e2, ok := DecomposeSP(spg); !ok || e2.Size() != 7 {
+		t.Fatal("DecomposeSP failed on generated SP graph")
+	}
+	if _, err := MaterializeSP(expr, spg.Weights()); err != nil {
+		t.Fatal(err)
+	}
+	tree := RandomOutTree(rng, 6, ConstantWeights(1))
+	if _, ok := TreeToSP(tree); !ok {
+		t.Fatal("TreeToSP failed")
+	}
+	manual := SPSeries(SPLeaf(0), SPParallel(SPLeaf(1), SPLeaf(2)))
+	if manual.Size() != 3 {
+		t.Fatal("manual SP expression wrong")
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	im, _ := NewIncremental(1, 2, 0.5)
+	if Theorem5Bound(im, 1) != 9 { // (1.5)²·(2)² = 9
+		t.Fatalf("Theorem5Bound = %v", Theorem5Bound(im, 1))
+	}
+	if Proposition1ContinuousBound(im) != 2.25 {
+		t.Fatalf("Prop1 = %v", Proposition1ContinuousBound(im))
+	}
+	dm, _ := NewDiscrete([]float64{1, 2})
+	if Proposition1DiscreteBound(dm, 1) != 16 { // (1+1)²·(2)²
+		t.Fatalf("Prop1Discrete = %v", Proposition1DiscreteBound(dm, 1))
+	}
+	if TaskEnergy(3, 2) != 12 {
+		t.Fatalf("TaskEnergy = %v", TaskEnergy(3, 2))
+	}
+}
+
+func TestSimulateThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Layered(rng, 3, 3, 0.4, UniformWeights(1, 3))
+	m, err := RoundRobin(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := make([]float64, g.N())
+	durations := make([]float64, g.N())
+	for i := range speeds {
+		speeds[i] = 1
+		durations[i] = g.Weight(i)
+	}
+	s, err := FromSpeeds(eg, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(g, m, durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim.Makespan-s.Makespan) > 1e-9 {
+		t.Fatalf("simulator %v vs analytic %v", sim.Makespan, s.Makespan)
+	}
+	// Mappings through the façade.
+	if _, err := SingleProcessor(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomMapping(g, 3, rng.Intn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentsExposed(t *testing.T) {
+	suite := Experiments()
+	if len(suite) != 14 {
+		t.Fatalf("suite has %d experiments, want 14 (T1–T5, F1–F5, A1–A4)", len(suite))
+	}
+	tab, err := suite[0].Run(ExperimentConfig{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "T1" || len(tab.Rows) == 0 {
+		t.Fatalf("unexpected first experiment: %+v", tab.ID)
+	}
+}
+
+func TestErrSentinelsExported(t *testing.T) {
+	g := NewGraph()
+	g.AddTask("x", 10)
+	p, _ := NewProblem(g, 1)
+	if err := p.CheckFeasible(1); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+	if ErrInfeasible == nil || ErrSearchLimit == nil {
+		t.Fatal("sentinel errors missing")
+	}
+	if Continuous == Discrete || VddHopping == Incremental {
+		t.Fatal("model kind constants collide")
+	}
+}

@@ -1,0 +1,451 @@
+// Command energysim solves a single MinEnergy(G, D) instance end to end:
+// generate (or load) a task graph, map it, pick an energy model, solve, and
+// print the schedule, per-task speeds, energy, and an ASCII Gantt chart.
+//
+// Examples:
+//
+//	energysim -gen layered -n 24 -procs 4 -model continuous -smax 2 -factor 2
+//	energysim -gen lu -n 5 -procs 4 -model vdd -modes 0.5,1,1.5,2 -factor 1.5 -gantt
+//	energysim -graph app.json -procs 2 -model discrete -modes 1,2 -solver bb
+//	energysim -gen fork -n 8 -model incremental -smin 0.5 -smax 2 -delta 0.25 -K 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "energysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphFile = flag.String("graph", "", "load task graph from JSON file instead of generating")
+		gen       = flag.String("gen", "layered", "generator: chain|fork|join|forkjoin|layered|gnp|tree|sp|lu|stencil|fft|pipeline")
+		n         = flag.Int("n", 16, "generator size parameter")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		procs     = flag.Int("procs", 4, "number of processors")
+		mapKind   = flag.String("mapping", "list", "mapping: list|rr|single|random")
+		mapFile   = flag.String("mapfile", "", "load the mapping from a JSON file instead of generating")
+		modelKind = flag.String("model", "continuous", "model: continuous|discrete|vdd|incremental")
+		modesStr  = flag.String("modes", "0.5,1,1.5,2", "modes for discrete/vdd")
+		smin      = flag.Float64("smin", 0.5, "incremental smin")
+		smax      = flag.Float64("smax", 2, "smax / top speed")
+		delta     = flag.Float64("delta", 0.25, "incremental speed increment δ")
+		factor    = flag.Float64("factor", 2, "deadline = factor × minimal deadline")
+		deadline  = flag.Float64("deadline", 0, "absolute deadline (overrides -factor)")
+		solver    = flag.String("solver", "auto", "solver: auto|numeric|bb|sp|greedy|roundup|approx|uniform|allmax")
+		kParam    = flag.Int("K", 8, "K for the Theorem 5 approximation")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		report    = flag.Bool("report", false, "print per-processor utilization and energy report")
+		compare   = flag.Bool("compare", false, "solve under ALL four models (plus baselines) and print a comparison table; ignores -model/-solver")
+		dotOut    = flag.String("dot", "", "write the execution graph in DOT format to this file")
+		jsonOut   = flag.Bool("json", false, "print the solution as JSON")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	g, err := loadOrGenerate(*graphFile, *gen, *n, rng)
+	if err != nil {
+		return err
+	}
+	var mapping *platform.Mapping
+	if *mapFile != "" {
+		mapping, err = loadMapping(*mapFile, g)
+	} else {
+		mapping, err = buildMapping(g, *mapKind, *procs, rng)
+	}
+	if err != nil {
+		return err
+	}
+	exec, err := platform.BuildExecutionGraph(g, mapping)
+	if err != nil {
+		return err
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(exec.ToDOT("execution-graph")), 0o644); err != nil {
+			return err
+		}
+	}
+	dmin, err := exec.MinimalDeadline(*smax)
+	if err != nil {
+		return err
+	}
+	D := *deadline
+	if D == 0 {
+		D = dmin * *factor
+	}
+	prob, err := core.NewProblem(exec, D)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %s, %d processors, deadline %.4g (minimal %.4g)\n",
+		g.String(), mapping.NumProcs(), D, dmin)
+
+	if *compare {
+		return runComparison(prob, mapping, *modesStr, *smin, *smax, *delta, *kParam)
+	}
+
+	m, err := buildModel(*modelKind, *modesStr, *smin, *smax, *delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s\n", m)
+
+	sol, err := solve(prob, m, *solver, *kParam)
+	if err != nil {
+		return err
+	}
+	if err := prob.Verify(sol, 1e-6); err != nil {
+		return fmt.Errorf("solution failed verification: %w", err)
+	}
+
+	fmt.Printf("solver: %s\n", sol.Stats.Algorithm)
+	fmt.Printf("energy: %.6g   makespan: %.6g / %.6g\n", sol.Energy, sol.Schedule.Makespan, D)
+	if sol.Stats.Nodes > 0 {
+		fmt.Printf("branch-and-bound nodes: %d\n", sol.Stats.Nodes)
+	}
+	if sol.Stats.Pivots > 0 {
+		fmt.Printf("simplex pivots: %d\n", sol.Stats.Pivots)
+	}
+	if sol.Stats.Newton > 0 {
+		fmt.Printf("newton iterations: %d\n", sol.Stats.Newton)
+	}
+	if !sol.Stats.Exact && !math.IsInf(sol.Stats.BoundFactor, 1) {
+		fmt.Printf("approximation guarantee: within %.4g× of optimal\n", sol.Stats.BoundFactor)
+	}
+	printSpeeds(prob, sol)
+	if *report {
+		rep, err := sol.Schedule.BuildReport(mapping)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(rep.String())
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(sol.Schedule.Gantt(mapping, 72))
+	}
+	if *jsonOut {
+		return printJSON(sol)
+	}
+	return nil
+}
+
+func loadOrGenerate(file, gen string, n int, rng *rand.Rand) (*graph.Graph, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		g := graph.New()
+		if err := json.Unmarshal(data, g); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	wf := graph.UniformWeights(1, 5)
+	switch gen {
+	case "chain":
+		return graph.Chain(rng, n, wf), nil
+	case "fork":
+		return graph.Fork(rng, n, wf), nil
+	case "join":
+		return graph.Join(rng, n, wf), nil
+	case "forkjoin":
+		return graph.ForkJoin(rng, n, 3, wf), nil
+	case "layered":
+		width := 4
+		layers := (n + width - 1) / width
+		if layers < 2 {
+			layers = 2
+		}
+		return graph.Layered(rng, layers, width, 0.35, wf), nil
+	case "gnp":
+		return graph.GnpDAG(rng, n, 0.2, wf), nil
+	case "tree":
+		return graph.RandomOutTree(rng, n, wf), nil
+	case "sp":
+		g, _ := graph.RandomSP(rng, n, wf)
+		return g, nil
+	case "lu":
+		return graph.LUElimination(n, 1), nil
+	case "stencil":
+		return graph.Stencil(n, n, 1), nil
+	case "fft":
+		return graph.FFT(n, 1), nil
+	case "pipeline":
+		weights := make([]float64, 4)
+		for i := range weights {
+			weights[i] = 1 + rng.Float64()*4
+		}
+		return graph.Pipeline(4, n, weights), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", gen)
+}
+
+// runComparison solves the instance under every model plus the baselines
+// and prints one row per strategy, ordered by energy.
+func runComparison(p *core.Problem, mapping *platform.Mapping, modesStr string, smin, smax, delta float64, K int) error {
+	modes, err := parseModes(modesStr)
+	if err != nil {
+		return err
+	}
+	cm, err := model.NewContinuous(smax)
+	if err != nil {
+		return err
+	}
+	vm, err := model.NewVddHopping(modes)
+	if err != nil {
+		return err
+	}
+	dm, err := model.NewDiscrete(modes)
+	if err != nil {
+		return err
+	}
+	im, err := model.NewIncremental(smin, smax, delta)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		name string
+		sol  *core.Solution
+		err  error
+	}
+	rows := []row{}
+	add := func(name string, sol *core.Solution, err error) {
+		rows = append(rows, row{name, sol, err})
+	}
+	cont, err := p.SolveContinuous(smax, core.ContinuousOptions{})
+	add("continuous (optimal)", cont, err)
+	{
+		sol, err := p.SolveVddHopping(vm)
+		add("vdd-hopping (LP optimal)", sol, err)
+	}
+	{
+		var sol *core.Solution
+		var err error
+		if p.G.N() <= 16 {
+			sol, err = p.SolveDiscreteBB(dm, core.DiscreteOptions{})
+			add("discrete (exact B&B)", sol, err)
+		} else {
+			sol, err = p.SolveDiscreteGreedy(dm)
+			add("discrete (greedy)", sol, err)
+		}
+	}
+	{
+		sol, err := p.SolveDiscreteRoundUp(dm, core.ContinuousOptions{})
+		add("discrete (round-up, Prop. 1)", sol, err)
+	}
+	{
+		sol, err := p.SolveIncrementalApprox(im, K, core.ContinuousOptions{})
+		add(fmt.Sprintf("incremental (Thm 5, K=%d)", K), sol, err)
+	}
+	{
+		sol, err := p.SolvePerProcessorContinuous(mapping, smax, core.ContinuousOptions{})
+		add("per-processor DVFS", sol, err)
+	}
+	{
+		sol, err := p.SolveUniform(cm)
+		add("uniform global speed", sol, err)
+	}
+	{
+		sol, err := p.SolveAllMax(cm)
+		add("all at smax (no DVFS)", sol, err)
+	}
+	fmt.Printf("\n%-30s %12s %14s %10s\n", "strategy", "energy", "vs continuous", "makespan")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Printf("%-30s %12s   (%v)\n", r.name, "—", r.err)
+			continue
+		}
+		if verr := p.Verify(r.sol, 1e-6); verr != nil {
+			return fmt.Errorf("%s failed verification: %w", r.name, verr)
+		}
+		ratio := r.sol.Energy / cont.Energy
+		fmt.Printf("%-30s %12.4g %13.3f× %10.4g\n", r.name, r.sol.Energy, ratio, r.sol.Schedule.Makespan)
+	}
+	return nil
+}
+
+func loadMapping(file string, g *graph.Graph) (*platform.Mapping, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var m platform.Mapping
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func buildMapping(g *graph.Graph, kind string, procs int, rng *rand.Rand) (*platform.Mapping, error) {
+	switch kind {
+	case "list":
+		return platform.ListSchedule(g, procs)
+	case "rr":
+		return platform.RoundRobin(g, procs)
+	case "single":
+		return platform.SingleProcessor(g)
+	case "random":
+		return platform.RandomMapping(g, procs, rng.Intn)
+	}
+	return nil, fmt.Errorf("unknown mapping %q", kind)
+}
+
+func buildModel(kind, modesStr string, smin, smax, delta float64) (model.Model, error) {
+	switch kind {
+	case "continuous":
+		return model.NewContinuous(smax)
+	case "discrete":
+		modes, err := parseModes(modesStr)
+		if err != nil {
+			return model.Model{}, err
+		}
+		return model.NewDiscrete(modes)
+	case "vdd":
+		modes, err := parseModes(modesStr)
+		if err != nil {
+			return model.Model{}, err
+		}
+		return model.NewVddHopping(modes)
+	case "incremental":
+		return model.NewIncremental(smin, smax, delta)
+	}
+	return model.Model{}, fmt.Errorf("unknown model %q", kind)
+}
+
+func parseModes(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	modes := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad mode %q: %w", p, err)
+		}
+		modes = append(modes, v)
+	}
+	sort.Float64s(modes)
+	return modes, nil
+}
+
+func solve(p *core.Problem, m model.Model, solver string, K int) (*core.Solution, error) {
+	switch solver {
+	case "auto":
+		switch m.Kind {
+		case model.Continuous:
+			return p.SolveContinuous(m.SMax, core.ContinuousOptions{})
+		case model.VddHopping:
+			return p.SolveVddHopping(m)
+		case model.Discrete:
+			if p.G.N() <= 16 {
+				return p.SolveDiscreteBB(m, core.DiscreteOptions{})
+			}
+			return p.SolveDiscreteGreedy(m)
+		case model.Incremental:
+			return p.SolveIncrementalApprox(m, K, core.ContinuousOptions{})
+		}
+	case "numeric":
+		return p.SolveContinuousNumeric(m.SMax, core.ContinuousOptions{})
+	case "bb":
+		return p.SolveDiscreteBB(m, core.DiscreteOptions{})
+	case "sp":
+		reduced, err := p.G.TransitiveReduction()
+		if err != nil {
+			return nil, err
+		}
+		expr, ok := graph.DecomposeSP(reduced)
+		if !ok {
+			return nil, fmt.Errorf("execution graph is not series-parallel; use -solver bb")
+		}
+		return p.SolveDiscreteSP(m, expr, core.DiscreteOptions{})
+	case "greedy":
+		return p.SolveDiscreteGreedy(m)
+	case "roundup":
+		return p.SolveDiscreteRoundUp(m, core.ContinuousOptions{})
+	case "approx":
+		if m.Kind == model.Incremental {
+			return p.SolveIncrementalApprox(m, K, core.ContinuousOptions{})
+		}
+		return p.SolveDiscreteApprox(m, K, core.ContinuousOptions{})
+	case "uniform":
+		return p.SolveUniform(m)
+	case "allmax":
+		return p.SolveAllMax(m)
+	}
+	return nil, fmt.Errorf("unknown solver %q (or solver incompatible with model %s)", solver, m.Kind)
+}
+
+func printSpeeds(p *core.Problem, sol *core.Solution) {
+	fmt.Println("per-task schedule (first 20 tasks):")
+	limit := p.G.N()
+	if limit > 20 {
+		limit = 20
+	}
+	for i := 0; i < limit; i++ {
+		prof := sol.Schedule.Profiles[i]
+		var desc string
+		if len(prof) == 1 {
+			desc = fmt.Sprintf("speed %.4g", prof[0].Speed)
+		} else {
+			segs := make([]string, len(prof))
+			for k, seg := range prof {
+				segs[k] = fmt.Sprintf("%.4g×%.4g", seg.Speed, seg.Duration)
+			}
+			desc = "hops " + strings.Join(segs, " → ")
+		}
+		fmt.Printf("  %-10s w=%-8.4g [%7.4g, %7.4g]  %s\n",
+			p.G.Name(i), p.G.Weight(i), sol.Schedule.Start[i], sol.Schedule.Finish[i], desc)
+	}
+	if p.G.N() > limit {
+		fmt.Printf("  … %d more tasks\n", p.G.N()-limit)
+	}
+}
+
+func printJSON(sol *core.Solution) error {
+	out := struct {
+		Energy   float64     `json:"energy"`
+		Makespan float64     `json:"makespan"`
+		Start    []float64   `json:"start"`
+		Finish   []float64   `json:"finish"`
+		Speeds   [][]float64 `json:"profiles"` // flat [speed, duration, …] per task
+		Algo     string      `json:"algorithm"`
+	}{
+		Energy:   sol.Energy,
+		Makespan: sol.Schedule.Makespan,
+		Start:    sol.Schedule.Start,
+		Finish:   sol.Schedule.Finish,
+		Algo:     sol.Stats.Algorithm,
+	}
+	for _, prof := range sol.Schedule.Profiles {
+		var flat []float64
+		for _, seg := range prof {
+			flat = append(flat, seg.Speed, seg.Duration)
+		}
+		out.Speeds = append(out.Speeds, flat)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

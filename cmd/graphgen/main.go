@@ -1,0 +1,133 @@
+// Command graphgen generates task graphs (and optionally mappings) as JSON
+// files for use with energysim -graph/-mapfile, plus DOT for visualization.
+//
+// Examples:
+//
+//	graphgen -gen lu -n 5 -out lu.json -dot lu.dot
+//	graphgen -gen layered -n 32 -procs 4 -mapout map.json -out app.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		gen     = flag.String("gen", "layered", "generator: chain|fork|join|forkjoin|layered|gnp|tree|intree|sp|lu|stencil|fft|pipeline|mapreduce")
+		n       = flag.Int("n", 16, "size parameter")
+		seed    = flag.Int64("seed", 1, "random seed")
+		wlo     = flag.Float64("wlo", 1, "minimum task weight")
+		whi     = flag.Float64("whi", 5, "maximum task weight (exclusive)")
+		out     = flag.String("out", "", "write graph JSON here (default stdout)")
+		dotOut  = flag.String("dot", "", "also write DOT here")
+		procs   = flag.Int("procs", 0, "if > 0, also produce a mapping on this many processors")
+		mapKind = flag.String("mapping", "list", "mapping heuristic: list|rr|random")
+		mapOut  = flag.String("mapout", "", "write mapping JSON here (requires -procs)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	wf := graph.UniformWeights(*wlo, *whi)
+
+	g, err := generate(*gen, *n, rng, wf)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(g.ToDOT(*gen)), 0o644); err != nil {
+			return err
+		}
+	}
+	if *procs > 0 {
+		var m *platform.Mapping
+		switch *mapKind {
+		case "list":
+			m, err = platform.ListSchedule(g, *procs)
+		case "rr":
+			m, err = platform.RoundRobin(g, *procs)
+		case "random":
+			m, err = platform.RandomMapping(g, *procs, rng.Intn)
+		default:
+			return fmt.Errorf("unknown mapping heuristic %q", *mapKind)
+		}
+		if err != nil {
+			return err
+		}
+		mdata, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if *mapOut == "" {
+			fmt.Println(string(mdata))
+		} else if err := os.WriteFile(*mapOut, mdata, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func generate(gen string, n int, rng *rand.Rand, wf graph.WeightFunc) (*graph.Graph, error) {
+	switch gen {
+	case "chain":
+		return graph.Chain(rng, n, wf), nil
+	case "fork":
+		return graph.Fork(rng, n, wf), nil
+	case "join":
+		return graph.Join(rng, n, wf), nil
+	case "forkjoin":
+		return graph.ForkJoin(rng, n, 3, wf), nil
+	case "layered":
+		width := 4
+		layers := (n + width - 1) / width
+		if layers < 2 {
+			layers = 2
+		}
+		return graph.Layered(rng, layers, width, 0.35, wf), nil
+	case "gnp":
+		return graph.GnpDAG(rng, n, 0.2, wf), nil
+	case "tree":
+		return graph.RandomOutTree(rng, n, wf), nil
+	case "intree":
+		return graph.RandomInTree(rng, n, wf), nil
+	case "sp":
+		g, _ := graph.RandomSP(rng, n, wf)
+		return g, nil
+	case "lu":
+		return graph.LUElimination(n, 1), nil
+	case "stencil":
+		return graph.Stencil(n, n, 1), nil
+	case "fft":
+		return graph.FFT(n, 1), nil
+	case "pipeline":
+		weights := make([]float64, 4)
+		for i := range weights {
+			weights[i] = wf(rng)
+		}
+		return graph.Pipeline(4, n, weights), nil
+	case "mapreduce":
+		return graph.MapReduce(n, (n+3)/4, 1, 2), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", gen)
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wf := graph.UniformWeights(1, 3)
+	kinds := []string{"chain", "fork", "join", "forkjoin", "layered", "gnp",
+		"tree", "intree", "sp", "lu", "stencil", "fft", "pipeline", "mapreduce"}
+	for _, k := range kinds {
+		g, err := generate(k, 6, rng, wf)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+	}
+	if _, err := generate("bogus", 6, rng, wf); err == nil {
+		t.Fatal("accepted unknown generator")
+	}
+}

@@ -1,0 +1,56 @@
+// Package energysched reproduces, as a library, the system of
+//
+//	G. Aupy, A. Benoit, F. Dufossé, Y. Robert.
+//	"Brief Announcement: Reclaiming the Energy of a Schedule,
+//	Models and Algorithms", SPAA 2011.
+//
+// The problem: an application task graph has already been mapped onto a set
+// of identical processors (an ordered task list per processor — a legacy
+// mapping, an affinity-driven one, a security-driven pre-allocation…). The
+// mapping cannot be changed, but every task's execution speed can. Running a
+// task of cost w at speed s takes w/s time and burns w·s² joules (dynamic
+// power s³). MinEnergy(G, D) asks for the speeds minimizing total energy
+// while finishing everything by a deadline D on the execution graph G — the
+// precedence edges plus the serialization edges the mapping induces.
+//
+// Four speed models are supported, with the paper's complexity landscape
+// implemented in full:
+//
+//   - Continuous: any speed in (0, smax]. Closed forms for chains and forks
+//     (Theorem 1), a linear-time equivalent-weight algebra for trees and
+//     series-parallel graphs (Theorem 2), and a log-barrier interior-point
+//     solver for the geometric program on arbitrary DAGs.
+//   - Vdd-Hopping: a fixed mode set, switchable mid-task. Solved exactly by
+//     linear programming (Theorem 3).
+//   - Discrete: a fixed mode set, one mode per task. NP-complete
+//     (Theorem 4); exact branch-and-bound and an exact Pareto-frontier
+//     dynamic program for series-parallel shapes, plus greedy and round-up
+//     heuristics.
+//   - Incremental: evenly spaced modes smin + i·δ. NP-complete, but
+//     approximable within (1+δ/smin)²(1+1/K)² in polynomial time
+//     (Theorem 5), implemented as SolveIncrementalApprox.
+//
+// A typical session:
+//
+//	g := energysched.NewGraph()
+//	a := g.AddTask("prep", 4)
+//	b := g.AddTask("left", 6)
+//	c := g.AddTask("right", 2)
+//	g.MustAddEdge(a, b)
+//	g.MustAddEdge(a, c)
+//
+//	mapping, _ := energysched.ListSchedule(g, 2)
+//	exec, _ := energysched.BuildExecutionGraph(g, mapping)
+//	prob, _ := energysched.NewProblem(exec, 12.0)
+//
+//	cont, _ := prob.SolveContinuous(2.0, energysched.ContinuousOptions{})
+//	fmt.Println("continuous optimum:", cont.Energy)
+//
+//	modes, _ := energysched.NewVddHopping([]float64{0.5, 1, 2})
+//	vdd, _ := prob.SolveVddHopping(modes)
+//	fmt.Println("vdd-hopping optimum:", vdd.Energy)
+//
+// Everything is pure Go, standard library only. The experiment harness in
+// cmd/experiments regenerates the comparative study described in DESIGN.md
+// and EXPERIMENTS.md.
+package energysched

@@ -1,0 +1,80 @@
+package energysched_test
+
+import (
+	"fmt"
+	"math"
+
+	energysched "repro"
+)
+
+// The MinEnergy workflow on the simplest interesting instance: a two-task
+// chain whose optimal continuous speed is total-work / deadline.
+func Example() {
+	g := energysched.NewGraph()
+	a := g.AddTask("first", 3)
+	b := g.AddTask("second", 5)
+	g.MustAddEdge(a, b)
+
+	mapping, _ := energysched.SingleProcessor(g)
+	exec, _ := energysched.BuildExecutionGraph(g, mapping)
+	prob, _ := energysched.NewProblem(exec, 4) // W = 8, D = 4 → speed 2
+
+	sol, _ := prob.SolveContinuous(2, energysched.ContinuousOptions{})
+	speeds, _ := sol.Speeds()
+	fmt.Printf("speeds: %.3g %.3g\n", speeds[0], speeds[1])
+	fmt.Printf("energy: %.3g\n", sol.Energy)
+	// Output:
+	// speeds: 2 2
+	// energy: 32
+}
+
+// Theorem 1's closed form on a fork, via the dispatcher.
+func ExampleProblem_SolveContinuous() {
+	g := energysched.NewGraph()
+	src := g.AddTask("source", 2)
+	for _, w := range []float64{1, 3, 4} {
+		leaf := g.AddTask("", w)
+		g.MustAddEdge(src, leaf)
+	}
+	prob, _ := energysched.NewProblem(g, 5)
+	sol, _ := prob.SolveContinuous(math.Inf(1), energysched.ContinuousOptions{})
+	speeds, _ := sol.Speeds()
+	// s0 = (cbrt(1+27+64) + 2) / 5
+	fmt.Printf("algorithm: %s\n", sol.Stats.Algorithm)
+	fmt.Printf("s0 = %.4f\n", speeds[src])
+	// Output:
+	// algorithm: fork-closed-form
+	// s0 = 1.3029
+}
+
+// Vdd-Hopping mixes two modes to hit an intermediate average speed exactly
+// (Theorem 3): a single task of cost 2 and deadline 2 needs average speed 1,
+// which modes {0.5, 2} realize at lower energy than rounding up to 2.
+func ExampleProblem_SolveVddHopping() {
+	g := energysched.NewGraph()
+	g.AddTask("only", 2)
+	prob, _ := energysched.NewProblem(g, 2)
+
+	m, _ := energysched.NewVddHopping([]float64{0.5, 2})
+	sol, _ := prob.SolveVddHopping(m)
+	fmt.Printf("vdd energy: %.3g\n", sol.Energy)
+
+	d, _ := energysched.NewDiscrete([]float64{0.5, 2})
+	one, _ := prob.SolveDiscreteBB(d, energysched.DiscreteOptions{})
+	fmt.Printf("one-mode energy: %.3g\n", one.Energy)
+	// Output:
+	// vdd energy: 5.5
+	// one-mode energy: 8
+}
+
+// The Theorem 5 guarantee is computable a priori.
+func ExampleTheorem5Bound() {
+	m, _ := energysched.NewIncremental(1.0, 2.0, 0.5)
+	for _, k := range []int{1, 4, 16} {
+		fmt.Printf("K=%-2d bound %.4f\n", k, energysched.Theorem5Bound(m, k))
+	}
+	// Output:
+	// K=1  bound 9.0000
+	// K=4  bound 3.5156
+	// K=16 bound 2.5400
+}

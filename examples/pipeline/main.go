@@ -1,0 +1,85 @@
+// Pipeline: the paper's "legacy application" motivation. A four-stage
+// streaming pipeline is already mapped stage-per-processor (the natural
+// legacy layout); the throughput contract gives a deadline. We sweep the
+// deadline slack and report how much of the no-DVFS energy each model
+// reclaims — the headline use case for MinEnergy(G, D).
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	energysched "repro"
+)
+
+func main() {
+	// Four stages with uneven costs (decode, transform, encode, write) over
+	// eight stream items; stages are stateful, so item k of a stage follows
+	// item k-1 of the same stage — exactly graph.Pipeline's dependence shape.
+	stages := []float64{2, 6, 4, 1}
+	const items = 8
+	app := energysched.Pipeline(len(stages), items, stages)
+
+	// Legacy mapping: one stage per processor, items in order.
+	mapping := &energysched.Mapping{Order: make([][]int, len(stages))}
+	for k := 0; k < items; k++ {
+		for s := range stages {
+			mapping.Order[s] = append(mapping.Order[s], k*len(stages)+s)
+		}
+	}
+	exec, err := energysched.BuildExecutionGraph(app, mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const smax = 2.0
+	modes := []float64{0.5, 1.0, 1.5, 2.0}
+	dmin, err := exec.MinimalDeadline(smax)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline: %d stages × %d items = %d tasks; fastest finish %.3g\n\n",
+		len(stages), items, app.N(), dmin)
+	fmt.Println("slack β   E(no-DVFS)   continuous   vdd-hopping   discrete-greedy   reclaimed")
+
+	cm, _ := energysched.NewContinuous(smax)
+	vm, _ := energysched.NewVddHopping(modes)
+	dm, _ := energysched.NewDiscrete(modes)
+
+	for _, beta := range []float64{1.1, 1.3, 1.6, 2.0, 3.0, 4.0} {
+		prob, err := energysched.NewProblem(exec, beta*dmin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		allmax, err := prob.SolveAllMax(cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cont, err := prob.SolveContinuous(smax, energysched.ContinuousOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vdd, err := prob.SolveVddHopping(vm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		greedy, err := prob.SolveDiscreteGreedy(dm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range []*energysched.Solution{allmax, cont, vdd, greedy} {
+			if err := prob.Verify(s, 1e-6); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%6.1f %12.1f %12.1f %13.1f %17.1f %10.1f%%\n",
+			beta, allmax.Energy, cont.Energy, vdd.Energy, greedy.Energy,
+			100*(1-vdd.Energy/allmax.Energy))
+	}
+
+	fmt.Println("\nReading: once the contract allows β ≈ 2, speed scaling reclaims")
+	fmt.Println("roughly three quarters of the energy a deadline-oblivious run wastes,")
+	fmt.Println("and the Vdd-Hopping schedule tracks the continuous lower bound closely.")
+}

@@ -1,0 +1,107 @@
+// Quickstart: build a small task graph, map it onto two processors, and
+// solve MinEnergy(G, D) under all four energy models of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	energysched "repro"
+)
+
+func main() {
+	// A six-task application: prepare, two parallel pipelines, merge.
+	g := energysched.NewGraph()
+	prep := g.AddTask("prep", 4)
+	fa := g.AddTask("filterA", 6)
+	fb := g.AddTask("filterB", 3)
+	ra := g.AddTask("reduceA", 2)
+	rb := g.AddTask("reduceB", 5)
+	merge := g.AddTask("merge", 4)
+	g.MustAddEdge(prep, fa)
+	g.MustAddEdge(prep, fb)
+	g.MustAddEdge(fa, ra)
+	g.MustAddEdge(fb, rb)
+	g.MustAddEdge(ra, merge)
+	g.MustAddEdge(rb, merge)
+
+	// The mapping is *given* (the paper's core assumption): say a legacy
+	// runtime put the A-pipeline on P0 and the B-pipeline on P1.
+	mapping := &energysched.Mapping{Order: [][]int{
+		{prep, fa, ra, merge},
+		{fb, rb},
+	}}
+	exec, err := energysched.BuildExecutionGraph(g, mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deadline: 1.6× the fastest possible finish at smax = 2.
+	const smax = 2.0
+	dmin, err := exec.MinimalDeadline(smax)
+	if err != nil {
+		log.Fatal(err)
+	}
+	D := 1.6 * dmin
+	prob, err := energysched.NewProblem(exec, D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("six tasks on two processors, deadline %.3g (fastest possible %.3g)\n\n", D, dmin)
+
+	modes := []float64{0.5, 1.0, 1.5, 2.0}
+
+	// Continuous (Theorems 1–2 / geometric program).
+	cont, err := prob.SolveContinuous(smax, energysched.ContinuousOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Vdd-Hopping (Theorem 3, exact LP).
+	vm, _ := energysched.NewVddHopping(modes)
+	vdd, err := prob.SolveVddHopping(vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Discrete (Theorem 4, exact branch-and-bound — n is small).
+	dm, _ := energysched.NewDiscrete(modes)
+	disc, err := prob.SolveDiscreteBB(dm, energysched.DiscreteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Incremental (Theorem 5 approximation).
+	im, _ := energysched.NewIncremental(0.5, smax, 0.25)
+	incr, err := prob.SolveIncrementalApprox(im, 8, energysched.ContinuousOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Baseline: what the same mapping costs with no speed scaling.
+	cm, _ := energysched.NewContinuous(smax)
+	allmax, err := prob.SolveAllMax(cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("model          energy   vs continuous   vs no-DVFS")
+	for _, row := range []struct {
+		name string
+		sol  *energysched.Solution
+	}{
+		{"continuous", cont},
+		{"vdd-hopping", vdd},
+		{"discrete", disc},
+		{"incremental", incr},
+		{"all-at-smax", allmax},
+	} {
+		if err := prob.Verify(row.sol, 1e-6); err != nil {
+			log.Fatalf("%s failed verification: %v", row.name, err)
+		}
+		fmt.Printf("%-12s %8.3f %10.3f× %12.1f%%\n",
+			row.name, row.sol.Energy, row.sol.Energy/cont.Energy,
+			100*(1-row.sol.Energy/allmax.Energy))
+	}
+
+	fmt.Println("\ncontinuous-optimal schedule:")
+	fmt.Print(cont.Schedule.Gantt(mapping, 60))
+}

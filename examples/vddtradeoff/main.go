@@ -1,0 +1,77 @@
+// Vddtradeoff: the design question the paper's conclusion poses. Vdd-Hopping
+// smooths out discrete modes by mixing them *within* a task; the Incremental
+// model instead keeps one speed per task but spaces the modes regularly with
+// increment δ. This example quantifies the trade: how small must δ be before
+// plain Incremental matches Vdd-Hopping on the same hardware speed range?
+//
+//	go run ./examples/vddtradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	energysched "repro"
+)
+
+func main() {
+	const (
+		smin, smax = 0.5, 2.0
+		factor     = 1.7
+	)
+	rng := rand.New(rand.NewSource(7))
+	// A series-parallel workload so the exact Pareto DP can price the
+	// Incremental optimum even with dense grids (branch-and-bound could not —
+	// Theorem 4).
+	g, expr := energysched.RandomSP(rng, 14, energysched.UniformWeights(1, 5))
+	dmin, err := g.MinimalDeadline(smax)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := energysched.NewProblem(g, factor*dmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cont, err := prob.SolveContinuous(smax, energysched.ContinuousOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("series-parallel workload, %d tasks, deadline %.3g× minimal\n", g.N(), factor)
+	fmt.Printf("continuous lower bound: %.2f\n\n", cont.Energy)
+
+	// Vdd-Hopping with the coarse factory mode set.
+	coarse := []float64{0.5, 1.0, 2.0}
+	vm, _ := energysched.NewVddHopping(coarse)
+	vdd, err := prob.SolveVddHopping(vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vdd-hopping on coarse modes %v: %.2f (%.2f%% above continuous)\n\n",
+		coarse, vdd.Energy, 100*(vdd.Energy/cont.Energy-1))
+
+	fmt.Println("incremental (one speed per task, grid smin + i·δ):")
+	fmt.Println("    δ     modes   E(incr-opt)   vs continuous   vs vdd   bound (1+δ/smin)²")
+	for _, delta := range []float64{0.75, 0.5, 0.25, 0.1, 0.05} {
+		im, err := energysched.NewIncremental(smin, smax, delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := prob.SolveDiscreteSP(im, expr, energysched.DiscreteOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := prob.Verify(sol, 1e-6); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5.2f %7d %12.2f %14.2f%% %8.2f%% %12.2f\n",
+			delta, im.NumModes(), sol.Energy,
+			100*(sol.Energy/cont.Energy-1),
+			100*(sol.Energy/vdd.Energy-1),
+			energysched.Proposition1ContinuousBound(im))
+	}
+
+	fmt.Println("\nReading: once δ reaches ≈ 0.25 (a handful of regularly spaced modes),")
+	fmt.Println("plain per-task speeds already beat coarse-mode Vdd-Hopping, and shrinking")
+	fmt.Println("δ further converges to the continuous bound: Proposition 1 in practice.")
+}

@@ -1,0 +1,253 @@
+// Package convex implements a log-barrier interior-point method for smooth
+// convex programs with linear inequality constraints:
+//
+//	minimize    f(x)
+//	subject to  A·x ≤ b,
+//
+// where f supplies its gradient and Hessian. This is the "efficient
+// numerical scheme" the paper appeals to for the continuous energy model on
+// arbitrary execution graphs: MinEnergy(G, D) is a geometric program that,
+// in the (completion-time, duration) variables, becomes exactly the shape
+// above with f(d) = Σ wᵢ³/dᵢ².
+package convex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Objective is a twice-differentiable convex function.
+type Objective interface {
+	// Value returns f(x).
+	Value(x linalg.Vector) float64
+	// Gradient writes ∇f(x) into g.
+	Gradient(x, g linalg.Vector)
+	// Hessian adds ∇²f(x) into h (h is pre-zeroed by the solver).
+	Hessian(x linalg.Vector, h *linalg.Matrix)
+}
+
+// Options tunes the barrier method.
+type Options struct {
+	// Tol is the duality-gap tolerance m/t at which the outer loop stops.
+	// Zero means 1e-9.
+	Tol float64
+	// MaxNewton bounds Newton iterations per centering step. Zero means 60.
+	MaxNewton int
+	// MaxOuter bounds barrier (centering) stages. Zero means 80.
+	MaxOuter int
+	// Mu is the barrier growth factor. Zero means 12.
+	Mu float64
+	// T0 is the initial barrier weight. Zero means 1.
+	T0 float64
+}
+
+// Result reports the outcome of Minimize.
+type Result struct {
+	X           linalg.Vector
+	Value       float64
+	Newton      int // total Newton iterations
+	OuterStages int
+	GapBound    float64 // final m/t upper bound on suboptimality of the barrier path
+}
+
+// Errors returned by Minimize.
+var (
+	ErrInfeasibleStart = errors.New("convex: starting point is not strictly feasible")
+	ErrDimension       = errors.New("convex: dimension mismatch")
+	ErrNumerical       = errors.New("convex: numerical failure in Newton step")
+)
+
+// Minimize runs a standard path-following barrier method from the strictly
+// feasible point x0. a may be nil (unconstrained Newton).
+func Minimize(f Objective, a *linalg.Matrix, b linalg.Vector, x0 linalg.Vector, opts Options) (*Result, error) {
+	n := len(x0)
+	var m int
+	if a != nil {
+		if a.Cols != n || len(b) != a.Rows {
+			return nil, ErrDimension
+		}
+		m = a.Rows
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	maxNewton := opts.MaxNewton
+	if maxNewton == 0 {
+		maxNewton = 60
+	}
+	maxOuter := opts.MaxOuter
+	if maxOuter == 0 {
+		maxOuter = 80
+	}
+	mu := opts.Mu
+	if mu == 0 {
+		mu = 12
+	}
+	t := opts.T0
+	if t == 0 {
+		t = 1
+	}
+
+	x := x0.Clone()
+	slack := linalg.NewVector(m)
+	if m > 0 {
+		computeSlack(a, b, x, slack)
+		if slack.Min() <= 0 {
+			return nil, fmt.Errorf("%w (min slack %g)", ErrInfeasibleStart, slack.Min())
+		}
+	}
+
+	res := &Result{}
+	grad := linalg.NewVector(n)
+	hess := linalg.NewMatrix(n, n)
+	dir := linalg.NewVector(n)
+
+	for outer := 0; outer < maxOuter; outer++ {
+		res.OuterStages++
+		// Centering: Newton on  t·f(x) + φ(x),  φ = -Σ log(bᵢ - aᵢᵀx).
+		for it := 0; it < maxNewton; it++ {
+			res.Newton++
+			val, gnorm, err := newtonStep(f, a, b, x, t, grad, hess, dir, slack)
+			if err != nil {
+				return nil, err
+			}
+			_ = val
+			// Newton decrement-based stop.
+			lambda2 := -grad.Dot(dir) // dir solves H·dir = -g, so -gᵀdir = gᵀH⁻¹g ≥ 0
+			if lambda2 < 0 {
+				lambda2 = 0
+			}
+			if lambda2/2 < 1e-12 || gnorm < 1e-13 {
+				break
+			}
+			if !lineSearchAndStep(f, a, b, x, dir, t, grad, slack) {
+				break // no progress possible at this scale
+			}
+		}
+		gap := float64(m) / t
+		res.GapBound = gap
+		if m == 0 || gap < tol {
+			break
+		}
+		t *= mu
+	}
+	res.X = x
+	res.Value = f.Value(x)
+	return res, nil
+}
+
+func computeSlack(a *linalg.Matrix, b, x, slack linalg.Vector) {
+	a.MulVec(x, slack)
+	for i := range slack {
+		slack[i] = b[i] - slack[i]
+	}
+}
+
+// newtonStep assembles gradient/Hessian of t·f + φ at x and solves for the
+// Newton direction into dir. Returns the barrier-augmented value and the
+// gradient norm.
+func newtonStep(f Objective, a *linalg.Matrix, b linalg.Vector, x linalg.Vector,
+	t float64, grad linalg.Vector, hess *linalg.Matrix, dir linalg.Vector, slack linalg.Vector) (float64, float64, error) {
+
+	n := len(x)
+	// Gradient: t·∇f + Σ aᵢ/sᵢ.
+	f.Gradient(x, grad)
+	grad.Scale(t)
+	hess.Zero()
+	f.Hessian(x, hess)
+	for i := range hess.Data {
+		hess.Data[i] *= t
+	}
+	if a != nil {
+		computeSlack(a, b, x, slack)
+		for i := 0; i < a.Rows; i++ {
+			si := slack[i]
+			if si <= 0 {
+				return 0, 0, fmt.Errorf("%w: slack %d non-positive during centering", ErrNumerical, i)
+			}
+			row := a.Row(i)
+			inv := 1 / si
+			for j := 0; j < n; j++ {
+				grad[j] += row[j] * inv
+			}
+			hess.AddOuterScaled(inv*inv, row)
+		}
+	}
+	neg := grad.Clone()
+	neg.Scale(-1)
+	sol, _, err := linalg.SolvePD(hess, neg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrNumerical, err)
+	}
+	copy(dir, sol)
+	val := t * f.Value(x)
+	if a != nil {
+		for i := range slack {
+			val -= math.Log(slack[i])
+		}
+	}
+	return val, grad.Norm2(), nil
+}
+
+// lineSearchAndStep performs a backtracking line search on t·f + φ along dir,
+// first shrinking the step to stay strictly inside the constraints, then
+// enforcing an Armijo decrease. x is updated in place. Returns false when no
+// step could be taken.
+func lineSearchAndStep(f Objective, a *linalg.Matrix, b linalg.Vector, x, dir linalg.Vector,
+	t float64, grad, slack linalg.Vector) bool {
+
+	const (
+		alpha = 0.25
+		beta  = 0.5
+	)
+	step := 1.0
+	// Shrink to remain strictly feasible: need slack - step·(A·dir) > 0.
+	if a != nil {
+		adir := linalg.NewVector(a.Rows)
+		a.MulVec(dir, adir)
+		computeSlack(a, b, x, slack)
+		for i := range adir {
+			if adir[i] > 0 {
+				limit := slack[i] / adir[i]
+				if 0.99*limit < step {
+					step = 0.99 * limit
+				}
+			}
+		}
+	}
+	if step <= 0 || math.IsNaN(step) {
+		return false
+	}
+	barrierVal := func(y linalg.Vector) float64 {
+		v := t * f.Value(y)
+		if a != nil {
+			s := linalg.NewVector(a.Rows)
+			computeSlack(a, b, y, s)
+			for i := range s {
+				if s[i] <= 0 {
+					return math.Inf(1)
+				}
+				v -= math.Log(s[i])
+			}
+		}
+		return v
+	}
+	v0 := barrierVal(x)
+	slope := grad.Dot(dir) // should be negative
+	y := linalg.NewVector(len(x))
+	for k := 0; k < 60; k++ {
+		copy(y, x)
+		y.AddScaled(step, dir)
+		v := barrierVal(y)
+		if v <= v0+alpha*step*slope && !math.IsNaN(v) {
+			copy(x, y)
+			return true
+		}
+		step *= beta
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package convex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// quadratic is f(x) = 0.5 xᵀQx - pᵀx with Q diagonal.
+type quadratic struct {
+	q, p linalg.Vector
+}
+
+func (f *quadratic) Value(x linalg.Vector) float64 {
+	v := 0.0
+	for i := range x {
+		v += 0.5*f.q[i]*x[i]*x[i] - f.p[i]*x[i]
+	}
+	return v
+}
+
+func (f *quadratic) Gradient(x, g linalg.Vector) {
+	for i := range x {
+		g[i] = f.q[i]*x[i] - f.p[i]
+	}
+}
+
+func (f *quadratic) Hessian(x linalg.Vector, h *linalg.Matrix) {
+	for i := range x {
+		h.Add(i, i, f.q[i])
+	}
+}
+
+// powerSum is f(d) = Σ wᵢ³/dᵢ², the continuous-model energy in durations.
+type powerSum struct {
+	w linalg.Vector
+}
+
+func (f *powerSum) Value(x linalg.Vector) float64 {
+	v := 0.0
+	for i := range x {
+		v += math.Pow(f.w[i], 3) / (x[i] * x[i])
+	}
+	return v
+}
+
+func (f *powerSum) Gradient(x, g linalg.Vector) {
+	for i := range x {
+		g[i] = -2 * math.Pow(f.w[i], 3) / math.Pow(x[i], 3)
+	}
+}
+
+func (f *powerSum) Hessian(x linalg.Vector, h *linalg.Matrix) {
+	for i := range x {
+		h.Add(i, i, 6*math.Pow(f.w[i], 3)/math.Pow(x[i], 4))
+	}
+}
+
+func TestUnconstrainedQuadratic(t *testing.T) {
+	// min 0.5(x² + 2y²) - (x + 2y): optimum x=1, y=1.
+	f := &quadratic{q: linalg.Vector{1, 2}, p: linalg.Vector{1, 2}}
+	res, err := Minimize(f, nil, nil, linalg.Vector{5, -3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-1) > 1e-6 {
+		t.Fatalf("x = %v, want [1 1]", res.X)
+	}
+}
+
+func TestActiveBoxConstraint(t *testing.T) {
+	// min 0.5 x² - 4x s.t. x <= 2: unconstrained optimum 4, so x*=2.
+	f := &quadratic{q: linalg.Vector{1}, p: linalg.Vector{4}}
+	a := linalg.NewMatrix(1, 1)
+	a.Set(0, 0, 1)
+	res, err := Minimize(f, a, linalg.Vector{2}, linalg.Vector{0.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 {
+		t.Fatalf("x = %v, want 2", res.X[0])
+	}
+}
+
+func TestInactiveConstraint(t *testing.T) {
+	// min 0.5 x² - x s.t. x <= 100: optimum 1, interior.
+	f := &quadratic{q: linalg.Vector{1}, p: linalg.Vector{1}}
+	a := linalg.NewMatrix(1, 1)
+	a.Set(0, 0, 1)
+	res, err := Minimize(f, a, linalg.Vector{100}, linalg.Vector{3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 {
+		t.Fatalf("x = %v, want 1", res.X[0])
+	}
+}
+
+func TestInfeasibleStartRejected(t *testing.T) {
+	f := &quadratic{q: linalg.Vector{1}, p: linalg.Vector{0}}
+	a := linalg.NewMatrix(1, 1)
+	a.Set(0, 0, 1)
+	if _, err := Minimize(f, a, linalg.Vector{1}, linalg.Vector{2}, Options{}); err == nil {
+		t.Fatal("expected infeasible-start error")
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	f := &quadratic{q: linalg.Vector{1}, p: linalg.Vector{0}}
+	a := linalg.NewMatrix(1, 2)
+	if _, err := Minimize(f, a, linalg.Vector{1}, linalg.Vector{0.5}, Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// Chain energy: two tasks sharing a deadline. min w₁³/d₁² + w₂³/d₂²
+// s.t. d₁ + d₂ <= D. The optimum runs both at the same speed
+// s = (w₁+w₂)/D, i.e. dᵢ = wᵢ·D/(w₁+w₂), energy (w₁+w₂)³/D².
+func TestChainEnergyClosedForm(t *testing.T) {
+	w1, w2, D := 3.0, 5.0, 4.0
+	f := &powerSum{w: linalg.Vector{w1, w2}}
+	// Constraints: d1 + d2 <= D, -d1 <= -lo, -d2 <= -lo (keep away from 0).
+	lo := 1e-4
+	a := linalg.NewMatrix(3, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, -1)
+	a.Set(2, 1, -1)
+	b := linalg.Vector{D, -lo, -lo}
+	x0 := linalg.Vector{D / 4, D / 4}
+	res, err := Minimize(f, a, b, x0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE := math.Pow(w1+w2, 3) / (D * D)
+	if math.Abs(res.Value-wantE) > 1e-5*wantE {
+		t.Fatalf("energy = %v, want %v", res.Value, wantE)
+	}
+	wantD1 := w1 * D / (w1 + w2)
+	if math.Abs(res.X[0]-wantD1) > 1e-4 {
+		t.Fatalf("d1 = %v, want %v", res.X[0], wantD1)
+	}
+}
+
+// Fork energy check against Theorem 1 with smax = ∞: source T0 then n
+// children in parallel, each child constrained by d0 + di <= D.
+func TestForkEnergyMatchesTheorem1(t *testing.T) {
+	w := linalg.Vector{2, 1, 3, 4} // w[0] = source
+	D := 5.0
+	n := len(w) - 1
+	f := &powerSum{w: w}
+	rows := n + len(w)
+	a := linalg.NewMatrix(rows, len(w))
+	b := linalg.NewVector(rows)
+	for i := 0; i < n; i++ {
+		a.Set(i, 0, 1)
+		a.Set(i, i+1, 1)
+		b[i] = D
+	}
+	lo := 1e-4
+	for j := 0; j < len(w); j++ {
+		a.Set(n+j, j, -1)
+		b[n+j] = -lo
+	}
+	x0 := linalg.NewVector(len(w))
+	for j := range x0 {
+		x0[j] = D / 3
+	}
+	res, err := Minimize(f, a, b, x0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumCubes := 0.0
+	for i := 1; i < len(w); i++ {
+		sumCubes += math.Pow(w[i], 3)
+	}
+	s0 := (math.Cbrt(sumCubes) + w[0]) / D
+	wantE := w[0]*s0*s0 + sumCubes/math.Pow(D-w[0]/s0, 2)
+	if math.Abs(res.Value-wantE) > 1e-4*wantE {
+		t.Fatalf("fork energy = %v, want %v (Theorem 1)", res.Value, wantE)
+	}
+}
+
+func TestResultDiagnostics(t *testing.T) {
+	f := &quadratic{q: linalg.Vector{1}, p: linalg.Vector{1}}
+	a := linalg.NewMatrix(1, 1)
+	a.Set(0, 0, 1)
+	res, err := Minimize(f, a, linalg.Vector{10}, linalg.Vector{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Newton == 0 || res.OuterStages == 0 {
+		t.Fatalf("expected nonzero iteration counters: %+v", res)
+	}
+	if res.GapBound > 1e-6 {
+		t.Fatalf("gap bound too large: %v", res.GapBound)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Baselines: what the energy bill looks like *without* per-task speed
+// reclaiming. The experiments report every model's energy relative to these.
+
+// SolveAllMax runs every task at the model's top speed — the "no energy
+// management" schedule a makespan-oriented runtime would produce. It is the
+// energy ceiling: every reclaiming strategy must do at least as well.
+func (p *Problem) SolveAllMax(m model.Model) (*Solution, error) {
+	if err := p.CheckFeasible(m.SMax); err != nil {
+		return nil, err
+	}
+	if math.IsInf(m.SMax, 1) {
+		return nil, fmt.Errorf("core: all-max baseline undefined for unbounded smax")
+	}
+	speeds := make([]float64, p.G.N())
+	for i := range speeds {
+		speeds[i] = m.SMax
+	}
+	return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "baseline-all-max", Exact: false, BoundFactor: math.Inf(1)})
+}
+
+// SolveUniform runs every task at one common speed, the slowest that meets
+// the deadline: s = (critical-path weight)/D, rounded up to an admissible
+// speed for discrete kinds. This is "global" slack reclaiming — the best a
+// single chip-wide DVFS knob can do, against which the paper's per-task
+// speeds show their advantage.
+func (p *Problem) SolveUniform(m model.Model) (*Solution, error) {
+	cpw, err := p.G.CriticalPathWeight()
+	if err != nil {
+		return nil, err
+	}
+	need := cpw / p.Deadline
+	var s float64
+	switch m.Kind {
+	case model.Continuous:
+		if need > m.SMax*(1+1e-12) {
+			return nil, fmt.Errorf("%w: uniform speed %.9g > smax %.9g", ErrInfeasible, need, m.SMax)
+		}
+		s = math.Min(need, m.SMax)
+	default:
+		up, err := m.RoundUp(math.Max(need, m.SMin))
+		if err != nil {
+			return nil, fmt.Errorf("%w: uniform speed %.9g above top mode %.9g", ErrInfeasible, need, m.SMax)
+		}
+		s = up
+	}
+	speeds := make([]float64, p.G.N())
+	for i := range speeds {
+		speeds[i] = s
+	}
+	return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "baseline-uniform", Exact: false, BoundFactor: math.Inf(1)})
+}

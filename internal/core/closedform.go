@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Closed-form continuous solutions for the structured graphs of the paper.
+
+// SolveChainContinuous solves MinEnergy on a chain execution graph under the
+// Continuous model: by convexity every task runs at the common speed
+// s = (Σ wᵢ)/D (uniquely optimal), infeasible when s > smax.
+func (p *Problem) SolveChainContinuous(smax float64) (*Solution, error) {
+	order, ok := p.G.IsChain()
+	if !ok {
+		return nil, fmt.Errorf("core: graph is not a chain")
+	}
+	s := p.G.TotalWeight() / p.Deadline
+	if s > smax*(1+1e-12) {
+		return nil, fmt.Errorf("%w: chain needs speed %.9g > smax %.9g", ErrInfeasible, s, smax)
+	}
+	speeds := make([]float64, p.G.N())
+	for _, t := range order {
+		speeds[t] = math.Min(s, smax)
+	}
+	m, err := model.NewContinuous(smax)
+	if err != nil {
+		return nil, err
+	}
+	return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "chain-closed-form", Exact: true, BoundFactor: 1})
+}
+
+// SolveForkContinuous solves MinEnergy on a fork graph (source T0 plus
+// leaves T1..Tn) under the Continuous model, exactly as Theorem 1 states:
+//
+//	s₀ = ((Σ wᵢ³)^(1/3) + w₀) / D,  sᵢ = s₀ · wᵢ / (Σ wᵢ³)^(1/3)
+//
+// when s₀ ≤ smax; otherwise T0 runs at smax and the leaves share the
+// remaining window D' = D - w₀/smax at speeds wᵢ/D' (each capped by the
+// feasibility check), and when even that exceeds smax the instance is
+// infeasible.
+func (p *Problem) SolveForkContinuous(smax float64) (*Solution, error) {
+	src, ok := p.G.IsFork()
+	if !ok {
+		return nil, fmt.Errorf("core: graph is not a fork")
+	}
+	n := p.G.N()
+	w0 := p.G.Weight(src)
+	sumCubes := 0.0
+	for i := 0; i < n; i++ {
+		if i == src {
+			continue
+		}
+		sumCubes += math.Pow(p.G.Weight(i), 3)
+	}
+	croot := math.Cbrt(sumCubes)
+	D := p.Deadline
+	speeds := make([]float64, n)
+	s0 := (croot + w0) / D
+	if s0 <= smax*(1+1e-12) {
+		speeds[src] = math.Min(s0, smax)
+		for i := 0; i < n; i++ {
+			if i == src {
+				continue
+			}
+			speeds[i] = s0 * p.G.Weight(i) / croot
+		}
+	} else {
+		// Saturated branch of Theorem 1.
+		speeds[src] = smax
+		dprime := D - w0/smax
+		if dprime <= 0 {
+			return nil, fmt.Errorf("%w: source alone exceeds the deadline at smax", ErrInfeasible)
+		}
+		for i := 0; i < n; i++ {
+			if i == src {
+				continue
+			}
+			si := p.G.Weight(i) / dprime
+			if si > smax*(1+1e-12) {
+				return nil, fmt.Errorf("%w: leaf %d needs speed %.9g > smax %.9g", ErrInfeasible, i, si, smax)
+			}
+			speeds[i] = math.Min(si, smax)
+		}
+	}
+	m, err := model.NewContinuous(smax)
+	if err != nil {
+		return nil, err
+	}
+	return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "fork-closed-form", Exact: true, BoundFactor: 1})
+}
+
+// ForkOptimalEnergy returns Theorem 1's optimal energy value for a fork with
+// source weight w0, leaf weights w, deadline D and bound smax — useful as an
+// independent oracle in tests and experiments.
+func ForkOptimalEnergy(w0 float64, w []float64, D, smax float64) (float64, error) {
+	sumCubes := 0.0
+	for _, x := range w {
+		sumCubes += math.Pow(x, 3)
+	}
+	croot := math.Cbrt(sumCubes)
+	s0 := (croot + w0) / D
+	if s0 <= smax {
+		// E = w0·s0² + Σ wᵢ·sᵢ² with sᵢ = s0·wᵢ/croot:
+		// Σ wᵢ³ · s0²/croot² = croot·s0².
+		return (w0 + croot) * s0 * s0, nil
+	}
+	dprime := D - w0/smax
+	if dprime <= 0 {
+		return 0, ErrInfeasible
+	}
+	e := w0 * smax * smax
+	for _, x := range w {
+		si := x / dprime
+		if si > smax*(1+1e-12) {
+			return 0, ErrInfeasible
+		}
+		e += x * si * si
+	}
+	return e, nil
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/convex"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/model"
+)
+
+// The general-DAG continuous solver. Following Section 2.1 of the paper,
+// MinEnergy(G, D) under the Continuous model is a geometric program: with
+// durations dᵢ = wᵢ/sᵢ as variables the energy is Σ wᵢ³/dᵢ², a convex
+// function, and the scheduling constraints are linear in the completion
+// times tᵢ and durations dᵢ:
+//
+//	tᵢ + dⱼ ≤ tⱼ   for every edge (i, j)
+//	dᵢ ≤ tᵢ        (start times are non-negative)
+//	tᵢ ≤ D
+//	dᵢ ≥ wᵢ/smax   (speed cap)
+//
+// We solve it with the log-barrier interior-point method of internal/convex
+// after normalizing time by D and work by the critical-path weight, so all
+// quantities are O(1) regardless of instance scale.
+
+// ContinuousOptions tunes the numeric solver.
+type ContinuousOptions struct {
+	// Tol is the relative duality-gap target (default 1e-10).
+	Tol float64
+	// SMin, when positive, bounds speeds from below (sᵢ ≥ SMin): the
+	// speed-bounded relaxation used by the Theorem 5 / Proposition 1
+	// approximation constructions. Zero means unbounded below.
+	SMin float64
+}
+
+// energyObjective is Σ wᵢ³/dᵢ² over x = (t₁..tₙ, d₁..dₙ); the t-part does
+// not appear in the objective.
+type energyObjective struct {
+	w []float64 // task weights (normalized)
+	n int
+}
+
+func (f *energyObjective) Value(x linalg.Vector) float64 {
+	v := 0.0
+	for i := 0; i < f.n; i++ {
+		d := x[f.n+i]
+		v += f.w[i] * f.w[i] * f.w[i] / (d * d)
+	}
+	return v
+}
+
+func (f *energyObjective) Gradient(x, g linalg.Vector) {
+	for i := 0; i < f.n; i++ {
+		g[i] = 0
+	}
+	for i := 0; i < f.n; i++ {
+		d := x[f.n+i]
+		w3 := f.w[i] * f.w[i] * f.w[i]
+		g[f.n+i] = -2 * w3 / (d * d * d)
+	}
+}
+
+func (f *energyObjective) Hessian(x linalg.Vector, h *linalg.Matrix) {
+	for i := 0; i < f.n; i++ {
+		d := x[f.n+i]
+		w3 := f.w[i] * f.w[i] * f.w[i]
+		h.Add(f.n+i, f.n+i, 6*w3/(d*d*d*d))
+	}
+}
+
+// SolveContinuousNumeric solves the geometric program on an arbitrary
+// execution graph. It is the reference oracle for every closed form in this
+// package.
+func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (*Solution, error) {
+	if !(smax > 0) {
+		return nil, model.ErrBadSMax
+	}
+	if opts.SMin < 0 || opts.SMin > smax*(1+1e-12) {
+		return nil, model.ErrBadRange
+	}
+	if err := p.CheckFeasible(smax); err != nil {
+		return nil, err
+	}
+	// Degenerate band: a single admissible speed.
+	if opts.SMin > 0 && opts.SMin >= smax*(1-1e-12) {
+		speeds := make([]float64, p.G.N())
+		for i := range speeds {
+			speeds[i] = smax
+		}
+		m, _ := model.NewContinuous(smax)
+		return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "continuous-degenerate-band", Exact: true, BoundFactor: 1})
+	}
+	n := p.G.N()
+	cpw, err := p.G.CriticalPathWeight()
+	if err != nil {
+		return nil, err
+	}
+	// Normalize: time unit = D, work unit = cpw. Normalized weights wᵢ/cpw,
+	// deadline 1, speed cap smax·D/cpw, energies scale by D²/cpw³.
+	wn := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wn[i] = p.G.Weight(i) / cpw
+	}
+	sCap := smax * p.Deadline / cpw
+	if math.IsInf(smax, 1) {
+		// Rigorous speed cap for the unconstrained case: in any optimum,
+		// wᵢ·sᵢ² ≤ E* ≤ E(all at cpw/D) = Σwⱼ·(cpw/D)², so
+		// sᵢ ≤ sqrt(Σwⱼ/wᵢ)·cpw/D. Normalized: sᵢ' ≤ sqrt(Σwⱼ'/wᵢ').
+		// A single global cap with 4x headroom keeps the barrier away from
+		// the true optimum for every task.
+		totalN := 0.0
+		minW := math.Inf(1)
+		for _, w := range wn {
+			totalN += w
+			if w < minW {
+				minW = w
+			}
+		}
+		sCap = 4 * math.Sqrt(totalN/minW)
+	}
+	// If the deadline is (numerically) tight, return the all-smax solution.
+	if !math.IsInf(smax, 1) {
+		dmin, _ := p.MinimalDeadline(smax)
+		if dmin >= p.Deadline*(1-1e-9) {
+			speeds := make([]float64, n)
+			for i := range speeds {
+				speeds[i] = smax
+			}
+			m, _ := model.NewContinuous(smax)
+			return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "continuous-tight-deadline", Exact: true, BoundFactor: 1})
+		}
+	}
+
+	// Optional lower speed bound → upper duration bound dᵢ ≤ wᵢ/smin.
+	sMinN := opts.SMin * p.Deadline / cpw
+	var hi []float64
+	if opts.SMin > 0 {
+		hi = make([]float64, n)
+		for i := 0; i < n; i++ {
+			hi[i] = wn[i] / sMinN
+		}
+	}
+
+	// Assemble constraints over x = (t, d), normalized deadline 1.
+	edges := p.G.Edges()
+	rows := len(edges) + 3*n
+	if hi != nil {
+		rows += n
+	}
+	a := linalg.NewMatrix(rows, 2*n)
+	b := linalg.NewVector(rows)
+	r := 0
+	for _, e := range edges { // t_u + d_v - t_v <= 0
+		a.Set(r, e[0], 1)
+		a.Set(r, n+e[1], 1)
+		a.Set(r, e[1], -1)
+		b[r] = 0
+		r++
+	}
+	for i := 0; i < n; i++ { // d_i - t_i <= 0
+		a.Set(r, n+i, 1)
+		a.Set(r, i, -1)
+		b[r] = 0
+		r++
+	}
+	for i := 0; i < n; i++ { // t_i <= 1
+		a.Set(r, i, 1)
+		b[r] = 1
+		r++
+	}
+	lo := make([]float64, n)
+	for i := 0; i < n; i++ { // -d_i <= -w_i/sCap
+		lo[i] = wn[i] / sCap
+		a.Set(r, n+i, -1)
+		b[r] = -lo[i]
+		r++
+	}
+	if hi != nil {
+		for i := 0; i < n; i++ { // d_i <= w_i/smin
+			a.Set(r, n+i, 1)
+			b[r] = hi[i]
+			r++
+		}
+	}
+
+	// Strictly feasible start: fastest durations lo give makespan M* < 1;
+	// inflate durations by μ = λ^(1/3) and finish times by ν = λ^(1/3)
+	// (λ = 1/M*), which keeps every constraint strictly slack.
+	mstar, err := p.G.Makespan(lo)
+	if err != nil {
+		return nil, err
+	}
+	if mstar >= 1 {
+		return nil, fmt.Errorf("%w: normalized fastest makespan %.9g ≥ 1", ErrInfeasible, mstar)
+	}
+	lambda := 1 / mstar
+	mu := math.Cbrt(lambda)
+	nu := math.Cbrt(lambda)
+	d0 := make([]float64, n)
+	for i := range d0 {
+		d0[i] = mu * lo[i]
+		if hi != nil && d0[i] >= hi[i] {
+			// Stay strictly inside the duration band; the geometric mean is
+			// strictly between lo and hi and only shortens d0, so the path
+			// constraints keep their slack.
+			d0[i] = math.Sqrt(lo[i] * hi[i])
+		}
+	}
+	pa, err := p.G.Analyze(d0, 1)
+	if err != nil {
+		return nil, err
+	}
+	x0 := linalg.NewVector(2 * n)
+	for i := 0; i < n; i++ {
+		x0[i] = nu * pa.EarliestFinish[i]
+		x0[n+i] = d0[i]
+	}
+
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	obj := &energyObjective{w: wn, n: n}
+	// The duality gap bound is m/t in the barrier method; request it small
+	// relative to the objective scale (normalized energies are O(1)).
+	res, err := convex.Minimize(obj, a, b, x0, convex.Options{Tol: tol * math.Max(1, obj.Value(x0))})
+	if err != nil {
+		return nil, fmt.Errorf("core: continuous solve failed: %w", err)
+	}
+	speeds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := res.X[n+i]
+		s := wn[i] / d // normalized speed
+		// De-normalize: s_real = s · cpw / D.
+		speeds[i] = s * cpw / p.Deadline
+		if !math.IsInf(smax, 1) && speeds[i] > smax {
+			speeds[i] = smax // clamp roundoff above the cap
+		}
+		if opts.SMin > 0 && speeds[i] < opts.SMin {
+			speeds[i] = opts.SMin
+		}
+	}
+	m, err := model.NewContinuous(smax)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := p.solutionFromSpeeds(m, speeds, Stats{
+		Algorithm:   "continuous-interior-point",
+		Newton:      res.Newton,
+		Exact:       true, // up to the numeric gap
+		BoundFactor: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// SolveContinuous dispatches to the cheapest exact continuous algorithm:
+// chain and fork closed forms, the tree/SP equivalent-weight algebra when
+// smax does not bind, and the interior-point geometric program otherwise.
+func (p *Problem) SolveContinuous(smax float64, opts ContinuousOptions) (*Solution, error) {
+	if opts.SMin > 0 {
+		// The closed forms assume speeds unbounded below.
+		return p.SolveContinuousNumeric(smax, opts)
+	}
+	if _, ok := p.G.IsChain(); ok {
+		return p.SolveChainContinuous(smax)
+	}
+	if _, ok := p.G.IsFork(); ok {
+		return p.SolveForkContinuous(smax)
+	}
+	if e, ok := graph.TreeToSP(p.G); ok {
+		if sol, err := p.SolveSPContinuous(e, smax); err == nil {
+			sol.Stats.Algorithm = "tree-equivalent-weight"
+			return sol, nil
+		}
+		// smax binds: fall through to numeric.
+	} else if reduced, rerr := p.G.TransitiveReduction(); rerr == nil {
+		if e, ok := graph.DecomposeSP(reduced); ok {
+			// Speeds computed on the reduced graph are valid for the
+			// original: both graphs have identical path structure.
+			rp := &Problem{G: reduced, Deadline: p.Deadline}
+			if sol, err := rp.SolveSPContinuous(e, smax); err == nil {
+				speeds, serr := sol.Speeds()
+				if serr == nil {
+					if full, ferr := p.solutionFromSpeeds(sol.Model, speeds, sol.Stats); ferr == nil {
+						return full, nil
+					}
+				}
+			}
+		}
+	}
+	return p.SolveContinuousNumeric(smax, opts)
+}

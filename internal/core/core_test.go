@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// Shared test helpers.
+
+func diamondGraph() *graph.Graph {
+	g := graph.New()
+	g.AddTask("a", 1)
+	g.AddTask("b", 2)
+	g.AddTask("c", 3)
+	g.AddTask("d", 4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+// randomExecGraph builds a random DAG, list-schedules it on p processors,
+// and returns the execution graph.
+func randomExecGraph(t testing.TB, rng *rand.Rand, n, p int) *graph.Graph {
+	t.Helper()
+	g := graph.GnpDAG(rng, n, 0.25, graph.UniformWeights(1, 5))
+	m, err := platform.ListSchedule(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := platform.BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eg
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1e-300, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewProblem(t *testing.T) {
+	g := diamondGraph()
+	if _, err := NewProblem(g, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProblem(g, 0); err == nil {
+		t.Fatal("accepted zero deadline")
+	}
+	bad := graph.New()
+	bad.AddTask("x", -1)
+	if _, err := NewProblem(bad, 1); err == nil {
+		t.Fatal("accepted invalid graph")
+	}
+}
+
+func TestMinimalDeadlineAndFeasibility(t *testing.T) {
+	p, _ := NewProblem(diamondGraph(), 4)
+	dmin, err := p.MinimalDeadline(2)
+	if err != nil || dmin != 4 { // cpw 8 / smax 2
+		t.Fatalf("MinimalDeadline = %v, %v", dmin, err)
+	}
+	if err := p.CheckFeasible(2); err != nil {
+		t.Fatalf("tight deadline should be feasible: %v", err)
+	}
+	if err := p.CheckFeasible(1.9); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+	if !errors.Is(p.CheckFeasible(1.9), ErrInfeasible) {
+		t.Fatal("error should wrap ErrInfeasible")
+	}
+}
+
+func TestVerifyAcceptsAndRejects(t *testing.T) {
+	p, _ := NewProblem(diamondGraph(), 10)
+	m, _ := model.NewContinuous(2)
+	sol, err := p.solutionFromSpeeds(m, []float64{1, 1, 1, 1}, Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(sol, 1e-9); err != nil {
+		t.Fatalf("valid solution rejected: %v", err)
+	}
+	// Tamper with reported energy.
+	sol.Energy *= 2
+	if err := p.Verify(sol, 1e-9); err == nil {
+		t.Fatal("energy tampering not detected")
+	}
+	sol.Energy /= 2
+	// Deadline violation.
+	tight, _ := NewProblem(diamondGraph(), 7)
+	if err := tight.Verify(sol, 1e-9); err == nil {
+		t.Fatal("deadline violation not detected")
+	}
+	// Model violation: speed above smax.
+	m2, _ := model.NewContinuous(0.5)
+	sol2, _ := p.solutionFromSpeeds(m2, []float64{1, 1, 1, 1}, Stats{})
+	if err := p.Verify(sol2, 1e-9); err == nil {
+		t.Fatal("speed above smax not detected")
+	}
+	if err := p.Verify(nil, 1e-9); err == nil {
+		t.Fatal("nil solution accepted")
+	}
+}
+
+func TestSolveAllMax(t *testing.T) {
+	p, _ := NewProblem(diamondGraph(), 5)
+	m, _ := model.NewDiscrete([]float64{1, 2})
+	sol, err := p.SolveAllMax(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E = Σ w·smax² = 10·4 = 40.
+	if relDiff(sol.Energy, 40) > 1e-12 {
+		t.Fatalf("all-max energy = %v, want 40", sol.Energy)
+	}
+	if err := p.Verify(sol, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := model.NewContinuous(math.Inf(1))
+	if _, err := p.SolveAllMax(cm); err == nil {
+		t.Fatal("all-max with unbounded smax should fail")
+	}
+}
+
+func TestSolveUniform(t *testing.T) {
+	p, _ := NewProblem(diamondGraph(), 8)
+	// cpw = 8, D = 8 → uniform speed 1.
+	cm, _ := model.NewContinuous(2)
+	sol, err := p.SolveUniform(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(sol.Energy, 10) > 1e-9 { // Σw·1²
+		t.Fatalf("uniform energy = %v, want 10", sol.Energy)
+	}
+	// Discrete: rounds 1.0 up to an admissible mode.
+	dm, _ := model.NewDiscrete([]float64{1.5, 3})
+	sol2, err := p.SolveUniform(dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := sol2.Speeds()
+	for _, s := range sp {
+		if s != 1.5 {
+			t.Fatalf("uniform discrete speed = %v, want 1.5", s)
+		}
+	}
+	// Infeasible.
+	tiny, _ := model.NewContinuous(0.5)
+	if _, err := p.SolveUniform(tiny); err == nil {
+		t.Fatal("accepted infeasible uniform")
+	}
+	dmLow, _ := model.NewDiscrete([]float64{0.25, 0.5})
+	if _, err := p.SolveUniform(dmLow); err == nil {
+		t.Fatal("accepted infeasible discrete uniform")
+	}
+}
+
+// Energy ordering across baselines: uniform ≤ all-max (reclaiming global
+// slack can only help), and the continuous optimum beats both.
+func TestBaselineOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		eg := randomExecGraph(t, rng, 12, 3)
+		dmin, _ := eg.MinimalDeadline(2)
+		p, _ := NewProblem(eg, dmin*2)
+		cm, _ := model.NewContinuous(2)
+		allMax, err := p.SolveAllMax(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := p.SolveUniform(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := p.SolveContinuous(2, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uni.Energy > allMax.Energy*(1+1e-9) {
+			t.Fatalf("uniform %.6g beats all-max %.6g the wrong way", uni.Energy, allMax.Energy)
+		}
+		if opt.Energy > uni.Energy*(1+1e-6) {
+			t.Fatalf("continuous optimum %.6g worse than uniform %.6g", opt.Energy, uni.Energy)
+		}
+		for _, s := range []*Solution{allMax, uni, opt} {
+			if err := p.Verify(s, 1e-6); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}

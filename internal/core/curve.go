@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Energy–deadline trade-off curves. MinEnergy(G, D) is monotone in D, and
+// under the Continuous model it is exactly homogeneous: scaling the deadline
+// by λ scales the optimal energy by 1/λ² (durations scale linearly, speeds
+// by 1/λ, and energy ∝ speed²) as long as smax does not bind. The curve
+// utilities make that trade-off a first-class object: "how much energy does
+// one more second buy?"
+
+// CurvePoint is one (deadline, energy) sample of the trade-off.
+type CurvePoint struct {
+	Deadline float64
+	Energy   float64
+	// Factor is Deadline / Dmin(smax).
+	Factor float64
+}
+
+// EnergyDeadlineCurve samples the optimal continuous energy at
+// D = factor × Dmin(smax) for each factor (all > 1). Factors at or below 1
+// are rejected: the curve diverges at the minimal deadline only when smax
+// binds, and the all-smax point is returned by factor = 1+ε anyway.
+func EnergyDeadlineCurve(g *graph.Graph, smax float64, factors []float64, opts ContinuousOptions) ([]CurvePoint, error) {
+	if math.IsInf(smax, 1) {
+		return nil, fmt.Errorf("core: curve needs a finite smax (Dmin is 0 otherwise)")
+	}
+	dmin, err := g.MinimalDeadline(smax)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]CurvePoint, 0, len(factors))
+	for _, f := range factors {
+		if !(f >= 1) {
+			return nil, fmt.Errorf("core: curve factor %v below 1", f)
+		}
+		p, err := NewProblem(g, dmin*f)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := p.SolveContinuous(smax, opts)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, CurvePoint{Deadline: dmin * f, Energy: sol.Energy, Factor: f})
+	}
+	return points, nil
+}
+
+// MarginalEnergyRate returns dE/dD estimated by the symmetric difference
+// around D — the "price of a second" at that deadline (always ≤ 0: more
+// time never costs energy).
+func MarginalEnergyRate(g *graph.Graph, smax, deadline, h float64, opts ContinuousOptions) (float64, error) {
+	if !(h > 0) {
+		return 0, fmt.Errorf("core: step h must be positive, got %v", h)
+	}
+	solve := func(d float64) (float64, error) {
+		p, err := NewProblem(g, d)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := p.SolveContinuous(smax, opts)
+		if err != nil {
+			return 0, err
+		}
+		return sol.Energy, nil
+	}
+	lo, err := solve(deadline - h)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := solve(deadline + h)
+	if err != nil {
+		return 0, err
+	}
+	return (hi - lo) / (2 * h), nil
+}
+
+// HomogeneityCheck returns max |E(λD)·λ² − E(D)| / E(D) over the given λ
+// values — zero (up to solver tolerance) whenever smax never binds. It is
+// the cheap internal-consistency test of the continuous solver that the
+// test suite and the experiments both use.
+func HomogeneityCheck(g *graph.Graph, baseDeadline float64, lambdas []float64, opts ContinuousOptions) (float64, error) {
+	base, err := NewProblem(g, baseDeadline)
+	if err != nil {
+		return 0, err
+	}
+	baseSol, err := base.SolveContinuous(math.Inf(1), opts)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, lam := range lambdas {
+		if !(lam > 0) {
+			return 0, fmt.Errorf("core: λ must be positive, got %v", lam)
+		}
+		p, err := NewProblem(g, baseDeadline*lam)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := p.SolveContinuous(math.Inf(1), opts)
+		if err != nil {
+			return 0, err
+		}
+		dev := math.Abs(sol.Energy*lam*lam-baseSol.Energy) / baseSol.Energy
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst, nil
+}

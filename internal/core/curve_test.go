@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+func TestEnergyDeadlineCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.GnpDAG(rng, 12, 0.25, graph.UniformWeights(1, 5))
+	m, _ := platform.ListSchedule(g, 3)
+	eg, _ := platform.BuildExecutionGraph(g, m)
+	points, err := EnergyDeadlineCurve(eg, 2, []float64{1.1, 1.5, 2, 3, 5}, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Energy > points[i-1].Energy*(1+1e-9) {
+			t.Fatalf("energy not monotone in deadline: %+v", points)
+		}
+		if points[i].Deadline <= points[i-1].Deadline {
+			t.Fatalf("deadlines not increasing: %+v", points)
+		}
+	}
+	if _, err := EnergyDeadlineCurve(eg, 2, []float64{0.9}, ContinuousOptions{}); err == nil {
+		t.Fatal("accepted factor below 1")
+	}
+}
+
+// Homogeneity: with smax = ∞, E(λD) = E(D)/λ² exactly — the structural
+// identity behind every closed form in the paper.
+func TestHomogeneity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 4; trial++ {
+		g := graph.GnpDAG(rng, 8+rng.Intn(8), 0.3, graph.UniformWeights(1, 4))
+		cpw, _ := g.CriticalPathWeight()
+		dev, err := HomogeneityCheck(g, cpw, []float64{0.5, 2, 4}, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > 1e-4 {
+			t.Fatalf("trial %d: homogeneity deviation %v", trial, dev)
+		}
+	}
+	if _, err := HomogeneityCheck(graph.Chain(rng, 3, graph.ConstantWeights(1)), 3, []float64{-1}, ContinuousOptions{}); err == nil {
+		t.Fatal("accepted λ ≤ 0")
+	}
+}
+
+func TestMarginalEnergyRateNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Chain(rng, 5, graph.UniformWeights(1, 3))
+	D := g.TotalWeight() / 1.2
+	rate, err := MarginalEnergyRate(g, 2, D, D*0.01, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate >= 0 {
+		t.Fatalf("more time should never cost energy: dE/dD = %v", rate)
+	}
+	// For a chain, E = W³/D² so dE/dD = −2W³/D³: check against the formula.
+	w := g.TotalWeight()
+	want := -2 * math.Pow(w, 3) / math.Pow(D, 3)
+	if math.Abs(rate-want) > 1e-2*math.Abs(want) {
+		t.Fatalf("dE/dD = %v, analytic %v", rate, want)
+	}
+	if _, err := MarginalEnergyRate(g, 2, D, 0, ContinuousOptions{}); err == nil {
+		t.Fatal("accepted zero step")
+	}
+}
+
+// The curve flattens as the deadline loosens: each extra second buys less.
+func TestCurveConvexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.GnpDAG(rng, 10, 0.25, graph.UniformWeights(1, 5))
+	points, err := EnergyDeadlineCurve(g, 2, []float64{1.5, 2, 2.5, 3, 3.5}, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < len(points); i++ {
+		drop1 := points[i-2].Energy - points[i-1].Energy
+		drop2 := points[i-1].Energy - points[i].Energy
+		if drop2 > drop1*(1+1e-6) {
+			t.Fatalf("curve not convex: drops %v then %v", drop1, drop2)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// exhaustiveDiscrete enumerates every mode assignment — the ground truth for
+// tiny instances (mᶰ states).
+func exhaustiveDiscrete(p *Problem, modes []float64) (float64, bool) {
+	n := p.G.N()
+	idx := make([]int, n)
+	durations := make([]float64, n)
+	best := math.Inf(1)
+	found := false
+	for {
+		for i := 0; i < n; i++ {
+			durations[i] = p.G.Weight(i) / modes[idx[i]]
+		}
+		if ms, err := p.G.Makespan(durations); err == nil && ms <= p.Deadline*(1+1e-12) {
+			e := 0.0
+			for i := 0; i < n; i++ {
+				e += model.TaskEnergy(p.G.Weight(i), modes[idx[i]])
+			}
+			if e < best {
+				best = e
+				found = true
+			}
+		}
+		// Next assignment (odometer).
+		k := 0
+		for ; k < n; k++ {
+			idx[k]++
+			if idx[k] < len(modes) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == n {
+			break
+		}
+	}
+	return best, found
+}
+
+func TestDiscreteBBMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	modes := []float64{0.7, 1.2, 2}
+	dm, _ := model.NewDiscrete(modes)
+	for trial := 0; trial < 10; trial++ {
+		eg := randomExecGraph(t, rng, 3+rng.Intn(5), 2)
+		dmin, _ := eg.MinimalDeadline(2)
+		D := dmin * (1.1 + rng.Float64())
+		p, _ := NewProblem(eg, D)
+		want, feasible := exhaustiveDiscrete(p, modes)
+		sol, err := p.SolveDiscreteBB(dm, DiscreteOptions{})
+		if !feasible {
+			if err == nil {
+				t.Fatalf("trial %d: BB found a solution where none exists", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if relDiff(sol.Energy, want) > 1e-9 {
+			t.Fatalf("trial %d: BB %v vs exhaustive %v", trial, sol.Energy, want)
+		}
+		if !sol.Stats.Exact {
+			t.Fatalf("trial %d: solution not flagged exact", trial)
+		}
+		if err := p.Verify(sol, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestDiscreteBBNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	eg := randomExecGraph(t, rng, 14, 3)
+	modes := []float64{0.5, 0.9, 1.4, 2}
+	dm, _ := model.NewDiscrete(modes)
+	dmin, _ := eg.MinimalDeadline(2)
+	p, _ := NewProblem(eg, dmin*1.5)
+	sol, err := p.SolveDiscreteBB(dm, DiscreteOptions{MaxNodes: 5})
+	if !errors.Is(err, ErrSearchLimit) {
+		t.Fatalf("expected ErrSearchLimit, got %v", err)
+	}
+	// Even at the limit the incumbent is feasible.
+	if sol == nil {
+		t.Fatal("no incumbent returned at the node limit")
+	}
+	if verr := p.Verify(sol, 1e-6); verr != nil {
+		t.Fatalf("incumbent infeasible: %v", verr)
+	}
+}
+
+func TestDiscreteGreedyFeasibleAndAboveOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	modes := []float64{0.6, 1, 1.6, 2.2}
+	dm, _ := model.NewDiscrete(modes)
+	for trial := 0; trial < 8; trial++ {
+		eg := randomExecGraph(t, rng, 4+rng.Intn(5), 2)
+		dmin, _ := eg.MinimalDeadline(modes[len(modes)-1])
+		D := dmin * (1.1 + 2*rng.Float64())
+		p, _ := NewProblem(eg, D)
+		greedy, err := p.SolveDiscreteGreedy(dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Verify(greedy, 1e-6); err != nil {
+			t.Fatalf("greedy infeasible: %v", err)
+		}
+		exact, err := p.SolveDiscreteBB(dm, DiscreteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Energy < exact.Energy*(1-1e-9) {
+			t.Fatalf("greedy %v beats the optimum %v", greedy.Energy, exact.Energy)
+		}
+	}
+}
+
+func TestDiscreteRoundUpBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	modes := []float64{0.8, 1.3, 2}
+	dm, _ := model.NewDiscrete(modes)
+	for trial := 0; trial < 6; trial++ {
+		eg := randomExecGraph(t, rng, 6+rng.Intn(5), 2)
+		dmin, _ := eg.MinimalDeadline(2)
+		D := dmin * (1.2 + rng.Float64()*2)
+		p, _ := NewProblem(eg, D)
+		ru, err := p.SolveDiscreteRoundUp(dm, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Verify(ru, 1e-6); err != nil {
+			t.Fatalf("round-up infeasible: %v", err)
+		}
+		// The a-priori factor vs the speed-bounded continuous optimum.
+		cont, err := p.SolveContinuousNumeric(2, ContinuousOptions{SMin: modes[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ru.Energy > cont.Energy*ru.Stats.BoundFactor*(1+1e-6) {
+			t.Fatalf("trial %d: round-up %v exceeds bound %v × %v", trial, ru.Energy, ru.Stats.BoundFactor, cont.Energy)
+		}
+		// And it can never beat the continuous relaxation.
+		if ru.Energy < cont.Energy*(1-1e-6) {
+			t.Fatalf("round-up %v below continuous bound %v", ru.Energy, cont.Energy)
+		}
+	}
+}
+
+func TestDiscreteSPMatchesBB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	modes := []float64{0.7, 1.1, 1.9}
+	dm, _ := model.NewDiscrete(modes)
+	for trial := 0; trial < 10; trial++ {
+		g, e := graph.RandomSP(rng, 2+rng.Intn(8), graph.UniformWeights(1, 4))
+		dmin, _ := g.MinimalDeadline(modes[len(modes)-1])
+		D := dmin * (1.1 + rng.Float64())
+		p, _ := NewProblem(g, D)
+		sp, err := p.SolveDiscreteSP(dm, e, DiscreteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := p.SolveDiscreteBB(dm, DiscreteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(sp.Energy, bb.Energy) > 1e-9 {
+			t.Fatalf("trial %d: SP-DP %v vs BB %v", trial, sp.Energy, bb.Energy)
+		}
+		if err := p.Verify(sp, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sp.Stats.FrontierPeak == 0 && g.N() > 1 {
+			t.Fatal("frontier peak not recorded")
+		}
+	}
+}
+
+func TestDiscreteSPInfeasible(t *testing.T) {
+	g := graph.New()
+	g.AddTask("only", 10)
+	p, _ := NewProblem(g, 1) // needs speed 10, top mode 2
+	dm, _ := model.NewDiscrete([]float64{1, 2})
+	if _, err := p.SolveDiscreteSP(dm, graph.SPLeaf(0), DiscreteOptions{}); err == nil {
+		t.Fatal("accepted infeasible SP instance")
+	}
+}
+
+func TestDiscreteWrongKinds(t *testing.T) {
+	p, _ := NewProblem(diamondGraph(), 100)
+	cm, _ := model.NewContinuous(2)
+	if _, err := p.SolveDiscreteBB(cm, DiscreteOptions{}); err == nil {
+		t.Fatal("BB accepted continuous model")
+	}
+	if _, err := p.SolveDiscreteGreedy(cm); err == nil {
+		t.Fatal("greedy accepted continuous model")
+	}
+	vm, _ := model.NewVddHopping([]float64{1, 2})
+	if _, err := p.SolveDiscreteRoundUp(vm, ContinuousOptions{}); err == nil {
+		t.Fatal("round-up accepted vdd model")
+	}
+}
+
+func TestDiscreteIncrementalModelAccepted(t *testing.T) {
+	// Incremental is a special case of Discrete for the exact solvers.
+	p, _ := NewProblem(diamondGraph(), 8)
+	im, _ := model.NewIncremental(0.5, 2, 0.5)
+	sol, err := p.SolveDiscreteBB(im, DiscreteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(sol, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on random chains the SP Pareto DP equals exhaustive enumeration.
+func TestDiscreteChainProperty(t *testing.T) {
+	modes := []float64{0.9, 1.5, 2.1}
+	dm, _ := model.NewDiscrete(modes)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		g := graph.Chain(rng, n, graph.UniformWeights(1, 4))
+		dmin, _ := g.MinimalDeadline(modes[len(modes)-1])
+		D := dmin * (1.05 + rng.Float64())
+		p, err := NewProblem(g, D)
+		if err != nil {
+			return false
+		}
+		order, _ := g.IsChain()
+		sp, err := p.SolveDiscreteSP(dm, graph.ChainExpr(order), DiscreteOptions{})
+		if err != nil {
+			return false
+		}
+		want, ok := exhaustiveDiscrete(p, modes)
+		if !ok {
+			return false
+		}
+		return relDiff(sp.Energy, want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The continuous optimum always lower-bounds the discrete optimum
+// (restricting speeds can only cost energy), and the gap closes as the mode
+// grid refines — the motivation for Vdd-Hopping and Incremental.
+func TestDiscreteGapShrinksWithMoreModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	eg := randomExecGraph(t, rng, 7, 2)
+	dmin, _ := eg.MinimalDeadline(2)
+	p, _ := NewProblem(eg, dmin*1.6)
+	cont, err := p.SolveContinuous(2, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioFor := func(numModes int) float64 {
+		modes := make([]float64, numModes)
+		for i := range modes {
+			modes[i] = 0.4 + (2.0-0.4)*float64(i)/float64(numModes-1)
+		}
+		dm, err := model.NewDiscrete(modes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := p.SolveDiscreteBB(dm, DiscreteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Energy / cont.Energy
+	}
+	coarse := ratioFor(2)
+	fine := ratioFor(9)
+	if coarse < 1-1e-9 || fine < 1-1e-9 {
+		t.Fatalf("discrete beat continuous: coarse %v fine %v", coarse, fine)
+	}
+	if fine > coarse+1e-9 {
+		t.Fatalf("finer grid did not help: coarse %v fine %v", coarse, fine)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// The paper's model hierarchy, as one falsifiable statement over random
+// instances: for any execution graph, deadline, and mode set,
+//
+//	E_cont ≤ E_vdd ≤ E_disc-exact ≤ E_greedy
+//	E_cont ≤ E_vdd ≤ E_disc-exact ≤ E_round-up ≤ bound·E_cont-banded
+//	E_disc-exact(more modes) ≤ E_disc-exact(subset of modes)
+//
+// plus every solution verifies independently. This is the library's
+// strongest single invariant — any solver bug that produces an energy too
+// low (infeasible) or too high (suboptimal past a proven bound) trips it.
+func TestFullModelHierarchyProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	modes := []float64{0.5, 0.9, 1.4, 2}
+	subset := []float64{0.5, 1.4, 2} // modes minus one: optimum can only worsen
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		procs := 1 + rng.Intn(3)
+		app := graph.GnpDAG(rng, n, 0.3, graph.UniformWeights(1, 5))
+		m, err := platform.ListSchedule(app, procs)
+		if err != nil {
+			return false
+		}
+		eg, err := platform.BuildExecutionGraph(app, m)
+		if err != nil {
+			return false
+		}
+		dmin, err := eg.MinimalDeadline(2)
+		if err != nil {
+			return false
+		}
+		p, err := NewProblem(eg, dmin*(1.1+rng.Float64()*1.5))
+		if err != nil {
+			return false
+		}
+
+		cont, err := p.SolveContinuous(2, ContinuousOptions{})
+		if err != nil {
+			return false
+		}
+		vm, _ := model.NewVddHopping(modes)
+		vdd, err := p.SolveVddHopping(vm)
+		if err != nil {
+			return false
+		}
+		dm, _ := model.NewDiscrete(modes)
+		exact, err := p.SolveDiscreteBB(dm, DiscreteOptions{})
+		if err != nil {
+			return false
+		}
+		greedy, err := p.SolveDiscreteGreedy(dm)
+		if err != nil {
+			return false
+		}
+		roundup, err := p.SolveDiscreteRoundUp(dm, ContinuousOptions{})
+		if err != nil {
+			return false
+		}
+		sm, _ := model.NewDiscrete(subset)
+		exactSubset, err := p.SolveDiscreteBB(sm, DiscreteOptions{})
+		if err != nil {
+			return false
+		}
+
+		const tol = 1 + 1e-6
+		if cont.Energy > vdd.Energy*tol {
+			return false
+		}
+		if vdd.Energy > exact.Energy*tol {
+			return false
+		}
+		if exact.Energy > greedy.Energy*tol {
+			return false
+		}
+		if exact.Energy > roundup.Energy*tol {
+			return false
+		}
+		if exact.Energy > exactSubset.Energy*tol {
+			return false
+		}
+		banded, err := p.SolveContinuousNumeric(2, ContinuousOptions{SMin: modes[0]})
+		if err != nil {
+			return false
+		}
+		if roundup.Energy > banded.Energy*roundup.Stats.BoundFactor*tol {
+			return false
+		}
+		for _, sol := range []*Solution{cont, vdd, exact, greedy, roundup, exactSubset} {
+			if err := p.Verify(sol, 1e-6); err != nil {
+				return false
+			}
+			if math.IsNaN(sol.Energy) || sol.Energy <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tightening the deadline can never reduce the optimal energy, for any
+// model (the feasible set shrinks).
+func TestDeadlineMonotonicityProperty(t *testing.T) {
+	modes := []float64{0.6, 1.2, 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		app := graph.GnpDAG(rng, 4+rng.Intn(5), 0.3, graph.UniformWeights(1, 4))
+		m, err := platform.ListSchedule(app, 2)
+		if err != nil {
+			return false
+		}
+		eg, err := platform.BuildExecutionGraph(app, m)
+		if err != nil {
+			return false
+		}
+		dmin, _ := eg.MinimalDeadline(2)
+		loose, _ := NewProblem(eg, dmin*3)
+		tight, _ := NewProblem(eg, dmin*1.3)
+
+		cL, err := loose.SolveContinuous(2, ContinuousOptions{})
+		if err != nil {
+			return false
+		}
+		cT, err := tight.SolveContinuous(2, ContinuousOptions{})
+		if err != nil {
+			return false
+		}
+		if cT.Energy < cL.Energy*(1-1e-6) {
+			return false
+		}
+		dm, _ := model.NewDiscrete(modes)
+		dL, err := loose.SolveDiscreteBB(dm, DiscreteOptions{})
+		if err != nil {
+			return false
+		}
+		dT, err := tight.SolveDiscreteBB(dm, DiscreteOptions{})
+		if err != nil {
+			return false
+		}
+		if dT.Energy < dL.Energy*(1-1e-9) {
+			return false
+		}
+		vm, _ := model.NewVddHopping(modes)
+		vL, err := loose.SolveVddHopping(vm)
+		if err != nil {
+			return false
+		}
+		vT, err := tight.SolveVddHopping(vm)
+		if err != nil {
+			return false
+		}
+		return vT.Energy >= vL.Energy*(1-1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Squeezing the same application onto fewer processors adds serialization
+// and, on these list-scheduled instances, raises the optimal energy at a
+// fixed absolute deadline. (Not a theorem for arbitrary mapping pairs —
+// the edge sets are not nested — but a stable regression property of the
+// generator + list scheduler at this seed.)
+func TestMappingRestrictionMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		app := graph.GnpDAG(rng, 10, 0.2, graph.UniformWeights(1, 4))
+		m4, err := platform.ListSchedule(app, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := platform.ListSchedule(app, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg4, err := platform.BuildExecutionGraph(app, m4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg2, err := platform.BuildExecutionGraph(app, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same absolute deadline, chosen feasible for both.
+		dmin2, _ := eg2.MinimalDeadline(2)
+		dmin4, _ := eg4.MinimalDeadline(2)
+		D := math.Max(dmin2, dmin4) * 1.5
+		p4, _ := NewProblem(eg4, D)
+		p2, _ := NewProblem(eg2, D)
+		s4, err := p4.SolveContinuous(2, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := p2.SolveContinuous(2, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fewer processors = more serialization edges = larger optimum.
+		if s2.Energy < s4.Energy*(1-1e-5) {
+			t.Fatalf("trial %d: 2-proc optimum %v below 4-proc optimum %v",
+				trial, s2.Energy, s4.Energy)
+		}
+	}
+}

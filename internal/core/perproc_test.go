@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// buildMapped returns (app graph, mapping, execution graph).
+func buildMapped(t *testing.T, rng *rand.Rand, n, p int) (*graph.Graph, *platform.Mapping, *graph.Graph) {
+	t.Helper()
+	g := graph.GnpDAG(rng, n, 0.25, graph.UniformWeights(1, 5))
+	m, err := platform.ListSchedule(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := platform.BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m, eg
+}
+
+func TestPerProcessorSharedSpeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, m, eg := buildMapped(t, rng, 12, 3)
+	dmin, _ := eg.MinimalDeadline(2)
+	p, _ := NewProblem(eg, dmin*2)
+	sol, err := p.SolvePerProcessorContinuous(m, 2, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(sol, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	speeds, _ := sol.Speeds()
+	// Every task on one processor shares its speed.
+	for q, list := range m.Order {
+		for _, task := range list[1:] {
+			if relDiff(speeds[task], speeds[list[0]]) > 1e-9 {
+				t.Fatalf("processor %d mixes speeds %v and %v", q, speeds[list[0]], speeds[task])
+			}
+		}
+	}
+}
+
+// The granularity hierarchy: per-task ≤ per-processor ≤ global uniform
+// (each coarser control is a restriction of the finer one).
+func TestGranularityHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		_, m, eg := buildMapped(t, rng, 10+rng.Intn(8), 2+rng.Intn(3))
+		dmin, _ := eg.MinimalDeadline(2)
+		p, _ := NewProblem(eg, dmin*(1.3+rng.Float64()))
+		perTask, err := p.SolveContinuousNumeric(2, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perProc, err := p.SolvePerProcessorContinuous(m, 2, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := perProc.Model
+		uni, err := p.SolveUniform(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perTask.Energy > perProc.Energy*(1+1e-5) {
+			t.Fatalf("trial %d: per-task %v worse than per-proc %v", trial, perTask.Energy, perProc.Energy)
+		}
+		if perProc.Energy > uni.Energy*(1+1e-5) {
+			t.Fatalf("trial %d: per-proc %v worse than uniform %v", trial, perProc.Energy, uni.Energy)
+		}
+	}
+}
+
+func TestPerProcessorSingleProcEqualsUniform(t *testing.T) {
+	// With one processor the execution graph is a chain; per-processor and
+	// global-uniform coincide, both at speed Σw/D.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GnpDAG(rng, 8, 0.3, graph.UniformWeights(1, 4))
+	m, err := platform.SingleProcessor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := platform.BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := g.TotalWeight() / 1.4
+	p, _ := NewProblem(eg, D)
+	perProc, err := p.SolvePerProcessorContinuous(m, 2, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, _ := perProc.Speeds()
+	for _, s := range speeds {
+		if relDiff(s, 1.4) > 1e-4 {
+			t.Fatalf("single-proc speed %v, want 1.4", s)
+		}
+	}
+}
+
+func TestPerProcessorIdleProcessor(t *testing.T) {
+	// A mapping with an empty processor must not break the solver.
+	g := graph.New()
+	g.AddTask("a", 2)
+	g.AddTask("b", 3)
+	g.MustAddEdge(0, 1)
+	m := &platform.Mapping{Order: [][]int{{0, 1}, {}}}
+	eg, err := platform.BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewProblem(eg, 10)
+	sol, err := p.SolvePerProcessorContinuous(m, 2, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(sol, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	speeds, _ := sol.Speeds()
+	// Chain of weight 5 in deadline 10 → speed 0.5.
+	for _, s := range speeds {
+		if relDiff(s, 0.5) > 1e-4 {
+			t.Fatalf("speed %v, want 0.5", s)
+		}
+	}
+}
+
+func TestPerProcessorErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, m, eg := buildMapped(t, rng, 8, 2)
+	p, _ := NewProblem(eg, 100)
+	if _, err := p.SolvePerProcessorContinuous(m, 0, ContinuousOptions{}); err == nil {
+		t.Fatal("accepted smax=0")
+	}
+	tight, _ := NewProblem(eg, 0.01)
+	if _, err := tight.SolvePerProcessorContinuous(m, 2, ContinuousOptions{}); err == nil {
+		t.Fatal("accepted infeasible deadline")
+	}
+	wrong := &platform.Mapping{Order: [][]int{{0}}}
+	if _, err := p.SolvePerProcessorContinuous(wrong, 2, ContinuousOptions{}); err == nil {
+		t.Fatal("accepted incomplete mapping")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Theorem 3: with the Vdd-Hopping model, MinEnergy(G, D) is a linear
+// program. Variables: α(i,j) ≥ 0, the time task i spends at mode sⱼ, and
+// tᵢ ≥ 0, the completion time of task i.
+//
+//	minimize   Σᵢⱼ sⱼ³ · α(i,j)                     (energy)
+//	subject to Σⱼ sⱼ · α(i,j)  =  wᵢ                (work completion)
+//	           tᵤ + Σⱼ α(v,j) − t_v ≤ 0             for every edge (u,v)
+//	           Σⱼ α(i,j) − tᵢ ≤ 0                   (start ≥ 0)
+//	           tᵢ ≤ D
+
+// SolveVddHopping solves the LP exactly and extracts per-task speed
+// profiles. The returned solution is optimal for the Vdd-Hopping model.
+func (p *Problem) SolveVddHopping(m model.Model) (*Solution, error) {
+	if m.Kind != model.VddHopping {
+		return nil, fmt.Errorf("core: SolveVddHopping needs a Vdd-Hopping model, got %s", m.Kind)
+	}
+	if err := p.CheckFeasible(m.SMax); err != nil {
+		return nil, err
+	}
+	n := p.G.N()
+	nm := m.NumModes()
+	nvar := n*nm + n
+	alphaIdx := func(i, j int) int { return i*nm + j }
+	tIdx := func(i int) int { return n*nm + i }
+
+	c := make([]float64, nvar)
+	for i := 0; i < n; i++ {
+		for j := 0; j < nm; j++ {
+			c[alphaIdx(i, j)] = model.Power(m.Modes[j])
+		}
+	}
+	prob := lp.NewProblem(c)
+	// Work completion.
+	for i := 0; i < n; i++ {
+		row := make([]float64, nvar)
+		for j := 0; j < nm; j++ {
+			row[alphaIdx(i, j)] = m.Modes[j]
+		}
+		prob.AddConstraint(row, lp.EQ, p.G.Weight(i))
+	}
+	// Precedence.
+	for _, e := range p.G.Edges() {
+		row := make([]float64, nvar)
+		row[tIdx(e[0])] = 1
+		for j := 0; j < nm; j++ {
+			row[alphaIdx(e[1], j)] = 1
+		}
+		row[tIdx(e[1])] = -1
+		prob.AddConstraint(row, lp.LE, 0)
+	}
+	// Start ≥ 0 and deadline.
+	for i := 0; i < n; i++ {
+		row := make([]float64, nvar)
+		for j := 0; j < nm; j++ {
+			row[alphaIdx(i, j)] = 1
+		}
+		row[tIdx(i)] = -1
+		prob.AddConstraint(row, lp.LE, 0)
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, nvar)
+		row[tIdx(i)] = 1
+		prob.AddConstraint(row, lp.LE, p.Deadline)
+	}
+
+	res, err := lp.Solve(prob, lp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("%w: Vdd-Hopping LP infeasible", ErrInfeasible)
+	default:
+		return nil, fmt.Errorf("core: Vdd-Hopping LP ended with status %s", res.Status)
+	}
+
+	// Extract profiles: fastest mode first so precedence-critical work
+	// happens early within each task's window (ordering inside a task does
+	// not change energy or feasibility).
+	profiles := make([]sched.Profile, n)
+	for i := 0; i < n; i++ {
+		var prof sched.Profile
+		for j := nm - 1; j >= 0; j-- {
+			d := res.X[alphaIdx(i, j)]
+			if d > 1e-12 {
+				prof = append(prof, sched.Segment{Speed: m.Modes[j], Duration: d})
+			}
+		}
+		// Guard against tiny work deficits from LP roundoff: rescale the
+		// profile so the executed work matches wᵢ exactly.
+		work := prof.Work()
+		w := p.G.Weight(i)
+		if work <= 0 {
+			return nil, fmt.Errorf("core: task %d received no execution time in LP solution", i)
+		}
+		if f := w / work; math.Abs(f-1) > 1e-15 {
+			for k := range prof {
+				prof[k].Duration *= f
+			}
+		}
+		profiles[i] = prof
+	}
+	s, err := sched.FromProfiles(p.G, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Model:    m,
+		Schedule: s,
+		Energy:   s.Energy,
+		Stats:    Stats{Algorithm: "vdd-lp", Pivots: res.Pivots, Exact: true, BoundFactor: 1},
+	}, nil
+}
+
+// SolveVddTwoMode is the constructive upper bound used to cross-check the
+// LP: solve the Continuous model with smax = top mode, then emulate each
+// continuous speed s* by its two bracketing modes within the same duration
+// (the Ishihara–Yasuura two-voltage argument: that mix is the cheapest way
+// to do w units of work in exactly w/s* time). It is optimal per-task given
+// the continuous durations, hence E_vdd-lp ≤ E_two-mode always, with
+// equality whenever the continuous durations happen to be Vdd-optimal.
+func (p *Problem) SolveVddTwoMode(m model.Model, opts ContinuousOptions) (*Solution, error) {
+	if m.Kind != model.VddHopping {
+		return nil, fmt.Errorf("core: SolveVddTwoMode needs a Vdd-Hopping model, got %s", m.Kind)
+	}
+	cont, err := p.SolveContinuous(m.SMax, opts)
+	if err != nil {
+		return nil, err
+	}
+	speeds, err := cont.Speeds()
+	if err != nil {
+		return nil, err
+	}
+	profiles := make([]sched.Profile, p.G.N())
+	for i, sStar := range speeds {
+		w := p.G.Weight(i)
+		d := w / sStar
+		// Clamp below the slowest mode: running faster than necessary at the
+		// bottom mode only shortens the task (still feasible).
+		if sStar < m.SMin {
+			profiles[i] = sched.ConstantProfile(w, m.SMin)
+			continue
+		}
+		lo, hi, err := m.Bracket(sStar)
+		if err != nil {
+			return nil, err
+		}
+		if hi-lo < 1e-12*hi { // s* is (numerically) a mode
+			profiles[i] = sched.ConstantProfile(w, hi)
+			continue
+		}
+		// Time x at hi, d-x at lo with lo(d-x) + hi·x = w.
+		x := (w - lo*d) / (hi - lo)
+		profiles[i] = sched.Profile{
+			{Speed: hi, Duration: x},
+			{Speed: lo, Duration: d - x},
+		}
+	}
+	s, err := sched.FromProfiles(p.G, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Model:    m,
+		Schedule: s,
+		Energy:   s.Energy,
+		Stats:    Stats{Algorithm: "vdd-two-mode", Exact: false, BoundFactor: 1},
+	}, nil
+}
+
+// VddDistinctSpeedStats reports, for a Vdd solution, how many tasks use 1,
+// 2, or more distinct speeds — the structural property (at most two
+// adjacent modes per task at optimality) that motivates the model.
+func VddDistinctSpeedStats(s *Solution, tol float64) map[int]int {
+	out := make(map[int]int)
+	for _, prof := range s.Schedule.Profiles {
+		out[prof.DistinctSpeeds(tol)]++
+	}
+	// Deterministic iteration for printing: callers can sort keys.
+	keys := make([]int, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return out
+}

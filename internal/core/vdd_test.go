@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func vddModel(t *testing.T, modes ...float64) model.Model {
+	t.Helper()
+	m, err := model.NewVddHopping(modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVddSingleTaskMatchesIshiharaYasuura(t *testing.T) {
+	// One task, cost 2, deadline 2, modes {0.5, 2}: the required average
+	// speed is 1. Optimal: mix the two bracketing modes to fill the deadline
+	// exactly: 0.5·x + 2·(2-x) = 2 → x = 4/3 at 0.5, 2/3 at 2.
+	// E = 0.125·4/3 + 8·2/3 = 1/6 + 16/3 = 5.5.
+	g := graph.New()
+	g.AddTask("only", 2)
+	p, _ := NewProblem(g, 2)
+	sol, err := p.SolveVddHopping(vddModel(t, 0.5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(sol.Energy, 5.5) > 1e-9 {
+		t.Fatalf("vdd energy %v, want 5.5", sol.Energy)
+	}
+	if err := p.Verify(sol, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// The profile uses exactly the two modes.
+	if n := sol.Schedule.Profiles[0].DistinctSpeeds(1e-9); n != 2 {
+		t.Fatalf("distinct speeds = %d, want 2", n)
+	}
+}
+
+func TestVddExactModeNeedsNoHopping(t *testing.T) {
+	// Required speed exactly a mode: constant execution is optimal.
+	g := graph.New()
+	g.AddTask("only", 2)
+	p, _ := NewProblem(g, 2) // speed 1 needed
+	sol, err := p.SolveVddHopping(vddModel(t, 0.5, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(sol.Energy, 2) > 1e-9 { // w·s² = 2
+		t.Fatalf("energy %v, want 2", sol.Energy)
+	}
+}
+
+func TestVddChainUsesWholeDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Chain(rng, 4, graph.UniformWeights(1, 3))
+	dmin, _ := g.MinimalDeadline(2)
+	D := dmin * 1.7
+	p, _ := NewProblem(g, D)
+	sol, err := p.SolveVddHopping(vddModel(t, 0.5, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(sol, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// LP optimum saturates the deadline (convex energy, faster = costlier).
+	if sol.Schedule.Makespan < D*0.999 {
+		t.Fatalf("vdd leaves slack: %v < %v", sol.Schedule.Makespan, D)
+	}
+}
+
+func TestVddSandwichedByContinuousAndDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 6; trial++ {
+		eg := randomExecGraph(t, rng, 9, 3)
+		modes := []float64{0.6, 1.1, 1.7, 2.4}
+		dmin, _ := eg.MinimalDeadline(modes[len(modes)-1])
+		D := dmin * (1.2 + rng.Float64())
+		p, _ := NewProblem(eg, D)
+
+		cont, err := p.SolveContinuous(modes[len(modes)-1], ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, _ := model.NewVddHopping(modes)
+		vdd, err := p.SolveVddHopping(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, _ := model.NewDiscrete(modes)
+		disc, err := p.SolveDiscreteBB(dm, DiscreteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's hierarchy: continuous relaxes vdd relaxes discrete.
+		if cont.Energy > vdd.Energy*(1+1e-6) {
+			t.Fatalf("trial %d: E_cont %v > E_vdd %v", trial, cont.Energy, vdd.Energy)
+		}
+		if vdd.Energy > disc.Energy*(1+1e-6) {
+			t.Fatalf("trial %d: E_vdd %v > E_disc %v", trial, vdd.Energy, disc.Energy)
+		}
+		if err := p.Verify(vdd, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestVddTwoModeUpperBoundsLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		eg := randomExecGraph(t, rng, 8, 2)
+		modes := []float64{0.5, 1, 1.5, 2}
+		dmin, _ := eg.MinimalDeadline(2)
+		D := dmin * (1.3 + rng.Float64())
+		p, _ := NewProblem(eg, D)
+		vm, _ := model.NewVddHopping(modes)
+		lpSol, err := p.SolveVddHopping(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoMode, err := p.SolveVddTwoMode(vm, ContinuousOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Verify(twoMode, 1e-6); err != nil {
+			t.Fatalf("two-mode infeasible: %v", err)
+		}
+		if lpSol.Energy > twoMode.Energy*(1+1e-6) {
+			t.Fatalf("trial %d: LP %v above two-mode heuristic %v", trial, lpSol.Energy, twoMode.Energy)
+		}
+		// Every two-mode profile uses at most 2 distinct speeds.
+		for i, prof := range twoMode.Schedule.Profiles {
+			if prof.DistinctSpeeds(1e-9) > 2 {
+				t.Fatalf("task %d uses %d speeds", i, prof.DistinctSpeeds(1e-9))
+			}
+		}
+	}
+}
+
+func TestVddInfeasible(t *testing.T) {
+	p, _ := NewProblem(diamondGraph(), 1) // cpw 8, top mode 2 → dmin 4
+	if _, err := p.SolveVddHopping(vddModel(t, 1, 2)); err == nil {
+		t.Fatal("accepted infeasible vdd instance")
+	}
+}
+
+func TestVddWrongKind(t *testing.T) {
+	p, _ := NewProblem(diamondGraph(), 100)
+	dm, _ := model.NewDiscrete([]float64{1, 2})
+	if _, err := p.SolveVddHopping(dm); err == nil {
+		t.Fatal("accepted discrete model")
+	}
+	cm, _ := model.NewContinuous(2)
+	if _, err := p.SolveVddTwoMode(cm, ContinuousOptions{}); err == nil {
+		t.Fatal("accepted continuous model")
+	}
+}
+
+func TestVddDistinctSpeedStats(t *testing.T) {
+	g := graph.New()
+	g.AddTask("only", 2)
+	p, _ := NewProblem(g, 2)
+	sol, err := p.SolveVddHopping(vddModel(t, 0.5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := VddDistinctSpeedStats(sol, 1e-9)
+	if stats[2] != 1 {
+		t.Fatalf("stats = %v, want one 2-speed task", stats)
+	}
+}
+
+// Property: Vdd-Hopping can always emulate the continuous optimum arbitrarily
+// well when modes are dense around the needed speeds, so with a fine mode
+// grid E_vdd/E_cont stays within a few percent.
+func TestVddApproachesContinuousWithDenseModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eg := randomExecGraph(t, rng, 8, 2)
+	dmin, _ := eg.MinimalDeadline(2)
+	p, _ := NewProblem(eg, dmin*1.5)
+	cont, err := p.SolveContinuous(2, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modes []float64
+	for s := 0.2; s <= 2.0001; s += 0.1 {
+		modes = append(modes, s)
+	}
+	vm, _ := model.NewVddHopping(modes)
+	vdd, err := p.SolveVddHopping(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := vdd.Energy / cont.Energy
+	if ratio < 1-1e-6 || ratio > 1.05 {
+		t.Fatalf("vdd/cont ratio = %v, want within [1, 1.05]", ratio)
+	}
+	if math.IsNaN(ratio) {
+		t.Fatal("NaN ratio")
+	}
+}

@@ -1,0 +1,261 @@
+package exps
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// Ablations: design choices DESIGN.md calls out, quantified. These go
+// beyond the paper's text but use only its machinery.
+
+// AblationGranularity (A1) asks what the paper's per-*task* speeds buy over
+// the coarser control real chips expose: one speed per processor, or one
+// global speed. Continuous model throughout, so every row is an exact
+// optimum of its granularity.
+func AblationGranularity(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 20))
+	t := &Table{
+		ID:      "A1",
+		Title:   "Speed-control granularity: per-task vs per-processor vs global (continuous optima)",
+		Columns: []string{"beta", "E per-task", "per-proc/per-task", "uniform/per-task", "all-max/per-task"},
+	}
+	betas := []float64{1.1, 1.5, 2, 3}
+	if cfg.Quick {
+		betas = []float64{1.2, 2}
+	}
+	const smax = 2.0
+	layers, width := cfg.pick(5, 3), cfg.pick(4, 3)
+	app := graph.Layered(rng, layers, width, 0.35, graph.UniformWeights(1, 5))
+	mapping, err := platform.ListSchedule(app, 4)
+	if err != nil {
+		return nil, err
+	}
+	eg, err := platform.BuildExecutionGraph(app, mapping)
+	if err != nil {
+		return nil, err
+	}
+	dmin, err := eg.MinimalDeadline(smax)
+	if err != nil {
+		return nil, err
+	}
+	cm, _ := model.NewContinuous(smax)
+	for _, beta := range betas {
+		p, err := core.NewProblem(eg, dmin*beta)
+		if err != nil {
+			return nil, err
+		}
+		perTask, err := p.SolveContinuous(smax, core.ContinuousOptions{})
+		if err != nil {
+			return nil, err
+		}
+		perProc, err := p.SolvePerProcessorContinuous(mapping, smax, core.ContinuousOptions{})
+		if err != nil {
+			return nil, err
+		}
+		uni, err := p.SolveUniform(cm)
+		if err != nil {
+			return nil, err
+		}
+		allmax, err := p.SolveAllMax(cm)
+		if err != nil {
+			return nil, err
+		}
+		t.Addf(beta, perTask.Energy,
+			perProc.Energy/perTask.Energy,
+			uni.Energy/perTask.Energy,
+			allmax.Energy/perTask.Energy)
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape: 1 ≤ per-proc ≤ uniform ≤ all-max relative to per-task; the per-proc gap quantifies exactly what the paper's task-grained model buys over chip-per-processor DVFS.")
+	return t, nil
+}
+
+// AblationAlpha (A2) varies the dynamic-power exponent: the paper fixes
+// s³; with s^α for α ∈ (1, 3] the equivalent-weight algebra generalizes
+// (series add; parallel is the α-norm). The reclaiming gain — baseline
+// energy over optimal — grows with α.
+func AblationAlpha(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 21))
+	t := &Table{
+		ID:      "A2",
+		Title:   "Power exponent α: closed form vs numeric, and the reclaiming gain",
+		Columns: []string{"alpha", "E algebra", "E numeric", "rel diff", "all-max/optimal"},
+	}
+	alphas := []float64{1.5, 2, 2.5, 3}
+	if cfg.Quick {
+		alphas = []float64{2, 3}
+	}
+	const smax = 2.0
+	g, expr := graph.RandomSP(rng, cfg.pick(16, 8), graph.UniformWeights(1, 5))
+	dmin, err := g.MinimalDeadline(smax)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblem(g, dmin*2.5)
+	if err != nil {
+		return nil, err
+	}
+	for _, alpha := range alphas {
+		closed, err := p.SolveSPContinuousAlpha(expr, alpha)
+		if err != nil {
+			return nil, err
+		}
+		numeric, err := p.SolveContinuousNumericAlpha(math.Inf(1), alpha, core.ContinuousOptions{})
+		if err != nil {
+			return nil, err
+		}
+		allmax := 0.0
+		for i := 0; i < g.N(); i++ {
+			allmax += core.AlphaTaskEnergy(g.Weight(i), smax, alpha)
+		}
+		t.Addf(alpha, closed.Energy, numeric.Energy,
+			relDiff(closed.Energy, numeric.Energy), allmax/closed.Energy)
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape: algebra = numeric for every α (the Theorem 2 structure is exponent-independent); the all-max/optimal gain grows with α — the cubic model is where speed scaling pays most.")
+	return t, nil
+}
+
+// AblationMapping (A3) varies the *given* mapping: the paper optimizes
+// speeds for a fixed mapping, so how much does mapping quality matter after
+// reclaiming? List scheduling vs round-robin vs single processor, identical
+// application and absolute deadline.
+func AblationMapping(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 22))
+	t := &Table{
+		ID:      "A3",
+		Title:   "Mapping sensitivity: continuous-optimal energy for three given mappings (same absolute deadline)",
+		Columns: []string{"mapping", "procs", "Dmin", "feasible", "E continuous"},
+	}
+	const smax = 2.0
+	layers, width := cfg.pick(5, 3), cfg.pick(4, 3)
+	app := graph.Layered(rng, layers, width, 0.35, graph.UniformWeights(1, 5))
+	builders := []struct {
+		name  string
+		build func() (*platform.Mapping, error)
+	}{
+		{"list-4", func() (*platform.Mapping, error) { return platform.ListSchedule(app, 4) }},
+		{"round-robin-4", func() (*platform.Mapping, error) { return platform.RoundRobin(app, 4) }},
+		{"single-proc", func() (*platform.Mapping, error) { return platform.SingleProcessor(app) }},
+	}
+	// Deadline: twice the best mapping's Dmin — loose for the good mapping,
+	// possibly tight or infeasible for the bad ones.
+	listMap, err := platform.ListSchedule(app, 4)
+	if err != nil {
+		return nil, err
+	}
+	egBest, err := platform.BuildExecutionGraph(app, listMap)
+	if err != nil {
+		return nil, err
+	}
+	dminBest, err := egBest.MinimalDeadline(smax)
+	if err != nil {
+		return nil, err
+	}
+	D := dminBest * 2
+	for _, b := range builders {
+		m, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		eg, err := platform.BuildExecutionGraph(app, m)
+		if err != nil {
+			return nil, err
+		}
+		dmin, err := eg.MinimalDeadline(smax)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewProblem(eg, D)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := p.SolveContinuous(smax, core.ContinuousOptions{})
+		if err != nil {
+			t.Addf(b.name, m.NumProcs(), dmin, false, math.Inf(1))
+			continue
+		}
+		t.Addf(b.name, m.NumProcs(), dmin, true, sol.Energy)
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape: heavier serialization raises Dmin — the fully serialized mapping is typically infeasible at this deadline, which is exactly why the paper treats the mapping as an unchangeable input.",
+		"Second-order finding: among feasible mappings, the makespan-optimal one need not be energy-optimal — energy reclaiming rewards load balance over critical-path length, so round-robin can edge out list scheduling once speeds are optimized.")
+	return t, nil
+}
+
+// AblationSwitching (A4) quantifies the paper's concluding argument: Vdd-
+// Hopping smooths discrete modes by switching speed *mid-task* — which real
+// hardware pays for per hop (Miermont et al.'s supply selector, the paper's
+// [6]) — while the Incremental model reaches similar energy with a finer
+// grid and zero switches. For each mode count m, compare the exact Discrete
+// optimum, the Vdd optimum (with its switch count), and the exact optimum
+// on an Incremental grid with the same number of speed levels.
+func AblationSwitching(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 23))
+	t := &Table{
+		ID:    "A4",
+		Title: "Vdd-Hopping vs Incremental: energy vs mid-task switching (ratios to continuous)",
+		Columns: []string{"m", "disc-geom/cont", "vdd-geom/cont", "vdd switches",
+			"incr-even/cont (same m)", "incr switches"},
+	}
+	counts := []int{2, 3, 4, 6, 8}
+	if cfg.Quick {
+		counts = []int{2, 4}
+	}
+	const smin, smax = 0.5, 2.0
+	// A series-parallel workload keeps the exact discrete solves cheap even
+	// at m = 8 (Pareto DP); the LP does not care about the shape.
+	spg, expr := graph.RandomSP(rng, cfg.pick(14, 8), graph.UniformWeights(1, 5))
+	dmin, err := spg.MinimalDeadline(smax)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblem(spg, dmin*1.6)
+	if err != nil {
+		return nil, err
+	}
+	cont, err := p.SolveContinuous(smax, core.ContinuousOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range counts {
+		// Geometrically spaced modes: a realistic, irregular DVFS table —
+		// the setting the paper's Discrete model allows and Vdd smooths.
+		modes := make([]float64, m)
+		for i := range modes {
+			modes[i] = smin * math.Pow(smax/smin, float64(i)/math.Max(1, float64(m-1)))
+		}
+		dm, _ := model.NewDiscrete(modes)
+		disc, err := p.SolveDiscreteSP(dm, expr, core.DiscreteOptions{})
+		if err != nil {
+			return nil, err
+		}
+		vm, _ := model.NewVddHopping(modes)
+		vdd, err := p.SolveVddHopping(vm)
+		if err != nil {
+			return nil, err
+		}
+		vddSwitches := 0
+		for _, prof := range vdd.Schedule.Profiles {
+			vddSwitches += prof.Switches()
+		}
+		im, err := model.NewIncremental(smin, smax, (smax-smin)/float64(m-1))
+		if err != nil {
+			return nil, err
+		}
+		incr, err := p.SolveDiscreteSP(im, expr, core.DiscreteOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t.Addf(m, disc.Energy/cont.Energy, vdd.Energy/cont.Energy, vddSwitches,
+			incr.Energy/cont.Energy, 0)
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape: Vdd beats Discrete at every m but needs O(n) mid-task switches to do it; the evenly spaced Incremental grid closes most of the same gap with zero switches — the conclusion's 'simpler in practice' argument, quantified.")
+	return t, nil
+}

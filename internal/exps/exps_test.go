@@ -1,0 +1,330 @@
+package exps
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 42, Quick: true} }
+
+// parseCell converts a rendered cell back to float64.
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.Addf(1, "x,y")
+	tab.Notes = append(tab.Notes, "note")
+	md := tab.Markdown()
+	if !strings.Contains(md, "### X — demo") || !strings.Contains(md, "| a | b |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	if !strings.Contains(md, "> note") {
+		t.Fatal("note missing")
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("csv quoting broken:\n%s", csv)
+	}
+}
+
+func TestTableAddPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab := &Table{ID: "X", Columns: []string{"a", "b"}}
+	tab.Add("only-one")
+}
+
+func TestTable1ForkAgreement(t *testing.T) {
+	tab, err := Table1Fork(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sawSaturated := false
+	for _, row := range tab.Rows {
+		if d := parseCell(t, row[5]); d > 1e-3 {
+			t.Fatalf("closed form and numeric disagree: %v", row)
+		}
+		if row[2] == "saturated" {
+			sawSaturated = true
+		}
+	}
+	if !sawSaturated {
+		t.Fatal("tight deadlines never hit the saturated Theorem 1 branch")
+	}
+}
+
+func TestTable2TreeSPAgreement(t *testing.T) {
+	tab, err := Table2TreeSP(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if d := parseCell(t, row[4]); d > 1e-3 {
+			t.Fatalf("algebra and numeric disagree: %v", row)
+		}
+	}
+}
+
+func TestTable3VddHierarchy(t *testing.T) {
+	tab, err := Table3Vdd(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "yes" {
+			t.Fatalf("hierarchy violated: %v", row)
+		}
+	}
+}
+
+func TestTable4HardnessMonotonicity(t *testing.T) {
+	tab, err := Table4Hardness(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatal("need at least two sizes")
+	}
+	// BB nodes at the largest size exceed those at the smallest — the
+	// qualitative exponential-vs-polynomial contrast of Theorem 4.
+	first := parseCell(t, tab.Rows[0][1])
+	last := parseCell(t, tab.Rows[len(tab.Rows)-1][1])
+	if last < first {
+		t.Fatalf("BB nodes did not grow: %v → %v", first, last)
+	}
+}
+
+func TestTable5WithinBound(t *testing.T) {
+	tab, err := Table5Approx(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "yes" {
+			t.Fatalf("bound violated: %v", row)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tab, err := Figure1DeadlineSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for col := 2; col <= 7; col++ {
+			if r := parseCell(t, row[col]); r < 1-1e-6 {
+				t.Fatalf("ratio below 1 in column %d: %v", col, row)
+			}
+		}
+		vdd := parseCell(t, row[2])
+		roundup := parseCell(t, row[4])
+		if vdd > roundup*(1+1e-6) {
+			t.Fatalf("vdd worse than discrete round-up: %v", row)
+		}
+	}
+	// All-max ratio grows with β.
+	firstAllMax := parseCell(t, tab.Rows[0][7])
+	lastAllMax := parseCell(t, tab.Rows[len(tab.Rows)-1][7])
+	if lastAllMax <= firstAllMax {
+		t.Fatalf("all-max ratio did not grow with β: %v → %v", firstAllMax, lastAllMax)
+	}
+}
+
+func TestFigure2Convergence(t *testing.T) {
+	tab, err := Figure2ModeCount(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tab.Rows)
+	firstExact := parseCell(t, tab.Rows[0][3])
+	lastExact := parseCell(t, tab.Rows[n-1][3])
+	if lastExact > firstExact*(1+1e-9) {
+		t.Fatalf("discrete exact ratio did not improve with more modes: %v → %v", firstExact, lastExact)
+	}
+	for _, row := range tab.Rows {
+		vdd := parseCell(t, row[1])
+		exact := parseCell(t, row[3])
+		if vdd > exact*(1+1e-6) {
+			t.Fatalf("vdd worse than discrete exact: %v", row)
+		}
+	}
+}
+
+func TestFigure3BoundCurve(t *testing.T) {
+	tab, err := Figure3DeltaSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i := len(tab.Rows) - 1; i >= 0; i-- { // δ decreasing along rows; iterate increasing δ
+		row := tab.Rows[i]
+		ratio := parseCell(t, row[2])
+		bound := parseCell(t, row[3])
+		if ratio > bound*(1+1e-6) || ratio < 1-1e-6 {
+			t.Fatalf("ratio %v outside [1, bound %v]", ratio, bound)
+		}
+		if prev >= 0 && ratio < prev-1e-9 {
+			t.Fatalf("ratio should shrink with δ: %v then %v", ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestFigure4BoundCurve(t *testing.T) {
+	tab, err := Figure4KSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ratio := parseCell(t, row[1])
+		bound := parseCell(t, row[2])
+		if ratio > bound*(1+1e-6) || ratio < 1-1e-6 {
+			t.Fatalf("K-sweep ratio %v outside [1, %v]", ratio, bound)
+		}
+	}
+}
+
+func TestFigure5Runs(t *testing.T) {
+	tab, err := Figure5Scaling(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for col := 1; col <= 4; col++ {
+			if v := parseCell(t, row[col]); v < 0 {
+				t.Fatalf("negative duration: %v", row)
+			}
+		}
+	}
+}
+
+func TestAblationGranularityHierarchy(t *testing.T) {
+	tab, err := AblationGranularity(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		perProc := parseCell(t, row[2])
+		uniform := parseCell(t, row[3])
+		allmax := parseCell(t, row[4])
+		if perProc < 1-1e-6 || uniform < perProc-1e-6 || allmax < uniform-1e-6 {
+			t.Fatalf("granularity hierarchy violated: %v", row)
+		}
+	}
+}
+
+func TestAblationAlphaAgreementAndGain(t *testing.T) {
+	tab, err := AblationAlpha(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGain := 0.0
+	for _, row := range tab.Rows {
+		if d := parseCell(t, row[3]); d > 1e-3 {
+			t.Fatalf("α algebra and numeric disagree: %v", row)
+		}
+		gain := parseCell(t, row[4])
+		if gain < prevGain-1e-9 {
+			t.Fatalf("reclaiming gain should grow with α: %v", tab.Rows)
+		}
+		prevGain = gain
+	}
+}
+
+func TestAblationMappingOrdering(t *testing.T) {
+	tab, err := AblationMapping(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 mappings, got %d", len(tab.Rows))
+	}
+	// The list-scheduled mapping is always feasible at D = 2·its Dmin.
+	if tab.Rows[0][3] != "yes" {
+		t.Fatalf("list mapping infeasible: %v", tab.Rows[0])
+	}
+	// Single-processor serializes everything: its Dmin is the largest.
+	dminList := parseCell(t, tab.Rows[0][2])
+	dminSingle := parseCell(t, tab.Rows[2][2])
+	if dminSingle < dminList {
+		t.Fatalf("single-proc Dmin %v below list Dmin %v", dminSingle, dminList)
+	}
+	// When feasible, the single-processor mapping costs at least as much.
+	if tab.Rows[2][3] == "yes" {
+		eList := parseCell(t, tab.Rows[0][4])
+		eSingle := parseCell(t, tab.Rows[2][4])
+		if eSingle < eList-1e-6 {
+			t.Fatalf("serialized mapping beat the parallel one: %v", tab.Rows)
+		}
+	}
+}
+
+func TestAblationSwitchingShape(t *testing.T) {
+	tab, err := AblationSwitching(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		disc := parseCell(t, row[1])
+		vdd := parseCell(t, row[2])
+		incr := parseCell(t, row[4])
+		if vdd > disc*(1+1e-6) {
+			t.Fatalf("vdd worse than discrete on the same modes: %v", row)
+		}
+		if disc < 1-1e-6 || vdd < 1-1e-6 || incr < 1-1e-6 {
+			t.Fatalf("ratio below continuous: %v", row)
+		}
+		if row[5] != "0" {
+			t.Fatalf("incremental should need zero switches: %v", row)
+		}
+	}
+	// Vdd needs real switching on at least one mode count.
+	anySwitch := false
+	for _, row := range tab.Rows {
+		if parseCell(t, row[3]) > 0 {
+			anySwitch = true
+		}
+	}
+	if !anySwitch {
+		t.Fatal("vdd never switched — comparison is vacuous")
+	}
+}
+
+func TestRunAllWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := RunAll(&buf, dir, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "A1", "A2", "A3", "A4"} {
+		if !strings.Contains(out, "### "+id) {
+			t.Fatalf("markdown missing %s", id)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			t.Fatalf("csv for %s: %v", id, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("empty csv for %s", id)
+		}
+	}
+}

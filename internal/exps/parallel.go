@@ -1,0 +1,58 @@
+package exps
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// RunAllParallel executes the suite with `workers` experiments in flight at
+// once (each experiment is itself single-threaded and owns its RNG, so
+// results are identical to the sequential run). Markdown is emitted in
+// report order regardless of completion order.
+func RunAllParallel(w io.Writer, outDir string, cfg Config, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	suite := All()
+	type outcome struct {
+		table *Table
+		err   error
+	}
+	results := make([]outcome, len(suite))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, exp := range suite {
+		wg.Add(1)
+		go func(i int, exp Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t, err := exp.Run(cfg)
+			results[i] = outcome{table: t, err: err}
+		}(i, exp)
+	}
+	wg.Wait()
+	for i, exp := range suite {
+		if results[i].err != nil {
+			return fmt.Errorf("exps: %s failed: %w", exp.ID, results[i].err)
+		}
+		if _, err := fmt.Fprintln(w, results[i].table.Markdown()); err != nil {
+			return err
+		}
+		if outDir != "" {
+			path := filepath.Join(outDir, exp.ID+".csv")
+			if err := os.WriteFile(path, []byte(results[i].table.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

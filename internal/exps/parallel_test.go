@@ -1,0 +1,57 @@
+package exps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	cfg := quickCfg()
+	var seq, par bytes.Buffer
+	if err := RunAll(&seq, "", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAllParallel(&par, "", cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Identical configuration ⇒ byte-identical reports, except the F5
+	// timing experiment whose cells are wall-clock measurements.
+	seqLines := strings.Split(seq.String(), "\n")
+	parLines := strings.Split(par.String(), "\n")
+	if len(seqLines) != len(parLines) {
+		t.Fatalf("line counts differ: %d vs %d", len(seqLines), len(parLines))
+	}
+	inF5 := false
+	for i := range seqLines {
+		if strings.HasPrefix(seqLines[i], "### F5") {
+			inF5 = true
+		} else if strings.HasPrefix(seqLines[i], "### ") {
+			inF5 = false
+		}
+		if inF5 {
+			continue
+		}
+		if seqLines[i] != parLines[i] {
+			t.Fatalf("line %d differs:\nseq: %s\npar: %s", i, seqLines[i], parLines[i])
+		}
+	}
+}
+
+func TestRunAllParallelWorkerClamp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAllParallel(&buf, "", quickCfg(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### T1") {
+		t.Fatal("no output with clamped workers")
+	}
+}
+
+func TestRunAllParallelWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := RunAllParallel(&buf, dir, quickCfg(), 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package exps
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ASCII line plots for the figure experiments, so cmd/experiments can show
+// the *shape* of each curve in a terminal without any plotting dependency.
+
+// Plot renders the table's numeric columns as an ASCII chart: column xCol
+// supplies the x-axis, each yCol becomes one series drawn with its own
+// glyph. Non-numeric cells are skipped. logY plots log10(y) (useful for the
+// β² growth curves).
+func (t *Table) Plot(xCol int, yCols []int, width, height int, logY bool) string {
+	if width < 24 {
+		width = 24
+	}
+	if height < 8 {
+		height = 8
+	}
+	type series struct {
+		name   string
+		glyph  byte
+		xs, ys []float64
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+	var all []series
+	for k, col := range yCols {
+		s := series{name: t.Columns[col], glyph: glyphs[k%len(glyphs)]}
+		for _, row := range t.Rows {
+			x, errX := strconv.ParseFloat(row[xCol], 64)
+			y, errY := strconv.ParseFloat(row[col], 64)
+			if errX != nil || errY != nil || math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			s.xs = append(s.xs, x)
+			s.ys = append(s.ys, y)
+		}
+		if len(s.xs) > 0 {
+			all = append(all, s)
+		}
+	}
+	if len(all) == 0 {
+		return "(no numeric data to plot)\n"
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range all {
+		for i := range s.xs {
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymin = math.Min(ymin, s.ys[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range all {
+		for i := range s.xs {
+			cx := int(math.Round((s.xs[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			cy := int(math.Round((s.ys[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - cy
+			if grid[row][cx] == ' ' || grid[row][cx] == s.glyph {
+				grid[row][cx] = s.glyph
+			} else {
+				grid[row][cx] = '&' // collision marker
+			}
+		}
+	}
+	var b strings.Builder
+	yLabel := func(v float64) string {
+		if logY {
+			return fmt.Sprintf("%8.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%8.3g", v)
+	}
+	for r, line := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%s |%s\n", yLabel(ymax), line)
+		case height - 1:
+			fmt.Fprintf(&b, "%s |%s\n", yLabel(ymin), line)
+		default:
+			fmt.Fprintf(&b, "%8s |%s\n", "", line)
+		}
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-10.3g%*.3g\n", "", xmin, width-10, xmax)
+	var legend []string
+	for _, s := range all {
+		legend = append(legend, fmt.Sprintf("%c %s", s.glyph, s.name))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// DefaultPlot picks the conventional axes for a figure table: column 0 as x
+// and every ratio-like column as y (those whose header contains '/'), or all
+// remaining numeric columns when none match.
+func (t *Table) DefaultPlot(width, height int, logY bool) string {
+	var ys []int
+	for i, c := range t.Columns {
+		if i == 0 {
+			continue
+		}
+		if strings.Contains(c, "/") || strings.Contains(c, "ratio") || strings.Contains(c, "bound") {
+			ys = append(ys, i)
+		}
+	}
+	if len(ys) == 0 {
+		for i := 1; i < len(t.Columns); i++ {
+			ys = append(ys, i)
+		}
+	}
+	return t.Plot(0, ys, width, height, logY)
+}

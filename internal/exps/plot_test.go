@@ -1,0 +1,96 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	t := &Table{
+		ID:      "D",
+		Title:   "demo",
+		Columns: []string{"x", "a/b", "c"},
+	}
+	t.Addf(1.0, 1.0, 10.0)
+	t.Addf(2.0, 2.0, 20.0)
+	t.Addf(3.0, 4.0, 40.0)
+	return t
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	tab := demoTable()
+	out := tab.Plot(0, []int{1, 2}, 30, 10, false)
+	if !strings.Contains(out, "* a/b") || !strings.Contains(out, "o c") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+------") {
+		t.Fatalf("axis missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("points missing:\n%s", out)
+	}
+}
+
+func TestPlotLogScale(t *testing.T) {
+	tab := demoTable()
+	out := tab.Plot(0, []int{2}, 30, 10, true)
+	// Log scale labels de-log: the max label should be 40, not log10(40).
+	if !strings.Contains(out, "40") {
+		t.Fatalf("log labels wrong:\n%s", out)
+	}
+}
+
+func TestPlotSkipsNonNumeric(t *testing.T) {
+	tab := &Table{ID: "D", Columns: []string{"x", "y"}}
+	tab.Add("oops", "1")
+	tab.Add("2", "not-a-number")
+	out := tab.Plot(0, []int{1}, 30, 8, false)
+	if !strings.Contains(out, "no numeric data") {
+		t.Fatalf("expected empty-plot message:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	tab := &Table{ID: "D", Columns: []string{"x", "y"}}
+	tab.Addf(1.0, 5.0)
+	tab.Addf(1.0, 5.0) // identical points: ranges collapse
+	out := tab.Plot(0, []int{1}, 30, 8, false)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("degenerate plot broken:\n%s", out)
+	}
+}
+
+func TestDefaultPlotPicksRatioColumns(t *testing.T) {
+	tab := demoTable()
+	out := tab.DefaultPlot(30, 10, false)
+	if !strings.Contains(out, "a/b") {
+		t.Fatalf("ratio column not plotted:\n%s", out)
+	}
+	if strings.Contains(out, "o c") {
+		t.Fatalf("non-ratio column should be skipped when ratios exist:\n%s", out)
+	}
+	// With no ratio columns, everything numeric is plotted.
+	plain := &Table{ID: "D", Columns: []string{"x", "y"}}
+	plain.Addf(1.0, 2.0)
+	plain.Addf(2.0, 3.0)
+	if !strings.Contains(plain.DefaultPlot(30, 8, false), "* y") {
+		t.Fatal("fallback columns not plotted")
+	}
+}
+
+func TestFigureTablesPlot(t *testing.T) {
+	// Every figure experiment should produce a plottable table.
+	for _, exp := range All() {
+		if exp.ID[0] != 'F' {
+			continue
+		}
+		tab, err := exp.Run(quickCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		out := tab.DefaultPlot(50, 12, exp.ID == "F1")
+		if strings.Contains(out, "no numeric data") {
+			t.Fatalf("%s produced an unplottable table:\n%s", exp.ID, tab.Markdown())
+		}
+	}
+}

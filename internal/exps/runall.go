@@ -1,0 +1,60 @@
+package exps
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Experiment couples an ID with its generator.
+type Experiment struct {
+	ID  string
+	Run func(Config) (*Table, error)
+}
+
+// All returns the full suite in report order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", Table1Fork},
+		{"T2", Table2TreeSP},
+		{"T3", Table3Vdd},
+		{"T4", Table4Hardness},
+		{"T5", Table5Approx},
+		{"F1", Figure1DeadlineSweep},
+		{"F2", Figure2ModeCount},
+		{"F3", Figure3DeltaSweep},
+		{"F4", Figure4KSweep},
+		{"F5", Figure5Scaling},
+		{"A1", AblationGranularity},
+		{"A2", AblationAlpha},
+		{"A3", AblationMapping},
+		{"A4", AblationSwitching},
+	}
+}
+
+// RunAll executes the suite, streaming Markdown to w and, when outDir is
+// non-empty, writing one CSV per experiment into it.
+func RunAll(w io.Writer, outDir string, cfg Config) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, exp := range All() {
+		table, err := exp.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("exps: %s failed: %w", exp.ID, err)
+		}
+		if _, err := fmt.Fprintln(w, table.Markdown()); err != nil {
+			return err
+		}
+		if outDir != "" {
+			path := filepath.Join(outDir, exp.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package exps is the experiment harness: it regenerates, for every table
+// and figure listed in DESIGN.md, the rows/series a paper evaluation would
+// report. The brief announcement itself has no evaluation section, so this
+// suite is the comparative study its conclusion announces — every empirical
+// claim traces back to one of the five theorems or Proposition 1.
+package exps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of rendered cells, exportable as Markdown or CSV.
+type Table struct {
+	ID      string // experiment identifier, e.g. "T1" or "F3"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes holds expected-shape commentary appended below the table.
+	Notes []string
+}
+
+// Add appends a row; the cell count must match the column count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("exps: row with %d cells for %d columns in %s", len(cells), len(t.Columns), t.ID))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted values: strings pass through, float64
+// render with %.4g, ints with %d.
+func (t *Table) Addf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case int:
+			cells[i] = fmt.Sprintf("%d", x)
+		case bool:
+			if x {
+				cells[i] = "yes"
+			} else {
+				cells[i] = "no"
+			}
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Add(cells...)
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, row := range t.Rows {
+		quoted := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		b.WriteString(strings.Join(quoted, ",") + "\n")
+	}
+	return b.String()
+}

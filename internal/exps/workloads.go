@@ -1,0 +1,82 @@
+package exps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// Config sets the experiment scale and reproducibility seed.
+type Config struct {
+	// Seed drives every random generator; the suite is deterministic per seed.
+	Seed int64
+	// Quick shrinks instance sizes and sweep lengths so the full suite runs
+	// in well under a second per experiment (for `go test -bench`).
+	Quick bool
+}
+
+func (c Config) pick(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Instance is one MinEnergy input: an application graph, its mapping, and
+// the resulting execution graph wrapped in a Problem.
+type Instance struct {
+	Name           string
+	App            *graph.Graph
+	Mapping        *platform.Mapping
+	Exec           *graph.Graph
+	Problem        *core.Problem
+	DeadlineFactor float64 // D = factor × Dmin(smax)
+}
+
+// buildInstance maps app onto procs processors with list scheduling and sets
+// D = factor × (critical path at smax).
+func buildInstance(name string, app *graph.Graph, procs int, smax, factor float64) (*Instance, error) {
+	m, err := platform.ListSchedule(app, procs)
+	if err != nil {
+		return nil, err
+	}
+	eg, err := platform.BuildExecutionGraph(app, m)
+	if err != nil {
+		return nil, err
+	}
+	dmin, err := eg.MinimalDeadline(smax)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblem(eg, dmin*factor)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name: name, App: app, Mapping: m, Exec: eg, Problem: p,
+		DeadlineFactor: factor,
+	}, nil
+}
+
+// layeredInstance is the workhorse workload of the suite: a random layered
+// DAG (the structure of iterative stencil/pipeline applications) mapped on
+// procs processors.
+func layeredInstance(rng *rand.Rand, layers, width, procs int, smax, factor float64) (*Instance, error) {
+	app := graph.Layered(rng, layers, width, 0.35, graph.UniformWeights(1, 5))
+	return buildInstance(fmt.Sprintf("layered-%dx%d-p%d", layers, width, procs), app, procs, smax, factor)
+}
+
+// evenModes returns m modes evenly spread over [lo, hi].
+func evenModes(m int, lo, hi float64) []float64 {
+	if m == 1 {
+		return []float64{hi}
+	}
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(m-1)
+	}
+	return out
+}

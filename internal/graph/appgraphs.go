@@ -1,0 +1,158 @@
+package graph
+
+import "fmt"
+
+// Application-shaped task graphs. These are the classic structured kernels
+// of the scheduling literature; the paper's motivation (legacy applications
+// with a fixed mapping) is exactly this kind of workload.
+
+// LUElimination builds the right-looking blocked dense-factorization DAG on
+// a b×b block grid (the symmetric/Cholesky variant, j ≥ i): for every step
+// k there is a factor task F(k), solve tasks S(k,i) for i > k, and update
+// tasks U(k,i,j) for j ≥ i > k. Dependencies:
+//
+//	F(k)     ← U(k-1,k,k)
+//	S(k,i)   ← F(k), U(k-1,k,i)
+//	U(k,i,j) ← S(k,i), S(k,j), U(k-1,i,j)
+//
+// Weights reflect the usual flop ratios: factor 1, solve 2, update 2,
+// scaled by blockWeight.
+func LUElimination(b int, blockWeight float64) *Graph {
+	if b < 1 {
+		panic("graph: LUElimination needs b >= 1")
+	}
+	g := New()
+	factor := make([]int, b)
+	solve := make(map[[2]int]int)
+	update := make(map[[3]int]int)
+	for k := 0; k < b; k++ {
+		factor[k] = g.AddTask(fmt.Sprintf("F(%d)", k), blockWeight)
+		if k > 0 {
+			g.MustAddEdge(update[[3]int{k - 1, k, k}], factor[k])
+		}
+		for i := k + 1; i < b; i++ {
+			s := g.AddTask(fmt.Sprintf("S(%d,%d)", k, i), 2*blockWeight)
+			solve[[2]int{k, i}] = s
+			g.MustAddEdge(factor[k], s)
+			if k > 0 {
+				g.MustAddEdge(update[[3]int{k - 1, k, i}], s)
+			}
+		}
+		for i := k + 1; i < b; i++ {
+			for j := i; j < b; j++ {
+				u := g.AddTask(fmt.Sprintf("U(%d,%d,%d)", k, i, j), 2*blockWeight)
+				update[[3]int{k, i, j}] = u
+				g.MustAddEdge(solve[[2]int{k, i}], u)
+				if j != i {
+					g.MustAddEdge(solve[[2]int{k, j}], u)
+				}
+				if k > 0 {
+					g.MustAddEdge(update[[3]int{k - 1, i, j}], u)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Stencil builds a 2-D wavefront: task (r, c) depends on (r-1, c) and
+// (r, c-1). This is the dependence pattern of Gauss–Seidel sweeps, dynamic
+// programming tables, and pipelined triangular solves.
+func Stencil(rows, cols int, weight float64) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("graph: Stencil needs positive dimensions")
+	}
+	g := New()
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddTask(fmt.Sprintf("S(%d,%d)", r, c), weight)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r > 0 {
+				g.MustAddEdge(id(r-1, c), id(r, c))
+			}
+			if c > 0 {
+				g.MustAddEdge(id(r, c-1), id(r, c))
+			}
+		}
+	}
+	return g
+}
+
+// FFT builds the butterfly DAG of a radix-2 FFT on 2^stages points:
+// stages+1 rows of 2^stages tasks; the task at (s, i) depends on
+// (s-1, i) and (s-1, i XOR 2^(s-1)).
+func FFT(stages int, weight float64) *Graph {
+	if stages < 1 {
+		panic("graph: FFT needs stages >= 1")
+	}
+	n := 1 << stages
+	g := New()
+	id := func(s, i int) int { return s*n + i }
+	for s := 0; s <= stages; s++ {
+		for i := 0; i < n; i++ {
+			g.AddTask(fmt.Sprintf("X(%d,%d)", s, i), weight)
+		}
+	}
+	for s := 1; s <= stages; s++ {
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(id(s-1, i), id(s, i))
+			g.MustAddEdge(id(s-1, i^(1<<(s-1))), id(s, i))
+		}
+	}
+	return g
+}
+
+// MapReduce builds a two-stage bipartite workload: `maps` map tasks all
+// feeding `reduces` reduce tasks, with a fan-in proportional to the shuffle:
+// every reducer depends on every mapper.
+func MapReduce(maps, reduces int, mapWeight, reduceWeight float64) *Graph {
+	if maps < 1 || reduces < 1 {
+		panic("graph: MapReduce needs positive stage sizes")
+	}
+	g := New()
+	for i := 0; i < maps; i++ {
+		g.AddTask(fmt.Sprintf("map%d", i), mapWeight)
+	}
+	for j := 0; j < reduces; j++ {
+		r := g.AddTask(fmt.Sprintf("reduce%d", j), reduceWeight)
+		for i := 0; i < maps; i++ {
+			g.MustAddEdge(i, r)
+		}
+	}
+	return g
+}
+
+// Pipeline builds a linear `stages`-stage software pipeline unrolled over
+// `items` data items: task (s, k) is stage s applied to item k, depending on
+// the previous stage of the same item and the same stage of the previous
+// item (stages are stateful, as in a legacy streaming application).
+func Pipeline(stages, items int, weights []float64) *Graph {
+	if stages < 1 || items < 1 {
+		panic("graph: Pipeline needs positive dimensions")
+	}
+	if len(weights) != stages {
+		panic("graph: Pipeline needs one weight per stage")
+	}
+	g := New()
+	id := func(s, k int) int { return k*stages + s }
+	for k := 0; k < items; k++ {
+		for s := 0; s < stages; s++ {
+			g.AddTask(fmt.Sprintf("st%d_it%d", s, k), weights[s])
+		}
+	}
+	for k := 0; k < items; k++ {
+		for s := 0; s < stages; s++ {
+			if s > 0 {
+				g.MustAddEdge(id(s-1, k), id(s, k))
+			}
+			if k > 0 {
+				g.MustAddEdge(id(s, k-1), id(s, k))
+			}
+		}
+	}
+	return g
+}

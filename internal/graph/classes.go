@@ -1,0 +1,193 @@
+package graph
+
+import "sort"
+
+// Recognizers for the special graph classes the paper treats: chains, forks,
+// joins, and trees. Series-parallel recognition lives in sp.go.
+
+// IsChain reports whether the graph is a single linear chain, and if so
+// returns the task IDs in chain order.
+func (g *Graph) IsChain() ([]int, bool) {
+	n := g.N()
+	if n == 0 {
+		return nil, false
+	}
+	var head = -1
+	for i := 0; i < n; i++ {
+		if len(g.pred[i]) > 1 || len(g.succ[i]) > 1 {
+			return nil, false
+		}
+		if len(g.pred[i]) == 0 {
+			if head >= 0 {
+				return nil, false // two heads: not connected as one chain
+			}
+			head = i
+		}
+	}
+	if head < 0 {
+		return nil, false
+	}
+	order := make([]int, 0, n)
+	for u := head; ; {
+		order = append(order, u)
+		if len(g.succ[u]) == 0 {
+			break
+		}
+		u = g.succ[u][0]
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsFork reports whether the graph is a fork: one source T0 with edges to
+// every other task, and no other edges (the shape of Theorem 1). Returns the
+// source ID.
+func (g *Graph) IsFork() (int, bool) {
+	n := g.N()
+	if n < 2 {
+		return -1, false
+	}
+	sources := g.Sources()
+	if len(sources) != 1 {
+		return -1, false
+	}
+	s := sources[0]
+	if len(g.succ[s]) != n-1 {
+		return -1, false
+	}
+	for i := 0; i < n; i++ {
+		if i == s {
+			continue
+		}
+		if len(g.pred[i]) != 1 || g.pred[i][0] != s || len(g.succ[i]) != 0 {
+			return -1, false
+		}
+	}
+	return s, true
+}
+
+// IsJoin reports whether the graph is a join (the mirror of a fork): one
+// sink receiving an edge from every other task, no other edges. Returns the
+// sink ID.
+func (g *Graph) IsJoin() (int, bool) {
+	sinks := g.Sinks()
+	if len(sinks) != 1 {
+		return -1, false
+	}
+	t := sinks[0]
+	if s, ok := g.Reverse().IsFork(); ok && s == t {
+		return t, true
+	}
+	return -1, false
+}
+
+// IsOutTree reports whether the graph is an out-tree (every task has at most
+// one predecessor, exactly one root, connected). Returns the root.
+func (g *Graph) IsOutTree() (int, bool) {
+	n := g.N()
+	if n == 0 {
+		return -1, false
+	}
+	root := -1
+	for i := 0; i < n; i++ {
+		switch len(g.pred[i]) {
+		case 0:
+			if root >= 0 {
+				return -1, false
+			}
+			root = i
+		case 1:
+		default:
+			return -1, false
+		}
+	}
+	if root < 0 {
+		return -1, false
+	}
+	// Connectivity: n-1 edges and a single root imply a tree.
+	if g.M() != n-1 {
+		return -1, false
+	}
+	return root, true
+}
+
+// IsInTree reports whether the graph is an in-tree (every task has at most
+// one successor, exactly one sink root, connected). Returns the root (sink).
+func (g *Graph) IsInTree() (int, bool) {
+	return g.Reverse().IsOutTree()
+}
+
+// IsConnected reports whether the underlying undirected graph is connected.
+// The empty graph counts as connected.
+func (g *Graph) IsConnected() bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succ[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+		for _, v := range g.pred[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// WeaklyConnectedComponents returns the node sets of the weakly connected
+// components, each sorted by task ID, in order of smallest member.
+func (g *Graph) WeaklyConnectedComponents() [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := len(comps)
+		var members []int
+		stack := []int{start}
+		comp[start] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, v := range g.succ[u] {
+				if comp[v] < 0 {
+					comp[v] = id
+					stack = append(stack, v)
+				}
+			}
+			for _, v := range g.pred[u] {
+				if comp[v] < 0 {
+					comp[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+		// members discovered via DFS; sort by ID for deterministic output.
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	return comps
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON checks that arbitrary byte input never panics the decoder,
+// and that anything it accepts survives a re-encode/decode round trip.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1}],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1},{"name":"b","weight":2}],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"tasks":[],"edges":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"tasks":[{"weight":-5}],"edges":[[0,0]]}`))
+	f.Add([]byte(`{"tasks":[{"weight":1}],"edges":[[0,9]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected: fine
+		}
+		// Accepted graphs must be valid DAGs with positive weights…
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", err)
+		}
+		// …and round-trip losslessly.
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var h Graph
+		if err := json.Unmarshal(out, &h); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g.N(), g.M(), h.N(), h.M())
+		}
+	})
+}
+
+// FuzzDecomposeSP checks the SP recognizer never panics and never
+// mis-recognizes: when it claims an expression, re-materializing must
+// reproduce the input edge set exactly.
+func FuzzDecomposeSP(f *testing.F) {
+	f.Add(uint8(3), uint16(0b101))
+	f.Add(uint8(5), uint16(0b11011))
+	f.Add(uint8(1), uint16(0))
+	f.Fuzz(func(t *testing.T, n uint8, edgeBits uint16) {
+		size := int(n%6) + 1
+		g := New()
+		for i := 0; i < size; i++ {
+			g.AddTask("", 1+float64(i))
+		}
+		// Decode edgeBits into forward edges (i, j), i < j.
+		bit := 0
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if edgeBits&(1<<bit) != 0 {
+					g.MustAddEdge(i, j)
+				}
+				bit++
+				if bit >= 16 {
+					break
+				}
+			}
+		}
+		expr, ok := DecomposeSP(g)
+		if !ok {
+			return
+		}
+		if expr.Size() != g.N() {
+			t.Fatalf("expression covers %d of %d tasks", expr.Size(), g.N())
+		}
+		re, err := MaterializeSP(expr, g.Weights())
+		if err != nil {
+			t.Fatalf("materialize: %v", err)
+		}
+		if re.M() != g.M() {
+			t.Fatalf("edge count changed: %d vs %d", re.M(), g.M())
+		}
+		for _, e := range g.Edges() {
+			if !re.HasEdge(e[0], e[1]) {
+				t.Fatalf("edge %v lost", e)
+			}
+		}
+	})
+}

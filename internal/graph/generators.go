@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the workload families used throughout the experiments.
+// Every generator takes an explicit *rand.Rand so runs are reproducible.
+
+// WeightFunc draws a task weight. Generators call it once per task.
+type WeightFunc func(rng *rand.Rand) float64
+
+// UniformWeights returns a WeightFunc drawing uniformly from [lo, hi).
+func UniformWeights(lo, hi float64) WeightFunc {
+	if !(lo > 0) || hi < lo {
+		panic(fmt.Sprintf("graph: invalid weight range [%v,%v)", lo, hi))
+	}
+	return func(rng *rand.Rand) float64 { return lo + rng.Float64()*(hi-lo) }
+}
+
+// ConstantWeights returns a WeightFunc that always yields w.
+func ConstantWeights(w float64) WeightFunc {
+	if !(w > 0) {
+		panic(fmt.Sprintf("graph: invalid constant weight %v", w))
+	}
+	return func(*rand.Rand) float64 { return w }
+}
+
+// Chain builds a linear chain of n tasks.
+func Chain(rng *rand.Rand, n int, wf WeightFunc) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddTask("", wf(rng))
+		if i > 0 {
+			g.MustAddEdge(i-1, i)
+		}
+	}
+	return g
+}
+
+// Fork builds the Theorem 1 shape: source T0 and n leaves T1..Tn.
+func Fork(rng *rand.Rand, n int, wf WeightFunc) *Graph {
+	g := New()
+	g.AddTask("source", wf(rng))
+	for i := 1; i <= n; i++ {
+		g.AddTask("", wf(rng))
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Join builds the mirror of Fork: n leaves all feeding one sink.
+func Join(rng *rand.Rand, n int, wf WeightFunc) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddTask("", wf(rng))
+	}
+	sink := g.AddTask("sink", wf(rng))
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, sink)
+	}
+	return g
+}
+
+// ForkJoin builds source → width parallel branches of the given length →
+// sink.
+func ForkJoin(rng *rand.Rand, width, length int, wf WeightFunc) *Graph {
+	g := New()
+	src := g.AddTask("source", wf(rng))
+	var lasts []int
+	for b := 0; b < width; b++ {
+		prev := src
+		for k := 0; k < length; k++ {
+			t := g.AddTask(fmt.Sprintf("b%d_%d", b, k), wf(rng))
+			g.MustAddEdge(prev, t)
+			prev = t
+		}
+		lasts = append(lasts, prev)
+	}
+	sink := g.AddTask("sink", wf(rng))
+	for _, u := range lasts {
+		g.MustAddEdge(u, sink)
+	}
+	return g
+}
+
+// Layered builds a random layered DAG: `layers` layers of `width` tasks;
+// each task in layer ℓ>0 gets an edge from each task of layer ℓ-1 with
+// probability p, plus one guaranteed predecessor so the graph stays
+// connected layer to layer.
+func Layered(rng *rand.Rand, layers, width int, p float64, wf WeightFunc) *Graph {
+	g := New()
+	prev := make([]int, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]int, 0, width)
+		for k := 0; k < width; k++ {
+			t := g.AddTask(fmt.Sprintf("L%d_%d", l, k), wf(rng))
+			cur = append(cur, t)
+			if l > 0 {
+				connected := false
+				for _, u := range prev {
+					if rng.Float64() < p {
+						g.MustAddEdge(u, t)
+						connected = true
+					}
+				}
+				if !connected {
+					g.MustAddEdge(prev[rng.Intn(len(prev))], t)
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// GnpDAG builds an Erdős–Rényi style DAG: tasks 0..n-1 in a fixed
+// topological order, each forward pair (i, j), i<j, is an edge with
+// probability p.
+func GnpDAG(rng *rand.Rand, n int, p float64, wf WeightFunc) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddTask("", wf(rng))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomOutTree builds a uniformly random recursive out-tree on n tasks:
+// task i>0 attaches below a uniformly chosen earlier task.
+func RandomOutTree(rng *rand.Rand, n int, wf WeightFunc) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddTask("", wf(rng))
+		if i > 0 {
+			g.MustAddEdge(rng.Intn(i), i)
+		}
+	}
+	return g
+}
+
+// RandomInTree builds the reverse of RandomOutTree: every task has one
+// successor, one global sink.
+func RandomInTree(rng *rand.Rand, n int, wf WeightFunc) *Graph {
+	return RandomOutTree(rng, n, wf).Reverse()
+}
+
+// RandomSPExpr builds a random series-parallel expression over tasks
+// 0..n-1: it recursively splits the index range, choosing series or parallel
+// composition with equal probability.
+func RandomSPExpr(rng *rand.Rand, n int) *SPExpr {
+	if n <= 0 {
+		panic("graph: RandomSPExpr needs n >= 1")
+	}
+	var build func(lo, hi int) *SPExpr
+	build = func(lo, hi int) *SPExpr {
+		if hi-lo == 1 {
+			return SPLeaf(lo)
+		}
+		cut := lo + 1 + rng.Intn(hi-lo-1)
+		left, right := build(lo, cut), build(cut, hi)
+		if rng.Intn(2) == 0 {
+			return SPSeriesOf(left, right)
+		}
+		return SPParallelOf(left, right)
+	}
+	return build(0, n)
+}
+
+// RandomSP builds a random series-parallel task graph on n tasks together
+// with its expression.
+func RandomSP(rng *rand.Rand, n int, wf WeightFunc) (*Graph, *SPExpr) {
+	e := RandomSPExpr(rng, n)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = wf(rng)
+	}
+	g, err := MaterializeSP(e, weights)
+	if err != nil {
+		panic(err) // unreachable: expression is well-formed by construction
+	}
+	return g, e
+}

@@ -1,0 +1,246 @@
+// Package graph provides the task-graph substrate for the energy-scheduling
+// library: weighted DAGs, topological orders, longest-path analyses,
+// structure recognizers (chains, forks, trees, series-parallel), random and
+// application-shaped generators, and DOT/JSON serialization.
+//
+// Tasks are identified by dense integer IDs assigned by AddTask. Edges are
+// precedence constraints: an edge (u, v) means task u must complete before
+// task v starts.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is a directed acyclic task graph with weighted nodes. The zero value
+// is an empty graph ready to use. Acyclicity is not enforced on AddEdge
+// (for cheap construction) but is checked by Validate and TopoOrder.
+type Graph struct {
+	names   []string
+	weights []float64
+	succ    [][]int
+	pred    [][]int
+	edges   int
+	edgeSet map[int64]struct{}
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// edgeKey packs an edge into a map key.
+func edgeKey(u, v int) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+// AddTask appends a task with the given name and weight (cost wᵢ > 0) and
+// returns its ID. An empty name is replaced by "T<id>".
+func (g *Graph) AddTask(name string, weight float64) int {
+	id := len(g.weights)
+	if name == "" {
+		name = fmt.Sprintf("T%d", id)
+	}
+	g.names = append(g.names, name)
+	g.weights = append(g.weights, weight)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddTasks appends n tasks all with the same weight and returns the ID of
+// the first; the IDs are contiguous.
+func (g *Graph) AddTasks(n int, weight float64) int {
+	first := len(g.weights)
+	for i := 0; i < n; i++ {
+		g.AddTask("", weight)
+	}
+	return first
+}
+
+// AddEdge inserts the precedence edge u → v. Inserting a duplicate edge or a
+// self-loop is an error; cycles are detected later by Validate/TopoOrder.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N())
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on task %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	if g.edgeSet == nil {
+		g.edgeSet = make(map[int64]struct{})
+	}
+	g.edgeSet[edgeKey(u, v)] = struct{}{}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error; for use by generators whose
+// indices are correct by construction.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether the edge u → v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.edgeSet[edgeKey(u, v)]
+	return ok
+}
+
+// N returns the number of tasks.
+func (g *Graph) N() int { return len(g.weights) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// Weight returns the cost wᵢ of task i.
+func (g *Graph) Weight(i int) float64 { return g.weights[i] }
+
+// SetWeight replaces the cost of task i.
+func (g *Graph) SetWeight(i int, w float64) { g.weights[i] = w }
+
+// Weights returns a copy of all task weights indexed by ID.
+func (g *Graph) Weights() []float64 {
+	w := make([]float64, len(g.weights))
+	copy(w, g.weights)
+	return w
+}
+
+// Name returns the name of task i.
+func (g *Graph) Name(i int) string { return g.names[i] }
+
+// Succ returns the successor list of task i. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Succ(i int) []int { return g.succ[i] }
+
+// Pred returns the predecessor list of task i. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Pred(i int) []int { return g.pred[i] }
+
+// Edges returns all edges as (u, v) pairs, in insertion order per source.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u, ss := range g.succ {
+		for _, v := range ss {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Sources returns the IDs of tasks with no predecessors.
+func (g *Graph) Sources() []int {
+	var s []int
+	for i := range g.pred {
+		if len(g.pred[i]) == 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// Sinks returns the IDs of tasks with no successors.
+func (g *Graph) Sinks() []int {
+	var s []int
+	for i := range g.succ {
+		if len(g.succ[i]) == 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// ErrCycle is returned when a graph contains a directed cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoOrder returns a topological order of the tasks (Kahn's algorithm) or
+// ErrCycle when the graph is cyclic.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Validate checks that the graph is a well-formed DAG with positive weights.
+func (g *Graph) Validate() error {
+	for i, w := range g.weights {
+		if !(w > 0) {
+			return fmt.Errorf("graph: task %d (%s) has non-positive weight %v", i, g.names[i], w)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for i := 0; i < g.N(); i++ {
+		c.AddTask(g.names[i], g.weights[i])
+	}
+	for u, ss := range g.succ {
+		for _, v := range ss {
+			c.MustAddEdge(u, v)
+		}
+	}
+	return c
+}
+
+// Reverse returns the graph with every edge direction flipped (task IDs,
+// names, and weights preserved).
+func (g *Graph) Reverse() *Graph {
+	c := New()
+	for i := 0; i < g.N(); i++ {
+		c.AddTask(g.names[i], g.weights[i])
+	}
+	for u, ss := range g.succ {
+		for _, v := range ss {
+			c.MustAddEdge(v, u)
+		}
+	}
+	return c
+}
+
+// TotalWeight returns Σ wᵢ.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, w := range g.weights {
+		s += w
+	}
+	return s
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d, W=%.4g)", g.N(), g.M(), g.TotalWeight())
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Tasks []jsonTask `json:"tasks"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type jsonTask struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// MarshalJSON encodes the graph as {"tasks":[{name,weight}...],"edges":[[u,v]...]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Tasks: make([]jsonTask, g.N()), Edges: g.Edges()}
+	for i := 0; i < g.N(); i++ {
+		jg.Tasks[i] = jsonTask{Name: g.names[i], Weight: g.weights[i]}
+	}
+	if jg.Edges == nil {
+		jg.Edges = [][2]int{}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes the format produced by MarshalJSON and validates
+// the result (weights positive, edges in range, acyclic).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decoding: %w", err)
+	}
+	ng := New()
+	for _, t := range jg.Tasks {
+		ng.AddTask(t.Name, t.Weight)
+	}
+	for _, e := range jg.Edges {
+		if err := ng.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// ToDOT renders the graph in Graphviz DOT syntax, with task weights as
+// labels.
+func (g *Graph) ToDOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", title)
+	for i := 0; i < g.N(); i++ {
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\nw=%.3g\"];\n", i, g.names[i], g.weights[i])
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(a, c int) bool {
+		if edges[a][0] != edges[c][0] {
+			return edges[a][0] < edges[c][0]
+		}
+		return edges[a][1] < edges[c][1]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

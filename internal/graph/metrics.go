@@ -1,0 +1,67 @@
+package graph
+
+// Metrics summarizes the structural quantities that drive MinEnergy
+// behaviour: how long the graph is (critical path), how wide (parallelism),
+// and how much total work it carries. The ratio TotalWeight/CriticalPath is
+// the average parallelism — the number of processors the application can
+// actually exploit, and the scale of the energy gap between per-task
+// reclaiming and a single global speed.
+type Metrics struct {
+	Tasks              int
+	Edges              int
+	TotalWeight        float64
+	CriticalPathWeight float64
+	// Depth is the number of tasks on the longest (hop-count) path.
+	Depth int
+	// MaxLevelWidth is the largest number of tasks sharing one depth level —
+	// a cheap lower bound on the graph's width (maximum antichain).
+	MaxLevelWidth int
+	// AvgParallelism = TotalWeight / CriticalPathWeight.
+	AvgParallelism float64
+}
+
+// ComputeMetrics walks the graph once.
+func (g *Graph) ComputeMetrics() (*Metrics, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	cpw, err := g.CriticalPathWeight()
+	if err != nil {
+		return nil, err
+	}
+	level := make([]int, g.N())
+	depth := 0
+	for _, u := range order {
+		l := 0
+		for _, p := range g.pred[u] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[u] = l
+		if l+1 > depth {
+			depth = l + 1
+		}
+	}
+	widths := make(map[int]int)
+	maxWidth := 0
+	for _, l := range level {
+		widths[l]++
+		if widths[l] > maxWidth {
+			maxWidth = widths[l]
+		}
+	}
+	m := &Metrics{
+		Tasks:              g.N(),
+		Edges:              g.M(),
+		TotalWeight:        g.TotalWeight(),
+		CriticalPathWeight: cpw,
+		Depth:              depth,
+		MaxLevelWidth:      maxWidth,
+	}
+	if cpw > 0 {
+		m.AvgParallelism = m.TotalWeight / cpw
+	}
+	return m, nil
+}

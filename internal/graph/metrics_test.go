@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComputeMetricsDiamond(t *testing.T) {
+	g := New()
+	g.AddTask("a", 1)
+	g.AddTask("b", 2)
+	g.AddTask("c", 3)
+	g.AddTask("d", 4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	m, err := g.ComputeMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 4 || m.Edges != 4 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.Depth != 3 { // a, {b,c}, d
+		t.Fatalf("depth = %d, want 3", m.Depth)
+	}
+	if m.MaxLevelWidth != 2 {
+		t.Fatalf("width = %d, want 2", m.MaxLevelWidth)
+	}
+	if m.CriticalPathWeight != 8 || m.TotalWeight != 10 {
+		t.Fatalf("weights: %+v", m)
+	}
+	if math.Abs(m.AvgParallelism-1.25) > 1e-12 {
+		t.Fatalf("parallelism = %v, want 1.25", m.AvgParallelism)
+	}
+}
+
+func TestComputeMetricsChainAndFork(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	chain := Chain(rng, 6, ConstantWeights(2))
+	m, err := chain.ComputeMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth != 6 || m.MaxLevelWidth != 1 || math.Abs(m.AvgParallelism-1) > 1e-12 {
+		t.Fatalf("chain metrics: %+v", m)
+	}
+	fork := Fork(rng, 5, ConstantWeights(1))
+	mf, err := fork.ComputeMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Depth != 2 || mf.MaxLevelWidth != 5 {
+		t.Fatalf("fork metrics: %+v", mf)
+	}
+	// Fork: total 6, cpw 2 → parallelism 3.
+	if math.Abs(mf.AvgParallelism-3) > 1e-12 {
+		t.Fatalf("fork parallelism: %v", mf.AvgParallelism)
+	}
+}
+
+func TestComputeMetricsRejectsCycle(t *testing.T) {
+	g := New()
+	g.AddTasks(2, 1)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	if _, err := g.ComputeMetrics(); err == nil {
+		t.Fatal("accepted cyclic graph")
+	}
+}

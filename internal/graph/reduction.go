@@ -1,0 +1,33 @@
+package graph
+
+// TransitiveReduction returns a copy of g with every redundant edge removed:
+// an edge (u, v) is redundant when some other path u → … → v exists. For a
+// DAG the transitive reduction is unique. O(n·m) via reachability.
+//
+// The SP recognizer (DecomposeSP) expects its input in reduced form; callers
+// holding graphs with synthesized shortcut edges should reduce first.
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	reach, err := g.TransitiveClosureReach()
+	if err != nil {
+		return nil, err
+	}
+	c := New()
+	for i := 0; i < g.N(); i++ {
+		c.AddTask(g.names[i], g.weights[i])
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.succ[u] {
+			redundant := false
+			for _, w := range g.succ[u] {
+				if w != v && reach[w][v] {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				c.MustAddEdge(u, v)
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,102 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type CholeskyFactor struct {
+	n int
+	l []float64 // row-major lower triangle, full n×n storage
+}
+
+// Cholesky factors the symmetric positive definite matrix a (only the lower
+// triangle is read) and returns the factor. The input is not modified.
+func Cholesky(a *Matrix) (*CholeskyFactor, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return &CholeskyFactor{n: n, l: l}, nil
+}
+
+// Solve solves A·x = b given the factorization A = L·Lᵀ, returning x.
+func (c *CholeskyFactor) Solve(b Vector) Vector {
+	n := c.n
+	if len(b) != n {
+		panic("linalg: CholeskyFactor.Solve dimension mismatch")
+	}
+	x := b.Clone()
+	// Forward substitution: L·y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= c.l[i*n+k] * x[k]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * x[k]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	return x
+}
+
+// SolvePD solves the symmetric positive definite system A·x = b using a
+// Cholesky factorization, with a diagonal-boost retry if A is nearly
+// singular: A + eps·I is factored instead, with eps growing geometrically.
+// It returns the solution and the boost that was applied (0 if none).
+func SolvePD(a *Matrix, b Vector) (Vector, float64, error) {
+	if f, err := Cholesky(a); err == nil {
+		return f.Solve(b), 0, nil
+	}
+	// Compute a scale for the boost from the diagonal magnitude.
+	scale := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if d := math.Abs(a.At(i, i)); d > scale {
+			scale = d
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	boost := scale * 1e-12
+	for iter := 0; iter < 40; iter++ {
+		ab := a.Clone()
+		for i := 0; i < ab.Rows; i++ {
+			ab.Add(i, i, boost)
+		}
+		if f, err := Cholesky(ab); err == nil {
+			return f.Solve(b), boost, nil
+		}
+		boost *= 10
+	}
+	return nil, boost, ErrNotPositiveDefinite
+}

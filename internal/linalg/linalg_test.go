@@ -1,0 +1,266 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorNorm2(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Norm2(); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := (Vector{}).Norm2(); got != 0 {
+		t.Fatalf("empty Norm2 = %v, want 0", got)
+	}
+}
+
+func TestVectorNorm2LargeEntriesNoOverflow(t *testing.T) {
+	v := Vector{1e200, 1e200}
+	if got := v.Norm2(); math.IsInf(got, 0) {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+}
+
+func TestVectorNormInf(t *testing.T) {
+	v := Vector{-7, 2, 5}
+	if got := v.NormInf(); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+}
+
+func TestVectorAddScaledAndScale(t *testing.T) {
+	v := Vector{1, 2}
+	v.AddScaled(2, Vector{10, 20})
+	if v[0] != 21 || v[1] != 42 {
+		t.Fatalf("AddScaled got %v", v)
+	}
+	v.Scale(0.5)
+	if v[0] != 10.5 || v[1] != 21 {
+		t.Fatalf("Scale got %v", v)
+	}
+}
+
+func TestVectorMinMaxSum(t *testing.T) {
+	v := Vector{3, -1, 2}
+	if v.Min() != -1 || v.Max() != 3 || v.Sum() != 4 {
+		t.Fatalf("Min/Max/Sum got %v %v %v", v.Min(), v.Max(), v.Sum())
+	}
+}
+
+func TestVectorAllFinite(t *testing.T) {
+	if !(Vector{1, 2}).AllFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).AllFinite() {
+		t.Fatal("NaN vector reported finite")
+	}
+	if (Vector{math.Inf(1)}).AllFinite() {
+		t.Fatal("Inf vector reported finite")
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [1 2 3; 4 5 6]
+	for j := 0; j < 3; j++ {
+		m.Set(0, j, float64(j+1))
+		m.Set(1, j, float64(j+4))
+	}
+	x := Vector{1, 1, 1}
+	y := NewVector(2)
+	m.MulVec(x, y)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec got %v", y)
+	}
+	xt := Vector{1, 1}
+	yt := NewVector(3)
+	m.MulVecT(xt, yt)
+	if yt[0] != 5 || yt[1] != 7 || yt[2] != 9 {
+		t.Fatalf("MulVecT got %v", yt)
+	}
+}
+
+func TestMatrixAddOuterScaled(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuterScaled(2, Vector{1, 3})
+	// 2 * [1;3][1 3] = [2 6; 6 18]
+	want := []float64{2, 6, 6, 18}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddOuterScaled data = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatrixRowIsView(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Row(1)[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+// randomSPD builds an n×n symmetric positive definite matrix B·Bᵀ + n·I.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskySolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		a := randomSPD(rng, n)
+		xTrue := NewVector(n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := NewVector(n)
+		a.MulVec(xTrue, b)
+		f, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		x := f.Solve(b)
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-7) {
+				t.Fatalf("trial %d n=%d: x[%d]=%v want %v", trial, n, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolvePDBoostsNearSingular(t *testing.T) {
+	// Rank-deficient PSD matrix: [1 1; 1 1].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	x, boost, err := SolvePD(a, Vector{2, 2})
+	if err != nil {
+		t.Fatalf("SolvePD failed: %v", err)
+	}
+	if boost == 0 {
+		t.Fatal("expected a nonzero diagonal boost")
+	}
+	// The boosted solution should still nearly satisfy A·x ≈ b.
+	y := NewVector(2)
+	a.MulVec(x, y)
+	if !almostEqual(y[0], 2, 1e-3) || !almostEqual(y[1], 2, 1e-3) {
+		t.Fatalf("boosted solve residual too large: %v", y)
+	}
+}
+
+// Property: for random SPD systems, Solve(A, A·x) recovers x.
+func TestCholeskyRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := randomSPD(r, n)
+		x := NewVector(n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := NewVector(n)
+		a.MulVec(x, b)
+		fac, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		got := fac.Solve(b)
+		for i := range got {
+			if !almostEqual(got[i], x[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixZero(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Zero()
+	for _, x := range m.Data {
+		if x != 0 {
+			t.Fatal("Zero did not clear matrix")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package linalg
+
+import "fmt"
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the (i, j) entry.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Add increments the (i, j) entry by x.
+func (m *Matrix) Add(i, j int, x float64) { m.Data[i*m.Cols+j] += x }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every entry to 0, keeping the allocation.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes y = M·x. y must have length Rows, x length Cols.
+func (m *Matrix) MulVec(x, y Vector) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch (%dx%d)·%d -> %d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecT computes y = Mᵀ·x. y must have length Cols, x length Rows.
+func (m *Matrix) MulVecT(x, y Vector) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVecT shape mismatch (%dx%d)ᵀ·%d -> %d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			y[j] += a * xi
+		}
+	}
+}
+
+// AddOuterScaled adds alpha * row ⊗ row to the symmetric matrix m, where row
+// is a row vector of length m.Cols (m must be square with Cols == len(row)).
+// Used to accumulate AᵀDA Hessian terms one constraint row at a time.
+func (m *Matrix) AddOuterScaled(alpha float64, row Vector) {
+	n := m.Cols
+	if m.Rows != n || len(row) != n {
+		panic("linalg: AddOuterScaled requires square matrix matching row length")
+	}
+	for i := 0; i < n; i++ {
+		ri := row[i]
+		if ri == 0 {
+			continue
+		}
+		base := i * n
+		ari := alpha * ri
+		for j := 0; j < n; j++ {
+			m.Data[base+j] += ari * row[j]
+		}
+	}
+}

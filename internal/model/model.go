@@ -1,0 +1,271 @@
+// Package model defines the four energy models of the paper — Continuous,
+// Discrete, Vdd-Hopping, and Incremental — together with the dynamic energy
+// accounting they share: a processor running at speed s dissipates s³ watts,
+// so a task of cost w executed at constant speed s takes w/s time units and
+// consumes s³·(w/s) = w·s² joules. Static energy is not modeled (all
+// processors stay powered for the whole execution, as in the paper).
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Alpha is the exponent of the dynamic power function s^Alpha. The paper
+// (following Chandrakasan–Sinha and Ishihara–Yasuura) fixes it to 3.
+const Alpha = 3
+
+// Power returns the dynamic power s³ drawn at speed s.
+func Power(s float64) float64 { return s * s * s }
+
+// TaskEnergy returns the energy w·s² consumed by executing cost w at
+// constant speed s (zero speed yields +Inf if w > 0: the task never ends).
+func TaskEnergy(w, s float64) float64 {
+	if s <= 0 {
+		if w == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return w * s * s
+}
+
+// Duration returns the execution time w/s of cost w at speed s.
+func Duration(w, s float64) float64 {
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return w / s
+}
+
+// Kind enumerates the paper's energy models.
+type Kind int
+
+// The four models of Section 1.
+const (
+	Continuous Kind = iota
+	Discrete
+	VddHopping
+	Incremental
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Continuous:
+		return "Continuous"
+	case Discrete:
+		return "Discrete"
+	case VddHopping:
+		return "Vdd-Hopping"
+	case Incremental:
+		return "Incremental"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Model describes the admissible speed values of a processor.
+type Model struct {
+	Kind Kind
+	// SMax bounds continuous speeds; also the top mode for the discrete
+	// kinds (kept in sync by the constructors).
+	SMax float64
+	// SMin is the bottom of the Incremental range (and the first mode of
+	// the discrete kinds). Zero for Continuous.
+	SMin float64
+	// Modes holds the admissible discrete speeds in strictly increasing
+	// order. Empty for Continuous.
+	Modes []float64
+	// Delta is the Incremental speed increment (zero for other kinds).
+	Delta float64
+}
+
+// Errors returned by the constructors.
+var (
+	ErrNoModes      = errors.New("model: at least one positive mode required")
+	ErrBadModes     = errors.New("model: modes must be positive and strictly increasing")
+	ErrBadRange     = errors.New("model: need 0 < smin <= smax")
+	ErrBadDelta     = errors.New("model: delta must be positive")
+	ErrBadSMax      = errors.New("model: smax must be positive (use +Inf for unbounded)")
+	ErrWrongKind    = errors.New("model: operation not defined for this model kind")
+	ErrSpeedTooHigh = errors.New("model: required speed exceeds the fastest admissible speed")
+)
+
+// NewContinuous returns the Continuous model with speeds in (0, smax].
+// Pass math.Inf(1) for an unbounded model (as Theorem 2 assumes for SP).
+func NewContinuous(smax float64) (Model, error) {
+	if !(smax > 0) {
+		return Model{}, ErrBadSMax
+	}
+	return Model{Kind: Continuous, SMax: smax}, nil
+}
+
+// NewDiscrete returns the Discrete model over the given modes. The slice is
+// copied and must be positive and strictly increasing.
+func NewDiscrete(modes []float64) (Model, error) {
+	m, err := checkModes(modes)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{Kind: Discrete, Modes: m, SMin: m[0], SMax: m[len(m)-1]}, nil
+}
+
+// NewVddHopping returns the Vdd-Hopping model over the given modes: the
+// admissible *instantaneous* speeds are the modes, but a task may divide its
+// execution among several of them.
+func NewVddHopping(modes []float64) (Model, error) {
+	m, err := checkModes(modes)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{Kind: VddHopping, Modes: m, SMin: m[0], SMax: m[len(m)-1]}, nil
+}
+
+// NewIncremental returns the Incremental model: modes smin + i·delta for
+// i = 0.. while smin + i·delta ≤ smax; if smax is not on the grid it is
+// appended as the top mode so that the fastest physical speed stays
+// admissible (the paper's grid always contains smax since it defines
+// 0 ≤ i ≤ (smax-smin)/delta with an integral bound; appending preserves
+// the (1+δ/smin)² rounding guarantee).
+func NewIncremental(smin, smax, delta float64) (Model, error) {
+	if !(smin > 0) || !(smax >= smin) {
+		return Model{}, ErrBadRange
+	}
+	if !(delta > 0) {
+		return Model{}, ErrBadDelta
+	}
+	var modes []float64
+	for i := 0; ; i++ {
+		s := smin + float64(i)*delta
+		if s > smax*(1+1e-12) {
+			break
+		}
+		modes = append(modes, math.Min(s, smax))
+	}
+	if top := modes[len(modes)-1]; top < smax-1e-12*smax {
+		modes = append(modes, smax)
+	}
+	return Model{Kind: Incremental, Modes: modes, SMin: smin, SMax: smax, Delta: delta}, nil
+}
+
+func checkModes(modes []float64) ([]float64, error) {
+	if len(modes) == 0 {
+		return nil, ErrNoModes
+	}
+	m := make([]float64, len(modes))
+	copy(m, modes)
+	for i, s := range m {
+		if !(s > 0) {
+			return nil, ErrBadModes
+		}
+		if i > 0 && m[i] <= m[i-1] {
+			return nil, ErrBadModes
+		}
+	}
+	return m, nil
+}
+
+// NumModes returns the number of discrete modes (0 for Continuous).
+func (m Model) NumModes() int { return len(m.Modes) }
+
+// IsDiscreteKind reports whether the model restricts speeds to modes.
+func (m Model) IsDiscreteKind() bool { return m.Kind != Continuous }
+
+// MaxGap returns α = max over consecutive modes of (sᵢ₊₁ - sᵢ), the quantity
+// in Proposition 1 (0 for fewer than two modes).
+func (m Model) MaxGap() float64 {
+	g := 0.0
+	for i := 1; i < len(m.Modes); i++ {
+		if d := m.Modes[i] - m.Modes[i-1]; d > g {
+			g = d
+		}
+	}
+	return g
+}
+
+// Admissible reports whether constant speed s is allowed for a whole task
+// under the model (within tol relative tolerance for mode membership).
+func (m Model) Admissible(s, tol float64) bool {
+	switch m.Kind {
+	case Continuous:
+		return s > 0 && s <= m.SMax*(1+tol)
+	default:
+		for _, v := range m.Modes {
+			if math.Abs(s-v) <= tol*math.Max(1, v) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// RoundUp returns the smallest admissible constant speed ≥ s, or an error
+// when s exceeds the fastest speed. For Continuous it clamps into (0, SMax].
+func (m Model) RoundUp(s float64) (float64, error) {
+	switch m.Kind {
+	case Continuous:
+		if s > m.SMax*(1+1e-12) {
+			return 0, ErrSpeedTooHigh
+		}
+		return math.Min(s, m.SMax), nil
+	default:
+		i := sort.SearchFloat64s(m.Modes, s)
+		if i == len(m.Modes) {
+			// Within tolerance of the top mode still counts.
+			top := m.Modes[len(m.Modes)-1]
+			if s <= top*(1+1e-9) {
+				return top, nil
+			}
+			return 0, ErrSpeedTooHigh
+		}
+		return m.Modes[i], nil
+	}
+}
+
+// RoundDown returns the largest admissible constant speed ≤ s, or an error
+// when s is below the slowest mode.
+func (m Model) RoundDown(s float64) (float64, error) {
+	switch m.Kind {
+	case Continuous:
+		if !(s > 0) {
+			return 0, fmt.Errorf("model: cannot round %v down within (0, smax]", s)
+		}
+		return math.Min(s, m.SMax), nil
+	default:
+		i := sort.SearchFloat64s(m.Modes, s*(1+1e-12))
+		if i == 0 {
+			return 0, fmt.Errorf("model: %v below slowest mode %v", s, m.Modes[0])
+		}
+		return m.Modes[i-1], nil
+	}
+}
+
+// Bracket returns the two consecutive modes s⁻ ≤ s ≤ s⁺ around speed s, for
+// Vdd-Hopping interpolation. When s is admissible exactly, both equal s.
+func (m Model) Bracket(s float64) (lo, hi float64, err error) {
+	if m.Kind == Continuous {
+		return 0, 0, ErrWrongKind
+	}
+	hi, err = m.RoundUp(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, err = m.RoundDown(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// String renders the model compactly.
+func (m Model) String() string {
+	switch m.Kind {
+	case Continuous:
+		return fmt.Sprintf("Continuous(smax=%g)", m.SMax)
+	case Incremental:
+		return fmt.Sprintf("Incremental(smin=%g, smax=%g, δ=%g, %d modes)", m.SMin, m.SMax, m.Delta, len(m.Modes))
+	default:
+		return fmt.Sprintf("%s(%d modes in [%g, %g])", m.Kind, len(m.Modes), m.SMin, m.SMax)
+	}
+}

@@ -1,0 +1,254 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerAndEnergy(t *testing.T) {
+	if Power(2) != 8 {
+		t.Fatalf("Power(2) = %v", Power(2))
+	}
+	// Energy of cost w at speed s: w·s² = s³·(w/s).
+	if TaskEnergy(6, 2) != 24 {
+		t.Fatalf("TaskEnergy(6,2) = %v", TaskEnergy(6, 2))
+	}
+	if got := Power(2) * Duration(6, 2); got != TaskEnergy(6, 2) {
+		t.Fatalf("energy accounting inconsistent: %v vs %v", got, TaskEnergy(6, 2))
+	}
+	if !math.IsInf(TaskEnergy(1, 0), 1) {
+		t.Fatal("zero speed with positive cost should be infinite energy")
+	}
+	if TaskEnergy(0, 0) != 0 {
+		t.Fatal("zero cost at zero speed should be free")
+	}
+	if !math.IsInf(Duration(1, 0), 1) {
+		t.Fatal("zero speed should give infinite duration")
+	}
+}
+
+func TestNewContinuous(t *testing.T) {
+	m, err := NewContinuous(2.5)
+	if err != nil || m.Kind != Continuous || m.SMax != 2.5 {
+		t.Fatalf("NewContinuous: %v %v", m, err)
+	}
+	if _, err := NewContinuous(0); err == nil {
+		t.Fatal("accepted smax=0")
+	}
+	if m, err := NewContinuous(math.Inf(1)); err != nil || !math.IsInf(m.SMax, 1) {
+		t.Fatal("unbounded continuous rejected")
+	}
+	if m.NumModes() != 0 || m.IsDiscreteKind() {
+		t.Fatal("continuous should have no modes")
+	}
+}
+
+func TestNewDiscrete(t *testing.T) {
+	m, err := NewDiscrete([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SMin != 1 || m.SMax != 3 || m.NumModes() != 3 {
+		t.Fatalf("bounds wrong: %+v", m)
+	}
+	for _, bad := range [][]float64{nil, {}, {0, 1}, {-1, 1}, {1, 1}, {2, 1}} {
+		if _, err := NewDiscrete(bad); err == nil {
+			t.Fatalf("accepted bad modes %v", bad)
+		}
+	}
+	// Input slice is copied.
+	src := []float64{1, 2}
+	m2, _ := NewDiscrete(src)
+	src[0] = 99
+	if m2.Modes[0] != 1 {
+		t.Fatal("modes alias caller slice")
+	}
+}
+
+func TestNewVddHopping(t *testing.T) {
+	m, err := NewVddHopping([]float64{0.5, 1.5})
+	if err != nil || m.Kind != VddHopping {
+		t.Fatalf("NewVddHopping: %v %v", m, err)
+	}
+}
+
+func TestNewIncrementalGrid(t *testing.T) {
+	m, err := NewIncremental(1, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.25, 1.5, 1.75, 2}
+	if len(m.Modes) != len(want) {
+		t.Fatalf("modes = %v, want %v", m.Modes, want)
+	}
+	for i, s := range want {
+		if math.Abs(m.Modes[i]-s) > 1e-12 {
+			t.Fatalf("modes[%d] = %v, want %v", i, m.Modes[i], s)
+		}
+	}
+}
+
+func TestNewIncrementalAppendsSMax(t *testing.T) {
+	// 1 + i*0.4: 1, 1.4, 1.8 — then smax=2 appended.
+	m, err := NewIncremental(1, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Modes[len(m.Modes)-1] != 2 {
+		t.Fatalf("smax not admissible: %v", m.Modes)
+	}
+	if _, err := NewIncremental(2, 1, 0.1); err == nil {
+		t.Fatal("accepted smin > smax")
+	}
+	if _, err := NewIncremental(1, 2, 0); err == nil {
+		t.Fatal("accepted delta=0")
+	}
+	// Degenerate single-speed range.
+	m1, err := NewIncremental(1, 1, 0.5)
+	if err != nil || len(m1.Modes) != 1 || m1.Modes[0] != 1 {
+		t.Fatalf("degenerate range: %v %v", m1, err)
+	}
+}
+
+func TestMaxGap(t *testing.T) {
+	m, _ := NewDiscrete([]float64{1, 1.5, 3})
+	if m.MaxGap() != 1.5 {
+		t.Fatalf("MaxGap = %v", m.MaxGap())
+	}
+	c, _ := NewContinuous(2)
+	if c.MaxGap() != 0 {
+		t.Fatal("continuous MaxGap should be 0")
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	c, _ := NewContinuous(2)
+	if !c.Admissible(1.7, 1e-9) || c.Admissible(2.1, 1e-9) || c.Admissible(0, 1e-9) {
+		t.Fatal("continuous admissibility wrong")
+	}
+	d, _ := NewDiscrete([]float64{1, 2})
+	if !d.Admissible(2, 1e-9) || d.Admissible(1.5, 1e-9) {
+		t.Fatal("discrete admissibility wrong")
+	}
+}
+
+func TestRoundUpDown(t *testing.T) {
+	d, _ := NewDiscrete([]float64{1, 2, 4})
+	up, err := d.RoundUp(1.1)
+	if err != nil || up != 2 {
+		t.Fatalf("RoundUp(1.1) = %v, %v", up, err)
+	}
+	up, err = d.RoundUp(2)
+	if err != nil || up != 2 {
+		t.Fatalf("RoundUp(2) = %v, %v", up, err)
+	}
+	if _, err := d.RoundUp(4.5); err == nil {
+		t.Fatal("RoundUp above top mode should fail")
+	}
+	down, err := d.RoundDown(3.9)
+	if err != nil || down != 2 {
+		t.Fatalf("RoundDown(3.9) = %v, %v", down, err)
+	}
+	down, err = d.RoundDown(1)
+	if err != nil || down != 1 {
+		t.Fatalf("RoundDown(1) = %v, %v", down, err)
+	}
+	if _, err := d.RoundDown(0.5); err == nil {
+		t.Fatal("RoundDown below bottom mode should fail")
+	}
+	c, _ := NewContinuous(2)
+	if up, err := c.RoundUp(1.3); err != nil || up != 1.3 {
+		t.Fatal("continuous RoundUp should be identity below smax")
+	}
+	if _, err := c.RoundUp(2.5); err == nil {
+		t.Fatal("continuous RoundUp above smax should fail")
+	}
+}
+
+func TestBracket(t *testing.T) {
+	d, _ := NewVddHopping([]float64{1, 2, 4})
+	lo, hi, err := d.Bracket(3)
+	if err != nil || lo != 2 || hi != 4 {
+		t.Fatalf("Bracket(3) = %v, %v, %v", lo, hi, err)
+	}
+	lo, hi, err = d.Bracket(2)
+	if err != nil || lo != 2 || hi != 2 {
+		t.Fatalf("Bracket(2) = %v, %v, %v", lo, hi, err)
+	}
+	c, _ := NewContinuous(2)
+	if _, _, err := c.Bracket(1); err == nil {
+		t.Fatal("Bracket on continuous should fail")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, k := range []Kind{Continuous, Discrete, VddHopping, Incremental, Kind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty Kind string")
+		}
+	}
+	c, _ := NewContinuous(2)
+	d, _ := NewDiscrete([]float64{1, 2})
+	i, _ := NewIncremental(1, 2, 0.5)
+	for _, m := range []Model{c, d, i} {
+		if m.String() == "" {
+			t.Fatal("empty Model string")
+		}
+	}
+}
+
+// Property: RoundUp always returns an admissible speed ≥ s, and RoundDown an
+// admissible speed ≤ s, whenever they succeed.
+func TestRoundingProperty(t *testing.T) {
+	d, _ := NewDiscrete([]float64{0.7, 1.3, 2.6, 5.2})
+	f := func(raw float64) bool {
+		s := math.Abs(raw)
+		if s == 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+			return true
+		}
+		if up, err := d.RoundUp(s); err == nil {
+			if up < s*(1-1e-9) || !d.Admissible(up, 1e-9) {
+				return false
+			}
+		}
+		if down, err := d.RoundDown(s); err == nil {
+			if down > s*(1+1e-9) || !d.Admissible(down, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Incremental grid is evenly spaced by delta (except possibly
+// the appended top mode) and spans [smin, smax].
+func TestIncrementalGridProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		smin := 0.5 + float64(a%40)/10
+		span := float64(b%40)/10 + 0.1
+		delta := 0.05 + float64(c%20)/20
+		m, err := NewIncremental(smin, smin+span, delta)
+		if err != nil {
+			return false
+		}
+		if m.Modes[0] != smin {
+			return false
+		}
+		if math.Abs(m.Modes[len(m.Modes)-1]-(smin+span)) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(m.Modes)-1; i++ {
+			if math.Abs(m.Modes[i]-m.Modes[i-1]-delta) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Mapping serialization: the mapping is an *input* of the paper's problem,
+// so tools need to persist and exchange it alongside the task graph.
+
+type jsonMapping struct {
+	Processors [][]int `json:"processors"`
+}
+
+// MarshalJSON encodes the mapping as {"processors": [[taskIDs...], ...]}.
+func (m *Mapping) MarshalJSON() ([]byte, error) {
+	jm := jsonMapping{Processors: m.Order}
+	if jm.Processors == nil {
+		jm.Processors = [][]int{}
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON decodes the format produced by MarshalJSON. Structural
+// validation against a task graph happens separately in Validate, since the
+// mapping file alone does not know the graph.
+func (m *Mapping) UnmarshalJSON(data []byte) error {
+	var jm jsonMapping
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return fmt.Errorf("platform: decoding mapping: %w", err)
+	}
+	for p, list := range jm.Processors {
+		for _, t := range list {
+			if t < 0 {
+				return fmt.Errorf("platform: processor %d lists negative task %d", p, t)
+			}
+		}
+	}
+	m.Order = jm.Processors
+	return nil
+}

@@ -1,0 +1,63 @@
+package platform
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMappingJSONRoundTrip(t *testing.T) {
+	m := &Mapping{Order: [][]int{{0, 2}, {1}, {}}}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Mapping
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumProcs() != 3 || back.NumTasks() != 3 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	if back.Order[0][1] != 2 || back.Order[1][0] != 1 {
+		t.Fatalf("order corrupted: %+v", back.Order)
+	}
+}
+
+func TestMappingJSONEmpty(t *testing.T) {
+	m := &Mapping{}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"processors":[]}` {
+		t.Fatalf("empty mapping encodes as %s", data)
+	}
+}
+
+func TestMappingJSONRejects(t *testing.T) {
+	var m Mapping
+	if err := json.Unmarshal([]byte(`{"processors":[[-1]]}`), &m); err == nil {
+		t.Fatal("accepted negative task ID")
+	}
+	if err := json.Unmarshal([]byte(`garbage`), &m); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestMappingJSONValidatesAgainstGraph(t *testing.T) {
+	g := diamond()
+	var m Mapping
+	if err := json.Unmarshal([]byte(`{"processors":[[0,1,3],[2]]}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	var bad Mapping
+	if err := json.Unmarshal([]byte(`{"processors":[[0,1]]}`), &bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("incomplete mapping passed validation")
+	}
+}

@@ -1,0 +1,226 @@
+// Package platform models the parallel machine of the paper: a set of
+// identical processors onto which the task graph has already been mapped.
+// The mapping — an ordered list of tasks per processor — is an *input* of
+// MinEnergy(G, D): it cannot be changed, only the speeds can. The mapping
+// induces the execution graph 𝒢: the original precedence edges E plus a
+// serialization edge between consecutive tasks of the same processor.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Mapping assigns every task to a processor with a fixed execution order.
+type Mapping struct {
+	// Order[p] lists the task IDs run by processor p, in execution order.
+	Order [][]int
+}
+
+// NumProcs returns the number of processors.
+func (m *Mapping) NumProcs() int { return len(m.Order) }
+
+// NumTasks returns the total number of mapped tasks.
+func (m *Mapping) NumTasks() int {
+	n := 0
+	for _, l := range m.Order {
+		n += len(l)
+	}
+	return n
+}
+
+// ProcOf returns a lookup from task ID to (processor, position). Tasks not
+// mapped are absent.
+func (m *Mapping) ProcOf() map[int][2]int {
+	out := make(map[int][2]int, m.NumTasks())
+	for p, list := range m.Order {
+		for pos, t := range list {
+			out[t] = [2]int{p, pos}
+		}
+	}
+	return out
+}
+
+// Validate checks that the mapping covers every task of g exactly once.
+func (m *Mapping) Validate(g *graph.Graph) error {
+	seen := make([]bool, g.N())
+	count := 0
+	for p, list := range m.Order {
+		for _, t := range list {
+			if t < 0 || t >= g.N() {
+				return fmt.Errorf("platform: processor %d references unknown task %d", p, t)
+			}
+			if seen[t] {
+				return fmt.Errorf("platform: task %d mapped twice", t)
+			}
+			seen[t] = true
+			count++
+		}
+	}
+	if count != g.N() {
+		return fmt.Errorf("platform: mapping covers %d of %d tasks", count, g.N())
+	}
+	return nil
+}
+
+// ErrMappingCycle is returned when a mapping's serialization order
+// contradicts the precedence constraints (the execution graph would be
+// cyclic and no speed assignment could be feasible).
+var ErrMappingCycle = errors.New("platform: mapping order conflicts with precedence (execution graph has a cycle)")
+
+// BuildExecutionGraph returns the execution graph 𝒢 = (V, E ∪ serialization
+// edges): for consecutive tasks u, v on the same processor, the edge (u, v)
+// is added unless already present. The result is validated for acyclicity.
+func BuildExecutionGraph(g *graph.Graph, m *Mapping) (*graph.Graph, error) {
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	eg := g.Clone()
+	for _, list := range m.Order {
+		for i := 0; i+1 < len(list); i++ {
+			u, v := list[i], list[i+1]
+			if !eg.HasEdge(u, v) {
+				if err := eg.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if _, err := eg.TopoOrder(); err != nil {
+		return nil, ErrMappingCycle
+	}
+	return eg, nil
+}
+
+// SingleProcessor maps every task of g to one processor in topological
+// order — the degenerate case where the execution graph is a chain.
+func SingleProcessor(g *graph.Graph) (*Mapping, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{Order: [][]int{order}}, nil
+}
+
+// RoundRobin distributes the tasks of g over p processors in topological
+// order: task k of the order goes to processor k mod p. Simple, always
+// valid, and deliberately mediocre — a stand-in for a legacy mapping.
+func RoundRobin(g *graph.Graph, p int) (*Mapping, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("platform: need at least one processor, got %d", p)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapping{Order: make([][]int, p)}
+	for k, t := range order {
+		m.Order[k%p] = append(m.Order[k%p], t)
+	}
+	return m, nil
+}
+
+// ListSchedule maps g onto p processors with the classic greedy
+// earliest-finish-time heuristic at unit reference speed: tasks become ready
+// when all predecessors are placed; among ready tasks the one with the
+// longest remaining critical path ("bottom level") is placed on the
+// processor that can finish it earliest. This produces the kind of
+// makespan-oriented mapping the paper assumes is handed to the energy
+// optimizer.
+func ListSchedule(g *graph.Graph, p int) (*Mapping, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("platform: need at least one processor, got %d", p)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	// Bottom level: weight of the heaviest downward path from each task.
+	bottom := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		u := order[k]
+		best := 0.0
+		for _, v := range g.Succ(u) {
+			if bottom[v] > best {
+				best = bottom[v]
+			}
+		}
+		bottom[u] = best + g.Weight(u)
+	}
+	finish := make([]float64, n)   // finish time of placed task
+	procFree := make([]float64, p) // time each processor becomes free
+	remaining := make([]int, n)    // unplaced predecessor count
+	ready := make([]int, 0, n)     // ready task IDs
+	m := &Mapping{Order: make([][]int, p)}
+	for i := 0; i < n; i++ {
+		remaining[i] = len(g.Pred(i))
+		if remaining[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for placed := 0; placed < n; placed++ {
+		if len(ready) == 0 {
+			return nil, errors.New("platform: list scheduling stalled (cycle?)")
+		}
+		// Pick the ready task with the largest bottom level (ties by ID for
+		// determinism).
+		sort.Slice(ready, func(a, b int) bool {
+			if bottom[ready[a]] != bottom[ready[b]] {
+				return bottom[ready[a]] > bottom[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		u := ready[0]
+		ready = ready[1:]
+		// Earliest start: after predecessors and processor availability.
+		depReady := 0.0
+		for _, v := range g.Pred(u) {
+			if finish[v] > depReady {
+				depReady = finish[v]
+			}
+		}
+		bestP, bestFinish := 0, 0.0
+		for q := 0; q < p; q++ {
+			start := procFree[q]
+			if depReady > start {
+				start = depReady
+			}
+			f := start + g.Weight(u)
+			if q == 0 || f < bestFinish {
+				bestP, bestFinish = q, f
+			}
+		}
+		finish[u] = bestFinish
+		procFree[bestP] = bestFinish
+		m.Order[bestP] = append(m.Order[bestP], u)
+		for _, v := range g.Succ(u) {
+			remaining[v]--
+			if remaining[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return m, nil
+}
+
+// RandomMapping assigns tasks to processors uniformly at random, keeping
+// each processor's internal order topological. rng must not be nil.
+func RandomMapping(g *graph.Graph, p int, intn func(int) int) (*Mapping, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("platform: need at least one processor, got %d", p)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapping{Order: make([][]int, p)}
+	for _, t := range order {
+		q := intn(p)
+		m.Order[q] = append(m.Order[q], t)
+	}
+	return m, nil
+}

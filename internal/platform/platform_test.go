@@ -1,0 +1,217 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func diamond() *graph.Graph {
+	g := graph.New()
+	g.AddTask("a", 1)
+	g.AddTask("b", 2)
+	g.AddTask("c", 3)
+	g.AddTask("d", 4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+func TestMappingValidate(t *testing.T) {
+	g := diamond()
+	ok := &Mapping{Order: [][]int{{0, 1, 3}, {2}}}
+	if err := ok.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	missing := &Mapping{Order: [][]int{{0, 1}}}
+	if err := missing.Validate(g); err == nil {
+		t.Fatal("accepted incomplete mapping")
+	}
+	dup := &Mapping{Order: [][]int{{0, 1, 3}, {2, 0}}}
+	if err := dup.Validate(g); err == nil {
+		t.Fatal("accepted duplicate task")
+	}
+	oob := &Mapping{Order: [][]int{{0, 1, 3}, {9}}}
+	if err := oob.Validate(g); err == nil {
+		t.Fatal("accepted out-of-range task")
+	}
+}
+
+func TestMappingAccessors(t *testing.T) {
+	m := &Mapping{Order: [][]int{{0, 2}, {1}}}
+	if m.NumProcs() != 2 || m.NumTasks() != 3 {
+		t.Fatalf("NumProcs/NumTasks = %d/%d", m.NumProcs(), m.NumTasks())
+	}
+	po := m.ProcOf()
+	if po[2] != [2]int{0, 1} || po[1] != [2]int{1, 0} {
+		t.Fatalf("ProcOf = %v", po)
+	}
+}
+
+func TestBuildExecutionGraph(t *testing.T) {
+	g := diamond()
+	m := &Mapping{Order: [][]int{{0, 1, 3}, {2}}}
+	eg, err := BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialization edges 0→1 and 1→3 already exist as precedence; nothing
+	// new needed, and the original edges survive.
+	if eg.M() != 4 {
+		t.Fatalf("execution graph has %d edges, want 4", eg.M())
+	}
+	// A mapping that interleaves independent tasks adds an edge.
+	m2 := &Mapping{Order: [][]int{{0, 1, 2, 3}}}
+	eg2, err := BuildExecutionGraph(g, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eg2.HasEdge(1, 2) {
+		t.Fatal("serialization edge 1→2 missing")
+	}
+	if eg2.M() != 5 {
+		t.Fatalf("execution graph has %d edges, want 5", eg2.M())
+	}
+}
+
+func TestBuildExecutionGraphDetectsConflict(t *testing.T) {
+	g := diamond()
+	// Processor order 3 before 0 contradicts 0 ≺ 3.
+	m := &Mapping{Order: [][]int{{3, 0, 1, 2}}}
+	if _, err := BuildExecutionGraph(g, m); err == nil {
+		t.Fatal("accepted contradictory mapping")
+	}
+}
+
+func TestBuildExecutionGraphDoesNotMutateInput(t *testing.T) {
+	g := diamond()
+	m := &Mapping{Order: [][]int{{0, 1, 2, 3}}}
+	if _, err := BuildExecutionGraph(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("input graph mutated: %d edges", g.M())
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	g := diamond()
+	m, err := SingleProcessor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumProcs() != 1 || m.NumTasks() != 4 {
+		t.Fatalf("mapping = %+v", m)
+	}
+	if _, err := BuildExecutionGraph(g, m); err != nil {
+		t.Fatalf("single-processor mapping invalid: %v", err)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	g := diamond()
+	m, err := RoundRobin(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildExecutionGraph(g, m); err != nil {
+		t.Fatalf("round-robin produced conflicting mapping: %v", err)
+	}
+	if _, err := RoundRobin(g, 0); err == nil {
+		t.Fatal("accepted zero processors")
+	}
+}
+
+func TestListSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Layered(rng, 4, 6, 0.3, graph.UniformWeights(1, 5))
+	m, err := ListSchedule(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildExecutionGraph(g, m); err != nil {
+		t.Fatalf("list schedule mapping conflicts: %v", err)
+	}
+	if _, err := ListSchedule(g, 0); err == nil {
+		t.Fatal("accepted zero processors")
+	}
+}
+
+func TestListScheduleBalances(t *testing.T) {
+	// 8 independent equal tasks on 4 processors must spread 2 per processor.
+	g := graph.New()
+	g.AddTasks(8, 1)
+	m, err := ListSchedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if len(m.Order[p]) != 2 {
+			t.Fatalf("processor %d got %d tasks: %v", p, len(m.Order[p]), m.Order)
+		}
+	}
+}
+
+func TestRandomMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.GnpDAG(rng, 25, 0.15, graph.UniformWeights(1, 3))
+	m, err := RandomMapping(g, 4, rng.Intn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildExecutionGraph(g, m); err != nil {
+		t.Fatalf("random mapping conflicts: %v", err)
+	}
+	if _, err := RandomMapping(g, 0, rng.Intn); err == nil {
+		t.Fatal("accepted zero processors")
+	}
+}
+
+// Property: for any random DAG and any of the mapping generators, the
+// execution graph is a DAG that contains the original edges.
+func TestExecutionGraphProperty(t *testing.T) {
+	f := func(seed int64, procs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + int(procs%6)
+		g := graph.GnpDAG(rng, 4+rng.Intn(20), 0.2, graph.UniformWeights(1, 4))
+		for _, build := range []func() (*Mapping, error){
+			func() (*Mapping, error) { return RoundRobin(g, p) },
+			func() (*Mapping, error) { return ListSchedule(g, p) },
+			func() (*Mapping, error) { return RandomMapping(g, p, rng.Intn) },
+		} {
+			m, err := build()
+			if err != nil {
+				return false
+			}
+			eg, err := BuildExecutionGraph(g, m)
+			if err != nil {
+				return false
+			}
+			for _, e := range g.Edges() {
+				if !eg.HasEdge(e[0], e[1]) {
+					return false
+				}
+			}
+			if _, err := eg.TopoOrder(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// Gantt renders an ASCII Gantt chart of the schedule on the given mapping:
+// one row per processor, time flowing right, each task drawn as a block of
+// its ID (mod 10) characters proportional to its duration.
+func (s *Schedule) Gantt(m *platform.Mapping, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if s.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / s.Makespan
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.4g\n", strings.Repeat("-", width-4), s.Makespan)
+	for p, list := range m.Order {
+		row := make([]byte, width+1)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, t := range list {
+			lo := int(s.Start[t] * scale)
+			hi := int(s.Finish[t] * scale)
+			if hi >= len(row) {
+				hi = len(row) - 1
+			}
+			ch := byte('0' + t%10)
+			for x := lo; x <= hi; x++ {
+				row[x] = ch
+			}
+		}
+		fmt.Fprintf(&b, "P%-3d %s\n", p, string(row))
+	}
+	return b.String()
+}

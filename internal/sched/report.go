@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// Report summarizes an executed schedule the way an operator would read it:
+// who was busy, where the energy went, and how much mode switching a
+// Vdd-Hopping plan implies (each switch costs real hardware a transition
+// delay — Miermont et al.'s power-supply selector, the paper's citation for
+// Vdd-Hopping, pays ~100ns per hop).
+type Report struct {
+	Makespan float64
+	Energy   float64
+	// PerProcessor rows, indexed by processor.
+	PerProcessor []ProcessorReport
+	// SpeedSwitches counts intra-task speed changes over all tasks
+	// (Vdd-Hopping profiles; 0 for constant-speed models).
+	SpeedSwitches int
+	// CriticalUtilization is busy time of the busiest processor / makespan.
+	CriticalUtilization float64
+}
+
+// ProcessorReport aggregates one processor's activity.
+type ProcessorReport struct {
+	Processor   int
+	Tasks       int
+	BusyTime    float64
+	Utilization float64 // BusyTime / Makespan
+	Energy      float64
+	MeanSpeed   float64 // work-weighted average speed
+}
+
+// Switches returns the number of speed changes inside the profile
+// (segments - 1, ignoring zero-duration segments).
+func (p Profile) Switches() int {
+	active := 0
+	for _, seg := range p {
+		if seg.Duration > 0 {
+			active++
+		}
+	}
+	if active <= 1 {
+		return 0
+	}
+	return active - 1
+}
+
+// BuildReport aggregates the schedule over the mapping that produced it.
+func (s *Schedule) BuildReport(m *platform.Mapping) (*Report, error) {
+	if err := m.Validate(s.G); err != nil {
+		return nil, err
+	}
+	rep := &Report{Makespan: s.Makespan, Energy: s.Energy}
+	for q, list := range m.Order {
+		pr := ProcessorReport{Processor: q, Tasks: len(list)}
+		work := 0.0
+		for _, t := range list {
+			prof := s.Profiles[t]
+			pr.BusyTime += prof.Duration()
+			pr.Energy += prof.Energy()
+			work += prof.Work()
+		}
+		if pr.BusyTime > 0 {
+			pr.MeanSpeed = work / pr.BusyTime
+		}
+		if s.Makespan > 0 {
+			pr.Utilization = pr.BusyTime / s.Makespan
+		}
+		if pr.Utilization > rep.CriticalUtilization {
+			rep.CriticalUtilization = pr.Utilization
+		}
+		rep.PerProcessor = append(rep.PerProcessor, pr)
+	}
+	for _, prof := range s.Profiles {
+		rep.SpeedSwitches += prof.Switches()
+	}
+	return rep, nil
+}
+
+// String renders the report as a fixed-width table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.6g   energy %.6g   speed switches %d\n",
+		r.Makespan, r.Energy, r.SpeedSwitches)
+	fmt.Fprintf(&b, "%-5s %6s %10s %6s %10s %10s\n",
+		"proc", "tasks", "busy", "util", "energy", "mean speed")
+	rows := append([]ProcessorReport(nil), r.PerProcessor...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Processor < rows[j].Processor })
+	for _, pr := range rows {
+		fmt.Fprintf(&b, "P%-4d %6d %10.4g %5.1f%% %10.4g %10.4g\n",
+			pr.Processor, pr.Tasks, pr.BusyTime, pr.Utilization*100, pr.Energy, pr.MeanSpeed)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestProfileSwitches(t *testing.T) {
+	if (Profile{}).Switches() != 0 {
+		t.Fatal("empty profile has switches")
+	}
+	if ConstantProfile(2, 1).Switches() != 0 {
+		t.Fatal("constant profile has switches")
+	}
+	p := Profile{{Speed: 1, Duration: 1}, {Speed: 2, Duration: 1}}
+	if p.Switches() != 1 {
+		t.Fatalf("Switches = %d, want 1", p.Switches())
+	}
+	// Zero-duration segments do not count.
+	pz := Profile{{Speed: 1, Duration: 1}, {Speed: 2, Duration: 0}, {Speed: 3, Duration: 1}}
+	if pz.Switches() != 1 {
+		t.Fatalf("Switches = %d, want 1 (zero-duration skipped)", pz.Switches())
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{0, 1, 3}, {2}}}
+	eg, err := platform.BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromSpeeds(eg, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.BuildReport(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 8 || rep.Energy != 10 {
+		t.Fatalf("report totals: %+v", rep)
+	}
+	if len(rep.PerProcessor) != 2 {
+		t.Fatalf("want 2 processor rows, got %d", len(rep.PerProcessor))
+	}
+	p0 := rep.PerProcessor[0]
+	if p0.Tasks != 3 || math.Abs(p0.BusyTime-7) > 1e-12 {
+		t.Fatalf("P0: %+v", p0)
+	}
+	if math.Abs(p0.Utilization-7.0/8) > 1e-12 {
+		t.Fatalf("P0 utilization: %v", p0.Utilization)
+	}
+	if math.Abs(p0.MeanSpeed-1) > 1e-12 {
+		t.Fatalf("P0 mean speed: %v", p0.MeanSpeed)
+	}
+	if rep.SpeedSwitches != 0 {
+		t.Fatalf("constant speeds should have 0 switches, got %d", rep.SpeedSwitches)
+	}
+	if math.Abs(rep.CriticalUtilization-7.0/8) > 1e-12 {
+		t.Fatalf("critical utilization: %v", rep.CriticalUtilization)
+	}
+}
+
+func TestBuildReportCountsVddSwitches(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{0, 1, 2, 3}}}
+	eg, _ := platform.BuildExecutionGraph(g, m)
+	profiles := []Profile{
+		{{Speed: 2, Duration: 0.25}, {Speed: 1, Duration: 0.5}}, // w=1, 1 switch
+		ConstantProfile(2, 1),
+		{{Speed: 1, Duration: 1}, {Speed: 2, Duration: 1}}, // w=3, 1 switch
+		ConstantProfile(4, 2),
+	}
+	s, err := FromProfiles(eg, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.BuildReport(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpeedSwitches != 2 {
+		t.Fatalf("switches = %d, want 2", rep.SpeedSwitches)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{0, 1, 3}, {2}}}
+	eg, _ := platform.BuildExecutionGraph(g, m)
+	s, _ := FromSpeeds(eg, []float64{1, 1, 1, 1})
+	rep, _ := s.BuildReport(m)
+	out := rep.String()
+	for _, want := range []string{"makespan", "P0", "P1", "util"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildReportRejectsWrongMapping(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{0, 1, 2, 3}}}
+	eg, _ := platform.BuildExecutionGraph(g, m)
+	s, _ := FromSpeeds(eg, []float64{1, 1, 1, 1})
+	bad := &platform.Mapping{Order: [][]int{{0}}}
+	if _, err := s.BuildReport(bad); err == nil {
+		t.Fatal("accepted mapping not covering the graph")
+	}
+}

@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+func diamond() *graph.Graph {
+	g := graph.New()
+	g.AddTask("a", 1)
+	g.AddTask("b", 2)
+	g.AddTask("c", 3)
+	g.AddTask("d", 4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+func TestProfileAccounting(t *testing.T) {
+	p := Profile{{Speed: 2, Duration: 3}, {Speed: 1, Duration: 4}}
+	if p.Work() != 10 {
+		t.Fatalf("Work = %v", p.Work())
+	}
+	if p.Duration() != 7 {
+		t.Fatalf("Duration = %v", p.Duration())
+	}
+	if p.Energy() != 8*3+1*4 {
+		t.Fatalf("Energy = %v", p.Energy())
+	}
+	if p.MaxSpeed() != 2 {
+		t.Fatalf("MaxSpeed = %v", p.MaxSpeed())
+	}
+	if p.DistinctSpeeds(1e-9) != 2 {
+		t.Fatalf("DistinctSpeeds = %d", p.DistinctSpeeds(1e-9))
+	}
+}
+
+func TestConstantProfile(t *testing.T) {
+	p := ConstantProfile(6, 2)
+	if len(p) != 1 || p[0].Duration != 3 || p.Work() != 6 {
+		t.Fatalf("ConstantProfile = %+v", p)
+	}
+	if p.Energy() != model.TaskEnergy(6, 2) {
+		t.Fatal("profile energy disagrees with TaskEnergy")
+	}
+}
+
+func TestFromSpeedsDiamond(t *testing.T) {
+	g := diamond()
+	s, err := FromSpeeds(g, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 8 {
+		t.Fatalf("makespan = %v, want 8", s.Makespan)
+	}
+	if s.Start[3] != 4 || s.Finish[3] != 8 {
+		t.Fatalf("task 3 runs [%v,%v], want [4,8]", s.Start[3], s.Finish[3])
+	}
+	// Energy at unit speed is Σ wᵢ·1² = 10.
+	if s.Energy != 10 {
+		t.Fatalf("energy = %v, want 10", s.Energy)
+	}
+}
+
+func TestFromSpeedsErrors(t *testing.T) {
+	g := diamond()
+	if _, err := FromSpeeds(g, []float64{1, 1}); err == nil {
+		t.Fatal("accepted wrong speed count")
+	}
+	if _, err := FromSpeeds(g, []float64{1, 0, 1, 1}); err == nil {
+		t.Fatal("accepted zero speed")
+	}
+}
+
+func TestFromProfilesChecksWork(t *testing.T) {
+	g := diamond()
+	profiles := make([]Profile, 4)
+	for i := range profiles {
+		profiles[i] = ConstantProfile(g.Weight(i), 1)
+	}
+	profiles[2] = Profile{{Speed: 1, Duration: 1}} // executes 1 of cost 3
+	if _, err := FromProfiles(g, profiles); err == nil {
+		t.Fatal("accepted incomplete profile")
+	}
+}
+
+func TestValidateDeadline(t *testing.T) {
+	g := diamond()
+	s, err := FromSpeeds(g, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(8, nil, 1e-9); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := s.Validate(7.5, nil, 1e-9); err == nil {
+		t.Fatal("deadline violation not detected")
+	}
+}
+
+func TestValidateModelMembership(t *testing.T) {
+	g := diamond()
+	s, _ := FromSpeeds(g, []float64{1, 1, 1, 1})
+	disc, _ := model.NewDiscrete([]float64{1, 2})
+	if err := s.Validate(10, &disc, 1e-9); err != nil {
+		t.Fatalf("mode-1 schedule rejected: %v", err)
+	}
+	s2, _ := FromSpeeds(g, []float64{1.5, 1, 1, 1})
+	if err := s2.Validate(10, &disc, 1e-9); err == nil {
+		t.Fatal("non-mode speed accepted under Discrete")
+	}
+	cont, _ := model.NewContinuous(1.2)
+	if err := s2.Validate(10, &cont, 1e-9); err == nil {
+		t.Fatal("speed above smax accepted under Continuous")
+	}
+	// Vdd allows multi-speed profiles made of modes.
+	vdd, _ := model.NewVddHopping([]float64{1, 2})
+	profiles := []Profile{
+		{{Speed: 1, Duration: 0.5}, {Speed: 2, Duration: 0.25}}, // w=1
+		ConstantProfile(2, 1),
+		ConstantProfile(3, 1),
+		ConstantProfile(4, 2),
+	}
+	s3, err := FromProfiles(g, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Validate(10, &vdd, 1e-9); err != nil {
+		t.Fatalf("valid Vdd schedule rejected: %v", err)
+	}
+	// But Discrete rejects the same multi-speed profile.
+	if err := s3.Validate(10, &disc, 1e-9); err == nil {
+		t.Fatal("multi-speed profile accepted under Discrete")
+	}
+}
+
+func TestSpeedsExtraction(t *testing.T) {
+	g := diamond()
+	s, _ := FromSpeeds(g, []float64{1, 2, 3, 4})
+	got, err := s.Speeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 2, 3, 4} {
+		if got[i] != v {
+			t.Fatalf("speeds = %v", got)
+		}
+	}
+	s.Profiles[0] = Profile{{Speed: 1, Duration: 0.5}, {Speed: 2, Duration: 0.25}}
+	if _, err := s.Speeds(); err == nil {
+		t.Fatal("multi-speed profile should not flatten to constant speeds")
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{0, 1, 3}, {2}}}
+	eg, err := platform.BuildExecutionGraph(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := []float64{1, 2, 1, 0.5}
+	s, err := FromSpeeds(eg, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durations := make([]float64, g.N())
+	for i := range durations {
+		durations[i] = g.Weight(i) / speeds[i]
+	}
+	sim, err := Simulate(g, m, durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range durations {
+		if math.Abs(sim.Start[i]-s.Start[i]) > 1e-9 || math.Abs(sim.Finish[i]-s.Finish[i]) > 1e-9 {
+			t.Fatalf("task %d: sim [%v,%v] vs analytic [%v,%v]",
+				i, sim.Start[i], sim.Finish[i], s.Start[i], s.Finish[i])
+		}
+	}
+	if math.Abs(sim.Makespan-s.Makespan) > 1e-9 {
+		t.Fatalf("makespan %v vs %v", sim.Makespan, s.Makespan)
+	}
+	if sim.Events != g.N() {
+		t.Fatalf("events = %d, want %d", sim.Events, g.N())
+	}
+}
+
+func TestSimulateDeadlock(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{3, 0, 1, 2}}}
+	if _, err := Simulate(g, m, []float64{1, 1, 1, 1}); err == nil {
+		t.Fatal("contradictory mapping did not deadlock")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{0, 1, 2, 3}}}
+	if _, err := Simulate(g, m, []float64{1}); err == nil {
+		t.Fatal("accepted wrong duration count")
+	}
+	bad := &platform.Mapping{Order: [][]int{{0, 1}}}
+	if _, err := Simulate(g, bad, []float64{1, 1, 1, 1}); err == nil {
+		t.Fatal("accepted incomplete mapping")
+	}
+}
+
+// Property: on random DAGs with random list-scheduled mappings, the
+// discrete-event simulation reproduces the execution graph's analytic
+// earliest-start schedule exactly.
+func TestSimulatorAgreesWithExecutionGraphProperty(t *testing.T) {
+	f := func(seed int64, procs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + int(procs%5)
+		g := graph.GnpDAG(rng, 5+rng.Intn(25), 0.25, graph.UniformWeights(1, 5))
+		m, err := platform.ListSchedule(g, p)
+		if err != nil {
+			return false
+		}
+		eg, err := platform.BuildExecutionGraph(g, m)
+		if err != nil {
+			return false
+		}
+		speeds := make([]float64, g.N())
+		durations := make([]float64, g.N())
+		for i := range speeds {
+			speeds[i] = 0.5 + rng.Float64()*2
+			durations[i] = g.Weight(i) / speeds[i]
+		}
+		s, err := FromSpeeds(eg, speeds)
+		if err != nil {
+			return false
+		}
+		sim, err := Simulate(g, m, durations)
+		if err != nil {
+			return false
+		}
+		for i := range durations {
+			if math.Abs(sim.Finish[i]-s.Finish[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := diamond()
+	m := &platform.Mapping{Order: [][]int{{0, 1, 3}, {2}}}
+	eg, _ := platform.BuildExecutionGraph(g, m)
+	s, _ := FromSpeeds(eg, []float64{1, 1, 1, 1})
+	out := s.Gantt(m, 40)
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Fatalf("gantt missing processor rows:\n%s", out)
+	}
+	if !strings.Contains(out, "time 0") {
+		t.Fatalf("gantt missing time axis:\n%s", out)
+	}
+	// Empty schedule path.
+	empty := &Schedule{Makespan: 0}
+	if !strings.Contains(empty.Gantt(&platform.Mapping{}, 10), "empty") {
+		t.Fatal("empty schedule not handled")
+	}
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// SimResult is the outcome of a discrete-event simulation.
+type SimResult struct {
+	Start    []float64
+	Finish   []float64
+	Makespan float64
+	// Events counts processed simulation events (diagnostics).
+	Events int
+}
+
+// event is a task-completion event in the simulator's queue.
+type event struct {
+	time float64
+	task int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].task < q[j].task
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulate executes the mapped application on a simulated machine: each
+// processor runs its mapped tasks in order, a task starts as soon as its
+// precedence predecessors (in g, the *original* task graph) have completed
+// and its processor is free. durations[i] is the execution time of task i
+// (cost divided by the chosen speed, or a Vdd profile's total duration).
+//
+// The returned times must equal the analytic earliest-start times computed
+// on the execution graph — the simulator exists to validate exactly that
+// equivalence, standing in for the physical testbed the authors would run.
+func Simulate(g *graph.Graph, m *platform.Mapping, durations []float64) (*SimResult, error) {
+	if len(durations) != g.N() {
+		return nil, fmt.Errorf("sched: %d durations for %d tasks", len(durations), g.N())
+	}
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	start := make([]float64, n)
+	finish := make([]float64, n)
+	predsLeft := make([]int, n)
+	for i := 0; i < n; i++ {
+		predsLeft[i] = len(g.Pred(i))
+	}
+	// nextIdx[p] is the position of the next unstarted task on processor p.
+	nextIdx := make([]int, m.NumProcs())
+	procFree := make([]float64, m.NumProcs())
+	running := make([]bool, m.NumProcs())
+	q := &eventQueue{}
+	events := 0
+
+	// tryStart launches the head task of processor p if it is ready.
+	tryStart := func(p int, now float64) {
+		if running[p] || nextIdx[p] >= len(m.Order[p]) {
+			return
+		}
+		t := m.Order[p][nextIdx[p]]
+		if predsLeft[t] > 0 {
+			return
+		}
+		st := procFree[p]
+		for _, u := range g.Pred(t) {
+			if finish[u] > st {
+				st = finish[u]
+			}
+		}
+		if st < now {
+			st = now
+		}
+		start[t] = st
+		finish[t] = st + durations[t]
+		running[p] = true
+		heap.Push(q, event{time: finish[t], task: t})
+	}
+
+	procOf := m.ProcOf()
+	for p := range m.Order {
+		tryStart(p, 0)
+	}
+	completed := 0
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(event)
+		events++
+		t := ev.task
+		completed++
+		p := procOf[t][0]
+		running[p] = false
+		procFree[p] = ev.time
+		nextIdx[p]++
+		for _, v := range g.Succ(t) {
+			predsLeft[v]--
+		}
+		// A completion can unblock the head task of any processor.
+		for pp := range m.Order {
+			tryStart(pp, ev.time)
+		}
+	}
+	if completed != n {
+		return nil, fmt.Errorf("sched: simulation deadlocked with %d of %d tasks done (mapping order conflicts with precedence)", completed, n)
+	}
+	makespan := 0.0
+	for _, f := range finish {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return &SimResult{Start: start, Finish: finish, Makespan: makespan, Events: events}, nil
+}

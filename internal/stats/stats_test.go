@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3})
+	if err != nil || m != 2 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty mean accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || g != 2 {
+		t.Fatalf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty geomean accepted")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2.138089935) > 1e-6 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	for _, c := range []struct{ q, want float64 }{{0, 1}, {0.5, 2}, {1, 3}, {0.25, 1.5}} {
+		got, err := Quantile(xs, c.q)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v (%v)", c.q, got, c.want, err)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("out-of-range quantile accepted")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty quantile accepted")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if m, _ := Max([]float64{1, 5, 2}); m != 5 {
+		t.Fatalf("Max = %v", m)
+	}
+	if m, _ := Min([]float64{1, 5, 2}); m != 1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if _, err := Max(nil); err == nil {
+		t.Fatal("empty max accepted")
+	}
+	if _, err := Min(nil); err == nil {
+		t.Fatal("empty min accepted")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 3x + 1.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 4, 7, 10}
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil || math.Abs(slope-3) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %v, %v (%v)", slope, intercept, err)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("short fit accepted")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	// y = 5·x².
+	x := []float64{1, 2, 4, 8}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 5 * x[i] * x[i]
+	}
+	e, err := PowerLawExponent(x, y)
+	if err != nil || math.Abs(e-2) > 1e-9 {
+		t.Fatalf("exponent = %v (%v)", e, err)
+	}
+	if _, err := PowerLawExponent([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+}

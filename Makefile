@@ -1,0 +1,43 @@
+# Repro of "Reclaiming the Energy of a Schedule" (SPAA'11) — build targets.
+
+GO ?= go
+
+.PHONY: all build test race vet bench verify bench-service fuzz clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run NONE ./...
+
+# verify chains the full gate: static checks, the race-detected suite, and a
+# one-shot pass over every benchmark (so perf regressions break loudly).
+verify: vet race bench
+
+# bench-service emits BENCH_service.json: cold-solve vs cache-hit latency of
+# the solve engine on a repeated instance.
+bench-service:
+	BENCH_SERVICE_OUT=$(CURDIR)/BENCH_service.json $(GO) test -run TestEmitBenchServiceJSON -v ./internal/service/
+
+# Short fuzz pass over every fuzz target (decoders, canonical encoding, SP
+# recognizer, solve requests).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzGraphJSON -fuzztime=10s ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzGraphCanonical -fuzztime=10s ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzDecomposeSP -fuzztime=10s ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzSolveRequest -fuzztime=10s ./internal/service/
+	$(GO) test -run=NONE -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/service/
+
+clean:
+	$(GO) clean ./...

@@ -2,6 +2,7 @@ package energysched
 
 import (
 	"math/rand"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/exps"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/service"
 )
 
 // Core types, re-exported. Solver entry points are methods on Problem; see
@@ -232,6 +234,47 @@ func Proposition1ContinuousBound(m Model) float64 { return core.Proposition1Cont
 // Proposition1DiscreteBound returns (1+α/s₁)²(1+1/K)².
 func Proposition1DiscreteBound(m Model, K int) float64 {
 	return core.Proposition1DiscreteBound(m, K)
+}
+
+// --- Solve service (the concurrent serving layer; see cmd/energyserver) ---
+
+// Engine is a concurrent MinEnergy solve service: a bounded worker pool in
+// front of the solvers plus an LRU cache keyed by a canonical hash of the
+// execution graph, deadline, and model — repeated instances skip solving.
+type Engine = service.Engine
+
+// EngineOptions configures workers, cache capacity, and verification.
+type EngineOptions = service.Options
+
+// EngineStats is a snapshot of the engine's hit/miss/solve counters.
+type EngineStats = service.Stats
+
+// SolveRequest is one MinEnergy instance: graph, optional mapping, deadline,
+// model spec, and algorithm selection. It is also the HTTP wire format.
+type SolveRequest = service.SolveRequest
+
+// SolveResponse is a solved instance in wire form (energy, speeds/profiles,
+// algorithm, cache provenance).
+type SolveResponse = service.SolveResponse
+
+// SolveModelSpec parameterizes the energy model of a SolveRequest.
+type SolveModelSpec = service.ModelSpec
+
+// BatchResult pairs one batch entry's response with its error.
+type BatchResult = service.BatchResult
+
+// SolveHTTPOptions tunes the JSON transport (timeouts, body and batch
+// limits) around an Engine served over HTTP.
+type SolveHTTPOptions = service.HTTPOptions
+
+// NewEngine builds a solve engine; the zero Options picks GOMAXPROCS
+// workers and a 1024-instance cache.
+func NewEngine(opts EngineOptions) *Engine { return service.NewEngine(opts) }
+
+// NewSolveHandler mounts an Engine behind the JSON HTTP surface
+// (POST /v1/solve, POST /v1/solve/batch, GET /healthz).
+func NewSolveHandler(e *Engine, opts SolveHTTPOptions) http.Handler {
+	return service.NewHandler(e, opts)
 }
 
 // --- Experiment harness (used by cmd/experiments and the benches) ---

@@ -1,0 +1,98 @@
+// Command energyserver serves MinEnergy(G, D) over HTTP: JSON solve
+// requests against the four energy models of the paper, dispatched across a
+// bounded worker pool and fronted by an LRU instance cache.
+//
+// Endpoints:
+//
+//	POST /v1/solve        one instance  {graph, mapping?, deadline, model, …}
+//	POST /v1/solve/batch  {"requests":[…]} → per-request results and errors
+//	GET  /healthz         liveness and engine statistics
+//
+// Usage:
+//
+//	energyserver [-addr :8080] [-workers N] [-cache 1024] [-timeout 30s] [-verify]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("energyserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "max solves in flight (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 1024, "instance cache capacity (negative disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request timeout")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on requested timeouts")
+	verify := fs.Bool("verify", false, "independently re-verify every fresh solution")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := service.Options{Workers: *workers, CacheSize: *cacheSize}
+	if *verify {
+		opts.VerifyTol = 1e-6
+	}
+	engine := service.NewEngine(opts)
+	handler := service.NewHandler(engine, service.HTTPOptions{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds the whole request read so a dripped body can't
+		// hold a connection open forever; WriteTimeout must outlast the
+		// largest solve budget (max-timeout) plus response writing.
+		ReadTimeout:  time.Minute,
+		WriteTimeout: *maxTimeout + time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("energyserver listening on %s (workers=%d cache=%d)",
+			*addr, engine.Stats().Workers, *cacheSize)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigCh:
+		log.Printf("energyserver: %v — draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		st := engine.Stats()
+		log.Printf("energyserver: served %d solves (%d cache hits, %d failures)",
+			st.Solved, st.Hits, st.Failures)
+		return nil
+	}
+}

@@ -50,6 +50,30 @@
 //	vdd, _ := prob.SolveVddHopping(modes)
 //	fmt.Println("vdd-hopping optimum:", vdd.Energy)
 //
+// # Serving layer
+//
+// Beyond the library API, the package ships a concurrent solve service for
+// answering many instances on demand. An Engine dispatches single and
+// batched requests across a bounded worker pool and fronts the solvers with
+// an LRU cache keyed by a canonical hash of the execution graph, deadline,
+// and model parameters, so repeated instances skip the solver entirely:
+//
+//	eng := energysched.NewEngine(energysched.EngineOptions{})
+//	resp, err := eng.Solve(ctx, &energysched.SolveRequest{
+//		Graph:    g,
+//		Deadline: 12,
+//		Model:    energysched.SolveModelSpec{Kind: "continuous", SMax: 2},
+//	})
+//
+// Batches run concurrently with per-request error isolation:
+//
+//	results := eng.SolveBatch(ctx, reqs) // one BatchResult per request
+//
+// The same Engine serves HTTP via NewSolveHandler — JSON endpoints
+// POST /v1/solve, POST /v1/solve/batch, and GET /healthz — packaged as the
+// cmd/energyserver binary. SolveRequest is simultaneously the programmatic
+// input and the wire format; see that type for the field catalogue.
+//
 // Everything is pure Go, standard library only. The experiment harness in
 // cmd/experiments regenerates the comparative study described in DESIGN.md
 // and EXPERIMENTS.md.

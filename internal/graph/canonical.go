@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// CanonicalBytes returns a deterministic byte encoding of the graph's
+// optimization-relevant content: task count, task weights (IEEE-754 bits in
+// ID order), and the edge set in sorted order. Task names are deliberately
+// excluded — MinEnergy(G, D) depends only on weights and precedence
+// structure, so two graphs differing only in names encode identically and
+// can share a cached solution.
+//
+// The encoding is stable across runs and across Go versions: every integer
+// is written as a fixed-width big-endian value and floats as their exact
+// bit patterns, so equal graphs always produce equal bytes and (modulo hash
+// collisions) unequal problems produce unequal fingerprints.
+func (g *Graph) CanonicalBytes() []byte {
+	n, m := g.N(), g.M()
+	buf := make([]byte, 0, 8+8*n+16*m)
+	var scratch [8]byte
+
+	binary.BigEndian.PutUint32(scratch[:4], uint32(n))
+	buf = append(buf, scratch[:4]...)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(m))
+	buf = append(buf, scratch[:4]...)
+
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(scratch[:], math.Float64bits(g.weights[i]))
+		buf = append(buf, scratch[:]...)
+	}
+
+	edges := g.Edges()
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+	for _, e := range edges {
+		binary.BigEndian.PutUint64(scratch[:], uint64(e[0])<<32|uint64(uint32(e[1])))
+		buf = append(buf, scratch[:]...)
+	}
+	return buf
+}
+
+// Fingerprint returns the SHA-256 of CanonicalBytes: a compact identity for
+// the graph as an optimization instance, usable as a cache-key component.
+func (g *Graph) Fingerprint() [32]byte {
+	return sha256.Sum256(g.CanonicalBytes())
+}

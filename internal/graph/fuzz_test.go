@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 )
 
@@ -34,6 +35,57 @@ func FuzzGraphJSON(f *testing.F) {
 		}
 		if h.N() != g.N() || h.M() != g.M() {
 			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g.N(), g.M(), h.N(), h.M())
+		}
+	})
+}
+
+// FuzzGraphCanonical extends the IO round-trip corpus to the canonical
+// encoding: any graph the JSON decoder accepts must produce a canonical
+// byte string that is (a) stable across a JSON round trip, (b) independent
+// of task names, and (c) paired with a matching fingerprint. DOT rendering
+// must never panic on the same inputs.
+func FuzzGraphCanonical(f *testing.F) {
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1}],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1},{"name":"b","weight":2}],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"tasks":[{"weight":1},{"weight":2},{"weight":3}],"edges":[[0,2],[1,2]]}`))
+	f.Add([]byte(`{"tasks":[],"edges":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		canon := g.CanonicalBytes()
+		fp := g.Fingerprint()
+
+		// (a) stable across an encode/decode round trip.
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var h Graph
+		if err := json.Unmarshal(out, &h); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if string(h.CanonicalBytes()) != string(canon) {
+			t.Fatal("canonical bytes changed across a JSON round trip")
+		}
+
+		// (b) independent of names: renaming every task must not move the
+		// fingerprint (weights and structure are untouched).
+		r := New()
+		for i := 0; i < g.N(); i++ {
+			r.AddTask(fmt.Sprintf("renamed-%d", i), g.Weight(i))
+		}
+		for _, e := range g.Edges() {
+			r.MustAddEdge(e[0], e[1])
+		}
+		if r.Fingerprint() != fp {
+			t.Fatal("renaming tasks changed the fingerprint")
+		}
+
+		// (c) DOT rendering is total on valid graphs.
+		if dot := g.ToDOT("fuzz"); len(dot) == 0 {
+			t.Fatal("empty DOT output")
 		}
 	})
 }

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// benchRequest builds a layered (non-series-parallel) instance so the cold
+// path exercises the interior-point solver — the service's most expensive
+// kernel and the one a cache hit shortcuts hardest.
+func benchRequest() *SolveRequest {
+	rng := rand.New(rand.NewSource(4242))
+	g := graph.Layered(rng, 6, 5, 0.35, graph.UniformWeights(0.5, 3))
+	dmin, err := g.MinimalDeadline(2)
+	if err != nil {
+		panic(err)
+	}
+	return &SolveRequest{
+		Graph:    g,
+		Deadline: dmin * 1.4,
+		Model:    ModelSpec{Kind: "continuous", SMax: 2},
+	}
+}
+
+func BenchmarkSolveCold(b *testing.B) {
+	e := NewEngine(Options{CacheSize: -1})
+	req := benchRequest()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveCacheHit(b *testing.B) {
+	e := NewEngine(Options{})
+	req := benchRequest()
+	ctx := context.Background()
+	if _, err := e.Solve(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Solve(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatal("bench instance fell out of the cache")
+		}
+	}
+}
+
+func BenchmarkSolveBatch32Mixed(b *testing.B) {
+	e := NewEngine(Options{})
+	rng := rand.New(rand.NewSource(7))
+	modes := []float64{0.5, 1, 2}
+	reqs := make([]*SolveRequest, 32)
+	for i := range reqs {
+		g, _ := graph.RandomSP(rng, 4+i%6, graph.UniformWeights(0.5, 3))
+		dmin, err := g.MinimalDeadline(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := &SolveRequest{Graph: g, Deadline: dmin * 1.5}
+		switch i % 3 {
+		case 0:
+			req.Model = ModelSpec{Kind: "continuous", SMax: 2}
+		case 1:
+			req.Model = ModelSpec{Kind: "vdd-hopping", Modes: modes}
+		case 2:
+			req.Model = ModelSpec{Kind: "discrete", Modes: modes}
+		}
+		reqs[i] = req
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range e.SolveBatch(ctx, reqs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// medianLatency times fn() runs times and returns the median.
+func medianLatency(runs int, fn func()) time.Duration {
+	ds := make([]time.Duration, runs)
+	for i := range ds {
+		start := time.Now()
+		fn()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[runs/2]
+}
+
+// measureColdVsHit returns median cold-solve and cache-hit latencies on the
+// bench instance.
+func measureColdVsHit(tb testing.TB) (cold, hit time.Duration) {
+	req := benchRequest()
+	ctx := context.Background()
+
+	coldEngine := NewEngine(Options{CacheSize: -1})
+	cold = medianLatency(5, func() {
+		if _, err := coldEngine.Solve(ctx, req); err != nil {
+			tb.Fatal(err)
+		}
+	})
+
+	hitEngine := NewEngine(Options{})
+	if _, err := hitEngine.Solve(ctx, req); err != nil {
+		tb.Fatal(err)
+	}
+	hit = medianLatency(101, func() {
+		resp, err := hitEngine.Solve(ctx, req)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if !resp.CacheHit {
+			tb.Fatal("expected a cache hit")
+		}
+	})
+	return cold, hit
+}
+
+// TestCacheHitSpeedup is the acceptance criterion: a repeated instance must
+// answer at least 5× faster from the cache than from the solver. The real
+// margin is orders of magnitude (a map lookup vs an interior-point solve),
+// so 5× holds with room even on noisy CI machines.
+func TestCacheHitSpeedup(t *testing.T) {
+	cold, hit := measureColdVsHit(t)
+	t.Logf("cold %v vs hit %v (%.0f×)", cold, hit, float64(cold)/float64(hit))
+	if hit*5 > cold {
+		t.Fatalf("cache hit (%v) is not ≥5× faster than cold solve (%v)", hit, cold)
+	}
+}
+
+// TestEmitBenchServiceJSON writes the BENCH_service.json artifact when
+// BENCH_SERVICE_OUT names a path (wired to `make bench-service`). The file
+// records cold vs cache-hit latency for the repeated-instance workload.
+func TestEmitBenchServiceJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SERVICE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVICE_OUT=path to emit the benchmark artifact")
+	}
+	cold, hit := measureColdVsHit(t)
+	req := benchRequest()
+	doc := map[string]any{
+		"benchmark": "service cold-solve vs cache-hit",
+		"instance": map[string]any{
+			"tasks":    req.Graph.N(),
+			"edges":    req.Graph.M(),
+			"model":    req.Model.Kind,
+			"deadline": req.Deadline,
+		},
+		"cold_solve_ms": float64(cold) / float64(time.Millisecond),
+		"cache_hit_ms":  float64(hit) / float64(time.Millisecond),
+		"speedup":       float64(cold) / float64(hit),
+		"go":            runtime.Version(),
+		"goos":          runtime.GOOS,
+		"goarch":        runtime.GOARCH,
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s (speedup %.0f×)\n", out, doc["speedup"])
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity, mutex-guarded LRU map from instance keys to
+// solved responses. Values are treated as immutable once inserted: readers
+// receive the stored pointer and must copy before mutating.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> element whose Value is *lruEntry
+}
+
+type lruEntry struct {
+	key  string
+	resp *SolveResponse
+}
+
+// newLRUCache returns a cache holding up to cap entries; cap < 1 disables
+// caching (every Get misses, every Add is dropped).
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached response for key and marks it most recently used.
+func (c *lruCache) Get(key string) (*SolveResponse, bool) {
+	if c.cap < 1 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// Add inserts (or refreshes) key → resp, evicting the least recently used
+// entry when full.
+func (c *lruCache) Add(key string, resp *SolveResponse) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).resp = resp
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Purge empties the cache.
+func (c *lruCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+}

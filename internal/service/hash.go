@@ -1,0 +1,45 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// cacheKey computes the canonical identity of a compiled instance: SHA-256
+// over the execution graph's canonical bytes, the deadline, every model
+// parameter, and the algorithm selection. Two requests that compile to the
+// same execution graph (regardless of task names, mapping representation,
+// or JSON field order) share a key and therefore a cached solution; any
+// parameter that can change the answer — weights, edges, deadline, model
+// kind, mode set, algorithm, K — changes the key.
+func cacheKey(inst *instance) string {
+	h := sha256.New()
+	h.Write(inst.prob.G.CanonicalBytes())
+
+	var b [8]byte
+	putF := func(f float64) {
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	putF(inst.prob.Deadline)
+
+	m := inst.mdl
+	h.Write([]byte{byte(m.Kind)})
+	putF(m.SMax)
+	putF(m.SMin)
+	putF(m.Delta)
+	binary.BigEndian.PutUint32(b[:4], uint32(len(m.Modes)))
+	h.Write(b[:4])
+	for _, s := range m.Modes {
+		putF(s)
+	}
+
+	h.Write([]byte(inst.algo))
+	h.Write([]byte{0})
+	binary.BigEndian.PutUint64(b[:], uint64(inst.k))
+	h.Write(b[:])
+
+	sum := h.Sum(nil)
+	return string(sum)
+}

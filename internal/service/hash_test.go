@@ -1,0 +1,120 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func mustCompile(t *testing.T, req *SolveRequest) *instance {
+	t.Helper()
+	inst, err := req.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestCacheKeyIgnoresNames(t *testing.T) {
+	a := chainRequest()
+	b := chainRequest()
+	b.Graph = graph.New()
+	x := b.Graph.AddTask("renamed-1", 3)
+	y := b.Graph.AddTask("renamed-2", 5)
+	b.Graph.MustAddEdge(x, y)
+	if cacheKey(mustCompile(t, a)) != cacheKey(mustCompile(t, b)) {
+		t.Fatal("task names changed the cache key")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := cacheKey(mustCompile(t, chainRequest()))
+	mutations := map[string]func(*SolveRequest){
+		"weight":     func(r *SolveRequest) { r.Graph.SetWeight(0, 3.5) },
+		"deadline":   func(r *SolveRequest) { r.Deadline = 4.5 },
+		"smax":       func(r *SolveRequest) { r.Model.SMax = 3 },
+		"model kind": func(r *SolveRequest) { r.Model = ModelSpec{Kind: "discrete", Modes: []float64{1, 2}} },
+		"extra edge": func(r *SolveRequest) {
+			g := graph.New()
+			g.AddTask("", 3)
+			g.AddTask("", 5)
+			r.Graph = g // same weights, no edge
+		},
+	}
+	for name, mutate := range mutations {
+		r := chainRequest()
+		mutate(r)
+		if cacheKey(mustCompile(t, r)) == base {
+			t.Errorf("mutating %s did not change the cache key", name)
+		}
+	}
+}
+
+func TestCacheKeyAlgorithmAndK(t *testing.T) {
+	mk := func(algo string, k int) string {
+		g := graph.New()
+		g.AddTask("", 2)
+		r := &SolveRequest{
+			Graph:     g,
+			Deadline:  4,
+			Model:     ModelSpec{Kind: "incremental", SMin: 0.5, SMax: 2, Delta: 0.5},
+			Algorithm: algo,
+			K:         k,
+		}
+		return cacheKey(mustCompile(t, r))
+	}
+	if mk(AlgoApprox, 2) == mk(AlgoApprox, 8) {
+		t.Fatal("K did not change the cache key")
+	}
+	if mk(AlgoApprox, 2) == mk(AlgoGreedy, 2) {
+		t.Fatal("algorithm did not change the cache key")
+	}
+	// K is irrelevant to non-approximation solvers: it must not fragment
+	// their cache entries.
+	if mk(AlgoBB, 1) != mk(AlgoBB, 7) {
+		t.Fatal("K fragmented the cache for branch-and-bound")
+	}
+}
+
+// TestCacheKeyMappingEquivalence: a request with an explicit mapping and one
+// whose mapping induces the identical execution graph share a key.
+func TestCacheKeyMappingEquivalence(t *testing.T) {
+	g := graph.New()
+	a := g.AddTask("", 1)
+	b := g.AddTask("", 2)
+	g.MustAddEdge(a, b)
+
+	// A chain on one processor adds no new serialization edges, so
+	// mapping vs no mapping compile to the same execution graph.
+	withProc := &SolveRequest{Graph: g, Processors: 1, Deadline: 4, Model: ModelSpec{Kind: "continuous", SMax: 2}}
+	bare := &SolveRequest{Graph: g, Deadline: 4, Model: ModelSpec{Kind: "continuous", SMax: 2}}
+	if cacheKey(mustCompile(t, withProc)) != cacheKey(mustCompile(t, bare)) {
+		t.Fatal("equivalent execution graphs produced different keys")
+	}
+}
+
+func TestCanonicalBytesDeterministic(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		g.AddTask("", float64(i+1))
+	}
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(3, 4)
+
+	// Same structure inserted in a different edge order.
+	h := graph.New()
+	for i := 0; i < 5; i++ {
+		h.AddTask("other", float64(i+1))
+	}
+	h.MustAddEdge(3, 4)
+	h.MustAddEdge(1, 3)
+	h.MustAddEdge(0, 3)
+
+	if string(g.CanonicalBytes()) != string(h.CanonicalBytes()) {
+		t.Fatal("edge insertion order changed the canonical encoding")
+	}
+	if g.Fingerprint() != h.Fingerprint() {
+		t.Fatal("fingerprints differ for identical instances")
+	}
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// HTTPOptions tunes the JSON transport around an Engine.
+type HTTPOptions struct {
+	// DefaultTimeout bounds requests that do not set timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout_ms (default 2m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatch bounds the number of requests in one batch (default 1024).
+	MaxBatch int
+}
+
+func (o HTTPOptions) defaults() HTTPOptions {
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	return o
+}
+
+// APIError is the structured error body of every non-2xx response and of
+// failed entries inside a batch response.
+type APIError struct {
+	// Code is a stable, machine-readable classification.
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+}
+
+// errorEnvelope wraps APIError at the top level of an error response.
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// BatchItemJSON is one entry of a batch response: a response or an error.
+type BatchItemJSON struct {
+	Response *SolveResponse `json:"response,omitempty"`
+	Error    *APIError      `json:"error,omitempty"`
+}
+
+// BatchRequestJSON is the wire form of POST /v1/solve/batch.
+type BatchRequestJSON struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchResponseJSON is the wire form of a batch answer, in request order.
+type BatchResponseJSON struct {
+	Results []BatchItemJSON `json:"results"`
+}
+
+// classify maps an engine error to its HTTP status and stable code.
+func classify(err error) (int, APIError) {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, APIError{Code: "invalid_request", Message: err.Error()}
+	case errors.Is(err, ErrInfeasible):
+		return http.StatusUnprocessableEntity, APIError{Code: "infeasible", Message: err.Error()}
+	case errors.Is(err, ErrSearchLimit):
+		return http.StatusUnprocessableEntity, APIError{Code: "search_limit", Message: err.Error()}
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, APIError{Code: "overloaded", Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, APIError{Code: "timeout", Message: "solve exceeded its time budget"}
+	case errors.Is(err, context.Canceled):
+		return 499, APIError{Code: "canceled", Message: "request canceled"} // nginx-style client closed request
+	default:
+		return http.StatusInternalServerError, APIError{Code: "solver_error", Message: err.Error()}
+	}
+}
+
+// NewHandler wires an Engine behind the service's HTTP surface:
+//
+//	POST /v1/solve        one SolveRequest  → SolveResponse
+//	POST /v1/solve/batch  {"requests":[…]}  → {"results":[…]} (per-entry errors)
+//	GET  /healthz         liveness + engine stats
+//
+// The handler is httptest-friendly: it holds no global state beyond the
+// Engine and can be mounted under any server.
+func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
+	opts = opts.defaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var req SolveRequest
+		if !decodeJSON(w, r, opts.MaxBodyBytes, &req) {
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), req.TimeoutMS, opts)
+		defer cancel()
+		resp, err := e.Solve(ctx, &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		var batch BatchRequestJSON
+		if !decodeJSON(w, r, opts.MaxBodyBytes, &batch) {
+			return
+		}
+		if len(batch.Requests) == 0 {
+			writeError(w, badRequest("batch contains no requests"))
+			return
+		}
+		if len(batch.Requests) > opts.MaxBatch {
+			writeError(w, badRequest("batch of %d exceeds the limit of %d", len(batch.Requests), opts.MaxBatch))
+			return
+		}
+		// Each entry gets its own deadline from its own timeout_ms (or the
+		// server default): one impatient request must not shrink — and one
+		// generous request must not stretch — anyone else's budget.
+		reqs := make([]*SolveRequest, len(batch.Requests))
+		for i := range batch.Requests {
+			reqs[i] = &batch.Requests[i]
+		}
+		results := e.solveBatch(reqs, func(req *SolveRequest) (context.Context, context.CancelFunc) {
+			return requestContext(r.Context(), req.TimeoutMS, opts)
+		})
+		out := BatchResponseJSON{Results: make([]BatchItemJSON, len(results))}
+		for i, res := range results {
+			if res.Err != nil {
+				_, apiErr := classify(res.Err)
+				out.Results[i] = BatchItemJSON{Error: &apiErr}
+			} else {
+				out.Results[i] = BatchItemJSON{Response: res.Response}
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"stats":  e.Stats(),
+		})
+	})
+	return mux
+}
+
+// requestContext derives the per-request deadline from timeout_ms, clamped
+// into (0, MaxTimeout], defaulting to DefaultTimeout.
+func requestContext(parent context.Context, timeoutMS int, opts HTTPOptions) (context.Context, context.CancelFunc) {
+	d := opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > opts.MaxTimeout {
+			d = opts.MaxTimeout
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// decodeJSON reads one JSON value from the bounded body; on failure it
+// writes the error response itself (413 for an oversized body, 400 for
+// anything malformed) and returns false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorEnvelope{Error: APIError{
+				Code:    "payload_too_large",
+				Message: fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit),
+			}})
+			return false
+		}
+		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
+		return false
+	}
+	if dec.More() {
+		// A second JSON value would be silently dropped; that's a client
+		// bug worth surfacing, not ignoring.
+		writeError(w, badRequest("trailing data after the JSON body"))
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, apiErr := classify(err)
+	writeJSON(w, status, errorEnvelope{Error: apiErr})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opts Options, hopts HTTPOptions) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := NewEngine(opts)
+	srv := httptest.NewServer(NewHandler(e, hopts))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+const chainBody = `{"graph":{"tasks":[{"name":"first","weight":3},{"name":"second","weight":5}],"edges":[[0,1]]},"deadline":4,"model":{"kind":"continuous","smax":2}}`
+
+func TestHTTPSolve(t *testing.T) {
+	srv, _ := newTestServer(t, Options{VerifyTol: 1e-9}, HTTPOptions{})
+	resp, body := postJSON(t, srv.URL+"/v1/solve", chainBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if math.Abs(out.Energy-32) > 1e-6 {
+		t.Fatalf("energy = %v, want 32", out.Energy)
+	}
+	if out.CacheHit {
+		t.Fatal("first request hit the cache")
+	}
+
+	// Replay: identical body must be served from the cache.
+	_, body2 := postJSON(t, srv.URL+"/v1/solve", chainBody)
+	var out2 SolveResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit || out2.Energy != out.Energy {
+		t.Fatalf("replay not served from cache: %+v", out2)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	cases := []struct {
+		name       string
+		path, body string
+		status     int
+		code       string
+	}{
+		{"malformed json", "/v1/solve", `{`, http.StatusBadRequest, "invalid_request"},
+		{"missing graph", "/v1/solve", `{"deadline":1,"model":{"kind":"continuous","smax":1}}`, http.StatusBadRequest, "invalid_request"},
+		{"cyclic graph", "/v1/solve", `{"graph":{"tasks":[{"weight":1},{"weight":1}],"edges":[[0,1],[1,0]]},"deadline":1,"model":{"kind":"continuous","smax":1}}`, http.StatusBadRequest, "invalid_request"},
+		{"infeasible", "/v1/solve", `{"graph":{"tasks":[{"weight":8}],"edges":[]},"deadline":1,"model":{"kind":"continuous","smax":2}}`, http.StatusUnprocessableEntity, "infeasible"},
+		{"empty batch", "/v1/solve/batch", `{"requests":[]}`, http.StatusBadRequest, "invalid_request"},
+		{"trailing data", "/v1/solve", chainBody + `{"second":"value"}`, http.StatusBadRequest, "invalid_request"},
+		{"adversarial incremental grid", "/v1/solve",
+			`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"incremental","smin":1e-300,"smax":1,"delta":1e-300}}`,
+			http.StatusBadRequest, "invalid_request"},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: bad error body %s", tc.name, body)
+			continue
+		}
+		if env.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, env.Error.Code, tc.code)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+	// Wrong method on a POST route.
+	resp, err := http.Get(srv.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPBatch posts 100 mixed-model requests, one fifth of them broken,
+// and checks per-request isolation on the wire (the acceptance criterion).
+func TestHTTPBatch(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 4}, HTTPOptions{})
+
+	var b strings.Builder
+	b.WriteString(`{"requests":[`)
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		w := 2 + i%5
+		var mdl, extra string
+		deadline := 10.0
+		switch i % 5 {
+		case 0:
+			mdl = `{"kind":"continuous","smax":2}`
+		case 1:
+			mdl = `{"kind":"vdd-hopping","modes":[0.5,1,2]}`
+		case 2:
+			mdl = `{"kind":"discrete","modes":[0.5,1,2]}`
+		case 3:
+			mdl = `{"kind":"incremental","smin":0.5,"smax":2,"delta":0.25}`
+		case 4:
+			mdl = `{"kind":"continuous","smax":2}`
+			deadline = 0.01 // infeasible on purpose
+		}
+		fmt.Fprintf(&b, `{"id":"r%d","graph":{"tasks":[{"weight":%d},{"weight":3}],"edges":[[0,1]]},"deadline":%g,"model":%s%s}`,
+			i, w, deadline, mdl, extra)
+	}
+	b.WriteString(`]}`)
+
+	resp, body := postJSON(t, srv.URL+"/v1/solve/batch", b.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponseJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 100 {
+		t.Fatalf("%d results, want 100", len(out.Results))
+	}
+	for i, item := range out.Results {
+		if i%5 == 4 {
+			if item.Error == nil || item.Error.Code != "infeasible" {
+				t.Errorf("result %d: want infeasible error, got %+v", i, item)
+			}
+			continue
+		}
+		if item.Error != nil {
+			t.Errorf("result %d: unexpected error %+v", i, item.Error)
+			continue
+		}
+		if item.Response.ID != fmt.Sprintf("r%d", i) {
+			t.Errorf("result %d: ID %q — order not preserved", i, item.Response.ID)
+		}
+		if !(item.Response.Energy > 0) {
+			t.Errorf("result %d: energy %v", i, item.Response.Energy)
+		}
+	}
+}
+
+func TestHTTPBatchLimit(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{MaxBatch: 2})
+	body := `{"requests":[` + chainInner + `,` + chainInner + `,` + chainInner + `]}`
+	resp, raw := postJSON(t, srv.URL+"/v1/solve/batch", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+const chainInner = `{"graph":{"tasks":[{"weight":3},{"weight":5}],"edges":[[0,1]]},"deadline":4,"model":{"kind":"continuous","smax":2}}`
+
+func TestHTTPHealthz(t *testing.T) {
+	srv, e := newTestServer(t, Options{Workers: 3}, HTTPOptions{})
+	if _, err := e.Solve(t.Context(), chainRequest()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || out.Stats.Workers != 3 || out.Stats.Solved != 1 {
+		t.Fatalf("healthz payload %+v", out)
+	}
+}
+
+func TestHTTPBodyLimit(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{MaxBodyBytes: 64})
+	resp, body := postJSON(t, srv.URL+"/v1/solve", chainBody) // > 64 bytes
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "payload_too_large" {
+		t.Fatalf("error body %s", body)
+	}
+}
+
+// TestHTTPBatchPerRequestTimeouts: an entry with a tiny timeout_ms must
+// time out alone — it must not shrink the budget of the entries that rely
+// on the server default.
+func TestHTTPBatchPerRequestTimeouts(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	heavy := benchRequest()
+	heavy.ID = "impatient"
+	heavy.TimeoutMS = 1
+	heavy.NoCache = true
+	heavyJSON, err := json.Marshal(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"requests":[%s,{"id":"patient",%s]}`,
+		heavyJSON, chainInner[1:]) // chainInner minus its opening brace
+	resp, raw := postJSON(t, srv.URL+"/v1/solve/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out BatchResponseJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Error == nil || out.Results[0].Error.Code != "timeout" {
+		t.Fatalf("impatient entry: %+v", out.Results[0])
+	}
+	if out.Results[1].Error != nil {
+		t.Fatalf("patient entry caught the impatient entry's deadline: %+v", out.Results[1].Error)
+	}
+	if math.Abs(out.Results[1].Response.Energy-32) > 1e-6 {
+		t.Fatalf("patient entry energy %v", out.Results[1].Response.Energy)
+	}
+}
+
+func TestHTTPTimeout(t *testing.T) {
+	// A 1ns server-side budget forces the deadline before any solve.
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{DefaultTimeout: time.Nanosecond})
+	resp, body := postJSON(t, srv.URL+"/v1/solve", chainBody)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "timeout" {
+		t.Fatalf("error body %s", body)
+	}
+}

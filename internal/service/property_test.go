@@ -1,0 +1,161 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// TestCrossModelEnergyOrdering checks the paper's hierarchy on randomized
+// series-parallel instances: the continuous optimum lower-bounds the
+// Vdd-Hopping optimum, which lower-bounds the exact discrete optimum, which
+// lower-bounds the greedy and round-up heuristics — and every returned
+// schedule meets the deadline under its own model. (Continuous ≤ Vdd holds
+// because hopping profiles are a subset of measurable speed functions;
+// Vdd ≤ Discrete because constant-mode profiles are valid hopping profiles;
+// Discrete ≤ heuristics because the exact solver is optimal.)
+func TestCrossModelEnergyOrdering(t *testing.T) {
+	const (
+		instances = 25
+		tol       = 1e-6
+	)
+	rng := rand.New(rand.NewSource(20260729))
+	modes := []float64{0.5, 1.0, 1.5, 2.0}
+	smax := modes[len(modes)-1]
+
+	e := NewEngine(Options{VerifyTol: 1e-7, CacheSize: -1})
+	ctx := context.Background()
+
+	for trial := 0; trial < instances; trial++ {
+		n := 3 + rng.Intn(8)
+		g, _ := graph.RandomSP(rng, n, graph.UniformWeights(0.5, 4))
+
+		// Feasible-for-all-models deadline: a bit looser than the critical
+		// path at top speed.
+		dmin, err := g.MinimalDeadline(smax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := dmin * (1.2 + rng.Float64())
+
+		solveOne := func(spec ModelSpec, algo string) *SolveResponse {
+			t.Helper()
+			resp, err := e.Solve(ctx, &SolveRequest{
+				Graph:     g,
+				Deadline:  deadline,
+				Model:     spec,
+				Algorithm: algo,
+			})
+			if err != nil {
+				t.Fatalf("trial %d (%s/%s): %v", trial, spec.Kind, algo, err)
+			}
+			if resp.Makespan > deadline*(1+tol) {
+				t.Fatalf("trial %d (%s/%s): makespan %v > deadline %v",
+					trial, spec.Kind, algo, resp.Makespan, deadline)
+			}
+			return resp
+		}
+
+		cont := solveOne(ModelSpec{Kind: "continuous", SMax: smax}, "")
+		vdd := solveOne(ModelSpec{Kind: "vdd-hopping", Modes: modes}, "")
+		disc := solveOne(ModelSpec{Kind: "discrete", Modes: modes}, AlgoBB)
+		spdp := solveOne(ModelSpec{Kind: "discrete", Modes: modes}, AlgoSP)
+		greedy := solveOne(ModelSpec{Kind: "discrete", Modes: modes}, AlgoGreedy)
+		roundup := solveOne(ModelSpec{Kind: "discrete", Modes: modes}, AlgoRoundUp)
+
+		le := func(lo, hi *SolveResponse, what string) {
+			t.Helper()
+			if lo.Energy > hi.Energy*(1+tol) {
+				t.Fatalf("trial %d: %s violated: %.9g > %.9g (n=%d, D=%.4g)",
+					trial, what, lo.Energy, hi.Energy, g.N(), deadline)
+			}
+		}
+		le(cont, vdd, "continuous ≤ vdd")
+		le(vdd, disc, "vdd ≤ discrete")
+		le(disc, greedy, "discrete ≤ greedy")
+		le(disc, roundup, "discrete ≤ roundup")
+
+		// Two exact discrete solvers must agree.
+		if diff := disc.Energy - spdp.Energy; diff > tol*disc.Energy || diff < -tol*disc.Energy {
+			t.Fatalf("trial %d: BB %.9g vs SP-DP %.9g disagree", trial, disc.Energy, spdp.Energy)
+		}
+	}
+}
+
+// TestIncrementalApproxBound: the Theorem 5 result must respect its a-priori
+// guarantee against the continuous lower bound.
+func TestIncrementalApproxBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine(Options{VerifyTol: 1e-7, CacheSize: -1})
+	ctx := context.Background()
+	const smin, smax, delta = 0.5, 2.0, 0.25
+
+	for trial := 0; trial < 10; trial++ {
+		g, _ := graph.RandomSP(rng, 3+rng.Intn(6), graph.UniformWeights(0.5, 3))
+		dmin, err := g.MinimalDeadline(smax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := dmin * 1.5
+
+		cont, err := e.Solve(ctx, &SolveRequest{
+			Graph: g, Deadline: deadline,
+			Model: ModelSpec{Kind: "continuous", SMax: smax},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := e.Solve(ctx, &SolveRequest{
+			Graph: g, Deadline: deadline, K: 4,
+			Model: ModelSpec{Kind: "incremental", SMin: smin, SMax: smax, Delta: delta},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := model.NewIncremental(smin, smax, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := core.Theorem5Bound(m, 4)
+		if inc.BoundFactor <= 1 {
+			t.Fatalf("approximate solve lost its bound factor: %+v", inc)
+		}
+		if inc.Energy > cont.Energy*bound*(1+1e-6) {
+			t.Fatalf("trial %d: incremental %.9g exceeds bound %.4g × continuous %.9g",
+				trial, inc.Energy, bound, cont.Energy)
+		}
+	}
+}
+
+// TestPropertyInfeasibleConsistency: when the deadline is below the
+// top-speed critical path, every model must report infeasibility.
+func TestPropertyInfeasibleConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := NewEngine(Options{CacheSize: -1})
+	ctx := context.Background()
+	modes := []float64{0.5, 1, 2}
+
+	for trial := 0; trial < 10; trial++ {
+		g, _ := graph.RandomSP(rng, 3+rng.Intn(5), graph.UniformWeights(1, 2))
+		dmin, err := g.MinimalDeadline(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := dmin * 0.9
+		for _, spec := range []ModelSpec{
+			{Kind: "continuous", SMax: 2},
+			{Kind: "vdd-hopping", Modes: modes},
+			{Kind: "discrete", Modes: modes},
+		} {
+			_, err := e.Solve(ctx, &SolveRequest{Graph: g, Deadline: deadline, Model: spec})
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d (%s): err = %v, want ErrInfeasible", trial, spec.Kind, err)
+			}
+		}
+	}
+}

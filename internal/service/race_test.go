@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exps"
+	"repro/internal/graph"
+)
+
+// TestEngineStress hammers one Engine from many goroutines with overlapping
+// batch submissions: a small instance pool (forcing cache-hit/miss races on
+// the same keys), mixed models, deliberate failures, and mid-flight
+// cancellations. Run under -race this is the service's memory-safety proof.
+func TestEngineStress(t *testing.T) {
+	const (
+		submitters = 8
+		rounds     = 6
+		batchSize  = 24
+		poolSize   = 10
+	)
+	e := NewEngine(Options{Workers: 4, CacheSize: 32})
+
+	// Shared instance pool: concurrent submitters repeatedly solve the same
+	// keys, exercising Get/Add races and eviction under load.
+	pool := make([]*graph.Graph, poolSize)
+	for i := range pool {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		g, _ := graph.RandomSP(rng, 3+i%5, graph.UniformWeights(0.5, 3))
+		pool[i] = g
+	}
+	modes := []float64{0.5, 1, 2}
+
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for round := 0; round < rounds; round++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				if rng.Intn(3) == 0 {
+					// A third of the batches get yanked mid-flight. Draw the
+					// delay here: the goroutine must not share this rng.
+					delay := time.Duration(rng.Intn(300)) * time.Microsecond
+					go func() {
+						time.Sleep(delay)
+						cancel()
+					}()
+				}
+				reqs := make([]*SolveRequest, batchSize)
+				for i := range reqs {
+					g := pool[rng.Intn(poolSize)]
+					req := &SolveRequest{ID: fmt.Sprintf("s%d-r%d-%d", seed, round, i), Graph: g}
+					dmin, err := g.MinimalDeadline(2)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// Quantized deadlines so distinct submitters share keys.
+					req.Deadline = dmin * (1.5 + float64(rng.Intn(3))*0.5)
+					switch rng.Intn(5) {
+					case 0:
+						req.Model = ModelSpec{Kind: "continuous", SMax: 2}
+					case 1:
+						req.Model = ModelSpec{Kind: "vdd-hopping", Modes: modes}
+					case 2:
+						req.Model = ModelSpec{Kind: "discrete", Modes: modes}
+					case 3:
+						req.Model = ModelSpec{Kind: "incremental", SMin: 0.5, SMax: 2, Delta: 0.5}
+					case 4:
+						req.Model = ModelSpec{Kind: "continuous", SMax: 2}
+						req.Deadline = dmin * 0.5 // guaranteed infeasible
+					}
+					if rng.Intn(8) == 0 {
+						req.NoCache = true
+					}
+					reqs[i] = req
+				}
+				results := e.SolveBatch(ctx, reqs)
+				for i, res := range results {
+					switch {
+					case res.Err == nil:
+						if res.Response == nil || !(res.Response.Energy > 0) {
+							t.Errorf("request %s: no error but bad response %+v", reqs[i].ID, res.Response)
+						}
+					case errors.Is(res.Err, context.Canceled),
+						errors.Is(res.Err, ErrInfeasible),
+						errors.Is(res.Err, ErrBadRequest):
+						// expected outcomes under stress
+					default:
+						t.Errorf("request %s: unexpected error %v", reqs[i].ID, res.Err)
+					}
+				}
+				cancel()
+			}
+		}(int64(s))
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.Hits == 0 {
+		t.Error("stress run produced no cache hits — pool sharing broken")
+	}
+	if st.Solved == 0 {
+		t.Error("stress run solved nothing")
+	}
+	t.Logf("stress stats: %+v", st)
+}
+
+// TestRunAllParallelUnderRace runs the experiment suite's own parallel
+// harness (the pattern the Engine's pool reuses) alongside engine traffic,
+// putting both concurrency surfaces under the race detector at once.
+func TestRunAllParallelUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow under -short")
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() {
+		defer wg.Done()
+		var buf bytes.Buffer
+		if err := exps.RunAllParallel(&buf, "", exps.Config{Seed: 42, Quick: true}, 4); err != nil {
+			t.Errorf("RunAllParallel: %v", err)
+		}
+	}()
+
+	go func() {
+		defer wg.Done()
+		e := NewEngine(Options{Workers: 2})
+		ctx := context.Background()
+		for i := 0; i < 50; i++ {
+			if _, err := e.Solve(ctx, chainRequest()); err != nil {
+				t.Errorf("solve %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+}

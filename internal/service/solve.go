@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// dispatch routes a compiled instance to a solver. AlgoAuto picks the
+// cheapest exact method for the model (matching the paper's complexity
+// landscape): the continuous dispatcher's closed forms / SP algebra /
+// interior point, the Vdd-Hopping LP, branch-and-bound for Discrete, and
+// the Theorem 5 approximation for Incremental (whose exact problem is
+// NP-complete but which ships a polynomial guarantee).
+func dispatch(inst *instance) (*core.Solution, error) {
+	p, m := inst.prob, inst.mdl
+	switch m.Kind {
+	case model.Continuous:
+		if inst.algo != AlgoAuto {
+			return nil, badRequest("algorithm %q is not defined for the Continuous model", inst.algo)
+		}
+		return p.SolveContinuous(m.SMax, core.ContinuousOptions{})
+
+	case model.VddHopping:
+		if inst.algo != AlgoAuto {
+			return nil, badRequest("algorithm %q is not defined for the Vdd-Hopping model", inst.algo)
+		}
+		return p.SolveVddHopping(m)
+
+	case model.Discrete, model.Incremental:
+		switch inst.algo {
+		case AlgoAuto:
+			if m.Kind == model.Incremental {
+				return p.SolveIncrementalApprox(m, inst.k, core.ContinuousOptions{})
+			}
+			return p.SolveDiscreteBB(m, core.DiscreteOptions{})
+		case AlgoBB:
+			return p.SolveDiscreteBB(m, core.DiscreteOptions{})
+		case AlgoSP:
+			return solveSP(p, m)
+		case AlgoGreedy:
+			return p.SolveDiscreteGreedy(m)
+		case AlgoRoundUp:
+			return p.SolveDiscreteRoundUp(m, core.ContinuousOptions{})
+		case AlgoApprox:
+			if m.Kind == model.Incremental {
+				return p.SolveIncrementalApprox(m, inst.k, core.ContinuousOptions{})
+			}
+			return p.SolveDiscreteApprox(m, inst.k, core.ContinuousOptions{})
+		}
+	}
+	return nil, badRequest("no solver for model %s / algorithm %q", m.Kind, inst.algo)
+}
+
+// solveSP runs the exact Pareto DP after recognizing a series-parallel
+// shape in the transitive reduction of the execution graph.
+func solveSP(p *core.Problem, m model.Model) (*core.Solution, error) {
+	reduced, err := p.G.TransitiveReduction()
+	if err != nil {
+		return nil, err
+	}
+	expr, ok := graph.DecomposeSP(reduced)
+	if !ok {
+		return nil, badRequest("algorithm %q requires a series-parallel execution graph", AlgoSP)
+	}
+	rp, err := core.NewProblem(reduced, p.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := rp.SolveDiscreteSP(m, expr, core.DiscreteOptions{})
+	if err != nil {
+		return nil, err
+	}
+	// Re-expand onto the original execution graph so Verify sees the full
+	// edge set (path structure, hence feasibility, is identical).
+	speeds, err := sol.Speeds()
+	if err != nil {
+		return nil, fmt.Errorf("service: SP solution has non-constant speeds: %w", err)
+	}
+	s, err := sched.FromSpeeds(p.G, speeds)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Solution{Model: sol.Model, Schedule: s, Energy: s.Energy, Stats: sol.Stats}, nil
+}

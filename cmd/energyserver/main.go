@@ -51,10 +51,14 @@ func run(args []string) error {
 		opts.VerifyTol = 1e-6
 	}
 	engine := service.NewEngine(opts)
-	handler := service.NewHandler(engine, service.HTTPOptions{
+	// Normalize the timeout flags exactly as the handler will (a zero or
+	// negative -max-timeout falls back to the handler's default), so the
+	// server timeouts below are derived from the cap actually enforced.
+	httpOpts := service.HTTPOptions{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
-	})
+	}.Defaults()
+	handler := service.NewHandler(engine, httpOpts)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -64,7 +68,7 @@ func run(args []string) error {
 		// hold a connection open forever; WriteTimeout must outlast the
 		// largest solve budget (max-timeout) plus response writing.
 		ReadTimeout:  time.Minute,
-		WriteTimeout: *maxTimeout + time.Minute,
+		WriteTimeout: httpOpts.MaxTimeout + time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
 

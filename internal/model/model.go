@@ -88,9 +88,16 @@ var (
 	ErrBadRange     = errors.New("model: need 0 < smin <= smax")
 	ErrBadDelta     = errors.New("model: delta must be positive")
 	ErrBadSMax      = errors.New("model: smax must be positive (use +Inf for unbounded)")
+	ErrGridTooLarge = errors.New("model: incremental grid has too many modes to materialize")
 	ErrWrongKind    = errors.New("model: operation not defined for this model kind")
 	ErrSpeedTooHigh = errors.New("model: required speed exceeds the fastest admissible speed")
 )
+
+// maxGridModes caps the Incremental grid NewIncremental will materialize:
+// 2²⁶ modes (512 MB of float64s) is far beyond any physical DVFS ladder, and
+// the bound keeps a degenerate (smax-smin)/delta from turning construction
+// into an unbounded allocation.
+const maxGridModes = 1 << 26
 
 // NewContinuous returns the Continuous model with speeds in (0, smax].
 // Pass math.Inf(1) for an unbounded model (as Theorem 2 assumes for SP).
@@ -129,19 +136,34 @@ func NewVddHopping(modes []float64) (Model, error) {
 // 0 ≤ i ≤ (smax-smin)/delta with an integral bound; appending preserves
 // the (1+δ/smin)² rounding guarantee).
 func NewIncremental(smin, smax, delta float64) (Model, error) {
-	if !(smin > 0) || !(smax >= smin) {
+	if !(smin > 0) || !(smax >= smin) || math.IsInf(smax, 1) {
 		return Model{}, ErrBadRange
 	}
 	if !(delta > 0) {
 		return Model{}, ErrBadDelta
 	}
-	var modes []float64
-	for i := 0; ; i++ {
-		s := smin + float64(i)*delta
-		if s > smax*(1+1e-12) {
-			break
+	// Bound the loop by the paper's integral index count i ≤ (smax-smin)/delta
+	// (with a hair of relative slack so a top step that lands on smax up to
+	// representation error still makes the grid). A float break condition of
+	// the form s > smax·(1+ε) must not be used here: for smax near
+	// MaxFloat64 that bound overflows to +Inf and the loop never terminates.
+	steps := math.Floor((smax - smin) / delta * (1 + 1e-12))
+	if !(steps < maxGridModes) {
+		return Model{}, fmt.Errorf("%w: ~%.3g steps of %g across [%g, %g]", ErrGridTooLarge, steps, delta, smin, smax)
+	}
+	n := int(steps)
+	modes := make([]float64, 0, n+2)
+	for i := 0; i <= n; i++ {
+		// The last step may land a shade above smax; clamp so the top
+		// physical speed stays the grid's ceiling.
+		s := math.Min(smin+float64(i)*delta, smax)
+		// A delta below the float spacing at smin can round consecutive
+		// steps to the same value; drop those so Modes stays strictly
+		// increasing like every other discrete kind.
+		if len(modes) > 0 && s <= modes[len(modes)-1] {
+			continue
 		}
-		modes = append(modes, math.Min(s, smax))
+		modes = append(modes, s)
 	}
 	if top := modes[len(modes)-1]; top < smax-1e-12*smax {
 		modes = append(modes, smax)

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -108,6 +109,54 @@ func TestNewIncrementalAppendsSMax(t *testing.T) {
 	m1, err := NewIncremental(1, 1, 0.5)
 	if err != nil || len(m1.Modes) != 1 || m1.Modes[0] != 1 {
 		t.Fatalf("degenerate range: %v %v", m1, err)
+	}
+}
+
+// TestNewIncrementalExtremeInputs: construction must terminate (and stay
+// small) even when smax sits at the edge of the float range, where a break
+// condition like s > smax·(1+ε) overflows to +Inf and can never trip.
+func TestNewIncrementalExtremeInputs(t *testing.T) {
+	m, err := NewIncremental(1, math.MaxFloat64, 1e307)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Modes) > 32 {
+		t.Fatalf("%d modes for an ~18-step grid", len(m.Modes))
+	}
+	if top := m.Modes[len(m.Modes)-1]; top != math.MaxFloat64 {
+		t.Fatalf("top mode %v, want smax", top)
+	}
+	for i := 1; i < len(m.Modes); i++ {
+		if m.Modes[i] <= m.Modes[i-1] {
+			t.Fatalf("modes not strictly increasing: %v", m.Modes)
+		}
+	}
+
+	if _, err := NewIncremental(1, math.Inf(1), 1); err == nil {
+		t.Fatal("accepted smax = +Inf")
+	}
+	if _, err := NewIncremental(1, math.NaN(), 1); err == nil {
+		t.Fatal("accepted smax = NaN")
+	}
+	if _, err := NewIncremental(1, 2, math.NaN()); err == nil {
+		t.Fatal("accepted delta = NaN")
+	}
+	// A grid too large to materialize errors instead of allocating it.
+	if _, err := NewIncremental(1, 1e12, 1e-3); !errors.Is(err, ErrGridTooLarge) {
+		t.Fatalf("err = %v, want ErrGridTooLarge", err)
+	}
+
+	// A delta below the float spacing at smin (ulp(1e16) = 2) must not yield
+	// duplicate modes: the grid collapses onto the representable values but
+	// stays strictly increasing.
+	m, err = NewIncremental(1e16, 1e16+64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Modes); i++ {
+		if m.Modes[i] <= m.Modes[i-1] {
+			t.Fatalf("modes not strictly increasing around ulp-sized delta: %v", m.Modes)
+		}
 	}
 }
 

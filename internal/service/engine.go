@@ -90,7 +90,10 @@ type Engine struct {
 type call struct {
 	done chan struct{}
 	resp *SolveResponse
-	err  error
+	// hit marks a call satisfied from the cache by the leader's post-join
+	// re-check rather than by a solver run.
+	hit bool
+	err error
 }
 
 // NewEngine builds an Engine with the given options.
@@ -162,7 +165,6 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 			return &resp, nil
 		}
 	}
-	e.misses.Add(1)
 
 	// An already-dead context must not commit the engine to background work.
 	if err := ctx.Err(); err != nil {
@@ -170,8 +172,10 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	}
 
 	var c *call
+	var follower bool
 	if req.NoCache {
 		// An explicit fresh solve never joins (or leads) a shared flight.
+		e.misses.Add(1)
 		if !e.admit() {
 			return nil, ErrOverloaded
 		}
@@ -180,7 +184,26 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	} else {
 		var leader bool
 		c, leader = e.join(key)
-		if leader {
+		switch {
+		case !leader:
+			// Counted on completion: only then is it known whether this
+			// waiter sat behind a solver run (miss, coalesced) or behind a
+			// leader whose post-join re-check hit the cache (hit).
+			follower = true
+		default:
+			if cached, ok := e.cache.Get(key); ok {
+				// The first cache check raced with a completing solve for
+				// this key: it cached its result and left the flight map
+				// between our miss and our join. Serve the cached response
+				// (to any waiters who joined behind us too) instead of
+				// re-running the solver.
+				e.hits.Add(1)
+				c.resp, c.hit = cached, true
+				e.unjoin(key)
+				close(c.done)
+				break
+			}
+			e.misses.Add(1)
 			if !e.admit() {
 				// Publish the shed before deregistering: a waiter may have
 				// joined between our join and this point.
@@ -190,18 +213,27 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 				return nil, ErrOverloaded
 			}
 			e.spawn(inst, key, c, func() { e.unjoin(key) })
-		} else {
-			e.coalesced.Add(1)
 		}
 	}
 
 	select {
 	case <-c.done:
+		if follower {
+			// Abandoned waiters (ctx branch below) count as neither: they
+			// never observed an outcome.
+			if c.hit {
+				e.hits.Add(1)
+			} else {
+				e.misses.Add(1)
+				e.coalesced.Add(1)
+			}
+		}
 		if c.err != nil {
 			return nil, c.err
 		}
 		resp := *c.resp
 		resp.ID = req.ID
+		resp.CacheHit = c.hit
 		resp.ElapsedMS = msSince(start)
 		return &resp, nil
 	case <-ctx.Done():

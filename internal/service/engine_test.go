@@ -199,6 +199,16 @@ func TestSolveBadRequests(t *testing.T) {
 			r.Model = ModelSpec{Kind: "incremental", SMin: 1e-300, SMax: 1, Delta: 1e-300}
 			return r
 		}()},
+		{"incremental smax=+Inf", func() *SolveRequest {
+			r := chainRequest()
+			r.Model = ModelSpec{Kind: "incremental", SMin: 1, SMax: math.Inf(1), Delta: 1}
+			return r
+		}()},
+		{"incremental delta=NaN", func() *SolveRequest {
+			r := chainRequest()
+			r.Model = ModelSpec{Kind: "incremental", SMin: 1, SMax: 2, Delta: math.NaN()}
+			return r
+		}()},
 		{"oversized mode list", func() *SolveRequest {
 			r := chainRequest()
 			modes := make([]float64, MaxModes+1)
@@ -219,6 +229,70 @@ func TestSolveBadRequests(t *testing.T) {
 	infeasible.Deadline = 1 // needs speed 8 > smax 2
 	if _, err := e.Solve(ctx, infeasible); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestIncrementalOverflowSpecTerminates: a spec whose grid is small by the
+// ratio check but whose smax sits at the float ceiling used to hang model
+// construction forever (smax·(1+ε) overflows to +Inf, so the materialization
+// loop's break condition never fired). It must now build — quickly, and with
+// the handful of modes the ratio promises.
+func TestIncrementalOverflowSpecTerminates(t *testing.T) {
+	spec := ModelSpec{Kind: "incremental", SMin: 1, SMax: math.MaxFloat64, Delta: 1e307}
+	m, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Modes) > MaxModes {
+		t.Fatalf("%d modes from an ~18-step grid", len(m.Modes))
+	}
+}
+
+// TestSolveProcessorsClamped: a processor count far beyond the task count
+// must not translate into per-processor allocations; it is clamped to the
+// graph size and solves like the saturated schedule.
+func TestSolveProcessorsClamped(t *testing.T) {
+	e := NewEngine(Options{VerifyTol: 1e-9})
+	req := chainRequest()
+	req.Processors = 2_000_000_000
+	resp, err := e.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(resp.Energy > 0) || resp.Makespan > 4+1e-9 {
+		t.Fatalf("bad solution: %+v", resp)
+	}
+}
+
+// TestRepeatedInstanceSolvesOnce: across many rounds of concurrent identical
+// requests, the solver must run exactly once — every later caller is served
+// by the flight it joined or by the cache, including the race window where a
+// request misses the cache just before the finishing solve populates it (the
+// leader re-checks the cache after winning the flight).
+func TestRepeatedInstanceSolvesOnce(t *testing.T) {
+	e := NewEngine(Options{Workers: 4})
+	ctx := context.Background()
+	for round := 0; round < 20; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := e.Solve(ctx, chainRequest()); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	st := e.Stats()
+	if st.Solved != 1 {
+		t.Fatalf("%d solver runs for one repeated instance (stats %+v)", st.Solved, st)
+	}
+	// Every completed request counts as exactly one of hit/miss — including
+	// waiters behind a leader whose post-join re-check hit the cache.
+	if st.Hits+st.Misses != 20*8 {
+		t.Fatalf("hits %d + misses %d != %d requests (stats %+v)", st.Hits, st.Misses, 20*8, st)
 	}
 }
 

@@ -23,6 +23,8 @@ func FuzzSolveRequest(f *testing.F) {
 		`{"graph":{"tasks":[{"weight":1}],"edges":[[0,9]]},"deadline":1,"model":{"kind":"continuous","smax":1}}`,
 		`{"deadline":1,"model":{"kind":"quantum"}}`,
 		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"incremental","smin":1e-300,"smax":1,"delta":1e-300}}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"incremental","smin":1,"smax":1.7976931348623157e308,"delta":1e307}}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"continuous","smax":1},"processors":2000000000}`,
 		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1e308,"model":{"kind":"continuous","smax":1e308}}`,
 		`{`,
 		`null`,

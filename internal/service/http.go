@@ -13,7 +13,9 @@ import (
 type HTTPOptions struct {
 	// DefaultTimeout bounds requests that do not set timeout_ms (default 30s).
 	DefaultTimeout time.Duration
-	// MaxTimeout caps any requested timeout_ms (default 2m).
+	// MaxTimeout caps any requested timeout_ms (default 2m; raised to
+	// DefaultTimeout when configured below it, so the cap always covers the
+	// budget handed to requests that don't ask for one).
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
@@ -21,12 +23,22 @@ type HTTPOptions struct {
 	MaxBatch int
 }
 
-func (o HTTPOptions) defaults() HTTPOptions {
+// Defaults returns o with every unset or out-of-range field replaced by its
+// default. NewHandler applies it internally; callers deriving server
+// parameters from these options (e.g. an http.Server WriteTimeout that must
+// outlast MaxTimeout) should normalize through it first, so that a flag
+// value like -max-timeout 0 yields the cap the handler actually enforces.
+func (o HTTPOptions) Defaults() HTTPOptions {
 	if o.DefaultTimeout <= 0 {
 		o.DefaultTimeout = 30 * time.Second
 	}
 	if o.MaxTimeout <= 0 {
 		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.MaxTimeout < o.DefaultTimeout {
+		// requestContext gives DefaultTimeout to requests without a
+		// timeout_ms; the cap must not undercut that budget.
+		o.MaxTimeout = o.DefaultTimeout
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
@@ -96,7 +108,7 @@ func classify(err error) (int, APIError) {
 // The handler is httptest-friendly: it holds no global state beyond the
 // Engine and can be mounted under any server.
 func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
-	opts = opts.defaults()
+	opts = opts.Defaults()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
 		var req SolveRequest

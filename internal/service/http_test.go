@@ -259,6 +259,24 @@ func TestHTTPBatchPerRequestTimeouts(t *testing.T) {
 	}
 }
 
+// TestHTTPOptionsDefaults: Defaults is the one normalization used by both
+// NewHandler and cmd/energyserver's server-timeout derivation — an unset or
+// negative cap must come back as the enforced default, never below the
+// default per-request budget.
+func TestHTTPOptionsDefaults(t *testing.T) {
+	for _, raw := range []time.Duration{0, -time.Second} {
+		got := HTTPOptions{MaxTimeout: raw}.Defaults()
+		if got.MaxTimeout != 2*time.Minute {
+			t.Fatalf("MaxTimeout(%v) normalized to %v, want 2m", raw, got.MaxTimeout)
+		}
+	}
+	// A cap below the default budget is lifted to cover it.
+	got := HTTPOptions{DefaultTimeout: 5 * time.Minute, MaxTimeout: 2 * time.Minute}.Defaults()
+	if got.MaxTimeout != 5*time.Minute {
+		t.Fatalf("MaxTimeout %v undercuts DefaultTimeout %v", got.MaxTimeout, got.DefaultTimeout)
+	}
+}
+
 func TestHTTPTimeout(t *testing.T) {
 	// A 1ns server-side budget forces the deadline before any solve.
 	srv, _ := newTestServer(t, Options{}, HTTPOptions{DefaultTimeout: time.Nanosecond})

@@ -59,9 +59,12 @@ func (s ModelSpec) Build() (model.Model, error) {
 			m, err = model.NewVddHopping(s.Modes)
 		}
 	case "incremental":
-		// Pre-check the grid size: NewIncremental's materialization loop
-		// runs (smax-smin)/delta iterations on untrusted numbers.
-		if s.Delta > 0 && s.SMax >= s.SMin && (s.SMax-s.SMin)/s.Delta > MaxModes {
+		// Pre-check the grid size: NewIncremental materializes one mode per
+		// (smax-smin)/delta step, on untrusted numbers. The comparison is
+		// phrased fail-closed — !(ratio ≤ MaxModes) — so a NaN or +Inf ratio
+		// (e.g. smax = +Inf from a programmatic caller) is rejected here
+		// rather than waved through to the constructor.
+		if s.Delta > 0 && s.SMax >= s.SMin && !((s.SMax-s.SMin)/s.Delta <= MaxModes) {
 			return model.Model{}, badRequest("incremental grid of ~%.3g modes exceeds the limit of %d",
 				(s.SMax-s.SMin)/s.Delta, MaxModes)
 		}
@@ -159,7 +162,14 @@ func (r *SolveRequest) compile() (*instance, error) {
 	exec := r.Graph
 	mapping := r.Mapping
 	if mapping == nil && r.Processors > 0 {
-		mapping, err = platform.ListSchedule(r.Graph, r.Processors)
+		// More processors than tasks is never useful (the extras idle), and
+		// ListSchedule allocates per-processor state — clamp so an
+		// adversarial count can't turn into a multi-gigabyte allocation.
+		p := r.Processors
+		if n := r.Graph.N(); p > n {
+			p = n
+		}
+		mapping, err = platform.ListSchedule(r.Graph, p)
 		if err != nil {
 			return nil, fmt.Errorf("%w: list schedule: %v", ErrBadRequest, err)
 		}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench verify bench-service fuzz clean
+.PHONY: all build test race vet bench verify bench-service bench-plan fuzz clean
 
 all: verify
 
@@ -30,14 +30,20 @@ verify: vet race bench
 bench-service:
 	BENCH_SERVICE_OUT=$(CURDIR)/BENCH_service.json $(GO) test -run TestEmitBenchServiceJSON -v ./internal/service/
 
+# bench-plan emits BENCH_plan.json: the structure-aware planner vs one
+# monolithic interior-point solve on a disconnected 8-component workload.
+bench-plan:
+	BENCH_PLAN_OUT=$(CURDIR)/BENCH_plan.json $(GO) test -run TestEmitBenchPlanJSON -v ./internal/plan/
+
 # Short fuzz pass over every fuzz target (decoders, canonical encoding, SP
-# recognizer, solve requests).
+# recognizer, solve and plan requests).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzGraphJSON -fuzztime=10s ./internal/graph/
 	$(GO) test -run=NONE -fuzz=FuzzGraphCanonical -fuzztime=10s ./internal/graph/
 	$(GO) test -run=NONE -fuzz=FuzzDecomposeSP -fuzztime=10s ./internal/graph/
 	$(GO) test -run=NONE -fuzz=FuzzSolveRequest -fuzztime=10s ./internal/service/
 	$(GO) test -run=NONE -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/service/
+	$(GO) test -run=NONE -fuzz=FuzzPlanRequest -fuzztime=10s ./internal/service/
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@ import (
 	"repro/internal/exps"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/service"
@@ -234,6 +235,39 @@ func Proposition1ContinuousBound(m Model) float64 { return core.Proposition1Cont
 // Proposition1DiscreteBound returns (1+α/s₁)²(1+1/K)².
 func Proposition1DiscreteBound(m Model, K int) float64 {
 	return core.Proposition1DiscreteBound(m, K)
+}
+
+// --- Structure-aware solve planner (see internal/plan) ---
+
+// Plan is an explainable solve plan: per weakly-connected component of the
+// execution graph, the recognized structure class, the routed solver, the
+// rationale, the a-priori bound factor, and a relative cost estimate.
+type Plan = plan.Plan
+
+// PlanOptions parameterizes plan analysis and execution (forced algorithm,
+// Theorem 5 K, component-solve concurrency, solver tunables).
+type PlanOptions = plan.Options
+
+// PlanComponent is one component's routing decision inside a Plan.
+type PlanComponent = plan.ComponentPlan
+
+// PlanClass is the structure classification (chain, fork, join, tree,
+// series-parallel, general DAG).
+type PlanClass = plan.Class
+
+// SolvePlannedOptions tunes Problem.SolvePlanned / Problem.SolveAuto.
+type SolvePlannedOptions = core.PlannedOptions
+
+// ProblemComponent couples one weakly-connected component with its
+// subproblem (see Problem.SplitComponents / Problem.MergeSolutions).
+type ProblemComponent = core.Component
+
+// Explain analyzes a problem without solving it: split into components,
+// classify each, and route it per the paper's complexity landscape. Execute
+// the returned plan to solve (independent components run concurrently), or
+// render it with its String method.
+func Explain(p *Problem, m Model, opts PlanOptions) (*Plan, error) {
+	return plan.Analyze(p, m, opts)
 }
 
 // --- Solve service (the concurrent serving layer; see cmd/energyserver) ---

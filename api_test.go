@@ -184,3 +184,51 @@ func TestErrSentinelsExported(t *testing.T) {
 		t.Fatal("model kind constants collide")
 	}
 }
+
+// TestPlannerFacade exercises the planner through the public API: Explain a
+// disconnected instance, check the routing, execute it, and cross-check
+// against the one-call SolvePlanned entry point.
+func TestPlannerFacade(t *testing.T) {
+	g := NewGraph()
+	a := g.AddTask("c0", 3)
+	b := g.AddTask("c1", 5)
+	g.MustAddEdge(a, b)
+	g.AddTask("lone", 2) // second weakly-connected component
+
+	prob, err := NewProblem(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewContinuous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Explain(prob, m, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Components) != 2 || !pl.Exact() {
+		t.Fatalf("plan: %s", pl)
+	}
+	if pl.Components[0].Solver != "chain-closed-form" {
+		t.Fatalf("chain routed to %q", pl.Components[0].Solver)
+	}
+	sol, err := pl.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain: 8 work over D=4 at speed 2 → 32 J; lone task at 0.5 → 0.5 J.
+	if math.Abs(sol.Energy-32.5) > 1e-9 {
+		t.Fatalf("planned energy %v, want 32.5", sol.Energy)
+	}
+	direct, err := prob.SolvePlanned(m, SolvePlannedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct.Energy-sol.Energy) > 1e-9 {
+		t.Fatalf("SolvePlanned %v vs Execute %v", direct.Energy, sol.Energy)
+	}
+	if err := prob.Verify(sol, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

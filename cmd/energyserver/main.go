@@ -6,11 +6,13 @@
 //
 //	POST /v1/solve        one instance  {graph, mapping?, deadline, model, …}
 //	POST /v1/solve/batch  {"requests":[…]} → per-request results and errors
+//	POST /v1/plan         explain-only: the planner's routing, no solve
+//	GET  /v1/stats        engine counters (hits, misses, coalesced, solves…)
 //	GET  /healthz         liveness and engine statistics
 //
 // Usage:
 //
-//	energyserver [-addr :8080] [-workers N] [-cache 1024] [-timeout 30s] [-verify]
+//	energyserver [-addr :8080] [-workers N] [-plan-workers 1] [-cache 1024] [-timeout 30s] [-verify]
 package main
 
 import (
@@ -38,6 +40,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("energyserver", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "max solves in flight (0 = GOMAXPROCS)")
+	planWorkers := fs.Int("plan-workers", 0, "component solves in flight per request (0 = 1; raise for low request concurrency)")
 	cacheSize := fs.Int("cache", 1024, "instance cache capacity (negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request timeout")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on requested timeouts")
@@ -46,7 +49,7 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := service.Options{Workers: *workers, CacheSize: *cacheSize}
+	opts := service.Options{Workers: *workers, PlanWorkers: *planWorkers, CacheSize: *cacheSize}
 	if *verify {
 		opts.VerifyTol = 1e-6
 	}

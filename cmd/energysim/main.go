@@ -8,6 +8,7 @@
 //	energysim -gen lu -n 5 -procs 4 -model vdd -modes 0.5,1,1.5,2 -factor 1.5 -gantt
 //	energysim -graph app.json -procs 2 -model discrete -modes 1,2 -solver bb
 //	energysim -gen fork -n 8 -model incremental -smin 0.5 -smax 2 -delta 0.25 -K 8
+//	energysim -gen gnp -n 20 -model continuous -plan   (print the per-component routing)
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/plan"
 	"repro/internal/platform"
 )
 
@@ -52,6 +54,7 @@ func run() error {
 		deadline  = flag.Float64("deadline", 0, "absolute deadline (overrides -factor)")
 		solver    = flag.String("solver", "auto", "solver: auto|numeric|bb|sp|greedy|roundup|approx|uniform|allmax")
 		kParam    = flag.Int("K", 8, "K for the Theorem 5 approximation")
+		showPlan  = flag.Bool("plan", false, "print the structure-aware solve plan (per-component routing) before solving")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		report    = flag.Bool("report", false, "print per-processor utilization and energy report")
 		compare   = flag.Bool("compare", false, "solve under ALL four models (plus baselines) and print a comparison table; ignores -model/-solver")
@@ -108,6 +111,12 @@ func run() error {
 	}
 	fmt.Printf("model: %s\n", m)
 
+	if *showPlan {
+		if err := printPlan(prob, m, *solver, *kParam); err != nil {
+			return err
+		}
+	}
+
 	sol, err := solve(prob, m, *solver, *kParam)
 	if err != nil {
 		return err
@@ -146,6 +155,24 @@ func run() error {
 	if *jsonOut {
 		return printJSON(sol)
 	}
+	return nil
+}
+
+// printPlan renders the structure-aware routing table the planner would use
+// for this instance. CLI-only solver names (numeric, uniform, allmax) have
+// no planner selector and fall back to auto for the display.
+func printPlan(p *core.Problem, m model.Model, solver string, K int) error {
+	algo := solver
+	switch solver {
+	case plan.AlgoAuto, plan.AlgoBB, plan.AlgoSP, plan.AlgoGreedy, plan.AlgoRoundUp, plan.AlgoApprox:
+	default:
+		algo = plan.AlgoAuto
+	}
+	pl, err := plan.Analyze(p, m, plan.Options{Algorithm: algo, K: K})
+	if err != nil {
+		return err
+	}
+	fmt.Print(pl.String())
 	return nil
 }
 

@@ -50,6 +50,31 @@
 //	vdd, _ := prob.SolveVddHopping(modes)
 //	fmt.Println("vdd-hopping optimum:", vdd.Energy)
 //
+// # Structure-aware planner
+//
+// The complexity landscape above is a routing table, and the planner makes
+// it executable: Explain splits the execution graph into weakly-connected
+// components (energy is additive across independent subgraphs sharing the
+// deadline), classifies each as chain / fork / join / tree /
+// series-parallel / general DAG, and routes it to the cheapest solver its
+// structure admits — closed forms and the equivalent-weight algebra where
+// Theorems 1–2 apply, the exact Pareto DP on series-parallel shapes,
+// branch-and-bound or the interior point only where nothing cheaper exists.
+// The resulting Plan is explainable (per-component solver, rationale,
+// a-priori bound factor, cost estimate) and executable: Execute solves
+// independent components concurrently on a bounded worker pool and merges
+// the solutions by task ID.
+//
+//	pl, _ := energysched.Explain(prob, m, energysched.PlanOptions{})
+//	fmt.Print(pl)          // the routing table, one line per component
+//	sol, _ := pl.Execute() // components solve in parallel, energies sum
+//
+// Problem.SolvePlanned is the one-call form (split, solve concurrently,
+// merge), and Problem.SolveAuto the single-component structured dispatch.
+// On a disconnected multi-component workload the planner beats one
+// monolithic interior-point solve by an order of magnitude (`make
+// bench-plan` emits BENCH_plan.json with your machine's numbers).
+//
 // # Serving layer
 //
 // Beyond the library API, the package ships a concurrent solve service for
@@ -69,8 +94,12 @@
 //
 //	results := eng.SolveBatch(ctx, reqs) // one BatchResult per request
 //
+// Every solve routes through the structure-aware planner, and the response
+// carries the plan that produced it, so results are auditable end to end.
+//
 // The same Engine serves HTTP via NewSolveHandler — JSON endpoints
-// POST /v1/solve, POST /v1/solve/batch, and GET /healthz — packaged as the
+// POST /v1/solve, POST /v1/solve/batch, POST /v1/plan (analyze without
+// solving), GET /v1/stats, and GET /healthz — packaged as the
 // cmd/energyserver binary. SolveRequest is simultaneously the programmatic
 // input and the wire format; see that type for the field catalogue.
 //

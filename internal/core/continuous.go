@@ -280,16 +280,8 @@ func (p *Problem) SolveContinuous(smax float64, opts ContinuousOptions) (*Soluti
 		// smax binds: fall through to numeric.
 	} else if reduced, rerr := p.G.TransitiveReduction(); rerr == nil {
 		if e, ok := graph.DecomposeSP(reduced); ok {
-			// Speeds computed on the reduced graph are valid for the
-			// original: both graphs have identical path structure.
-			rp := &Problem{G: reduced, Deadline: p.Deadline}
-			if sol, err := rp.SolveSPContinuous(e, smax); err == nil {
-				speeds, serr := sol.Speeds()
-				if serr == nil {
-					if full, ferr := p.solutionFromSpeeds(sol.Model, speeds, sol.Stats); ferr == nil {
-						return full, nil
-					}
-				}
+			if sol, err := p.SolveSPContinuousOn(reduced, e, smax); err == nil {
+				return sol, nil
 			}
 		}
 	}

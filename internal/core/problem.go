@@ -18,6 +18,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -105,8 +106,11 @@ func (p *Problem) Verify(s *Solution, tol float64) error {
 		return errors.New("core: nil solution")
 	}
 	if s.Schedule.G != p.G {
-		// Allow a structural clone: same tasks and edges.
-		if s.Schedule.G.N() != p.G.N() || s.Schedule.G.M() != p.G.M() {
+		// Allow a structural clone — but insist on the canonical encoding
+		// (weights and the full edge set), not just matching node/edge
+		// counts, so a schedule built on a different graph that happens to
+		// share N and M cannot validate against this problem.
+		if !bytes.Equal(s.Schedule.G.CanonicalBytes(), p.G.CanonicalBytes()) {
 			return errors.New("core: solution schedule built on a different graph")
 		}
 	}

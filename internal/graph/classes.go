@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Recognizers for the special graph classes the paper treats: chains, forks,
 // joins, and trees. Series-parallel recognition lives in sp.go.
@@ -190,4 +193,33 @@ func (g *Graph) WeaklyConnectedComponents() [][]int {
 		comps = append(comps, members)
 	}
 	return comps
+}
+
+// InducedSubgraph returns the subgraph induced by the given task IDs (names
+// and weights preserved, edges with both endpoints inside kept) together
+// with the mapping from new dense IDs back to the originals: back[new] = old.
+// IDs must be in range and strictly increasing, as produced by
+// WeaklyConnectedComponents.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int, error) {
+	local := make(map[int]int, len(nodes))
+	sub := New()
+	back := make([]int, 0, len(nodes))
+	for i, u := range nodes {
+		if u < 0 || u >= g.N() {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d out of range [0,%d)", u, g.N())
+		}
+		if i > 0 && nodes[i-1] >= u {
+			return nil, nil, fmt.Errorf("graph: subgraph nodes must be strictly increasing, got %d after %d", u, nodes[i-1])
+		}
+		local[u] = sub.AddTask(g.names[u], g.weights[u])
+		back = append(back, u)
+	}
+	for _, u := range nodes {
+		for _, v := range g.succ[u] {
+			if lv, ok := local[v]; ok {
+				sub.MustAddEdge(local[u], lv)
+			}
+		}
+	}
+	return sub, back, nil
 }

@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Execute runs the plan: every component is solved with its routed solver —
+// concurrently on a bounded worker pool when the graph decomposed — and the
+// solutions merge back onto the original execution graph (energy sums,
+// speeds stitch by task ID). A single-component plan solves the original
+// problem directly, so connected instances behave exactly as an unplanned
+// solve would.
+func (pl *Plan) Execute() (*core.Solution, error) {
+	if len(pl.comps) == 1 {
+		return pl.solveComponent(pl.comps[0].Prob, pl.Components[0])
+	}
+	sols, err := core.SolveComponents(pl.comps, pl.Workers, func(i int, c core.Component) (*core.Solution, error) {
+		return pl.solveComponent(c.Prob, pl.Components[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pl.prob.MergeSolutions(pl.comps, sols)
+}
+
+// solveComponent dispatches one component to its routed solver, reusing the
+// classification artifacts (class, SP expression) recorded during Analyze
+// and applying the documented fallbacks (SP algebra → interior point when
+// smax binds, Pareto DP → branch-and-bound when the frontier budget is hit).
+func (pl *Plan) solveComponent(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
+	m := pl.Model
+	switch pl.Algorithm {
+	case AlgoBB:
+		return p.SolveDiscreteBB(m, pl.dopts)
+	case AlgoSP:
+		sol, err := pl.solveDiscreteSP(p, cp)
+		if errors.Is(err, core.ErrNotSeriesParallel) {
+			// Analyze already rejects this; guard against direct construction.
+			return nil, badPlan("algorithm %q requires a series-parallel execution graph", AlgoSP)
+		}
+		return sol, err
+	case AlgoGreedy:
+		return p.SolveDiscreteGreedy(m)
+	case AlgoRoundUp:
+		return p.SolveDiscreteRoundUp(m, pl.copts)
+	case AlgoApprox:
+		if m.Kind == model.Incremental {
+			return p.SolveIncrementalApprox(m, pl.k, pl.copts)
+		}
+		return p.SolveDiscreteApprox(m, pl.k, pl.copts)
+	}
+	// Auto: the model-aware structured dispatch, mirroring core.SolveAuto
+	// but fed from the plan's own classification (the recognizers do not run
+	// again). The property suite pins this path to the direct dispatch.
+	switch m.Kind {
+	case model.Continuous:
+		return pl.solveContinuousAuto(p, cp)
+	case model.VddHopping:
+		return p.SolveVddHopping(m)
+	case model.Incremental:
+		return p.SolveIncrementalApprox(m, pl.k, pl.copts)
+	case model.Discrete:
+		sol, err := pl.solveDiscreteSP(p, cp)
+		if err == nil {
+			return sol, nil
+		}
+		if !errors.Is(err, core.ErrNotSeriesParallel) && !errors.Is(err, core.ErrSearchLimit) {
+			return nil, err
+		}
+		return p.SolveDiscreteBB(m, pl.dopts)
+	}
+	return nil, badPlan("no solver for model %s", m.Kind)
+}
+
+// solveDiscreteSP runs the exact Pareto DP on the expression recovered
+// during classification; general DAGs (no expression) report
+// ErrNotSeriesParallel so auto falls back to branch-and-bound.
+func (pl *Plan) solveDiscreteSP(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
+	if cp.art.expr == nil {
+		return nil, core.ErrNotSeriesParallel
+	}
+	return p.SolveDiscreteSPOn(pl.Model, cp.art.reduced, cp.art.expr, pl.dopts)
+}
+
+// solveContinuousAuto is core.SolveContinuous driven by the recorded class:
+// closed forms for chains and forks, the equivalent-weight algebra for
+// trees and series-parallel shapes, and the interior point for general DAGs
+// or whenever the algebra reports that the finite smax binds.
+func (pl *Plan) solveContinuousAuto(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
+	smax := pl.Model.SMax
+	if pl.copts.SMin > 0 {
+		// The closed forms assume speeds unbounded below.
+		return p.SolveContinuousNumeric(smax, pl.copts)
+	}
+	switch cp.Class {
+	case ClassChain:
+		return p.SolveChainContinuous(smax)
+	case ClassFork:
+		return p.SolveForkContinuous(smax)
+	case ClassJoin, ClassTree:
+		if sol, err := p.SolveSPContinuousOn(nil, cp.art.expr, smax); err == nil {
+			sol.Stats.Algorithm = "tree-equivalent-weight"
+			return sol, nil
+		}
+		// smax binds: fall through to numeric.
+	case ClassSeriesParallel:
+		if sol, err := p.SolveSPContinuousOn(cp.art.reduced, cp.art.expr, smax); err == nil {
+			return sol, nil
+		}
+	}
+	return p.SolveContinuousNumeric(smax, pl.copts)
+}

@@ -1,0 +1,410 @@
+// Package plan is the structure-aware solve planner: it analyzes an
+// execution graph — weakly-connected components first, then a per-component
+// classification as chain / fork / join / tree / series-parallel / general
+// DAG — and routes each component to the cheapest solver the paper's
+// complexity landscape (Theorems 1–5) admits, producing an explainable Plan
+// before any solving happens. Executing the plan solves independent
+// components concurrently on a bounded worker pool and merges the solutions
+// (energy is additive across components sharing the deadline; speed vectors
+// stitch back by task ID).
+//
+// The routing table, for the auto selector:
+//
+//	structure        Continuous                Discrete            Vdd-Hopping   Incremental
+//	chain            chain closed form (T1)    Pareto DP (exact)   LP (T3)       Theorem 5 approx
+//	fork             fork closed form (T1)     Pareto DP (exact)   LP (T3)       Theorem 5 approx
+//	join/tree        equivalent weight (T2)*   Pareto DP (exact)   LP (T3)       Theorem 5 approx
+//	series-parallel  equivalent weight (T2)*   Pareto DP (exact)   LP (T3)       Theorem 5 approx
+//	general DAG      interior point (§2.1)     branch-and-bound    LP (T3)       Theorem 5 approx
+//
+// (*) falls back to the interior point when the finite smax binds; the
+// Pareto DP falls back to branch-and-bound when its frontier budget is hit.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Algorithm selectors accepted by Options.Algorithm. These are the service
+// wire values; internal/service aliases them.
+const (
+	AlgoAuto    = "auto"    // cheapest exact method for the model
+	AlgoBB      = "bb"      // discrete branch-and-bound (exact)
+	AlgoSP      = "sp"      // discrete Pareto DP on series-parallel shapes (exact)
+	AlgoGreedy  = "greedy"  // discrete greedy heuristic
+	AlgoRoundUp = "roundup" // continuous solve + per-task round-up heuristic
+	AlgoApprox  = "approx"  // Theorem 5 (1+δ/smin)²(1+1/K)² approximation
+)
+
+// ErrBadPlan tags every analysis-time rejection (unsupported model/algorithm
+// combination, non-SP graph under the sp selector) so transport layers can
+// classify it as a caller mistake.
+var ErrBadPlan = errors.New("plan: invalid request")
+
+func badPlan(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadPlan, fmt.Sprintf(format, args...))
+}
+
+// Options parameterizes Analyze and the plan's execution.
+type Options struct {
+	// Algorithm forces a solving procedure (see Algo constants); empty means
+	// auto.
+	Algorithm string
+	// K is the Theorem 5 accuracy parameter (default 4).
+	K int
+	// Workers bounds concurrent component solves (default GOMAXPROCS).
+	Workers int
+	// Continuous tunes the interior-point solver.
+	Continuous core.ContinuousOptions
+	// Discrete tunes the exact discrete solvers.
+	Discrete core.DiscreteOptions
+}
+
+// Class is the structural classification of one component.
+type Class int
+
+// The classes of the paper's complexity landscape, in recognition order
+// (every chain is a tree and every tree is series-parallel; the planner
+// reports the most specific class because it carries the cheapest solver).
+const (
+	ClassChain Class = iota
+	ClassFork
+	ClassJoin
+	ClassTree
+	ClassSeriesParallel
+	ClassGeneralDAG
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassChain:
+		return "chain"
+	case ClassFork:
+		return "fork"
+	case ClassJoin:
+		return "join"
+	case ClassTree:
+		return "tree"
+	case ClassSeriesParallel:
+		return "series-parallel"
+	case ClassGeneralDAG:
+		return "general-dag"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// artifacts carries the reusable by-products of classification — the
+// series-parallel expression and (when the expression was found on it) the
+// transitive reduction — so Execute never pays the O(n²·m) recognition a
+// second time.
+type artifacts struct {
+	// expr is the series-parallel expression of the component: over the
+	// component graph itself for chains/forks/joins/trees, over reduced for
+	// the series-parallel class, nil for general DAGs.
+	expr *graph.SPExpr
+	// reduced is the transitive reduction expr was decomposed on, nil when
+	// expr refers to the component graph directly.
+	reduced *graph.Graph
+}
+
+// ComponentPlan is the routing decision for one weakly-connected component.
+type ComponentPlan struct {
+	// Tasks lists the component's original task IDs.
+	Tasks []int
+	// Class is the recognized structure.
+	Class Class
+	// Solver names the planned solving procedure.
+	Solver string
+	// Rationale explains the choice (theorem reference and fallback).
+	Rationale string
+	// BoundFactor is the a-priori guarantee: 1 for exact solvers, the
+	// Theorem 5 / Proposition 1 factor for approximations, +Inf for
+	// guarantee-free heuristics.
+	BoundFactor float64
+	// Cost is a rough relative cost estimate — comparable between the
+	// components of one plan, not across plans.
+	Cost float64
+
+	art artifacts
+}
+
+// Plan is the full solve plan for one instance: the per-component routing
+// plus everything Execute needs to run it.
+type Plan struct {
+	// Algorithm is the requested selector (auto or forced).
+	Algorithm string
+	// Model is the energy model the plan routes for.
+	Model model.Model
+	// Deadline applies to every component.
+	Deadline float64
+	// Components holds one routing decision per weakly-connected component.
+	Components []ComponentPlan
+	// Workers bounds concurrent component solves during Execute.
+	Workers int
+
+	k     int
+	copts core.ContinuousOptions
+	dopts core.DiscreteOptions
+	prob  *core.Problem
+	comps []core.Component
+}
+
+// Classify recognizes the most specific structure class of g, checking the
+// cheap shapes first: chain, fork, join, tree, then series-parallel on the
+// transitive reduction, and general DAG when everything else fails.
+func Classify(g *graph.Graph) Class {
+	c, _ := classify(g)
+	return c
+}
+
+// classify is Classify plus the recognition by-products Execute reuses.
+// Chains, forks, and joins are trees, so their SP expression comes from the
+// (linear-time) tree conversion.
+func classify(g *graph.Graph) (Class, artifacts) {
+	if _, ok := g.IsChain(); ok {
+		e, _ := graph.TreeToSP(g)
+		return ClassChain, artifacts{expr: e}
+	}
+	if _, ok := g.IsFork(); ok {
+		e, _ := graph.TreeToSP(g)
+		return ClassFork, artifacts{expr: e}
+	}
+	if _, ok := g.IsJoin(); ok {
+		e, _ := graph.TreeToSP(g)
+		return ClassJoin, artifacts{expr: e}
+	}
+	if e, ok := graph.TreeToSP(g); ok {
+		return ClassTree, artifacts{expr: e}
+	}
+	if reduced, err := g.TransitiveReduction(); err == nil {
+		if e, ok := graph.DecomposeSP(reduced); ok {
+			return ClassSeriesParallel, artifacts{expr: e, reduced: reduced}
+		}
+	}
+	return ClassGeneralDAG, artifacts{}
+}
+
+// Analyze builds the solve plan for p under m: validate the model/algorithm
+// combination, split p into weakly-connected components, classify each, and
+// route it. No solving happens; Execute runs the plan.
+func Analyze(p *core.Problem, m model.Model, opts Options) (*Plan, error) {
+	algo := strings.ToLower(opts.Algorithm)
+	if algo == "" {
+		algo = AlgoAuto
+	}
+	switch algo {
+	case AlgoAuto, AlgoBB, AlgoSP, AlgoGreedy, AlgoRoundUp, AlgoApprox:
+	default:
+		return nil, badPlan("unknown algorithm %q", opts.Algorithm)
+	}
+	if algo != AlgoAuto && m.Kind != model.Discrete && m.Kind != model.Incremental {
+		return nil, badPlan("algorithm %q is not defined for the %s model", algo, m.Kind)
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 4
+	}
+	comps, err := p.SplitComponents()
+	if err != nil {
+		return nil, err
+	}
+	pl := &Plan{
+		Algorithm:  algo,
+		Model:      m,
+		Deadline:   p.Deadline,
+		Components: make([]ComponentPlan, 0, len(comps)),
+		Workers:    opts.Workers,
+		k:          k,
+		copts:      opts.Continuous,
+		dopts:      opts.Discrete,
+		prob:       p,
+		comps:      comps,
+	}
+	for _, c := range comps {
+		cp := route(c, m, algo, k, opts.Discrete)
+		if algo == AlgoSP && cp.Class == ClassGeneralDAG {
+			return nil, badPlan("algorithm %q requires a series-parallel execution graph (component {%s} is %s)",
+				AlgoSP, idRange(cp.Tasks), cp.Class)
+		}
+		pl.Components = append(pl.Components, cp)
+	}
+	return pl, nil
+}
+
+// route picks the solver for one classified component.
+func route(c core.Component, m model.Model, algo string, k int, dopts core.DiscreteOptions) ComponentPlan {
+	g := c.Prob.G
+	class, art := classify(g)
+	cp := ComponentPlan{
+		Tasks:       c.Tasks,
+		Class:       class,
+		BoundFactor: 1,
+		art:         art,
+	}
+	n := float64(g.N())
+	nm := float64(len(m.Modes))
+
+	// Forced selectors apply uniformly; auto routes by class.
+	switch algo {
+	case AlgoBB:
+		cp.Solver = "discrete-bb"
+		cp.Rationale = "forced: exact branch-and-bound over per-task modes (Theorem 4)"
+		cp.Cost = bbCost(n, nm, dopts)
+		return cp
+	case AlgoSP:
+		cp.Solver = "discrete-sp-dp"
+		cp.Rationale = "forced: exact Pareto dynamic program on the series-parallel decomposition"
+		cp.Cost = n * nm * 64
+		return cp
+	case AlgoGreedy:
+		cp.Solver = "discrete-greedy"
+		cp.Rationale = "forced: greedy slack-reclaiming heuristic (no a-priori guarantee)"
+		cp.BoundFactor = math.Inf(1)
+		cp.Cost = n * n * nm
+		return cp
+	case AlgoRoundUp:
+		cp.Solver = "discrete-roundup"
+		cp.Rationale = "forced: continuous relaxation rounded up per task (Proposition 1)"
+		cp.BoundFactor = core.Proposition1ContinuousBound(m)
+		cp.Cost = n * n * n
+		return cp
+	case AlgoApprox:
+		if m.Kind == model.Incremental {
+			cp.Solver = "incremental-approx"
+			cp.Rationale = fmt.Sprintf("forced: Theorem 5 speed-bounded relaxation + rounding, K=%d", k)
+		} else {
+			cp.Solver = "discrete-approx"
+			cp.Rationale = fmt.Sprintf("forced: Proposition 1 relaxation + rounding to the mode set, K=%d", k)
+		}
+		cp.BoundFactor = approxBound(m, k)
+		cp.Cost = n * n * n
+		return cp
+	}
+
+	switch m.Kind {
+	case model.Continuous:
+		switch cp.Class {
+		case ClassChain:
+			cp.Solver = "chain-closed-form"
+			cp.Rationale = "Theorem 1: every chain task runs at Σw/D"
+			cp.Cost = n
+		case ClassFork:
+			cp.Solver = "fork-closed-form"
+			cp.Rationale = "Theorem 1: s₀ = ((Σwᵢ³)^⅓ + w₀)/D with the saturated branch when smax binds"
+			cp.Cost = n
+		case ClassJoin, ClassTree:
+			cp.Solver = "tree-equivalent-weight"
+			cp.Rationale = "Theorem 2: equivalent-weight algebra on the tree's SP expression; interior point if smax binds"
+			cp.Cost = n
+		case ClassSeriesParallel:
+			cp.Solver = "sp-equivalent-weight"
+			cp.Rationale = "Theorem 2: series/parallel weight composition W³/D²; interior point if smax binds"
+			cp.Cost = n
+		default:
+			cp.Solver = "continuous-interior-point"
+			cp.Rationale = "general DAG: log-barrier geometric program (Section 2.1)"
+			cp.Cost = n * n * n
+		}
+	case model.VddHopping:
+		cp.Solver = "vdd-lp"
+		cp.Rationale = "Theorem 3: exact linear program, speeds hop between neighboring modes"
+		cp.Cost = (n * nm) * (n * nm)
+	case model.Discrete:
+		if cp.Class == ClassGeneralDAG {
+			cp.Solver = "discrete-bb"
+			cp.Rationale = "NP-complete in general (Theorem 4): exact branch-and-bound with greedy incumbent"
+			cp.Cost = bbCost(n, nm, dopts)
+		} else {
+			cp.Solver = "discrete-sp-dp"
+			cp.Rationale = fmt.Sprintf("%s is series-parallel: exact Pareto dynamic program; branch-and-bound if the frontier budget is hit", cp.Class)
+			cp.Cost = n * nm * 64
+		}
+	case model.Incremental:
+		cp.Solver = "incremental-approx"
+		cp.Rationale = fmt.Sprintf("Theorem 5: NP-complete exactly, (1+δ/smin)²(1+1/K)²-approximable in polynomial time, K=%d", k)
+		cp.BoundFactor = approxBound(m, k)
+		cp.Cost = n * n * n
+	}
+	return cp
+}
+
+// bbCost estimates branch-and-bound work: the mode^task tree capped by the
+// node budget.
+func bbCost(n, nm float64, dopts core.DiscreteOptions) float64 {
+	budget := 4e6
+	if dopts.MaxNodes > 0 {
+		budget = float64(dopts.MaxNodes)
+	}
+	return math.Min(math.Pow(math.Max(nm, 2), n), budget)
+}
+
+// approxBound is the a-priori factor of the rounding approximation for the
+// model at hand.
+func approxBound(m model.Model, k int) float64 {
+	if m.Kind == model.Incremental {
+		return core.Theorem5Bound(m, k)
+	}
+	return core.Proposition1DiscreteBound(m, k)
+}
+
+// NumTasks returns the instance size the plan covers.
+func (pl *Plan) NumTasks() int { return pl.prob.G.N() }
+
+// Exact reports whether every routed solver is provably optimal for its
+// model (a-priori; heuristics and approximations make it false).
+func (pl *Plan) Exact() bool {
+	for _, cp := range pl.Components {
+		if cp.BoundFactor != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the routing table, one line per component.
+func (pl *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d task(s), %d component(s), model %s, algorithm %s\n",
+		pl.NumTasks(), len(pl.Components), pl.Model.Kind, pl.Algorithm)
+	for i, cp := range pl.Components {
+		bound := "exact"
+		if cp.BoundFactor != 1 {
+			if math.IsInf(cp.BoundFactor, 1) {
+				bound = "heuristic"
+			} else {
+				bound = fmt.Sprintf("within %.4g×", cp.BoundFactor)
+			}
+		}
+		fmt.Fprintf(&b, "  #%d  %4d task(s) [%s]  %-16s → %-25s %-10s %s\n",
+			i, len(cp.Tasks), idRange(cp.Tasks), cp.Class, cp.Solver, bound, cp.Rationale)
+	}
+	return b.String()
+}
+
+// idRange compacts a sorted ID list for display: "0–7" or "3".
+func idRange(ids []int) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	if len(ids) == 1 {
+		return fmt.Sprintf("%d", ids[0])
+	}
+	contiguous := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		return fmt.Sprintf("%d–%d", ids[0], ids[len(ids)-1])
+	}
+	return fmt.Sprintf("%d…%d", ids[0], ids[len(ids)-1])
+}

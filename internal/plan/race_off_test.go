@@ -1,0 +1,5 @@
+//go:build !race
+
+package plan
+
+const raceEnabled = false

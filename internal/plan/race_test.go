@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// TestConcurrentExecuteStress hammers the component worker pool under the
+// race detector: many goroutines analyze and execute plans for the same
+// disconnected instance (and share one pre-built Plan) across models and
+// worker bounds, and every result must agree with the single-threaded
+// reference energy.
+func TestConcurrentExecuteStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260731))
+	w := graph.UniformWeights(0.5, 3)
+	parts := make([]*graph.Graph, 12)
+	for i := range parts {
+		switch i % 4 {
+		case 0:
+			parts[i] = graph.Chain(rng, 3+rng.Intn(4), w)
+		case 1:
+			parts[i] = graph.Fork(rng, 2+rng.Intn(4), w)
+		case 2:
+			sp, _ := graph.RandomSP(rng, 3+rng.Intn(4), w)
+			parts[i] = sp
+		case 3:
+			parts[i] = graph.GnpDAG(rng, 5, 0.5, w)
+		}
+	}
+	g := disjointUnion(parts...)
+	p := mustProblem(t, g, feasibleDeadline(t, g, 2, 1.5))
+
+	cont, _ := model.NewContinuous(2)
+	vdd, _ := model.NewVddHopping([]float64{0.5, 1, 2})
+	models := []model.Model{cont, vdd}
+
+	// Single-threaded reference energies.
+	ref := make([]float64, len(models))
+	for mi, m := range models {
+		pl, err := Analyze(p, m, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := pl.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[mi] = sol.Energy
+	}
+
+	// One shared plan per model: Execute must be safe to call concurrently
+	// on the same Plan value.
+	shared := make([]*Plan, len(models))
+	for mi, m := range models {
+		pl, err := Analyze(p, m, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared[mi] = pl
+	}
+
+	const goroutines = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iters*len(models))
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for mi, m := range models {
+					// Alternate between the shared plan and a private one so
+					// both concurrent-Execute and concurrent-Analyze paths
+					// run under the race detector.
+					pl := shared[mi]
+					if (gi+it)%2 == 0 {
+						fresh, err := Analyze(p, m, Options{Workers: 1 + (gi+it)%4})
+						if err != nil {
+							errc <- err
+							return
+						}
+						pl = fresh
+					}
+					got, err := pl.Execute()
+					if err != nil {
+						errc <- err
+						return
+					}
+					if diff := math.Abs(got.Energy - ref[mi]); diff > 1e-9*ref[mi] {
+						errc <- &energyMismatch{got: got.Energy, want: ref[mi]}
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+type energyMismatch struct{ got, want float64 }
+
+func (e *energyMismatch) Error() string {
+	return fmt.Sprintf("concurrent execute energy mismatch: got %.12g, want %.12g", e.got, e.want)
+}

@@ -2,10 +2,15 @@
 // solvers: an Engine that dispatches single and batched solve requests
 // across a bounded worker pool and fronts the solvers with an LRU result
 // cache keyed by a canonical hash of the execution graph, deadline, and
-// model parameters — repeated instances skip the solver entirely. The HTTP
-// handlers in this package expose the same Engine over JSON endpoints
-// (POST /v1/solve, POST /v1/solve/batch, GET /healthz); cmd/energyserver
-// wraps them in a binary.
+// model parameters — repeated instances skip the solver entirely. Every
+// solve routes through the structure-aware planner (internal/plan), which
+// classifies each weakly-connected component of the execution graph and
+// solves the components independently (concurrently per request when
+// Options.PlanWorkers allows); the resulting plan is attached to the
+// response. The HTTP handlers in this package expose the same Engine
+// over JSON endpoints (POST /v1/solve, POST /v1/solve/batch, POST /v1/plan
+// for analysis without solving, GET /v1/stats, GET /healthz);
+// cmd/energyserver wraps them in a binary.
 package service
 
 import (
@@ -35,6 +40,12 @@ type Options struct {
 	// shed with ErrOverloaded instead of growing the queue without bound
 	// (default 256, negative disables shedding).
 	MaxBacklog int
+	// PlanWorkers bounds concurrent component solves *within* one request
+	// (the planner's per-plan worker pool). The default of 1 keeps Workers
+	// the engine's total concurrency bound; raise it only when request
+	// concurrency is low and single-request latency on disconnected
+	// execution graphs matters more than aggregate throughput.
+	PlanWorkers int
 }
 
 func (o Options) workers() int {
@@ -42,6 +53,13 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) planWorkers() int {
+	if o.PlanWorkers > 0 {
+		return o.PlanWorkers
+	}
+	return 1
 }
 
 func (o Options) maxBacklog() int64 {
@@ -70,11 +88,12 @@ func (o Options) cacheSize() int {
 // use by any number of goroutines; the zero value is not usable — construct
 // with NewEngine.
 type Engine struct {
-	sem        chan struct{}
-	cache      *lruCache
-	verifyTol  float64
-	maxBacklog int64
-	backlog    atomic.Int64
+	sem         chan struct{}
+	cache       *lruCache
+	verifyTol   float64
+	planWorkers int
+	maxBacklog  int64
+	backlog     atomic.Int64
 
 	flightMu sync.Mutex
 	flight   map[string]*call
@@ -99,11 +118,12 @@ type call struct {
 // NewEngine builds an Engine with the given options.
 func NewEngine(opts Options) *Engine {
 	return &Engine{
-		sem:        make(chan struct{}, opts.workers()),
-		cache:      newLRUCache(opts.cacheSize()),
-		verifyTol:  opts.VerifyTol,
-		maxBacklog: opts.maxBacklog(),
-		flight:     make(map[string]*call),
+		sem:         make(chan struct{}, opts.workers()),
+		cache:       newLRUCache(opts.cacheSize()),
+		verifyTol:   opts.VerifyTol,
+		planWorkers: opts.planWorkers(),
+		maxBacklog:  opts.maxBacklog(),
+		flight:      make(map[string]*call),
 	}
 }
 
@@ -287,9 +307,9 @@ func (e *Engine) spawn(inst *instance, key string, c *call, cleanup func()) {
 	}()
 }
 
-// runSolver executes the dispatcher, optionally verifies, and caches.
+// runSolver executes the planner dispatch, optionally verifies, and caches.
 func (e *Engine) runSolver(inst *instance, key string) (*SolveResponse, error) {
-	sol, err := dispatch(inst)
+	sol, pl, err := dispatch(inst, e.planWorkers)
 	if err != nil {
 		e.failures.Add(1)
 		return nil, err
@@ -301,7 +321,7 @@ func (e *Engine) runSolver(inst *instance, key string) (*SolveResponse, error) {
 		}
 	}
 	e.solved.Add(1)
-	resp := responseFromSolution(sol)
+	resp := responseFromSolution(sol, pl)
 	e.cache.Add(key, resp)
 	return resp, nil
 }

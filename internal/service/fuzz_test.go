@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 	"time"
 )
@@ -58,6 +59,61 @@ func FuzzSolveRequest(f *testing.F) {
 		}
 		if resp.Energy < 0 {
 			t.Fatalf("negative energy %v", resp.Energy)
+		}
+	})
+}
+
+// FuzzPlanRequest drives the explain-only path (POST /v1/plan's core) with
+// arbitrary bytes: decode a SolveRequest, run the planner's analysis, and
+// hold the invariants — no panic, every rejection tagged ErrBadRequest, and
+// every accepted plan covering each task exactly once with a named solver
+// per component.
+func FuzzPlanRequest(f *testing.F) {
+	seeds := []string{
+		`{"graph":{"tasks":[{"weight":3},{"weight":5}],"edges":[[0,1]]},"deadline":4,"model":{"kind":"continuous","smax":2}}`,
+		`{"graph":{"tasks":[{"weight":3},{"weight":5},{"weight":2}],"edges":[[0,1]]},"deadline":4,"model":{"kind":"continuous","smax":2}}`,
+		`{"graph":{"tasks":[{"weight":1},{"weight":1},{"weight":1}],"edges":[]},"deadline":5,"model":{"kind":"discrete","modes":[0.5,2]},"algorithm":"sp"}`,
+		`{"graph":{"tasks":[{"weight":1},{"weight":1}],"edges":[[0,1]]},"deadline":5,"model":{"kind":"discrete","modes":[1,2]},"algorithm":"bb"}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":2,"model":{"kind":"incremental","smin":0.5,"smax":2,"delta":0.25},"k":3}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":2,"model":{"kind":"continuous","smax":2},"algorithm":"greedy"}`,
+		`{"graph":{"tasks":[{"weight":1},{"weight":2},{"weight":3},{"weight":4}],"edges":[[0,2],[0,3],[1,3]]},"deadline":9,"model":{"kind":"vdd-hopping","modes":[1,2]}}`,
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"continuous","smax":1},"algorithm":"quantum"}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SolveRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		if req.Graph != nil && req.Graph.N() > 64 {
+			return // analysis is cheap but SP recognition is O(n²·m)
+		}
+		e := NewEngine(Options{Workers: 1, CacheSize: -1})
+		resp, err := e.Explain(context.Background(), &req)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("explain rejection not tagged ErrBadRequest: %v", err)
+			}
+			return
+		}
+		if resp == nil || resp.Plan == nil || len(resp.Plan.Components) == 0 {
+			t.Fatalf("accepted request produced empty plan: %+v", resp)
+		}
+		covered := 0
+		for _, c := range resp.Plan.Components {
+			if c.Solver == "" || c.Class == "" {
+				t.Fatalf("unrouted component: %+v", c)
+			}
+			if c.Tasks <= 0 {
+				t.Fatalf("empty component: %+v", c)
+			}
+			covered += c.Tasks
+		}
+		if covered != resp.Tasks {
+			t.Fatalf("plan covers %d of %d tasks", covered, resp.Tasks)
 		}
 	})
 }

@@ -99,10 +99,29 @@ func classify(err error) (int, APIError) {
 	}
 }
 
+// PlanResponse is the wire form of POST /v1/plan: the instance summary plus
+// the routing the planner would use, without solving anything.
+type PlanResponse struct {
+	// Tasks and Edges describe the compiled execution graph (after mapping /
+	// list-scheduling serialization edges).
+	Tasks int `json:"tasks"`
+	Edges int `json:"edges"`
+	// Deadline echoes the instance deadline.
+	Deadline float64 `json:"deadline"`
+	// Model names the energy model the plan routes for.
+	Model string `json:"model"`
+	// Plan is the per-component routing table.
+	Plan *PlanJSON `json:"plan"`
+	// ElapsedMS is the server-side wall time of the analysis in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 // NewHandler wires an Engine behind the service's HTTP surface:
 //
-//	POST /v1/solve        one SolveRequest  → SolveResponse
+//	POST /v1/solve        one SolveRequest  → SolveResponse (with its plan)
 //	POST /v1/solve/batch  {"requests":[…]}  → {"results":[…]} (per-entry errors)
+//	POST /v1/plan         one SolveRequest  → PlanResponse (analyze only, no solve)
+//	GET  /v1/stats        engine counters (hits, misses, coalesced, solves…)
 //	GET  /healthz         liveness + engine stats
 //
 // The handler is httptest-friendly: it holds no global state beyond the
@@ -157,6 +176,25 @@ func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 			}
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var req SolveRequest
+		if !decodeJSON(w, r, opts.MaxBodyBytes, &req) {
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), req.TimeoutMS, opts)
+		defer cancel()
+		resp, err := e.Explain(ctx, &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.ElapsedMS = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{

@@ -213,6 +213,106 @@ func TestHTTPHealthz(t *testing.T) {
 	}
 }
 
+// TestHTTPStats: GET /v1/stats must expose the live engine counters as a
+// JSON Stats snapshot — a solve then a cache hit must show up as exactly one
+// miss, one solve, and one hit.
+func TestHTTPStats(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 2}, HTTPOptions{})
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, srv.URL+"/v1/solve", chainBody); resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Misses != 1 || out.Solved != 1 || out.Hits != 1 || out.CacheLen != 1 || out.Workers != 2 {
+		t.Fatalf("stats payload %+v", out)
+	}
+	// POST must be rejected on the GET route.
+	if resp, _ := postJSON(t, srv.URL+"/v1/stats", "{}"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// disconnectedBody has two weakly-connected components (a 2-chain and an
+// isolated task), so its plan must be a parallel two-component routing.
+const disconnectedBody = `{"graph":{"tasks":[{"weight":3},{"weight":5},{"weight":2}],"edges":[[0,1]]},"deadline":4,"model":{"kind":"continuous","smax":2}}`
+
+// TestHTTPPlan: POST /v1/plan analyzes without solving — the response
+// carries the per-component routing and the engine's solver counters stay
+// untouched.
+func TestHTTPPlan(t *testing.T) {
+	srv, e := newTestServer(t, Options{}, HTTPOptions{})
+	resp, body := postJSON(t, srv.URL+"/v1/plan", disconnectedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out PlanResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if out.Tasks != 3 || out.Edges != 1 || out.Model != "Continuous" {
+		t.Fatalf("instance summary %+v", out)
+	}
+	if out.Plan == nil || !out.Plan.Parallel || len(out.Plan.Components) != 2 {
+		t.Fatalf("plan payload %+v", out.Plan)
+	}
+	if c := out.Plan.Components[0]; c.Class != "chain" || c.Solver != "chain-closed-form" || c.Tasks != 2 {
+		t.Fatalf("chain component routed as %+v", c)
+	}
+	if !out.Plan.Exact {
+		t.Fatalf("auto continuous plan should be exact: %+v", out.Plan)
+	}
+	if st := e.Stats(); st.Solved != 0 || st.Misses != 0 {
+		t.Fatalf("explain-only request ran a solver: %+v", st)
+	}
+
+	// Invalid routing requests classify as 400s.
+	resp, body = postJSON(t, srv.URL+"/v1/plan",
+		`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"continuous","smax":1},"algorithm":"bb"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bb-on-continuous plan: status %d: %s", resp.StatusCode, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "invalid_request" {
+		t.Fatalf("error body %s", body)
+	}
+}
+
+// TestHTTPSolveCarriesPlan: every solve response explains its own routing.
+func TestHTTPSolveCarriesPlan(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	resp, body := postJSON(t, srv.URL+"/v1/solve", disconnectedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan == nil || len(out.Plan.Components) != 2 {
+		t.Fatalf("solve response plan %+v", out.Plan)
+	}
+	// Energy check: chain 8 work over D=4 at speed 2 → 32, plus the isolated
+	// weight-2 task at speed 0.5 → 0.5 J.
+	if math.Abs(out.Energy-32.5) > 1e-6 {
+		t.Fatalf("energy = %v, want 32.5", out.Energy)
+	}
+}
+
 func TestHTTPBodyLimit(t *testing.T) {
 	srv, _ := newTestServer(t, Options{}, HTTPOptions{MaxBodyBytes: 64})
 	resp, body := postJSON(t, srv.URL+"/v1/solve", chainBody) // > 64 bytes

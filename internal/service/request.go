@@ -3,11 +3,13 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -81,13 +83,15 @@ func (s ModelSpec) Build() (model.Model, error) {
 }
 
 // Algorithm names accepted in SolveRequest.Algorithm. Empty means "auto".
+// The definitions live in internal/plan, the routing layer that interprets
+// them.
 const (
-	AlgoAuto    = "auto"    // cheapest exact method for the model
-	AlgoBB      = "bb"      // discrete branch-and-bound (exact)
-	AlgoSP      = "sp"      // discrete Pareto DP on series-parallel shapes (exact)
-	AlgoGreedy  = "greedy"  // discrete greedy heuristic
-	AlgoRoundUp = "roundup" // continuous solve + per-task round-up heuristic
-	AlgoApprox  = "approx"  // Theorem 5 (1+δ/smin)²(1+1/K)² approximation
+	AlgoAuto    = plan.AlgoAuto    // cheapest exact method for the model
+	AlgoBB      = plan.AlgoBB      // discrete branch-and-bound (exact)
+	AlgoSP      = plan.AlgoSP      // discrete Pareto DP on series-parallel shapes (exact)
+	AlgoGreedy  = plan.AlgoGreedy  // discrete greedy heuristic
+	AlgoRoundUp = plan.AlgoRoundUp // continuous solve + per-task round-up heuristic
+	AlgoApprox  = plan.AlgoApprox  // Theorem 5 (1+δ/smin)²(1+1/K)² approximation
 )
 
 // SolveRequest is one MinEnergy(G, D) instance. It doubles as the JSON wire
@@ -219,16 +223,92 @@ type SolveResponse struct {
 	CacheHit bool `json:"cache_hit"`
 	// ElapsedMS is the server-side wall time of this request in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Plan is the structure-aware routing that produced the solution: one
+	// entry per weakly-connected component of the execution graph. Absent on
+	// responses predating the planner (old cached artifacts).
+	Plan *PlanJSON `json:"plan,omitempty"`
 }
 
-// responseFromSolution flattens a verified core.Solution into wire form.
-func responseFromSolution(sol *core.Solution) *SolveResponse {
+// ComponentPlanJSON is the wire form of one component's routing decision.
+type ComponentPlanJSON struct {
+	// Tasks is the component size.
+	Tasks int `json:"tasks"`
+	// TaskIDs lists the component's task IDs (omitted beyond 64 tasks to
+	// keep responses bounded; FirstTask/LastTask always identify the range).
+	TaskIDs []int `json:"task_ids,omitempty"`
+	// FirstTask and LastTask bracket the component's ID range.
+	FirstTask int `json:"first_task"`
+	LastTask  int `json:"last_task"`
+	// Class is the recognized structure (chain, fork, join, tree,
+	// series-parallel, general-dag).
+	Class string `json:"class"`
+	// Solver names the routed procedure.
+	Solver string `json:"solver"`
+	// Rationale explains the choice.
+	Rationale string `json:"rationale"`
+	// BoundFactor is the a-priori guarantee (1 exact, 0 encodes "none":
+	// JSON has no +Inf).
+	BoundFactor float64 `json:"bound_factor,omitempty"`
+	// EstCost is the planner's relative cost estimate.
+	EstCost float64 `json:"est_cost,omitempty"`
+}
+
+// PlanJSON is the wire form of a solve plan (the `plan` response field and
+// the POST /v1/plan payload).
+type PlanJSON struct {
+	// Algorithm echoes the requested selector.
+	Algorithm string `json:"algorithm"`
+	// Exact is true when every routed solver is provably optimal a-priori.
+	Exact bool `json:"exact"`
+	// Parallel is true when the components solve concurrently (more than one).
+	Parallel bool `json:"parallel"`
+	// Components holds one routing decision per weakly-connected component.
+	Components []ComponentPlanJSON `json:"components"`
+}
+
+// planJSON flattens a plan into wire form.
+func planJSON(pl *plan.Plan) *PlanJSON {
+	if pl == nil {
+		return nil
+	}
+	out := &PlanJSON{
+		Algorithm:  pl.Algorithm,
+		Exact:      pl.Exact(),
+		Parallel:   len(pl.Components) > 1,
+		Components: make([]ComponentPlanJSON, len(pl.Components)),
+	}
+	for i, cp := range pl.Components {
+		cj := ComponentPlanJSON{
+			Tasks:       len(cp.Tasks),
+			FirstTask:   cp.Tasks[0],
+			LastTask:    cp.Tasks[len(cp.Tasks)-1],
+			Class:       cp.Class.String(),
+			Solver:      cp.Solver,
+			Rationale:   cp.Rationale,
+			BoundFactor: cp.BoundFactor,
+			EstCost:     cp.Cost,
+		}
+		if math.IsInf(cj.BoundFactor, 1) {
+			cj.BoundFactor = 0 // heuristics: no finite guarantee
+		}
+		if len(cp.Tasks) <= 64 {
+			cj.TaskIDs = cp.Tasks
+		}
+		out.Components[i] = cj
+	}
+	return out
+}
+
+// responseFromSolution flattens a verified core.Solution into wire form,
+// attaching the plan that produced it.
+func responseFromSolution(sol *core.Solution, pl *plan.Plan) *SolveResponse {
 	resp := &SolveResponse{
 		Energy:      sol.Energy,
 		Makespan:    sol.Schedule.Makespan,
 		Algorithm:   sol.Stats.Algorithm,
 		Exact:       sol.Stats.Exact,
 		BoundFactor: sol.Stats.BoundFactor,
+		Plan:        planJSON(pl),
 	}
 	if speeds, err := sol.Speeds(); err == nil {
 		resp.Speeds = speeds

@@ -1,88 +1,88 @@
 package service
 
 import (
-	"fmt"
+	"context"
+	"errors"
 
 	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/model"
-	"repro/internal/sched"
+	"repro/internal/plan"
 )
 
-// dispatch routes a compiled instance to a solver. AlgoAuto picks the
-// cheapest exact method for the model (matching the paper's complexity
-// landscape): the continuous dispatcher's closed forms / SP algebra /
-// interior point, the Vdd-Hopping LP, branch-and-bound for Discrete, and
-// the Theorem 5 approximation for Incremental (whose exact problem is
-// NP-complete but which ships a polynomial guarantee).
-func dispatch(inst *instance) (*core.Solution, error) {
-	p, m := inst.prob, inst.mdl
-	switch m.Kind {
-	case model.Continuous:
-		if inst.algo != AlgoAuto {
-			return nil, badRequest("algorithm %q is not defined for the Continuous model", inst.algo)
+// dispatch routes a compiled instance through the structure-aware planner:
+// Analyze classifies every weakly-connected component of the execution graph
+// (chain / fork / join / tree / series-parallel / general DAG) and picks the
+// cheapest solver the paper's complexity landscape admits for the model and
+// requested algorithm; Execute solves the components and merges the
+// solutions. workers bounds the per-plan component concurrency — the engine
+// passes its PlanWorkers setting (default 1) so Options.Workers stays the
+// engine-wide concurrency bound instead of being multiplied per request.
+// The plan is returned alongside the solution so every response can explain
+// its own routing.
+func dispatch(inst *instance, workers int) (*core.Solution, *plan.Plan, error) {
+	pl, err := plan.Analyze(inst.prob, inst.mdl, plan.Options{
+		Algorithm: inst.algo,
+		K:         inst.k,
+		Workers:   workers,
+	})
+	if err != nil {
+		if errors.Is(err, plan.ErrBadPlan) {
+			return nil, nil, badRequest("%v", err)
 		}
-		return p.SolveContinuous(m.SMax, core.ContinuousOptions{})
-
-	case model.VddHopping:
-		if inst.algo != AlgoAuto {
-			return nil, badRequest("algorithm %q is not defined for the Vdd-Hopping model", inst.algo)
-		}
-		return p.SolveVddHopping(m)
-
-	case model.Discrete, model.Incremental:
-		switch inst.algo {
-		case AlgoAuto:
-			if m.Kind == model.Incremental {
-				return p.SolveIncrementalApprox(m, inst.k, core.ContinuousOptions{})
-			}
-			return p.SolveDiscreteBB(m, core.DiscreteOptions{})
-		case AlgoBB:
-			return p.SolveDiscreteBB(m, core.DiscreteOptions{})
-		case AlgoSP:
-			return solveSP(p, m)
-		case AlgoGreedy:
-			return p.SolveDiscreteGreedy(m)
-		case AlgoRoundUp:
-			return p.SolveDiscreteRoundUp(m, core.ContinuousOptions{})
-		case AlgoApprox:
-			if m.Kind == model.Incremental {
-				return p.SolveIncrementalApprox(m, inst.k, core.ContinuousOptions{})
-			}
-			return p.SolveDiscreteApprox(m, inst.k, core.ContinuousOptions{})
-		}
+		return nil, nil, err
 	}
-	return nil, badRequest("no solver for model %s / algorithm %q", m.Kind, inst.algo)
+	sol, err := pl.Execute()
+	if err != nil {
+		if errors.Is(err, plan.ErrBadPlan) {
+			return nil, nil, badRequest("%v", err)
+		}
+		return nil, nil, err
+	}
+	return sol, pl, nil
 }
 
-// solveSP runs the exact Pareto DP after recognizing a series-parallel
-// shape in the transitive reduction of the execution graph.
-func solveSP(p *core.Problem, m model.Model) (*core.Solution, error) {
-	reduced, err := p.G.TransitiveReduction()
+// Explain compiles a request and runs the planner's analysis without
+// solving: the explain-only path behind POST /v1/plan. Analysis does no
+// numeric work, but its series-parallel recognition is superlinear
+// (O(n²·m)), so it is admitted and scheduled like a solve — backlog
+// shedding plus a worker-pool slot bound the CPU an explain-only client can
+// claim, instead of handing every request its own unbounded goroutine. The
+// context bounds the wait for a pool slot (and honors the caller's
+// timeout); once the slot is held, analysis runs to completion — it is
+// short, unlike a solve.
+func (e *Engine) Explain(ctx context.Context, req *SolveRequest) (*PlanResponse, error) {
+	inst, err := req.compile()
 	if err != nil {
 		return nil, err
 	}
-	expr, ok := graph.DecomposeSP(reduced)
-	if !ok {
-		return nil, badRequest("algorithm %q requires a series-parallel execution graph", AlgoSP)
-	}
-	rp, err := core.NewProblem(reduced, p.Deadline)
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sol, err := rp.SolveDiscreteSP(m, expr, core.DiscreteOptions{})
+	if !e.admit() {
+		return nil, ErrOverloaded
+	}
+	defer e.backlog.Add(-1)
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+
+	pl, err := plan.Analyze(inst.prob, inst.mdl, plan.Options{
+		Algorithm: inst.algo,
+		K:         inst.k,
+	})
 	if err != nil {
+		if errors.Is(err, plan.ErrBadPlan) {
+			return nil, badRequest("%v", err)
+		}
 		return nil, err
 	}
-	// Re-expand onto the original execution graph so Verify sees the full
-	// edge set (path structure, hence feasibility, is identical).
-	speeds, err := sol.Speeds()
-	if err != nil {
-		return nil, fmt.Errorf("service: SP solution has non-constant speeds: %w", err)
-	}
-	s, err := sched.FromSpeeds(p.G, speeds)
-	if err != nil {
-		return nil, err
-	}
-	return &core.Solution{Model: sol.Model, Schedule: s, Energy: s.Energy, Stats: sol.Stats}, nil
+	return &PlanResponse{
+		Tasks:    inst.prob.G.N(),
+		Edges:    inst.prob.G.M(),
+		Deadline: inst.prob.Deadline,
+		Model:    inst.mdl.Kind.String(),
+		Plan:     planJSON(pl),
+	}, nil
 }

@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench verify bench-service bench-plan fuzz clean
+# Fuzzing time per target (CI's fuzz-short job passes FUZZTIME=5s).
+FUZZTIME ?= 10s
+# Wall-clock slowdown tolerated by bench-compare before a scenario fails.
+TOLERANCE ?= 2
+
+.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-service bench-plan fuzz clean
 
 all: verify
 
@@ -25,25 +30,42 @@ bench:
 # one-shot pass over every benchmark (so perf regressions break loudly).
 verify: vet race bench
 
-# bench-service emits BENCH_service.json: cold-solve vs cache-hit latency of
-# the solve engine on a repeated instance.
+# bench-all runs the full energybench scenario registry (every graph family
+# × energy model × solve path) and writes the canonical report.
+bench-all:
+	$(GO) run ./cmd/energybench -run '.*' -out BENCH_current.json
+
+# bench-compare is the CI perf-regression gate: run the full registry and
+# diff it against the committed baseline; exits non-zero on a regression.
+bench-compare:
+	$(GO) run ./cmd/energybench -run '.*' -baseline BENCH_baseline.json \
+		-tolerance $(TOLERANCE) -out BENCH_current.json -compare-out BENCH_compare.json
+
+# bench-baseline refreshes the committed baseline after an intentional perf
+# change (commit the result).
+bench-baseline:
+	$(GO) run ./cmd/energybench -run '.*' -out BENCH_baseline.json
+
+# bench-service emits BENCH_service.json: the cold vs cache-hit service
+# scenarios of the energybench registry, end-to-end over HTTP.
 bench-service:
 	BENCH_SERVICE_OUT=$(CURDIR)/BENCH_service.json $(GO) test -run TestEmitBenchServiceJSON -v ./internal/service/
 
 # bench-plan emits BENCH_plan.json: the structure-aware planner vs one
-# monolithic interior-point solve on a disconnected 8-component workload.
+# monolithic interior-point solve on the disconnected multi-component
+# scenario of the energybench registry.
 bench-plan:
 	BENCH_PLAN_OUT=$(CURDIR)/BENCH_plan.json $(GO) test -run TestEmitBenchPlanJSON -v ./internal/plan/
 
 # Short fuzz pass over every fuzz target (decoders, canonical encoding, SP
-# recognizer, solve and plan requests).
+# recognizer, solve and plan requests). FUZZTIME tunes the per-target budget.
 fuzz:
-	$(GO) test -run=NONE -fuzz=FuzzGraphJSON -fuzztime=10s ./internal/graph/
-	$(GO) test -run=NONE -fuzz=FuzzGraphCanonical -fuzztime=10s ./internal/graph/
-	$(GO) test -run=NONE -fuzz=FuzzDecomposeSP -fuzztime=10s ./internal/graph/
-	$(GO) test -run=NONE -fuzz=FuzzSolveRequest -fuzztime=10s ./internal/service/
-	$(GO) test -run=NONE -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/service/
-	$(GO) test -run=NONE -fuzz=FuzzPlanRequest -fuzztime=10s ./internal/service/
+	$(GO) test -run=NONE -fuzz=FuzzGraphJSON -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzGraphCanonical -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzDecomposeSP -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzSolveRequest -fuzztime=$(FUZZTIME) ./internal/service/
+	$(GO) test -run=NONE -fuzz=FuzzBatchDecode -fuzztime=$(FUZZTIME) ./internal/service/
+	$(GO) test -run=NONE -fuzz=FuzzPlanRequest -fuzztime=$(FUZZTIME) ./internal/service/
 
 clean:
 	$(GO) clean ./...

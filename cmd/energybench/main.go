@@ -1,0 +1,158 @@
+// Command energybench runs the scenario benchmark registry
+// (internal/benchkit) and gates performance regressions against a
+// committed baseline.
+//
+// List the registry:
+//
+//	energybench -list
+//
+// Run a slice of it (regexp over scenario names, grep semantics — anchor
+// with ^…$ to name one exactly) and write the canonical BENCH.json
+// report:
+//
+//	energybench -run 'continuous' -out BENCH_current.json
+//
+// Gate against a baseline — exits 1 when any scenario runs slower than
+// tolerance× its baseline p50, or disappeared from the run:
+//
+//	energybench -run '.*' -baseline BENCH_baseline.json -tolerance 2
+//
+// Refresh the committed baseline after an intentional perf change:
+//
+//	energybench -run '.*' -out BENCH_baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/benchkit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 success, 1 regression gate failed,
+// 2 usage or I/O error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("energybench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list       = fs.Bool("list", false, "list the scenario registry and exit")
+		pattern    = fs.String("run", "", "run the scenarios matching this regexp")
+		baseline   = fs.String("baseline", "", "compare the run against this BENCH.json; exit 1 on regression")
+		tolerance  = fs.Float64("tolerance", 2, "wall-clock slowdown factor allowed before a scenario regresses")
+		minMS      = fs.Float64("minms", benchkit.DefaultMinMS, "noise floor in ms applied to both sides of every ratio")
+		warmup     = fs.Int("warmup", 0, "warmup runs per scenario (0 = per-scenario default)")
+		reps       = fs.Int("reps", 0, "measured runs per scenario (0 = per-scenario default)")
+		out        = fs.String("out", "", "write the BENCH.json report here")
+		compareOut = fs.String("compare-out", "", "write the comparison report JSON here")
+		asJSON     = fs.Bool("json", false, "print the BENCH.json report to stdout")
+		quiet      = fs.Bool("quiet", false, "suppress per-scenario progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "SCENARIO\tFAMILY\tN\tMODEL\tPATH")
+		for _, s := range benchkit.Registry() {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n", s.Name, s.Family, s.N, s.Model.Kind, s.Path)
+		}
+		tw.Flush()
+		return 0
+	}
+	if *pattern == "" {
+		fmt.Fprintln(stderr, "energybench: nothing to do — pass -list or -run <pattern>")
+		fs.Usage()
+		return 2
+	}
+
+	scenarios, err := benchkit.Match(*pattern)
+	if err != nil {
+		fmt.Fprintln(stderr, "energybench:", err)
+		return 2
+	}
+	if len(scenarios) == 0 {
+		fmt.Fprintf(stderr, "energybench: no scenario matches %q (see -list)\n", *pattern)
+		return 2
+	}
+
+	logf := func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	if *quiet {
+		logf = nil
+	}
+	report, err := benchkit.RunAll(scenarios, benchkit.Options{Warmup: *warmup, Reps: *reps}, logf)
+	if err != nil {
+		fmt.Fprintln(stderr, "energybench:", err)
+		return 2
+	}
+	if *out != "" {
+		if err := report.Write(*out); err != nil {
+			fmt.Fprintln(stderr, "energybench:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d scenarios)\n", *out, len(report.Scenarios))
+	}
+	if *asJSON {
+		data, err := reportJSON(report)
+		if err != nil {
+			fmt.Fprintln(stderr, "energybench:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	}
+	if *baseline == "" {
+		return 0
+	}
+
+	base, err := benchkit.LoadReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "energybench:", err)
+		return 2
+	}
+	cmp, err := benchkit.Compare(base, report, *tolerance, *minMS)
+	if err != nil {
+		fmt.Fprintln(stderr, "energybench:", err)
+		return 2
+	}
+	if *compareOut != "" {
+		if err := writeJSONFile(*compareOut, cmp); err != nil {
+			fmt.Fprintln(stderr, "energybench:", err)
+			return 2
+		}
+	}
+	printComparison(stdout, cmp)
+	for _, note := range cmp.EnvMismatch {
+		fmt.Fprintf(stderr, "energybench: note: environment differs from baseline — %s\n", note)
+	}
+	if !cmp.Pass {
+		fmt.Fprintf(stderr, "energybench: FAIL — %d regression(s), %d missing scenario(s) at tolerance %.2g×\n",
+			cmp.Regressions, cmp.Missing, cmp.Tolerance)
+		return 1
+	}
+	fmt.Fprintf(stderr, "energybench: PASS — %d scenario(s) within %.2g× of baseline\n", len(cmp.Rows), cmp.Tolerance)
+	return 0
+}
+
+// printComparison renders the per-scenario verdict table.
+func printComparison(w io.Writer, cmp *benchkit.Comparison) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCENARIO\tBASE p50 (ms)\tCURRENT p50 (ms)\tRATIO\tSTATUS")
+	for _, row := range cmp.Rows {
+		switch row.Status {
+		case benchkit.StatusMissing:
+			fmt.Fprintf(tw, "%s\t%.3f\t—\t—\t%s\n", row.Scenario, row.BaseMS, row.Status)
+		case benchkit.StatusNew:
+			fmt.Fprintf(tw, "%s\t—\t%.3f\t—\t%s\n", row.Scenario, row.CurMS, row.Status)
+		default:
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.2f×\t%s\n", row.Scenario, row.BaseMS, row.CurMS, row.Ratio, row.Status)
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+func reportJSON(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := reportJSON(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/platform"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -27,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		gen     = flag.String("gen", "layered", "generator: chain|fork|join|forkjoin|layered|gnp|tree|intree|sp|lu|stencil|fft|pipeline|mapreduce")
+		gen     = flag.String("gen", "layered", "generator: "+strings.Join(workload.Families(), "|"))
 		n       = flag.Int("n", 16, "size parameter")
 		seed    = flag.Int64("seed", 1, "random seed")
 		wlo     = flag.Float64("wlo", 1, "minimum task weight")
@@ -42,7 +44,7 @@ func run() error {
 	rng := rand.New(rand.NewSource(*seed))
 	wf := graph.UniformWeights(*wlo, *whi)
 
-	g, err := generate(*gen, *n, rng, wf)
+	g, err := workload.Generate(*gen, *n, rng, wf)
 	if err != nil {
 		return err
 	}
@@ -86,48 +88,4 @@ func run() error {
 		}
 	}
 	return nil
-}
-
-func generate(gen string, n int, rng *rand.Rand, wf graph.WeightFunc) (*graph.Graph, error) {
-	switch gen {
-	case "chain":
-		return graph.Chain(rng, n, wf), nil
-	case "fork":
-		return graph.Fork(rng, n, wf), nil
-	case "join":
-		return graph.Join(rng, n, wf), nil
-	case "forkjoin":
-		return graph.ForkJoin(rng, n, 3, wf), nil
-	case "layered":
-		width := 4
-		layers := (n + width - 1) / width
-		if layers < 2 {
-			layers = 2
-		}
-		return graph.Layered(rng, layers, width, 0.35, wf), nil
-	case "gnp":
-		return graph.GnpDAG(rng, n, 0.2, wf), nil
-	case "tree":
-		return graph.RandomOutTree(rng, n, wf), nil
-	case "intree":
-		return graph.RandomInTree(rng, n, wf), nil
-	case "sp":
-		g, _ := graph.RandomSP(rng, n, wf)
-		return g, nil
-	case "lu":
-		return graph.LUElimination(n, 1), nil
-	case "stencil":
-		return graph.Stencil(n, n, 1), nil
-	case "fft":
-		return graph.FFT(n, 1), nil
-	case "pipeline":
-		weights := make([]float64, 4)
-		for i := range weights {
-			weights[i] = wf(rng)
-		}
-		return graph.Pipeline(4, n, weights), nil
-	case "mapreduce":
-		return graph.MapReduce(n, (n+3)/4, 1, 2), nil
-	}
-	return nil, fmt.Errorf("unknown generator %q", gen)
 }

@@ -5,15 +5,16 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/workload"
 )
 
+// TestGenerateAllKinds drives every registered workload family through the
+// library call the binary makes.
 func TestGenerateAllKinds(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	wf := graph.UniformWeights(1, 3)
-	kinds := []string{"chain", "fork", "join", "forkjoin", "layered", "gnp",
-		"tree", "intree", "sp", "lu", "stencil", "fft", "pipeline", "mapreduce"}
-	for _, k := range kinds {
-		g, err := generate(k, 6, rng, wf)
+	for _, k := range workload.Families() {
+		g, err := workload.Generate(k, 6, rng, wf)
 		if err != nil {
 			t.Fatalf("%s: %v", k, err)
 		}
@@ -21,7 +22,7 @@ func TestGenerateAllKinds(t *testing.T) {
 			t.Fatalf("%s: %v", k, err)
 		}
 	}
-	if _, err := generate("bogus", 6, rng, wf); err == nil {
+	if _, err := workload.Generate("bogus", 6, rng, wf); err == nil {
 		t.Fatal("accepted unknown generator")
 	}
 }

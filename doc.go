@@ -103,6 +103,17 @@
 // cmd/energyserver binary. SolveRequest is simultaneously the programmatic
 // input and the wire format; see that type for the field catalogue.
 //
+// # Benchmarks
+//
+// Performance is measured through the scenario registry in
+// internal/benchkit, driven by the cmd/energybench CLI: named scenarios
+// pair the task-graph families of internal/workload with every energy
+// model and three solve paths (direct kernel, planner-routed, end-to-end
+// HTTP service under concurrent load), producing one canonical BENCH.json
+// report whose per-scenario p50 the CI regression gate diffs against the
+// committed BENCH_baseline.json. `energybench -list` prints the registry;
+// `make bench-compare` runs the gate locally.
+//
 // Everything is pure Go, standard library only. The experiment harness in
 // cmd/experiments regenerates the comparative study described in DESIGN.md
 // and EXPERIMENTS.md.

@@ -1,0 +1,133 @@
+package benchkit
+
+import (
+	"testing"
+)
+
+// TestRegistryCoverage pins the acceptance floor of the scenario table:
+// ≥ 20 scenarios, ≥ 6 graph families, all four energy models, all three
+// solve paths, unique names, and every scenario buildable (graph
+// generated, deadline feasible, path bound) without running it.
+func TestRegistryCoverage(t *testing.T) {
+	scenarios := Registry()
+	if len(scenarios) < 20 {
+		t.Fatalf("registry holds %d scenarios, want ≥ 20", len(scenarios))
+	}
+	names := make(map[string]bool)
+	families := make(map[string]bool)
+	models := make(map[string]bool)
+	paths := make(map[string]bool)
+	for _, s := range scenarios {
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		families[s.Family] = true
+		models[s.Model.Kind] = true
+		paths[s.Path] = true
+
+		r, err := s.build()
+		if err != nil {
+			t.Fatalf("scenario %s does not build: %v", s.Name, err)
+		}
+		r.close()
+		if r.tasks <= 0 || r.deadline <= 0 {
+			t.Fatalf("scenario %s built an empty instance: %d tasks, deadline %g", s.Name, r.tasks, r.deadline)
+		}
+	}
+	if len(families) < 6 {
+		t.Fatalf("registry spans %d families, want ≥ 6", len(families))
+	}
+	if len(models) != 4 {
+		t.Fatalf("registry spans %d models, want all 4: %v", len(models), models)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("registry spans %d paths, want all 3: %v", len(paths), paths)
+	}
+}
+
+// TestRunOnePerPath smoke-runs one cheap scenario per solve path and
+// checks the statistics are coherent.
+func TestRunOnePerPath(t *testing.T) {
+	for _, name := range []string{
+		"chain-256-continuous-direct",
+		"mapreduce-8-discrete-planner",
+		"chain-32-vdd-service",
+	} {
+		t.Run(name, func(t *testing.T) {
+			matched, err := Match("^" + name + "$")
+			if err != nil || len(matched) != 1 {
+				t.Fatalf("Match(%q) = %d scenarios, err %v", name, len(matched), err)
+			}
+			res, err := Run(matched[0], Options{Warmup: 1, Reps: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Energy <= 0 {
+				t.Fatalf("non-positive energy %g", res.Energy)
+			}
+			if !(res.MinMS <= res.P50MS && res.P50MS <= res.P90MS && res.P90MS <= res.MaxMS) {
+				t.Fatalf("percentiles out of order: %+v", res)
+			}
+			if res.Reps != 3 || res.Warmup != 1 {
+				t.Fatalf("options not honored: %+v", res)
+			}
+		})
+	}
+}
+
+// TestRunDeterministicEnergy runs the same scenario twice and expects
+// the identical objective value — the correctness anchor that makes two
+// reports comparable.
+func TestRunDeterministicEnergy(t *testing.T) {
+	matched, err := Match("^sp-96-continuous-direct$")
+	if err != nil || len(matched) != 1 {
+		t.Fatalf("Match: %d scenarios, err %v", len(matched), err)
+	}
+	opts := Options{Warmup: 0, Reps: 1}
+	a, err := Run(matched[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(matched[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy {
+		t.Fatalf("energy not deterministic: %g vs %g", a.Energy, b.Energy)
+	}
+	if a.Tasks != b.Tasks || a.Edges != b.Edges {
+		t.Fatalf("instance not deterministic: %d/%d vs %d/%d", a.Tasks, a.Edges, b.Tasks, b.Edges)
+	}
+}
+
+// TestOptionsPrecedence pins the measurement-shape resolution order:
+// explicit caller values beat a scenario's own, which beat the defaults.
+func TestOptionsPrecedence(t *testing.T) {
+	pinned := Scenario{Warmup: 2, Reps: 3}
+	if got := (Options{}).reps(pinned); got != 3 {
+		t.Fatalf("scenario reps ignored: %d", got)
+	}
+	if got := (Options{Reps: 7}).reps(pinned); got != 7 {
+		t.Fatalf("explicit reps lost to the scenario's: %d", got)
+	}
+	if got := (Options{}).reps(Scenario{}); got != 5 {
+		t.Fatalf("default reps = %d, want 5", got)
+	}
+	if got := (Options{}).warmup(pinned); got != 2 {
+		t.Fatalf("scenario warmup ignored: %d", got)
+	}
+	if got := (Options{Warmup: 4}).warmup(pinned); got != 4 {
+		t.Fatalf("explicit warmup lost to the scenario's: %d", got)
+	}
+	if got := (Options{}).warmup(Scenario{}); got != 1 {
+		t.Fatalf("default warmup = %d, want 1", got)
+	}
+}
+
+// TestMatchRejectsBadPattern covers the regexp error path.
+func TestMatchRejectsBadPattern(t *testing.T) {
+	if _, err := Match("("); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}

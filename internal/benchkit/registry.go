@@ -1,0 +1,76 @@
+package benchkit
+
+import "repro/internal/service"
+
+// Canonical model parameterizations of the registry. Names appear in
+// scenario names: continuous, discrete, vdd, incremental.
+var (
+	contModel = service.ModelSpec{Kind: "continuous", SMax: 2}
+	discModel = service.ModelSpec{Kind: "discrete", Modes: []float64{0.5, 1, 2}}
+	vddModel  = service.ModelSpec{Kind: "vdd-hopping", Modes: []float64{0.5, 1, 2}}
+	incrModel = service.ModelSpec{Kind: "incremental", SMin: 0.5, SMax: 2, Delta: 0.25}
+)
+
+// Registry returns the full scenario table, in run order. Names follow
+// family-n-model-path (plus a variant suffix for the service cache
+// scenarios) so -run patterns can slice by any axis.
+//
+// Coverage by construction (kept honest by TestRegistryCoverage):
+// every solve path (direct, planner, service), all four energy models,
+// and the structural spectrum — closed-form shapes (chain, fork), the
+// SP/tree algebra, interior-point DAGs (layered, gnp, fft, stencil),
+// application graphs (lu, mapreduce, pipeline), and the disconnected
+// multi-component workload the planner parallelizes.
+func Registry() []Scenario {
+	return []Scenario{
+		// --- direct path: raw solver kernels ------------------------------
+		// Theorem 1 closed forms: linear-time, measures dispatch overhead.
+		{Name: "chain-256-continuous-direct", Family: "chain", N: 256, Seed: 11, Model: contModel, Path: PathDirect},
+		{Name: "fork-128-continuous-direct", Family: "fork", N: 128, Seed: 12, Model: contModel, Path: PathDirect},
+		// Theorem 2 equivalent-weight algebra on SP shapes.
+		{Name: "sp-96-continuous-direct", Family: "sp", N: 96, Seed: 13, Model: contModel, Path: PathDirect},
+		{Name: "tree-96-continuous-direct", Family: "tree", N: 96, Seed: 14, Model: contModel, Path: PathDirect},
+		// General DAGs: the interior-point geometric program (§2.1).
+		{Name: "layered-30-continuous-direct", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathDirect},
+		{Name: "gnp-24-continuous-direct", Family: "gnp", N: 24, Seed: 16, Model: contModel, Path: PathDirect},
+		// Discrete: Pareto DP on SP shapes, branch-and-bound on a DAG.
+		// NP-complete (Theorem 4): instances stay small by necessity.
+		{Name: "chain-12-discrete-direct", Family: "chain", N: 12, Seed: 17, Model: discModel, Path: PathDirect},
+		{Name: "sp-12-discrete-direct", Family: "sp", N: 12, Seed: 18, Model: discModel, Path: PathDirect},
+		{Name: "gnp-10-discrete-direct", Family: "gnp", N: 10, Seed: 19, Model: discModel, Path: PathDirect},
+		// Vdd-Hopping: the Theorem 3 LP.
+		{Name: "forkjoin-8-vdd-direct", Family: "forkjoin", N: 8, Seed: 20, Model: vddModel, Path: PathDirect},
+		{Name: "lu-4-vdd-direct", Family: "lu", N: 4, Seed: 21, Model: vddModel, Path: PathDirect},
+		// Incremental: Theorem 5 relaxation + rounding.
+		{Name: "chain-32-incremental-direct", Family: "chain", N: 32, Seed: 22, Model: incrModel, Path: PathDirect},
+		{Name: "stencil-5-incremental-direct", Family: "stencil", N: 5, Seed: 23, Model: incrModel, Path: PathDirect},
+		// Monolithic baseline for the disconnected workload below: one big
+		// interior-point solve. Expensive — fewer reps.
+		{Name: "multi-4-continuous-direct", Family: "multi", N: 4, Seed: 24, Model: contModel, Path: PathDirect, Warmup: 1, Reps: 3},
+
+		// --- planner path: structure-aware routing ------------------------
+		{Name: "layered-30-continuous-planner", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathPlanner},
+		{Name: "sp-96-continuous-planner", Family: "sp", N: 96, Seed: 13, Model: contModel, Path: PathPlanner},
+		{Name: "fft-3-continuous-planner", Family: "fft", N: 3, Seed: 25, Model: contModel, Path: PathPlanner},
+		// The planner's headline case: 4 independent components solved
+		// concurrently vs the monolithic twin above (same seed).
+		{Name: "multi-4-continuous-planner", Family: "multi", N: 4, Seed: 24, Model: contModel, Path: PathPlanner, Warmup: 1, Reps: 3},
+		{Name: "mapreduce-8-discrete-planner", Family: "mapreduce", N: 8, Seed: 26, Model: discModel, Path: PathPlanner},
+		{Name: "tree-12-discrete-planner", Family: "tree", N: 12, Seed: 27, Model: discModel, Path: PathPlanner},
+		{Name: "pipeline-8-vdd-planner", Family: "pipeline", N: 8, Seed: 28, Model: vddModel, Path: PathPlanner},
+		{Name: "forkjoin-8-incremental-planner", Family: "forkjoin", N: 8, Seed: 29, Model: incrModel, Path: PathPlanner},
+
+		// --- service path: end-to-end HTTP under concurrent load ----------
+		// Distinct instances per request: a steady stream of cache misses.
+		{Name: "layered-16-continuous-service", Family: "layered", N: 16, Seed: 30, Model: contModel, Path: PathService},
+		{Name: "sp-10-discrete-service", Family: "sp", N: 10, Seed: 31, Model: discModel, Path: PathService},
+		{Name: "chain-32-vdd-service", Family: "chain", N: 32, Seed: 32, Model: vddModel, Path: PathService},
+		{Name: "gnp-16-incremental-service", Family: "gnp", N: 16, Seed: 33, Model: incrModel, Path: PathService},
+		// The repeated-instance pair behind BENCH_service.json: every
+		// request full-solves (cold) vs every request a cache hit (hit).
+		{Name: "layered-30-continuous-service-cold", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathService,
+			Repeat: true, NoCache: true, Requests: 16, Warmup: 1, Reps: 3},
+		{Name: "layered-30-continuous-service-hit", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathService,
+			Repeat: true, Requests: 64},
+	}
+}

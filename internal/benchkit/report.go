@@ -1,0 +1,223 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion tags every report this package writes. Compare and
+// LoadReport reject anything else, so a stale or hand-edited baseline
+// fails loudly instead of producing a nonsense diff.
+const SchemaVersion = "energybench/v1"
+
+// Result is the measurement record of one scenario run: the instance
+// shape, the load shape (service path), and wall-clock percentiles over
+// the repetitions. All latencies are milliseconds; for the service path
+// one sample is the wall time of the whole request wave, not a single
+// request.
+type Result struct {
+	Scenario string  `json:"scenario"`
+	Family   string  `json:"family"`
+	Path     string  `json:"path"`
+	Model    string  `json:"model"`
+	Tasks    int     `json:"tasks"`
+	Edges    int     `json:"edges"`
+	Deadline float64 `json:"deadline"`
+	Warmup   int     `json:"warmup"`
+	Reps     int     `json:"reps"`
+	Clients  int     `json:"clients,omitempty"`
+	Requests int     `json:"requests,omitempty"`
+	// Energy anchors correctness: the objective value the run produced
+	// (summed across requests on the service path). A perf change that
+	// also moves Energy is a solver change, not just a speed change.
+	Energy float64 `json:"energy"`
+	MinMS  float64 `json:"min_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// Report is the canonical BENCH.json document: schema tag, the runtime
+// environment the numbers were taken on, and one Result per scenario.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Scenarios  []Result `json:"scenarios"`
+}
+
+// NewReport wraps results in a schema-tagged report stamped with the
+// current runtime environment.
+func NewReport(results []Result) *Report {
+	return &Report{
+		Schema:     SchemaVersion,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scenarios:  results,
+	}
+}
+
+// LoadReport reads and validates a BENCH.json document.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: read baseline: %w", err)
+	}
+	return ParseReport(data)
+}
+
+// ParseReport decodes a BENCH.json document, rejecting malformed JSON
+// and unknown schema versions.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchkit: malformed report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchkit: unsupported report schema %q (want %q)", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Write serializes the report to path, newline-terminated.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Find returns the result for the named scenario, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Scenario == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// Comparison statuses, per scenario.
+const (
+	StatusOK        = "ok"        // within tolerance
+	StatusImproved  = "improved"  // faster than 1/tolerance — informational
+	StatusRegressed = "regressed" // slower than tolerance× baseline — fails
+	StatusNew       = "new"       // in current, absent from baseline — informational
+	StatusMissing   = "missing"   // in baseline, absent from current — fails (coverage loss)
+)
+
+// CompareRow is one scenario's verdict.
+type CompareRow struct {
+	Scenario string  `json:"scenario"`
+	BaseMS   float64 `json:"base_p50_ms,omitempty"`
+	CurMS    float64 `json:"current_p50_ms,omitempty"`
+	// Ratio is current/baseline after the noise floor (>1 means slower).
+	Ratio  float64 `json:"ratio,omitempty"`
+	Status string  `json:"status"`
+}
+
+// Comparison is the regression report Compare produces; Pass is false
+// when any row regressed or went missing.
+type Comparison struct {
+	Tolerance   float64 `json:"tolerance"`
+	MinMS       float64 `json:"min_ms_floor"`
+	Pass        bool    `json:"pass"`
+	Regressions int     `json:"regressions"`
+	Missing     int     `json:"missing"`
+	// EnvMismatch notes baseline-vs-current differences in the recorded
+	// runtime environment (Go version, OS/arch, GOMAXPROCS). Informational:
+	// wall-clock ratios across different hardware are only as meaningful as
+	// the tolerance is generous, and the caller should know when that is
+	// the regime the gate is running in.
+	EnvMismatch []string     `json:"env_mismatch,omitempty"`
+	Rows        []CompareRow `json:"rows"`
+}
+
+// DefaultMinMS is the noise floor of Compare: timings are clamped up to
+// this many milliseconds before the ratio is taken, so microsecond-scale
+// closed-form scenarios — where scheduler jitter alone spans an order of
+// magnitude — cannot flap the gate. Scenarios meant to guard a hot path
+// should be sized to run well above the floor.
+const DefaultMinMS = 0.2
+
+// Compare diffs current against baseline at the given wall-clock
+// tolerance (e.g. 2 allows current p50 up to 2× the baseline p50 before
+// failing). A scenario present in the baseline but not in the current run
+// fails the comparison too: silently dropping a scenario is how coverage
+// regressions hide. minMS ≤ 0 selects DefaultMinMS; pass exactly 0
+// tolerance for the default of 2.
+func Compare(baseline, current *Report, tolerance, minMS float64) (*Comparison, error) {
+	if baseline == nil || current == nil {
+		return nil, fmt.Errorf("benchkit: Compare needs both reports")
+	}
+	if tolerance == 0 {
+		tolerance = 2
+	}
+	if !(tolerance > 1) {
+		return nil, fmt.Errorf("benchkit: tolerance must exceed 1, got %v", tolerance)
+	}
+	if minMS <= 0 {
+		minMS = DefaultMinMS
+	}
+	cmp := &Comparison{Tolerance: tolerance, MinMS: minMS, Pass: true}
+	for _, d := range [][3]string{
+		{"go", baseline.Go, current.Go},
+		{"goos", baseline.GOOS, current.GOOS},
+		{"goarch", baseline.GOARCH, current.GOARCH},
+		{"gomaxprocs", fmt.Sprint(baseline.GOMAXPROCS), fmt.Sprint(current.GOMAXPROCS)},
+	} {
+		if d[1] != d[2] {
+			cmp.EnvMismatch = append(cmp.EnvMismatch, fmt.Sprintf("%s: baseline %s vs current %s", d[0], d[1], d[2]))
+		}
+	}
+	floor := func(v float64) float64 {
+		if v < minMS {
+			return minMS
+		}
+		return v
+	}
+	seen := make(map[string]bool, len(baseline.Scenarios))
+	for _, base := range baseline.Scenarios {
+		seen[base.Scenario] = true
+		row := CompareRow{Scenario: base.Scenario, BaseMS: base.P50MS}
+		cur := current.Find(base.Scenario)
+		if cur == nil {
+			row.Status = StatusMissing
+			cmp.Missing++
+			cmp.Pass = false
+			cmp.Rows = append(cmp.Rows, row)
+			continue
+		}
+		row.CurMS = cur.P50MS
+		row.Ratio = floor(cur.P50MS) / floor(base.P50MS)
+		switch {
+		case row.Ratio > tolerance:
+			row.Status = StatusRegressed
+			cmp.Regressions++
+			cmp.Pass = false
+		case row.Ratio < 1/tolerance:
+			row.Status = StatusImproved
+		default:
+			row.Status = StatusOK
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	extra := make([]CompareRow, 0)
+	for _, cur := range current.Scenarios {
+		if !seen[cur.Scenario] {
+			extra = append(extra, CompareRow{Scenario: cur.Scenario, CurMS: cur.P50MS, Status: StatusNew})
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Scenario < extra[j].Scenario })
+	cmp.Rows = append(cmp.Rows, extra...)
+	return cmp, nil
+}

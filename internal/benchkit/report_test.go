@@ -1,0 +1,186 @@
+package benchkit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(results ...Result) *Report { return NewReport(results) }
+
+func res(name string, p50 float64) Result {
+	return Result{Scenario: name, P50MS: p50}
+}
+
+func rowFor(t *testing.T, cmp *Comparison, name string) CompareRow {
+	t.Helper()
+	for _, r := range cmp.Rows {
+		if r.Scenario == name {
+			return r
+		}
+	}
+	t.Fatalf("no row for scenario %q", name)
+	return CompareRow{}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := report(res("a", 10), res("b", 10))
+	cur := report(res("a", 25), res("b", 11))
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass {
+		t.Fatal("a 2.5× slowdown passed a 2× tolerance")
+	}
+	if cmp.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1", cmp.Regressions)
+	}
+	if got := rowFor(t, cmp, "a"); got.Status != StatusRegressed || got.Ratio != 2.5 {
+		t.Fatalf("row a = %+v, want regressed at ratio 2.5", got)
+	}
+	if got := rowFor(t, cmp, "b"); got.Status != StatusOK {
+		t.Fatalf("row b = %+v, want ok", got)
+	}
+}
+
+func TestCompareReportsImprovement(t *testing.T) {
+	base := report(res("a", 100))
+	cur := report(res("a", 10))
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass {
+		t.Fatal("an improvement failed the gate")
+	}
+	if got := rowFor(t, cmp, "a"); got.Status != StatusImproved {
+		t.Fatalf("row a = %+v, want improved", got)
+	}
+}
+
+func TestCompareFailsOnScenarioMissingFromCurrent(t *testing.T) {
+	base := report(res("a", 10), res("gone", 10))
+	cur := report(res("a", 10))
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass || cmp.Missing != 1 {
+		t.Fatalf("dropping a baseline scenario must fail: pass=%v missing=%d", cmp.Pass, cmp.Missing)
+	}
+	if got := rowFor(t, cmp, "gone"); got.Status != StatusMissing {
+		t.Fatalf("row gone = %+v, want missing", got)
+	}
+}
+
+func TestCompareTreatsNewScenarioAsInformational(t *testing.T) {
+	base := report(res("a", 10))
+	cur := report(res("a", 10), res("fresh", 999))
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass {
+		t.Fatal("a scenario new to the registry must not fail against an old baseline")
+	}
+	if got := rowFor(t, cmp, "fresh"); got.Status != StatusNew {
+		t.Fatalf("row fresh = %+v, want new", got)
+	}
+}
+
+func TestCompareNoiseFloorAbsorbsMicrosecondJitter(t *testing.T) {
+	// 5µs vs 100µs is a 20× "slowdown" that means nothing: both sit far
+	// below the floor and must compare equal.
+	base := report(res("tiny", 0.005))
+	cur := report(res("tiny", 0.1))
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass || rowFor(t, cmp, "tiny").Ratio != 1 {
+		t.Fatalf("sub-floor timings must compare equal, got %+v", cmp.Rows)
+	}
+	// With the floor disabled (explicit tiny floor) the same data regresses.
+	cmp, err = Compare(base, cur, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass {
+		t.Fatal("explicit near-zero floor should expose the ratio")
+	}
+}
+
+func TestCompareNotesEnvironmentMismatch(t *testing.T) {
+	base := report(res("a", 10))
+	base.GOMAXPROCS++
+	base.Go = "go0.0.0"
+	cur := report(res("a", 10))
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass {
+		t.Fatal("environment mismatch must stay informational")
+	}
+	if len(cmp.EnvMismatch) != 2 {
+		t.Fatalf("EnvMismatch = %v, want go + gomaxprocs notes", cmp.EnvMismatch)
+	}
+	same, err := Compare(cur, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.EnvMismatch) != 0 {
+		t.Fatalf("identical environments flagged: %v", same.EnvMismatch)
+	}
+}
+
+func TestCompareRejectsBadTolerance(t *testing.T) {
+	r := report(res("a", 1))
+	if _, err := Compare(r, r, 0.5, 0); err == nil {
+		t.Fatal("tolerance ≤ 1 accepted")
+	}
+	if _, err := Compare(nil, r, 2, 0); err == nil {
+		t.Fatal("nil baseline accepted")
+	}
+}
+
+func TestLoadReportRejectsMalformedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	wrongSchema := filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(wrongSchema, []byte(`{"schema":"other/v9","scenarios":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(wrongSchema); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := LoadReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReportWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	r := report(res("a", 1.5), res("b", 2.5))
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 2 || back.Find("b") == nil || back.Find("b").P50MS != 2.5 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if back.Find("nope") != nil {
+		t.Fatal("Find invented a scenario")
+	}
+}

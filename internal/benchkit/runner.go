@@ -1,0 +1,145 @@
+package benchkit
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"time"
+)
+
+// Options sets the measurement shape. Explicit caller values (the CLI
+// flags) win; otherwise a scenario's own Warmup/Reps apply (expensive
+// scenarios trim repetitions), then the package defaults.
+type Options struct {
+	// Warmup runs are discarded (default 1).
+	Warmup int
+	// Reps measured runs feed the percentiles (default 5).
+	Reps int
+}
+
+func (o Options) warmup(s Scenario) int {
+	switch {
+	case o.Warmup > 0:
+		return o.Warmup
+	case s.Warmup > 0:
+		return s.Warmup
+	}
+	return 1
+}
+
+func (o Options) reps(s Scenario) int {
+	switch {
+	case o.Reps > 0:
+		return o.Reps
+	case s.Reps > 0:
+		return s.Reps
+	}
+	return 5
+}
+
+// Run measures one scenario: build, warm up, then time Reps samples and
+// fold them into a Result.
+func Run(s Scenario, opts Options) (*Result, error) {
+	r, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+
+	warmup, reps := opts.warmup(s), opts.reps(s)
+	var energy float64
+	for i := 0; i < warmup; i++ {
+		if energy, err = r.rep(); err != nil {
+			return nil, fmt.Errorf("scenario %s (warmup): %w", s.Name, err)
+		}
+	}
+	samples := make([]float64, reps)
+	for i := range samples {
+		start := time.Now()
+		if energy, err = r.rep(); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		samples[i] = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	sort.Float64s(samples)
+
+	res := &Result{
+		Scenario: s.Name,
+		Family:   s.Family,
+		Path:     s.Path,
+		Model:    s.Model.Kind,
+		Tasks:    r.tasks,
+		Edges:    r.edges,
+		Deadline: r.deadline,
+		Warmup:   warmup,
+		Reps:     reps,
+		Energy:   energy,
+		MinMS:    samples[0],
+		P50MS:    percentile(samples, 50),
+		P90MS:    percentile(samples, 90),
+		MaxMS:    samples[len(samples)-1],
+		MeanMS:   mean(samples),
+	}
+	if s.Path == PathService {
+		res.Clients = s.clients()
+		res.Requests = s.requests()
+	}
+	return res, nil
+}
+
+// RunAll measures the scenarios in order, reporting progress through
+// logf (nil silences it), and wraps the results in a stamped Report.
+func RunAll(scenarios []Scenario, opts Options, logf func(format string, args ...any)) (*Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	results := make([]Result, 0, len(scenarios))
+	for i, s := range scenarios {
+		res, err := Run(s, opts)
+		if err != nil {
+			return nil, err
+		}
+		logf("[%d/%d] %-44s p50 %9.3f ms  (%d tasks, %s)", i+1, len(scenarios), s.Name, res.P50MS, res.Tasks, s.Path)
+		results = append(results, *res)
+	}
+	return NewReport(results), nil
+}
+
+// Match returns the registry scenarios whose names contain a match of
+// the regular expression pattern (grep semantics — anchor with ^…$ to
+// name one scenario exactly), in registry order.
+func Match(pattern string) ([]Scenario, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: bad scenario pattern: %w", err)
+	}
+	var out []Scenario
+	for _, s := range Registry() {
+		if re.MatchString(s.Name) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// percentile interpolates the p-th percentile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func mean(samples []float64) float64 {
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}

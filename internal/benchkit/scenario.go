@@ -1,0 +1,266 @@
+// Package benchkit is the scenario-driven benchmark subsystem behind
+// cmd/energybench and the BENCH_*.json artifacts: a Scenario names one
+// measured workload (graph family × size × energy model × solve path),
+// the Registry spans the paper's complexity landscape across graph
+// families, all four energy models, and three solve paths (direct
+// solver, planner-routed, end-to-end HTTP service under concurrent
+// load), the Runner measures a scenario with warmup and repetitions into
+// percentile statistics, and Compare diffs two reports into the CI
+// regression gate.
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Solve paths a scenario can exercise.
+const (
+	// PathDirect runs the model-aware solver on the problem in-process
+	// (core.SolveAuto): the raw kernel cost, no routing, no transport.
+	PathDirect = "direct"
+	// PathPlanner routes through the structure-aware planner
+	// (plan.Analyze + Execute): classification plus concurrent
+	// per-component solving.
+	PathPlanner = "planner"
+	// PathService drives the HTTP service end-to-end: a wave of JSON
+	// requests over concurrent clients against a live handler; one
+	// sample is the wall time of the whole wave.
+	PathService = "service"
+)
+
+// Scenario is one named benchmark workload. Scenarios are pure data —
+// building and running them is the Runner's job — so the registry reads
+// as a table.
+type Scenario struct {
+	// Name is the unique registry key, matched by energybench -run.
+	Name string
+	// Family is the workload generator family (internal/workload).
+	Family string
+	// N is the family's size parameter.
+	N int
+	// Seed fixes the generator (and, on the service path, the per-request
+	// variation).
+	Seed int64
+	// Model selects and parameterizes the energy model, in the service
+	// wire form.
+	Model service.ModelSpec
+	// Path selects the solve path (PathDirect, PathPlanner, PathService).
+	Path string
+	// Slack stretches the minimal feasible deadline (default 1.4).
+	Slack float64
+
+	// Clients is the service-path concurrency (default 8).
+	Clients int
+	// Requests is the service-path wave size (default 24). Requests are
+	// distinct instances (Seed+i) unless Repeat is set.
+	Requests int
+	// Repeat makes every service-path request the same instance — the
+	// cache-hit workload.
+	Repeat bool
+	// NoCache marks every service-path request no_cache and disables the
+	// engine cache, so a repeated instance measures the full solve.
+	NoCache bool
+
+	// Warmup and Reps override the Runner's defaults when positive
+	// (expensive scenarios trim repetitions to keep the full registry
+	// affordable in CI).
+	Warmup int
+	Reps   int
+}
+
+func (s Scenario) slack() float64 {
+	if s.Slack > 0 {
+		return s.Slack
+	}
+	return 1.4
+}
+
+func (s Scenario) clients() int {
+	if s.Clients > 0 {
+		return s.Clients
+	}
+	return 8
+}
+
+func (s Scenario) requests() int {
+	if s.Requests > 0 {
+		return s.Requests
+	}
+	return 24
+}
+
+// runnable is a built scenario: rep runs one measured sample and returns
+// the energy it produced; close releases path resources (HTTP server).
+type runnable struct {
+	tasks, edges int
+	deadline     float64
+	rep          func() (float64, error)
+	close        func()
+}
+
+// build materializes the scenario: generate the graph(s), derive a
+// feasible deadline, and bind the solve path. Everything expensive that
+// is not the measured operation (graph generation, request encoding,
+// server startup) happens here, outside the timed region.
+func (s Scenario) build() (*runnable, error) {
+	mdl, err := s.Model.Build()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	g, err := workload.FromSeed(s.Family, s.N, s.Seed, 0.5, 3)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	// Every constructor keeps SMax at the fastest admissible speed, so
+	// the minimal deadline is well-defined for all four model kinds.
+	dmin, err := g.MinimalDeadline(mdl.SMax)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	deadline := dmin * s.slack()
+	r := &runnable{tasks: g.N(), edges: g.M(), deadline: deadline, close: func() {}}
+
+	switch s.Path {
+	case PathDirect:
+		prob, err := core.NewProblem(g, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		r.rep = func() (float64, error) {
+			sol, err := prob.SolveAuto(mdl, core.PlannedOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return sol.Energy, nil
+		}
+	case PathPlanner:
+		prob, err := core.NewProblem(g, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		r.rep = func() (float64, error) {
+			pl, err := plan.Analyze(prob, mdl, plan.Options{})
+			if err != nil {
+				return 0, err
+			}
+			sol, err := pl.Execute()
+			if err != nil {
+				return 0, err
+			}
+			return sol.Energy, nil
+		}
+	case PathService:
+		return s.buildService(r)
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown path %q", s.Name, s.Path)
+	}
+	return r, nil
+}
+
+// buildService stands up a live HTTP server around a fresh engine and
+// binds a rep that fires the request wave over a bounded client pool.
+func (s Scenario) buildService(r *runnable) (*runnable, error) {
+	mdl, err := s.Model.Build()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	bodies := make([][]byte, s.requests())
+	for i := range bodies {
+		seed := s.Seed
+		if !s.Repeat {
+			seed += int64(i + 1)
+		}
+		g, err := workload.FromSeed(s.Family, s.N, seed, 0.5, 3)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		// Each request carries its own feasible deadline: distinct
+		// instances have distinct critical paths.
+		dmin, err := g.MinimalDeadline(mdl.SMax)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		req := service.SolveRequest{
+			Graph:    g,
+			Deadline: dmin * s.slack(),
+			Model:    s.Model,
+			NoCache:  s.NoCache,
+		}
+		if bodies[i], err = json.Marshal(&req); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+
+	opts := service.Options{}
+	if s.NoCache {
+		opts.CacheSize = -1
+	}
+	engine := service.NewEngine(opts)
+	srv := httptest.NewServer(service.NewHandler(engine, service.HTTPOptions{}))
+	client := srv.Client()
+	r.close = srv.Close
+
+	clients := s.clients()
+	r.rep = func() (float64, error) {
+		energies := make([]float64, len(bodies))
+		errs := make([]error, len(bodies))
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					energies[i], errs[i] = postSolve(client, srv.URL, bodies[i])
+				}
+			}()
+		}
+		for i := range bodies {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		var total float64
+		for i := range bodies {
+			if errs[i] != nil {
+				return 0, errs[i]
+			}
+			total += energies[i]
+		}
+		return total, nil
+	}
+	return r, nil
+}
+
+// postSolve fires one POST /v1/solve and returns the solved energy.
+func postSolve(client *http.Client, baseURL string, body []byte) (float64, error) {
+	resp, err := client.Post(baseURL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Message string `json:"message"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		return 0, fmt.Errorf("solve: HTTP %d: %s", resp.StatusCode, apiErr.Message)
+	}
+	var out struct {
+		Energy float64 `json:"energy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Energy, nil
+}

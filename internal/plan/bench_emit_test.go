@@ -1,0 +1,57 @@
+// The BENCH_plan.json emitter, rewritten as a thin slice of the benchkit
+// scenario registry: the disconnected multi-component workload solved
+// through the structure-aware planner vs as one monolithic interior-point
+// problem (same seed, same graph). External test package because benchkit
+// imports plan.
+package plan_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// benchPlanPattern selects the planner/monolithic pair behind BENCH_plan.json.
+const benchPlanPattern = "^multi-4-continuous-(direct|planner)$"
+
+// TestEmitBenchPlanJSON writes the BENCH_plan.json artifact when
+// BENCH_PLAN_OUT names a path (wired to `make bench-plan`). The file is a
+// standard energybench report — the same schema the CI regression gate
+// diffs — restricted to the planner-vs-monolithic pair.
+func TestEmitBenchPlanJSON(t *testing.T) {
+	out := os.Getenv("BENCH_PLAN_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PLAN_OUT=path to emit the benchmark artifact")
+	}
+	scenarios, err := benchkit.Match(benchPlanPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("pattern %q selects %d scenarios, want the planner/monolithic pair", benchPlanPattern, len(scenarios))
+	}
+	report, err := benchkit.RunAll(scenarios, benchkit.Options{}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := report.Find("multi-4-continuous-direct")
+	planned := report.Find("multi-4-continuous-planner")
+	// Same instance, so the two paths must agree on the optimum — the
+	// correctness anchor that makes the speedup meaningful.
+	if diff := math.Abs(mono.Energy - planned.Energy); diff > 1e-6*mono.Energy {
+		t.Fatalf("monolithic energy %.12g vs planned %.12g (rel %.3g)", mono.Energy, planned.Energy, diff/mono.Energy)
+	}
+	// The artifact doubles as the acceptance record: the planner must beat
+	// the monolithic solve by ≥2× on this workload.
+	if planned.P50MS*2 > mono.P50MS {
+		t.Fatalf("planner (%.1f ms) is not ≥2× faster than the monolithic solve (%.1f ms)", planned.P50MS, mono.P50MS)
+	}
+	if err := report.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s (monolithic %.1f ms vs planned %.1f ms, %.1f×)\n",
+		out, mono.P50MS, planned.P50MS, mono.P50MS/planned.P50MS)
+}

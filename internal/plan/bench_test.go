@@ -1,12 +1,8 @@
 package plan
 
 import (
-	"encoding/json"
-	"fmt"
 	"math"
 	"math/rand"
-	"os"
-	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -113,48 +109,4 @@ func TestPlannerSpeedup(t *testing.T) {
 	if planned*2 > mono {
 		t.Fatalf("planner (%v) is not ≥2× faster than the monolithic solve (%v)", planned, mono)
 	}
-}
-
-// TestEmitBenchPlanJSON writes the BENCH_plan.json artifact when
-// BENCH_PLAN_OUT names a path (wired to `make bench-plan`). The file records
-// planner vs monolithic interior-point wall-clock on the disconnected
-// 8-component workload.
-func TestEmitBenchPlanJSON(t *testing.T) {
-	out := os.Getenv("BENCH_PLAN_OUT")
-	if out == "" {
-		t.Skip("set BENCH_PLAN_OUT=path to emit the benchmark artifact")
-	}
-	planned, mono := measurePlanVsMonolithic(t)
-	// The artifact doubles as the acceptance record: the planner must beat
-	// the monolithic solve by ≥2× on this workload.
-	if planned*2 > mono {
-		t.Fatalf("planner (%v) is not ≥2× faster than the monolithic solve (%v)", planned, mono)
-	}
-	p := benchWorkload(t)
-	doc := map[string]any{
-		"benchmark": "structure-aware planner vs monolithic continuous solve",
-		"instance": map[string]any{
-			"tasks":      p.G.N(),
-			"edges":      p.G.M(),
-			"components": 8,
-			"model":      "continuous",
-			"deadline":   p.Deadline,
-		},
-		"planned_ms":    float64(planned) / float64(time.Millisecond),
-		"monolithic_ms": float64(mono) / float64(time.Millisecond),
-		"speedup":       float64(mono) / float64(planned),
-		"go":            runtime.Version(),
-		"goos":          runtime.GOOS,
-		"goarch":        runtime.GOARCH,
-		"gomaxprocs":    runtime.GOMAXPROCS(0),
-	}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	fmt.Printf("wrote %s (speedup %.1f×)\n", out, doc["speedup"])
 }

@@ -1,0 +1,52 @@
+// The BENCH_service.json emitter, rewritten as a thin slice of the
+// benchkit scenario registry: the repeated-instance layered workload
+// measured end-to-end over HTTP, once with every request full-solving
+// (cold) and once answered from the instance cache (hit). External test
+// package because benchkit imports service.
+package service_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// benchServicePattern selects the cold/hit pair behind BENCH_service.json.
+const benchServicePattern = "^layered-30-continuous-service-(cold|hit)$"
+
+// TestEmitBenchServiceJSON writes the BENCH_service.json artifact when
+// BENCH_SERVICE_OUT names a path (wired to `make bench-service`). The
+// file is a standard energybench report — the same schema the CI
+// regression gate diffs — restricted to the service cold/hit scenarios.
+func TestEmitBenchServiceJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SERVICE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVICE_OUT=path to emit the benchmark artifact")
+	}
+	scenarios, err := benchkit.Match(benchServicePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("pattern %q selects %d scenarios, want the cold/hit pair", benchServicePattern, len(scenarios))
+	}
+	report, err := benchkit.RunAll(scenarios, benchkit.Options{}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := report.Find("layered-30-continuous-service-cold")
+	hit := report.Find("layered-30-continuous-service-hit")
+	// The artifact doubles as the acceptance record: the cold wave solves
+	// every request, the hit wave answers 4× as many requests from the
+	// cache — it must still finish far faster. 5× holds with orders of
+	// magnitude to spare.
+	if hit.P50MS*5 > cold.P50MS {
+		t.Fatalf("cache-hit wave (%.3f ms) is not ≥5× faster than the cold wave (%.3f ms)", hit.P50MS, cold.P50MS)
+	}
+	if err := report.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s (cold %.1f ms vs hit %.1f ms, %.0f×)\n", out, cold.P50MS, hit.P50MS, cold.P50MS/hit.P50MS)
+}

@@ -2,11 +2,7 @@ package service
 
 import (
 	"context"
-	"encoding/json"
-	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -146,41 +142,4 @@ func TestCacheHitSpeedup(t *testing.T) {
 	if hit*5 > cold {
 		t.Fatalf("cache hit (%v) is not ≥5× faster than cold solve (%v)", hit, cold)
 	}
-}
-
-// TestEmitBenchServiceJSON writes the BENCH_service.json artifact when
-// BENCH_SERVICE_OUT names a path (wired to `make bench-service`). The file
-// records cold vs cache-hit latency for the repeated-instance workload.
-func TestEmitBenchServiceJSON(t *testing.T) {
-	out := os.Getenv("BENCH_SERVICE_OUT")
-	if out == "" {
-		t.Skip("set BENCH_SERVICE_OUT=path to emit the benchmark artifact")
-	}
-	cold, hit := measureColdVsHit(t)
-	req := benchRequest()
-	doc := map[string]any{
-		"benchmark": "service cold-solve vs cache-hit",
-		"instance": map[string]any{
-			"tasks":    req.Graph.N(),
-			"edges":    req.Graph.M(),
-			"model":    req.Model.Kind,
-			"deadline": req.Deadline,
-		},
-		"cold_solve_ms": float64(cold) / float64(time.Millisecond),
-		"cache_hit_ms":  float64(hit) / float64(time.Millisecond),
-		"speedup":       float64(cold) / float64(hit),
-		"go":            runtime.Version(),
-		"goos":          runtime.GOOS,
-		"goarch":        runtime.GOARCH,
-		"gomaxprocs":    runtime.GOMAXPROCS(0),
-	}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	fmt.Printf("wrote %s (speedup %.0f×)\n", out, doc["speedup"])
 }

@@ -1,0 +1,152 @@
+// Package workload names and builds the task-graph families used across
+// the repo: cmd/graphgen exposes them on the command line, and
+// internal/benchkit's scenario registry draws benchmark instances from
+// them. Every family is deterministic under a fixed seed — the same
+// (family, n, seed, weights) always yields the same graph — so benchmark
+// runs and generated fixtures are reproducible.
+//
+// The families map onto the paper's complexity landscape: chain, fork,
+// join, tree, and sp admit linear-time continuous optima (Theorems 1–2);
+// layered, gnp, stencil, and fft are general DAGs that force the
+// interior-point solver; lu, pipeline, and mapreduce mimic the
+// application graphs of the evaluation; multi builds a disconnected
+// union of layered components, the shape the structure-aware planner
+// exploits hardest.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Generator builds one graph of a family: n is the family's size
+// parameter (not always the exact task count — see Tasks reported by the
+// result), rng drives every random choice, wf draws task weights.
+type Generator func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph
+
+// generators is the family registry. Size semantics per family:
+//
+//	chain      n tasks in a line
+//	fork       1 source + n leaves
+//	join       n leaves + 1 sink
+//	forkjoin   source → n branches of length 3 → sink
+//	layered    ⌈n/4⌉ layers of width 4, edge probability 0.35
+//	gnp        n tasks, forward edge probability 0.2
+//	tree       random recursive out-tree on n tasks
+//	intree     reverse of tree (one global sink)
+//	sp         random series-parallel graph on n tasks
+//	lu         blocked LU elimination with n blocks per side
+//	stencil    n×n grid with right/down dependencies
+//	fft        n butterfly stages over 2ⁿ points
+//	pipeline   4 stages × n items
+//	mapreduce  n map tasks feeding ⌈n/4⌉ reduce tasks
+//	multi      disjoint union of n independent layered components
+var generators = map[string]Generator{
+	"chain": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.Chain(rng, n, wf)
+	},
+	"fork": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.Fork(rng, n, wf)
+	},
+	"join": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.Join(rng, n, wf)
+	},
+	"forkjoin": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.ForkJoin(rng, n, 3, wf)
+	},
+	"layered": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		width := 4
+		layers := (n + width - 1) / width
+		if layers < 2 {
+			layers = 2
+		}
+		return graph.Layered(rng, layers, width, 0.35, wf)
+	},
+	"gnp": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.GnpDAG(rng, n, 0.2, wf)
+	},
+	"tree": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.RandomOutTree(rng, n, wf)
+	},
+	"intree": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.RandomInTree(rng, n, wf)
+	},
+	"sp": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		g, _ := graph.RandomSP(rng, n, wf)
+		return g
+	},
+	"lu": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.LUElimination(n, 1)
+	},
+	"stencil": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.Stencil(n, n, 1)
+	},
+	"fft": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.FFT(n, 1)
+	},
+	"pipeline": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		weights := make([]float64, 4)
+		for i := range weights {
+			weights[i] = wf(rng)
+		}
+		return graph.Pipeline(4, n, weights)
+	},
+	"mapreduce": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		return graph.MapReduce(n, (n+3)/4, 1, 2)
+	},
+	"multi": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		parts := make([]*graph.Graph, n)
+		for i := range parts {
+			parts[i] = graph.Layered(rng, 5, 4, 0.45, wf)
+		}
+		return DisjointUnion(parts...)
+	},
+}
+
+// Families returns the registered family names in sorted order.
+func Families() []string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate builds one graph of the named family. The same (family, n,
+// rng-state, wf) always yields the same graph.
+func Generate(family string, n int, rng *rand.Rand, wf graph.WeightFunc) (*graph.Graph, error) {
+	gen, ok := generators[family]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown family %q (have %v)", family, Families())
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: size parameter must be positive, got %d", n)
+	}
+	return gen(rng, n, wf), nil
+}
+
+// FromSeed is the deterministic convenience wrapper benchmark scenarios
+// use: a fresh rng from seed and uniform weights in [wlo, whi).
+func FromSeed(family string, n int, seed int64, wlo, whi float64) (*graph.Graph, error) {
+	return Generate(family, n, rand.New(rand.NewSource(seed)), graph.UniformWeights(wlo, whi))
+}
+
+// DisjointUnion places the given graphs side by side on one task-ID
+// space, renumbering each part's tasks after the previous part's.
+func DisjointUnion(parts ...*graph.Graph) *graph.Graph {
+	out := graph.New()
+	for _, p := range parts {
+		base := out.N()
+		for i := 0; i < p.N(); i++ {
+			out.AddTask(p.Name(i), p.Weight(i))
+		}
+		for _, e := range p.Edges() {
+			out.MustAddEdge(base+e[0], base+e[1])
+		}
+	}
+	return out
+}

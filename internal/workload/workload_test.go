@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestEveryFamilyDeterministicValidDAG checks the three properties the
+// benchmark registry depends on, for every registered family: the same
+// seed yields byte-identical graphs, the result is a valid DAG (positive
+// weights, acyclic), and the reported node/edge counts are consistent
+// with the adjacency the graph actually holds.
+func TestEveryFamilyDeterministicValidDAG(t *testing.T) {
+	for _, family := range Families() {
+		t.Run(family, func(t *testing.T) {
+			g1, err := FromSeed(family, 6, 42, 1, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := FromSeed(family, 6, 42, 1, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(g1.CanonicalBytes(), g2.CanonicalBytes()) {
+				t.Fatal("same seed produced different graphs")
+			}
+			g3, err := FromSeed(family, 6, 43, 1, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A one-off seed must perturb every randomized family; the fixed
+			// topologies (lu, stencil, fft, mapreduce) ignore the rng by design.
+			switch family {
+			case "lu", "stencil", "fft", "mapreduce":
+				if !bytes.Equal(g1.CanonicalBytes(), g3.CanonicalBytes()) {
+					t.Fatal("fixed-topology family changed under a different seed")
+				}
+			default:
+				if bytes.Equal(g1.CanonicalBytes(), g3.CanonicalBytes()) {
+					t.Fatal("different seed produced an identical graph")
+				}
+			}
+
+			if err := g1.Validate(); err != nil {
+				t.Fatalf("invalid graph: %v", err)
+			}
+			if _, err := g1.TopoOrder(); err != nil {
+				t.Fatalf("not a DAG: %v", err)
+			}
+			if g1.N() <= 0 {
+				t.Fatalf("empty graph (N=%d)", g1.N())
+			}
+			if got := len(g1.Edges()); got != g1.M() {
+				t.Fatalf("edge count mismatch: M()=%d but Edges() holds %d", g1.M(), got)
+			}
+		})
+	}
+}
+
+// TestEveryFamilyRoundTripsThroughJSON encodes each family's graph with
+// the canonical graph codec and decodes it back, expecting an identical
+// canonical encoding — the property the HTTP service and the benchmark
+// scenarios rely on when they ship generated graphs over the wire.
+func TestEveryFamilyRoundTripsThroughJSON(t *testing.T) {
+	for _, family := range Families() {
+		t.Run(family, func(t *testing.T) {
+			g, err := FromSeed(family, 6, 7, 0.5, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := json.Marshal(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back graph.Graph
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(g.CanonicalBytes(), back.CanonicalBytes()) {
+				t.Fatal("JSON round-trip changed the graph")
+			}
+			if back.N() != g.N() || back.M() != g.M() {
+				t.Fatalf("round-trip changed counts: %d/%d → %d/%d", g.N(), g.M(), back.N(), back.M())
+			}
+		})
+	}
+}
+
+// TestGenerateRejectsBadInput covers the two caller mistakes.
+func TestGenerateRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wf := graph.UniformWeights(1, 2)
+	if _, err := Generate("bogus", 4, rng, wf); err == nil {
+		t.Fatal("accepted unknown family")
+	}
+	if _, err := Generate("chain", 0, rng, wf); err == nil {
+		t.Fatal("accepted non-positive size")
+	}
+}
+
+// TestDisjointUnionRenumbers checks ID renumbering and count additivity.
+func TestDisjointUnionRenumbers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	wf := graph.UniformWeights(1, 2)
+	a := graph.Chain(rng, 3, wf)
+	b := graph.Chain(rng, 2, wf)
+	u := DisjointUnion(a, b)
+	if u.N() != 5 || u.M() != 3 {
+		t.Fatalf("union has %d tasks / %d edges, want 5 / 3", u.N(), u.M())
+	}
+	if !u.HasEdge(3, 4) {
+		t.Fatal("second part's edge was not renumbered to 3→4")
+	}
+	if u.HasEdge(2, 3) {
+		t.Fatal("union connected the parts")
+	}
+}

@@ -66,6 +66,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSolveRequest -fuzztime=$(FUZZTIME) ./internal/service/
 	$(GO) test -run=NONE -fuzz=FuzzBatchDecode -fuzztime=$(FUZZTIME) ./internal/service/
 	$(GO) test -run=NONE -fuzz=FuzzPlanRequest -fuzztime=$(FUZZTIME) ./internal/service/
+	$(GO) test -run=NONE -fuzz=FuzzSessionEvents -fuzztime=$(FUZZTIME) ./internal/service/
 
 clean:
 	$(GO) clean ./...

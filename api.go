@@ -10,8 +10,10 @@ import (
 	"repro/internal/model"
 	"repro/internal/plan"
 	"repro/internal/platform"
+	"repro/internal/reclaim"
 	"repro/internal/sched"
 	"repro/internal/service"
+	"repro/internal/workload"
 )
 
 // Core types, re-exported. Solver entry points are methods on Problem; see
@@ -309,6 +311,58 @@ func NewEngine(opts EngineOptions) *Engine { return service.NewEngine(opts) }
 // (POST /v1/solve, POST /v1/solve/batch, GET /healthz).
 func NewSolveHandler(e *Engine, opts SolveHTTPOptions) http.Handler {
 	return service.NewHandler(e, opts)
+}
+
+// --- Online reclaiming runtime (see internal/reclaim) ---
+
+// ReclaimSession re-optimizes an executing schedule as task-completion
+// events arrive: completed tasks freeze at their actual finish times, the
+// dirtied residual components re-solve warm-started from the previous
+// solution, and untouched components replay verbatim.
+type ReclaimSession = reclaim.Session
+
+// ReclaimOptions tunes a session (forced algorithm, Theorem 5 K, the Cold
+// baseline switch, deviation tolerance, solver tunables).
+type ReclaimOptions = reclaim.Options
+
+// ReclaimStats counts events, clean skips, replans, and component
+// resolve/reuse splits.
+type ReclaimStats = reclaim.Stats
+
+// CompletionEvent reports one task's actual execution duration.
+type CompletionEvent = reclaim.CompletionEvent
+
+// EventResult reports what one accepted completion did to the session.
+type EventResult = reclaim.EventResult
+
+// WarmStart seeds a solver with a previous solution; it never changes the
+// result, only the work (see core.WarmStart).
+type WarmStart = core.WarmStart
+
+// ResidualPlan describes a residual re-solve's inputs: release times plus
+// the previous solution to warm-start from (see plan.Residual).
+type ResidualPlan = plan.Residual
+
+// Jitter is the deterministic duration-perturbation behind reproducible
+// replay scenarios (seeded early/late completion factors).
+type Jitter = workload.Jitter
+
+// NewReclaimSession opens a reclaiming session over a solved problem.
+func NewReclaimSession(p *Problem, m Model, sol *Solution, opts ReclaimOptions) (*ReclaimSession, error) {
+	return reclaim.NewSession(p, m, sol, opts)
+}
+
+// ReclaimTrace builds the open-loop completion-event stream replaying a
+// planned schedule with per-task duration factors (nil = on-plan).
+func ReclaimTrace(g *Graph, planned *Schedule, factors []float64) ([]CompletionEvent, error) {
+	return reclaim.Trace(g, planned, factors)
+}
+
+// ExplainResidual analyzes a residual instance — release times from the
+// frozen prefix of an executing schedule — and routes every component to a
+// release-aware solver, attaching warm seeds from the previous solution.
+func ExplainResidual(p *Problem, m Model, opts PlanOptions, res ResidualPlan) (*Plan, error) {
+	return plan.AnalyzeResidual(p, m, opts, res)
 }
 
 // --- Experiment harness (used by cmd/experiments and the benches) ---

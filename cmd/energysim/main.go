@@ -9,6 +9,7 @@
 //	energysim -graph app.json -procs 2 -model discrete -modes 1,2 -solver bb
 //	energysim -gen fork -n 8 -model incremental -smin 0.5 -smax 2 -delta 0.25 -K 8
 //	energysim -gen gnp -n 20 -model continuous -plan   (print the per-component routing)
+//	energysim -gen layered -n 20 -model continuous -factor 1.8 -replay   (online reclaiming replay)
 package main
 
 import (
@@ -27,6 +28,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/plan"
 	"repro/internal/platform"
+	"repro/internal/reclaim"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -38,28 +41,34 @@ func main() {
 
 func run() error {
 	var (
-		graphFile = flag.String("graph", "", "load task graph from JSON file instead of generating")
-		gen       = flag.String("gen", "layered", "generator: chain|fork|join|forkjoin|layered|gnp|tree|sp|lu|stencil|fft|pipeline")
-		n         = flag.Int("n", 16, "generator size parameter")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		procs     = flag.Int("procs", 4, "number of processors")
-		mapKind   = flag.String("mapping", "list", "mapping: list|rr|single|random")
-		mapFile   = flag.String("mapfile", "", "load the mapping from a JSON file instead of generating")
-		modelKind = flag.String("model", "continuous", "model: continuous|discrete|vdd|incremental")
-		modesStr  = flag.String("modes", "0.5,1,1.5,2", "modes for discrete/vdd")
-		smin      = flag.Float64("smin", 0.5, "incremental smin")
-		smax      = flag.Float64("smax", 2, "smax / top speed")
-		delta     = flag.Float64("delta", 0.25, "incremental speed increment δ")
-		factor    = flag.Float64("factor", 2, "deadline = factor × minimal deadline")
-		deadline  = flag.Float64("deadline", 0, "absolute deadline (overrides -factor)")
-		solver    = flag.String("solver", "auto", "solver: auto|numeric|bb|sp|greedy|roundup|approx|uniform|allmax")
-		kParam    = flag.Int("K", 8, "K for the Theorem 5 approximation")
-		showPlan  = flag.Bool("plan", false, "print the structure-aware solve plan (per-component routing) before solving")
-		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
-		report    = flag.Bool("report", false, "print per-processor utilization and energy report")
-		compare   = flag.Bool("compare", false, "solve under ALL four models (plus baselines) and print a comparison table; ignores -model/-solver")
-		dotOut    = flag.String("dot", "", "write the execution graph in DOT format to this file")
-		jsonOut   = flag.Bool("json", false, "print the solution as JSON")
+		graphFile  = flag.String("graph", "", "load task graph from JSON file instead of generating")
+		gen        = flag.String("gen", "layered", "generator: chain|fork|join|forkjoin|layered|gnp|tree|sp|lu|stencil|fft|pipeline")
+		n          = flag.Int("n", 16, "generator size parameter")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		procs      = flag.Int("procs", 4, "number of processors")
+		mapKind    = flag.String("mapping", "list", "mapping: list|rr|single|random")
+		mapFile    = flag.String("mapfile", "", "load the mapping from a JSON file instead of generating")
+		modelKind  = flag.String("model", "continuous", "model: continuous|discrete|vdd|incremental")
+		modesStr   = flag.String("modes", "0.5,1,1.5,2", "modes for discrete/vdd")
+		smin       = flag.Float64("smin", 0.5, "incremental smin")
+		smax       = flag.Float64("smax", 2, "smax / top speed")
+		delta      = flag.Float64("delta", 0.25, "incremental speed increment δ")
+		factor     = flag.Float64("factor", 2, "deadline = factor × minimal deadline")
+		deadline   = flag.Float64("deadline", 0, "absolute deadline (overrides -factor)")
+		solver     = flag.String("solver", "auto", "solver: auto|numeric|bb|sp|greedy|roundup|approx|uniform|allmax")
+		kParam     = flag.Int("K", 8, "K for the Theorem 5 approximation")
+		showPlan   = flag.Bool("plan", false, "print the structure-aware solve plan (per-component routing) before solving")
+		replay     = flag.Bool("replay", false, "replay a jittered execution through an online reclaiming session after solving")
+		replayCold = flag.Bool("replay-cold", false, "disable incremental reuse and warm starts during -replay (cold baseline)")
+		jitRate    = flag.Float64("jitter-rate", 0.5, "fraction of tasks whose duration deviates during -replay")
+		jitEarly   = flag.Float64("jitter-early", 0.35, "-replay: deviating tasks may finish up to this fraction early")
+		jitLate    = flag.Float64("jitter-late", 0.05, "-replay: deviating tasks may finish up to this fraction late")
+		jitSeed    = flag.Int64("jitter-seed", 1, "-replay jitter seed")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		report     = flag.Bool("report", false, "print per-processor utilization and energy report")
+		compare    = flag.Bool("compare", false, "solve under ALL four models (plus baselines) and print a comparison table; ignores -model/-solver")
+		dotOut     = flag.String("dot", "", "write the execution graph in DOT format to this file")
+		jsonOut    = flag.Bool("json", false, "print the solution as JSON")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -152,10 +161,91 @@ func run() error {
 		fmt.Println()
 		fmt.Print(sol.Schedule.Gantt(mapping, 72))
 	}
+	if *replay {
+		fmt.Println()
+		jit := workload.Jitter{Seed: *jitSeed, Rate: *jitRate, Early: *jitEarly, Late: *jitLate}
+		if err := runReplay(prob, m, sol, jit, *replayCold); err != nil {
+			return err
+		}
+	}
 	if *jsonOut {
 		return printJSON(sol)
 	}
 	return nil
+}
+
+// runReplay streams a jittered execution through a reclaiming session and
+// reports, per event, what the runtime did — and at the end, the energy
+// the session reclaimed over never re-planning.
+func runReplay(p *core.Problem, m model.Model, sol *core.Solution, jit workload.Jitter, cold bool) error {
+	mode := "warm incremental"
+	if cold {
+		mode = "cold full re-solve"
+	}
+	fmt.Printf("replay: online reclaiming session (%s), jitter seed %d rate %.2g early %.2g late %.2g\n",
+		mode, jit.Seed, jit.Rate, jit.Early, jit.Late)
+	factors, err := jit.Factors(p.G.N())
+	if err != nil {
+		return err
+	}
+	sess, err := reclaim.NewSession(p, m, sol, reclaim.Options{Cold: cold})
+	if err != nil {
+		return err
+	}
+	results, replayErr := sess.Replay(factors)
+	shown := 0
+	for _, res := range results {
+		if res.Clean {
+			continue
+		}
+		if shown < 12 {
+			fmt.Printf("  t=%-9.4g task %-4d %+.1f%% duration → re-solved %d component(s) (%d reused%s), residual energy %.6g\n",
+				res.Finish, res.Task, 100*(res.ActualDuration/res.PlannedDuration-1),
+				res.Resolved, res.Reused, warmNote(res), res.ResidualEnergy)
+		}
+		shown++
+	}
+	if shown > 12 {
+		fmt.Printf("  … %d more re-planning events\n", shown-12)
+	}
+	st := sess.Stats()
+	fmt.Printf("events: %d (%d on-plan, %d replans); components: %d re-solved, %d replayed verbatim, %d warm-seeded\n",
+		st.Events, st.Clean, st.Replans, st.ComponentsResolved, st.ComponentsReused, st.WarmSeeded)
+	if replayErr != nil {
+		return fmt.Errorf("replay stopped: %w", replayErr)
+	}
+	incurred, _ := sess.Energy()
+	// The no-reclaim baseline: every task executes its originally planned
+	// speed profile, time-stretched by its jitter factor (work conserved:
+	// every segment's speed scales by 1/f, its dwell time by f), so the
+	// profile's energy scales by 1/f². This keeps the baseline consistent
+	// across models — a Vdd task's mode-mixed profile stays a mode-mixed
+	// profile — and makes a zero-deviation replay report exactly 0%
+	// reclaimed.
+	baseline := 0.0
+	for i := 0; i < p.G.N(); i++ {
+		f := factors[i]
+		baseline += sol.Schedule.Profiles[i].Energy() / (f * f)
+	}
+	final, err := sess.Schedule()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("planned energy %.6g → executed %.6g (no-reclaim baseline %.6g, reclaimed %.4g%%)\n",
+		sol.Energy, incurred, baseline, 100*(1-incurred/baseline))
+	status := "met"
+	if final.Makespan > p.Deadline*(1+1e-9) {
+		status = "MISSED"
+	}
+	fmt.Printf("deadline %.6g %s (actual makespan %.6g)\n", p.Deadline, status, final.Makespan)
+	return nil
+}
+
+func warmNote(res reclaim.EventResult) string {
+	if res.WarmSeeded > 0 {
+		return ", warm"
+	}
+	return ""
 }
 
 // printPlan renders the structure-aware routing table the planner would use

@@ -103,13 +103,43 @@
 // cmd/energyserver binary. SolveRequest is simultaneously the programmatic
 // input and the wire format; see that type for the field catalogue.
 //
+// # Online reclaiming
+//
+// Solving once is the paper's offline story; the runtime in
+// internal/reclaim keeps optimizing while the schedule executes. A
+// ReclaimSession wraps a solved problem and ingests CompletionEvents —
+// actual task durations, which deviate from the plan. Completed tasks
+// freeze at their actual finish times; the remaining tasks form a residual
+// instance (the induced subgraph with per-task release times under the
+// original deadline) that re-solves incrementally: only the components a
+// deviation dirtied run a solver, warm-started from the previous solution
+// (interior-point centering from the previous speeds, branch-and-bound
+// from the previous incumbent, Pareto-DP pruning against the previous
+// energy, a mode-window-restricted Vdd LP with an optimality certificate),
+// while untouched components replay verbatim. On-plan completions cost
+// nothing at all. Warm starts never change an answer — the property suite
+// pins warm ≡ cold to 1e-9 across all four models — they only shrink the
+// work.
+//
+//	sess, _ := energysched.NewReclaimSession(prob, m, sol, energysched.ReclaimOptions{})
+//	res, _ := sess.ApplyEvent(energysched.CompletionEvent{Task: 0, ActualDuration: 2.0})
+//	fmt.Println("re-solved components:", res.Resolved, "new residual energy:", res.ResidualEnergy)
+//
+// Over HTTP the same runtime is the session subsystem: POST /v1/sessions
+// (solve + open), POST /v1/sessions/{id}/events (stream completions),
+// GET /v1/sessions/{id}/schedule (merged execution state), sharing the
+// engine's worker pool and instance cache. The energysim -replay flag and
+// examples/reclaim demonstrate full jittered replays; the Jitter type
+// makes them reproducible.
+//
 // # Benchmarks
 //
 // Performance is measured through the scenario registry in
 // internal/benchkit, driven by the cmd/energybench CLI: named scenarios
 // pair the task-graph families of internal/workload with every energy
-// model and three solve paths (direct kernel, planner-routed, end-to-end
-// HTTP service under concurrent load), producing one canonical BENCH.json
+// model and four solve paths (direct kernel, planner-routed, end-to-end
+// HTTP service under concurrent load, and warm-vs-cold online reclaiming
+// replays), producing one canonical BENCH.json
 // report whose per-scenario p50 the CI regression gate diffs against the
 // committed BENCH_baseline.json. `energybench -list` prints the registry;
 // `make bench-compare` runs the gate locally.

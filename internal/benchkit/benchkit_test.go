@@ -5,13 +5,13 @@ import (
 )
 
 // TestRegistryCoverage pins the acceptance floor of the scenario table:
-// ≥ 20 scenarios, ≥ 6 graph families, all four energy models, all three
+// ≥ 28 scenarios, ≥ 6 graph families, all four energy models, all four
 // solve paths, unique names, and every scenario buildable (graph
 // generated, deadline feasible, path bound) without running it.
 func TestRegistryCoverage(t *testing.T) {
 	scenarios := Registry()
-	if len(scenarios) < 20 {
-		t.Fatalf("registry holds %d scenarios, want ≥ 20", len(scenarios))
+	if len(scenarios) < 28 {
+		t.Fatalf("registry holds %d scenarios, want ≥ 28", len(scenarios))
 	}
 	names := make(map[string]bool)
 	families := make(map[string]bool)
@@ -41,8 +41,8 @@ func TestRegistryCoverage(t *testing.T) {
 	if len(models) != 4 {
 		t.Fatalf("registry spans %d models, want all 4: %v", len(models), models)
 	}
-	if len(paths) != 3 {
-		t.Fatalf("registry spans %d paths, want all 3: %v", len(paths), paths)
+	if len(paths) != 4 {
+		t.Fatalf("registry spans %d paths, want all 4: %v", len(paths), paths)
 	}
 }
 

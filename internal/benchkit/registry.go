@@ -1,6 +1,9 @@
 package benchkit
 
-import "repro/internal/service"
+import (
+	"repro/internal/service"
+	"repro/internal/workload"
+)
 
 // Canonical model parameterizations of the registry. Names appear in
 // scenario names: continuous, discrete, vdd, incremental.
@@ -9,6 +12,12 @@ var (
 	discModel = service.ModelSpec{Kind: "discrete", Modes: []float64{0.5, 1, 2}}
 	vddModel  = service.ModelSpec{Kind: "vdd-hopping", Modes: []float64{0.5, 1, 2}}
 	incrModel = service.ModelSpec{Kind: "incremental", SMin: 0.5, SMax: 2, Delta: 0.25}
+	// vddLadder is the richer DVFS ladder of the reclaim scenarios: with
+	// twelve modes the warm LP's mode-window restriction prunes most of
+	// the program (each task keeps the ~4 modes bracketing its previous
+	// profile instead of all 12).
+	vddLadder = service.ModelSpec{Kind: "vdd-hopping",
+		Modes: []float64{0.5, 0.636, 0.772, 0.909, 1.045, 1.181, 1.318, 1.454, 1.59, 1.727, 1.863, 2}}
 )
 
 // Registry returns the full scenario table, in run order. Names follow
@@ -16,9 +25,9 @@ var (
 // scenarios) so -run patterns can slice by any axis.
 //
 // Coverage by construction (kept honest by TestRegistryCoverage):
-// every solve path (direct, planner, service), all four energy models,
-// and the structural spectrum — closed-form shapes (chain, fork), the
-// SP/tree algebra, interior-point DAGs (layered, gnp, fft, stencil),
+// every solve path (direct, planner, service, reclaim), all four energy
+// models, and the structural spectrum — closed-form shapes (chain, fork),
+// the SP/tree algebra, interior-point DAGs (layered, gnp, fft, stencil),
 // application graphs (lu, mapreduce, pipeline), and the disconnected
 // multi-component workload the planner parallelizes.
 func Registry() []Scenario {
@@ -72,5 +81,37 @@ func Registry() []Scenario {
 			Repeat: true, NoCache: true, Requests: 16, Warmup: 1, Reps: 3},
 		{Name: "layered-30-continuous-service-hit", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathService,
 			Repeat: true, Requests: 64},
+
+		// --- reclaim path: online re-solving of executing schedules -------
+		// Each warm/cold pair replays the identical jittered execution
+		// (same instance, same factors); cold re-solves the full residual
+		// at every deviation, warm re-solves only the dirtied components,
+		// seeded from the previous solution. Warm vs cold on one line of
+		// BENCH output is the reclaiming runtime's headline number.
+		{Name: "layered-36-continuous-reclaim-warm", Family: "layered", N: 36, Seed: 40, Model: contModel, Path: PathReclaim,
+			Warmup: 1, Reps: 3},
+		{Name: "layered-36-continuous-reclaim-cold", Family: "layered", N: 36, Seed: 40, Model: contModel, Path: PathReclaim,
+			ReclaimCold: true, Warmup: 1, Reps: 3},
+		// Disconnected workload: deviations dirty one component; the other
+		// three replay verbatim under warm and re-solve under cold.
+		{Name: "multi-4-continuous-reclaim-warm", Family: "multi", N: 4, Seed: 41, Model: contModel, Path: PathReclaim,
+			Warmup: 1, Reps: 3},
+		{Name: "multi-4-continuous-reclaim-cold", Family: "multi", N: 4, Seed: 41, Model: contModel, Path: PathReclaim,
+			ReclaimCold: true, Warmup: 1, Reps: 3},
+		// Discrete residuals route to branch-and-bound; warm opens with
+		// the previous assignment as incumbent.
+		{Name: "sp-12-discrete-reclaim-warm", Family: "sp", N: 12, Seed: 42, Model: discModel, Path: PathReclaim,
+			Warmup: 1, Reps: 3},
+		{Name: "sp-12-discrete-reclaim-cold", Family: "sp", N: 12, Seed: 42, Model: discModel, Path: PathReclaim,
+			ReclaimCold: true, Warmup: 1, Reps: 3},
+		// Vdd over a twelve-mode ladder: the warm LP restricts each task
+		// to the modes bracketing its previous profile. Mild early-only
+		// jitter keeps the shifted optimum inside the windows, so the
+		// restriction's optimality certificate holds and the full program
+		// is skipped.
+		{Name: "chain-24-vdd-reclaim-warm", Family: "chain", N: 24, Seed: 43, Model: vddLadder, Path: PathReclaim,
+			Jitter: workload.Jitter{Seed: 43, Rate: 0.4, Early: 0.12}, Warmup: 1, Reps: 3},
+		{Name: "chain-24-vdd-reclaim-cold", Family: "chain", N: 24, Seed: 43, Model: vddLadder, Path: PathReclaim,
+			Jitter: workload.Jitter{Seed: 43, Rate: 0.4, Early: 0.12}, ReclaimCold: true, Warmup: 1, Reps: 3},
 	}
 }

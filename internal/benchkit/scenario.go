@@ -2,11 +2,12 @@
 // cmd/energybench and the BENCH_*.json artifacts: a Scenario names one
 // measured workload (graph family × size × energy model × solve path),
 // the Registry spans the paper's complexity landscape across graph
-// families, all four energy models, and three solve paths (direct
+// families, all four energy models, and four solve paths (direct
 // solver, planner-routed, end-to-end HTTP service under concurrent
-// load), the Runner measures a scenario with warmup and repetitions into
-// percentile statistics, and Compare diffs two reports into the CI
-// regression gate.
+// load, and online reclaiming replays — warm vs cold residual
+// re-solves under a jittered event stream), the Runner measures a
+// scenario with warmup and repetitions into percentile statistics, and
+// Compare diffs two reports into the CI regression gate.
 package benchkit
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/reclaim"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -36,6 +38,14 @@ const (
 	// requests over concurrent clients against a live handler; one
 	// sample is the wall time of the whole wave.
 	PathService = "service"
+	// PathReclaim replays a jittered execution through a reclaiming
+	// session (internal/reclaim): one sample is a full closed-loop replay
+	// — every completion event ingested, every dirtied residual
+	// re-solved. Cold (Scenario.ReclaimCold) re-solves the whole residual
+	// from scratch at each deviation; warm re-solves only the dirtied
+	// components, seeded from the previous solution. The warm/cold pair
+	// of one instance is the PR's headline speedup.
+	PathReclaim = "reclaim"
 )
 
 // Scenario is one named benchmark workload. Scenarios are pure data —
@@ -70,6 +80,14 @@ type Scenario struct {
 	// NoCache marks every service-path request no_cache and disables the
 	// engine cache, so a repeated instance measures the full solve.
 	NoCache bool
+
+	// ReclaimCold switches the reclaim path to the cold baseline: every
+	// deviation re-solves the full residual from scratch (no component
+	// reuse, no warm starts).
+	ReclaimCold bool
+	// Jitter perturbs the reclaim replay's durations; the zero value
+	// defaults to {Seed, Rate 0.5, Early 0.35, Late 0.05}.
+	Jitter workload.Jitter
 
 	// Warmup and Reps override the Runner's defaults when positive
 	// (expensive scenarios trim repetitions to keep the full registry
@@ -161,6 +179,42 @@ func (s Scenario) build() (*runnable, error) {
 		}
 	case PathService:
 		return s.buildService(r)
+	case PathReclaim:
+		prob, err := core.NewProblem(g, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		pl, err := plan.Analyze(prob, mdl, plan.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		sol, err := pl.Execute()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		jit := s.Jitter
+		if jit == (workload.Jitter{}) {
+			jit = workload.Jitter{Seed: s.Seed, Rate: 0.5, Early: 0.35, Late: 0.05}
+		}
+		factors, err := jit.Factors(g.N())
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		// One rep = a fresh session replaying the whole jittered
+		// execution: the initial solve stays outside the timed region;
+		// the event ingestion and every residual re-solve are inside it.
+		r.rep = func() (float64, error) {
+			sess, err := reclaim.NewSession(prob, mdl, sol, reclaim.Options{Cold: s.ReclaimCold})
+			if err != nil {
+				return 0, err
+			}
+			results, err := sess.Replay(factors)
+			if err != nil {
+				return 0, err
+			}
+			last := results[len(results)-1]
+			return last.IncurredEnergy + last.ResidualEnergy, nil
+		}
 	default:
 		return nil, fmt.Errorf("scenario %s: unknown path %q", s.Name, s.Path)
 	}

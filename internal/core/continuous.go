@@ -33,6 +33,16 @@ type ContinuousOptions struct {
 	// speed-bounded relaxation used by the Theorem 5 / Proposition 1
 	// approximation constructions. Zero means unbounded below.
 	SMin float64
+	// Release, when non-nil, gives each task an earliest permitted start
+	// (the residual re-solve constraint: frozen predecessors of an
+	// executing schedule finished at these absolute times). nil means
+	// every task may start at 0.
+	Release []float64
+	// Warm, when non-nil, seeds the interior point from the previous
+	// solution's speed vector. The optimum (and the tolerance it is found
+	// to) is unchanged — only the centering work shrinks. Stale or
+	// infeasible warm data falls back to the cold start silently.
+	Warm *WarmStart
 }
 
 // energyObjective is Σ wᵢ³/dᵢ² over x = (t₁..tₙ, d₁..dₙ); the t-part does
@@ -72,7 +82,9 @@ func (f *energyObjective) Hessian(x linalg.Vector, h *linalg.Matrix) {
 
 // SolveContinuousNumeric solves the geometric program on an arbitrary
 // execution graph. It is the reference oracle for every closed form in this
-// package.
+// package. Release times (opts.Release) add the residual constraints
+// tᵢ − dᵢ ≥ rᵢ; a warm start (opts.Warm) only changes where centering
+// begins.
 func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (*Solution, error) {
 	if !(smax > 0) {
 		return nil, model.ErrBadSMax
@@ -80,8 +92,12 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	if opts.SMin < 0 || opts.SMin > smax*(1+1e-12) {
 		return nil, model.ErrBadRange
 	}
-	if err := p.CheckFeasible(smax); err != nil {
+	if err := p.CheckFeasibleFrom(smax, opts.Release); err != nil {
 		return nil, err
+	}
+	release := opts.Release
+	if release != nil && !hasRelease(release) {
+		release = nil
 	}
 	// Degenerate band: a single admissible speed.
 	if opts.SMin > 0 && opts.SMin >= smax*(1-1e-12) {
@@ -90,7 +106,7 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 			speeds[i] = smax
 		}
 		m, _ := model.NewContinuous(smax)
-		return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "continuous-degenerate-band", Exact: true, BoundFactor: 1})
+		return p.solutionFromSpeedsAt(m, speeds, release, Stats{Algorithm: "continuous-degenerate-band", Exact: true, BoundFactor: 1})
 	}
 	n := p.G.N()
 	cpw, err := p.G.CriticalPathWeight()
@@ -102,6 +118,15 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	wn := make([]float64, n)
 	for i := 0; i < n; i++ {
 		wn[i] = p.G.Weight(i) / cpw
+	}
+	var rn []float64
+	if release != nil {
+		rn = make([]float64, n)
+		for i := range rn {
+			if release[i] > 0 {
+				rn[i] = release[i] / p.Deadline
+			}
+		}
 	}
 	sCap := smax * p.Deadline / cpw
 	if math.IsInf(smax, 1) {
@@ -122,14 +147,23 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	}
 	// If the deadline is (numerically) tight, return the all-smax solution.
 	if !math.IsInf(smax, 1) {
-		dmin, _ := p.MinimalDeadline(smax)
+		var dmin float64
+		if release == nil {
+			dmin, _ = p.MinimalDeadline(smax)
+		} else {
+			fastest := make([]float64, n)
+			for i := range fastest {
+				fastest[i] = p.G.Weight(i) / smax
+			}
+			dmin, _ = p.G.MakespanFrom(fastest, release)
+		}
 		if dmin >= p.Deadline*(1-1e-9) {
 			speeds := make([]float64, n)
 			for i := range speeds {
 				speeds[i] = smax
 			}
 			m, _ := model.NewContinuous(smax)
-			return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "continuous-tight-deadline", Exact: true, BoundFactor: 1})
+			return p.solutionFromSpeedsAt(m, speeds, release, Stats{Algorithm: "continuous-tight-deadline", Exact: true, BoundFactor: 1})
 		}
 	}
 
@@ -159,10 +193,13 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 		b[r] = 0
 		r++
 	}
-	for i := 0; i < n; i++ { // d_i - t_i <= 0
+	for i := 0; i < n; i++ { // d_i - t_i <= -r_i (start no earlier than release)
 		a.Set(r, n+i, 1)
 		a.Set(r, i, -1)
 		b[r] = 0
+		if rn != nil {
+			b[r] = -rn[i]
+		}
 		r++
 	}
 	for i := 0; i < n; i++ { // t_i <= 1
@@ -185,37 +222,45 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 		}
 	}
 
-	// Strictly feasible start: fastest durations lo give makespan M* < 1;
-	// inflate durations by μ = λ^(1/3) and finish times by ν = λ^(1/3)
-	// (λ = 1/M*), which keeps every constraint strictly slack.
-	mstar, err := p.G.Makespan(lo)
-	if err != nil {
-		return nil, err
-	}
-	if mstar >= 1 {
-		return nil, fmt.Errorf("%w: normalized fastest makespan %.9g ≥ 1", ErrInfeasible, mstar)
-	}
-	lambda := 1 / mstar
-	mu := math.Cbrt(lambda)
-	nu := math.Cbrt(lambda)
-	d0 := make([]float64, n)
-	for i := range d0 {
-		d0[i] = mu * lo[i]
-		if hi != nil && d0[i] >= hi[i] {
-			// Stay strictly inside the duration band; the geometric mean is
-			// strictly between lo and hi and only shortens d0, so the path
-			// constraints keep their slack.
-			d0[i] = math.Sqrt(lo[i] * hi[i])
+	// Strictly feasible start. Warm path: durations from the previous
+	// speed vector, clamped into the admissible band and shrunk a hair so
+	// every constraint is strictly slack — centering then begins next to
+	// the optimum. Cold path (and warm fallback): fastest durations lo
+	// give makespan M* < 1; inflate durations by μ = λ^(1/3) and finish
+	// times by ν = λ^(1/3) (λ = 1/M*), which keeps every constraint
+	// strictly slack. Release-dominated paths scale sublinearly in the
+	// durations, so both inflations remain valid with rn present.
+	x0 := p.warmStartPoint(opts.Warm, wn, lo, hi, rn)
+	if x0 == nil {
+		mstar, err := p.G.MakespanFrom(lo, rn)
+		if err != nil {
+			return nil, err
 		}
-	}
-	pa, err := p.G.Analyze(d0, 1)
-	if err != nil {
-		return nil, err
-	}
-	x0 := linalg.NewVector(2 * n)
-	for i := 0; i < n; i++ {
-		x0[i] = nu * pa.EarliestFinish[i]
-		x0[n+i] = d0[i]
+		if mstar >= 1 {
+			return nil, fmt.Errorf("%w: normalized fastest makespan %.9g ≥ 1", ErrInfeasible, mstar)
+		}
+		lambda := 1 / mstar
+		mu := math.Cbrt(lambda)
+		nu := math.Cbrt(lambda)
+		d0 := make([]float64, n)
+		for i := range d0 {
+			d0[i] = mu * lo[i]
+			if hi != nil && d0[i] >= hi[i] {
+				// Stay strictly inside the duration band; the geometric mean is
+				// strictly between lo and hi and only shortens d0, so the path
+				// constraints keep their slack.
+				d0[i] = math.Sqrt(lo[i] * hi[i])
+			}
+		}
+		pa, err := p.G.AnalyzeFrom(d0, rn, 1)
+		if err != nil {
+			return nil, err
+		}
+		x0 = linalg.NewVector(2 * n)
+		for i := 0; i < n; i++ {
+			x0[i] = nu * pa.EarliestFinish[i]
+			x0[n+i] = d0[i]
+		}
 	}
 
 	tol := opts.Tol
@@ -246,7 +291,7 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	if err != nil {
 		return nil, err
 	}
-	sol, err := p.solutionFromSpeeds(m, speeds, Stats{
+	sol, err := p.solutionFromSpeedsAt(m, speeds, release, Stats{
 		Algorithm:   "continuous-interior-point",
 		Newton:      res.Newton,
 		Exact:       true, // up to the numeric gap
@@ -258,12 +303,69 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	return sol, nil
 }
 
+// warmStartPoint builds a strictly feasible interior-point start from a
+// previous speed vector (normalized coordinates). Returns nil when no warm
+// data is available or it cannot be made strictly feasible — the caller
+// falls back to the cold construction. The returned point never changes the
+// optimum, only where centering begins.
+func (p *Problem) warmStartPoint(warm *WarmStart, wn, lo, hi, rn []float64) linalg.Vector {
+	n := len(wn)
+	if warm == nil || len(warm.Speeds) != n {
+		return nil
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := warm.Speeds[i]
+		if !(s > 0) {
+			return nil
+		}
+		// Normalized duration of task i at the previous speed: time unit D.
+		d[i] = (p.G.Weight(i) / s) / p.Deadline
+		// Clamp strictly inside the duration band, then shrink a hair so
+		// path constraints gain slack; the floor keeps the speed cap slack.
+		floor := lo[i] * (1 + 1e-9)
+		if hi != nil {
+			ceil := hi[i] * (1 - 1e-9)
+			if floor >= ceil {
+				return nil
+			}
+			if d[i] > ceil {
+				d[i] = ceil
+			}
+		}
+		d[i] *= 0.999
+		if d[i] < floor {
+			d[i] = floor
+		}
+		if hi != nil && d[i] >= hi[i] {
+			return nil
+		}
+	}
+	ms, err := p.G.MakespanFrom(d, rn)
+	if err != nil || ms >= 1-1e-12 {
+		return nil
+	}
+	// Inflate finishes by ν > 1 to open strict slack on every precedence
+	// and release row while keeping tᵢ ≤ ν·makespan < 1.
+	nu := math.Cbrt(1 / ms)
+	pa, err := p.G.AnalyzeFrom(d, rn, 1)
+	if err != nil {
+		return nil
+	}
+	x0 := linalg.NewVector(2 * n)
+	for i := 0; i < n; i++ {
+		x0[i] = nu * pa.EarliestFinish[i]
+		x0[n+i] = d[i]
+	}
+	return x0
+}
+
 // SolveContinuous dispatches to the cheapest exact continuous algorithm:
 // chain and fork closed forms, the tree/SP equivalent-weight algebra when
 // smax does not bind, and the interior-point geometric program otherwise.
 func (p *Problem) SolveContinuous(smax float64, opts ContinuousOptions) (*Solution, error) {
-	if opts.SMin > 0 {
-		// The closed forms assume speeds unbounded below.
+	if opts.SMin > 0 || (opts.Release != nil && hasRelease(opts.Release)) {
+		// The closed forms assume speeds unbounded below and zero releases.
 		return p.SolveContinuousNumeric(smax, opts)
 	}
 	if _, ok := p.G.IsChain(); ok {

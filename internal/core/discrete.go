@@ -23,6 +23,18 @@ type DiscreteOptions struct {
 	MaxNodes int
 	// MaxFrontier bounds the Pareto DP frontier size (default 500000).
 	MaxFrontier int
+	// Release gives each task an earliest permitted start (residual
+	// re-solves). Supported by branch-and-bound and the greedy heuristic;
+	// the SP Pareto DP rejects it (series/parallel composition has no
+	// notion of per-task absolute time).
+	Release []float64
+	// Warm seeds the exact solvers from a previous assignment without
+	// changing their result: branch-and-bound opens with it as incumbent
+	// (when still feasible), and the Pareto DP prunes frontier entries
+	// that already cost more than the previous energy — both are sound
+	// because the previous assignment's energy upper-bounds the optimum
+	// whenever it remains feasible.
+	Warm *WarmStart
 }
 
 func (o DiscreteOptions) maxNodes() int {
@@ -60,18 +72,31 @@ func (p *Problem) SolveDiscreteBB(m model.Model, opts DiscreteOptions) (*Solutio
 	if err := discreteKind(m); err != nil {
 		return nil, err
 	}
-	if err := p.CheckFeasible(m.SMax); err != nil {
+	if err := p.CheckFeasibleFrom(m.SMax, opts.Release); err != nil {
 		return nil, err
+	}
+	release := opts.Release
+	if release != nil && !hasRelease(release) {
+		release = nil
 	}
 	n := p.G.N()
 	modes := m.Modes
 	nm := len(modes)
 	top := modes[nm-1]
 
-	// Incumbent from the greedy heuristic (always succeeds when feasible).
+	// Incumbent: the previous assignment when warm data is present and
+	// still feasible (its energy upper-bounds the optimum, and it usually
+	// sits far closer than the greedy's), otherwise the greedy heuristic
+	// (always succeeds when feasible).
 	bestEnergy := math.Inf(1)
 	bestSpeeds := make([]float64, n)
-	if greedy, err := p.SolveDiscreteGreedy(m); err == nil {
+	if ws := warmModeSpeeds(p, m, opts.Warm, release); ws != nil {
+		copy(bestSpeeds, ws)
+		bestEnergy = 0
+		for i := 0; i < n; i++ {
+			bestEnergy += model.TaskEnergy(p.G.Weight(i), ws[i])
+		}
+	} else if greedy, err := p.solveDiscreteGreedy(m, release); err == nil {
 		gs, _ := greedy.Speeds()
 		copy(bestSpeeds, gs)
 		bestEnergy = greedy.Energy
@@ -138,7 +163,7 @@ func (p *Problem) SolveDiscreteBB(m model.Model, opts DiscreteOptions) (*Solutio
 				break // faster modes only cost more
 			}
 			durations[t] = w / modes[j]
-			if ms, _ := p.G.Makespan(durations); ms <= p.Deadline*(1+1e-12) {
+			if ms, _ := p.G.MakespanFrom(durations, release); ms <= p.Deadline*(1+1e-12) {
 				speeds[t] = modes[j]
 				dfs(k+1, e)
 			}
@@ -155,7 +180,7 @@ func (p *Problem) SolveDiscreteBB(m model.Model, opts DiscreteOptions) (*Solutio
 	if math.IsInf(bestEnergy, 1) {
 		return nil, ErrInfeasible
 	}
-	sol, err := p.solutionFromSpeeds(m, bestSpeeds, st)
+	sol, err := p.solutionFromSpeedsAt(m, bestSpeeds, release, st)
 	if err != nil {
 		return nil, err
 	}
@@ -165,15 +190,61 @@ func (p *Problem) SolveDiscreteBB(m model.Model, opts DiscreteOptions) (*Solutio
 	return sol, nil
 }
 
+// warmModeSpeeds validates a warm assignment for the discrete solvers:
+// every previous speed snaps to an admissible mode and the assignment still
+// meets the deadline under the release times. Returns the snapped speeds,
+// or nil when the warm data is absent, stale, or infeasible.
+func warmModeSpeeds(p *Problem, m model.Model, warm *WarmStart, release []float64) []float64 {
+	n := p.G.N()
+	if warm == nil || len(warm.Speeds) != n {
+		return nil
+	}
+	speeds := make([]float64, n)
+	durations := make([]float64, n)
+	for i, s := range warm.Speeds {
+		snapped := 0.0
+		for _, mode := range m.Modes {
+			if math.Abs(s-mode) <= 1e-9*math.Max(1, mode) {
+				snapped = mode
+				break
+			}
+		}
+		if snapped == 0 {
+			return nil // previous speed is not on this mode ladder
+		}
+		speeds[i] = snapped
+		durations[i] = p.G.Weight(i) / snapped
+	}
+	ms, err := p.G.MakespanFrom(durations, release)
+	if err != nil || ms > p.Deadline*(1+1e-12) {
+		return nil
+	}
+	return speeds
+}
+
 // SolveDiscreteGreedy is the classic slack-reclamation heuristic: start
 // every task at the top mode, then repeatedly take the single mode
 // downgrade with the largest energy saving that keeps the deadline, until
 // no downgrade fits. Polynomial: O(n²·m·(n+m)) worst case.
 func (p *Problem) SolveDiscreteGreedy(m model.Model) (*Solution, error) {
+	return p.solveDiscreteGreedy(m, nil)
+}
+
+// SolveDiscreteGreedyOpts is SolveDiscreteGreedy with residual release
+// times (opts.Release); the other exact-solver options are ignored.
+func (p *Problem) SolveDiscreteGreedyOpts(m model.Model, opts DiscreteOptions) (*Solution, error) {
+	release := opts.Release
+	if release != nil && !hasRelease(release) {
+		release = nil
+	}
+	return p.solveDiscreteGreedy(m, release)
+}
+
+func (p *Problem) solveDiscreteGreedy(m model.Model, release []float64) (*Solution, error) {
 	if err := discreteKind(m); err != nil {
 		return nil, err
 	}
-	if err := p.CheckFeasible(m.SMax); err != nil {
+	if err := p.CheckFeasibleFrom(m.SMax, release); err != nil {
 		return nil, err
 	}
 	n := p.G.N()
@@ -194,7 +265,7 @@ func (p *Problem) SolveDiscreteGreedy(m model.Model) (*Solution, error) {
 			w := p.G.Weight(i)
 			oldD := durations[i]
 			durations[i] = w / modes[idx[i]-1]
-			ms, err := p.G.Makespan(durations)
+			ms, err := p.G.MakespanFrom(durations, release)
 			durations[i] = oldD
 			if err != nil {
 				return nil, err
@@ -217,7 +288,7 @@ func (p *Problem) SolveDiscreteGreedy(m model.Model) (*Solution, error) {
 	for i := 0; i < n; i++ {
 		speeds[i] = modes[idx[i]]
 	}
-	return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "discrete-greedy", Exact: false, BoundFactor: math.Inf(1)})
+	return p.solutionFromSpeedsAt(m, speeds, release, Stats{Algorithm: "discrete-greedy", Exact: false, BoundFactor: math.Inf(1)})
 }
 
 // SolveDiscreteRoundUp is the Proposition 1 construction: solve the
@@ -252,7 +323,7 @@ func (p *Problem) SolveDiscreteRoundUp(m model.Model, opts ContinuousOptions) (*
 	}
 	alpha := m.MaxGap()
 	bound := (1 + alpha/m.SMin) * (1 + alpha/m.SMin)
-	return p.solutionFromSpeeds(m, speeds, Stats{Algorithm: "discrete-round-up", Exact: false, BoundFactor: bound})
+	return p.solutionFromSpeedsAt(m, speeds, opts.Release, Stats{Algorithm: "discrete-round-up", Exact: false, BoundFactor: bound})
 }
 
 // --- Exact Pareto dynamic program on series-parallel execution graphs ---
@@ -321,8 +392,23 @@ func (p *Problem) SolveDiscreteSP(m model.Model, e *graph.SPExpr, opts DiscreteO
 	if err := discreteKind(m); err != nil {
 		return nil, err
 	}
+	if opts.Release != nil && hasRelease(opts.Release) {
+		return nil, fmt.Errorf("core: the SP Pareto DP does not support release times (route residual components to branch-and-bound)")
+	}
 	if e.Size() != p.G.N() {
 		return nil, fmt.Errorf("core: SP expression covers %d of %d tasks", e.Size(), p.G.N())
+	}
+	// Warm energy bound: a still-feasible previous assignment upper-bounds
+	// the optimum, so any frontier entry that alone costs more than it can
+	// never extend to an optimal solution (sibling energies are
+	// non-negative) and is pruned.
+	eBound := math.Inf(1)
+	if ws := warmModeSpeeds(p, m, opts.Warm, nil); ws != nil {
+		eBound = 0
+		for i := 0; i < p.G.N(); i++ {
+			eBound += model.TaskEnergy(p.G.Weight(i), ws[i])
+		}
+		eBound = eBound*(1+1e-9) + 1e-12
 	}
 	root := buildDPTree(e)
 	peak := 0
@@ -332,7 +418,7 @@ func (p *Problem) SolveDiscreteSP(m model.Model, e *graph.SPExpr, opts DiscreteO
 			w := p.G.Weight(nd.task)
 			for j, s := range m.Modes {
 				T := w / s
-				if T <= p.Deadline*(1+1e-12) {
+				if T <= p.Deadline*(1+1e-12) && model.TaskEnergy(w, s) <= eBound {
 					nd.frontier = append(nd.frontier, paretoEntry{T: T, E: model.TaskEnergy(w, s), mode: j, li: -1, ri: -1})
 				}
 			}
@@ -357,7 +443,7 @@ func (p *Problem) SolveDiscreteSP(m model.Model, e *graph.SPExpr, opts DiscreteO
 				} else {
 					T = math.Max(a.T, b.T)
 				}
-				if T > p.Deadline*(1+1e-12) {
+				if T > p.Deadline*(1+1e-12) || a.E+b.E > eBound {
 					continue
 				}
 				merged = append(merged, paretoEntry{T: T, E: a.E + b.E, mode: -1, li: li, ri: ri})

@@ -20,24 +20,172 @@ import (
 //	           Σⱼ α(i,j) − tᵢ ≤ 0                   (start ≥ 0)
 //	           tᵢ ≤ D
 
+// VddOptions tunes the Vdd-Hopping LP.
+type VddOptions struct {
+	// Release gives each task an earliest permitted start (residual
+	// re-solves of an executing schedule); nil means zeros.
+	Release []float64
+	// Warm prunes each task's mode set to the window bracketing its
+	// previous profile (one mode of margin each side). The restriction is
+	// accepted only when its own solution certifies global optimality —
+	// no task leans on a window edge that is not a global edge — so the
+	// answer always matches the full LP; otherwise the full program runs.
+	Warm *WarmStart
+}
+
 // SolveVddHopping solves the LP exactly and extracts per-task speed
 // profiles. The returned solution is optimal for the Vdd-Hopping model.
 func (p *Problem) SolveVddHopping(m model.Model) (*Solution, error) {
+	return p.SolveVddHoppingOpts(m, VddOptions{})
+}
+
+// SolveVddHoppingOpts is SolveVddHopping with residual release times and an
+// optional warm start (see VddOptions). The result is always the exact
+// optimum of the (release-constrained) Vdd-Hopping program.
+func (p *Problem) SolveVddHoppingOpts(m model.Model, opts VddOptions) (*Solution, error) {
 	if m.Kind != model.VddHopping {
 		return nil, fmt.Errorf("core: SolveVddHopping needs a Vdd-Hopping model, got %s", m.Kind)
 	}
-	if err := p.CheckFeasible(m.SMax); err != nil {
+	if err := p.CheckFeasibleFrom(m.SMax, opts.Release); err != nil {
 		return nil, err
 	}
+	release := opts.Release
+	if release != nil && !hasRelease(release) {
+		release = nil
+	}
+	windows := vddWarmWindows(p, m, opts.Warm)
+	for round := 0; round < 2 && windows != nil; round++ {
+		sol, failed, err := p.solveVddLP(m, release, windows)
+		if err != nil {
+			break // restriction infeasible or degenerate: full program
+		}
+		if len(failed) == 0 {
+			return sol, nil
+		}
+		// The optimum leans on a window edge for these tasks: widen only
+		// them (two modes each side) and retry — one failing task must
+		// not throw away the restriction for the other n−1.
+		windows = widenVddWindows(windows, failed, m.NumModes())
+	}
+	sol, _, err := p.solveVddLP(m, release, nil)
+	return sol, err
+}
+
+// widenVddWindows grows the failing tasks' windows by two modes each side;
+// returns nil when the result no longer restricts anything (full ladder
+// everywhere — the caller should run the unrestricted program).
+func widenVddWindows(windows [][2]int, failed []int, nm int) [][2]int {
+	for _, i := range failed {
+		lo, hi := windows[i][0]-2, windows[i][1]+2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nm-1 {
+			hi = nm - 1
+		}
+		windows[i] = [2]int{lo, hi}
+	}
+	for _, w := range windows {
+		if w[1]-w[0]+1 < nm {
+			return windows
+		}
+	}
+	return nil
+}
+
+// vddWarmWindows derives per-task mode windows [lo, hi] (inclusive indices
+// into m.Modes) from a previous solution's profiles: the modes the task
+// used, widened by one admissible mode on each side. Returns nil when warm
+// data is absent, malformed, or no task's window is narrower than the full
+// ladder (restriction would buy nothing).
+func vddWarmWindows(p *Problem, m model.Model, warm *WarmStart) [][2]int {
+	n := p.G.N()
+	if warm == nil || len(warm.Profiles) != n {
+		return nil
+	}
+	nm := m.NumModes()
+	if nm <= 2 {
+		return nil
+	}
+	windows := make([][2]int, n)
+	narrower := false
+	for i, prof := range warm.Profiles {
+		lo, hi := nm, -1
+		for _, seg := range prof {
+			if seg.Duration <= 1e-12 {
+				continue
+			}
+			idx := -1
+			for j, s := range m.Modes {
+				if math.Abs(seg.Speed-s) <= 1e-9*math.Max(1, s) {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return nil // previous profile speaks another mode ladder
+			}
+			if idx < lo {
+				lo = idx
+			}
+			if idx > hi {
+				hi = idx
+			}
+		}
+		if hi < 0 {
+			return nil // empty profile: no usable warm data
+		}
+		lo--
+		hi++
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nm-1 {
+			hi = nm - 1
+		}
+		windows[i] = [2]int{lo, hi}
+		if hi-lo+1 < nm {
+			narrower = true
+		}
+	}
+	if !narrower {
+		return nil
+	}
+	return windows
+}
+
+// solveVddLP assembles and solves the Theorem 3 program over per-task mode
+// subsets (windows nil = the full ladder) with optional release times. The
+// second result is the optimality certificate's failure set: tasks whose
+// solution uses a window-edge mode that is not also a global edge. When it
+// is empty, the per-task energy envelopes agree with the full ladder in a
+// neighborhood of the optimum, so by convexity the restricted optimum is
+// the global one.
+func (p *Problem) solveVddLP(m model.Model, release []float64, windows [][2]int) (*Solution, []int, error) {
 	n := p.G.N()
 	nm := m.NumModes()
-	nvar := n*nm + n
-	alphaIdx := func(i, j int) int { return i*nm + j }
-	tIdx := func(i int) int { return n*nm + i }
+	win := func(i int) (int, int) {
+		if windows == nil {
+			return 0, nm - 1
+		}
+		return windows[i][0], windows[i][1]
+	}
+	// Variable layout: per-task α blocks (window-sized), then the n
+	// completion times.
+	offset := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		lo, hi := win(i)
+		offset[i+1] = offset[i] + (hi - lo + 1)
+	}
+	nalpha := offset[n]
+	nvar := nalpha + n
+	alphaIdx := func(i, j int) int { lo, _ := win(i); return offset[i] + j - lo }
+	tIdx := func(i int) int { return nalpha + i }
 
 	c := make([]float64, nvar)
 	for i := 0; i < n; i++ {
-		for j := 0; j < nm; j++ {
+		lo, hi := win(i)
+		for j := lo; j <= hi; j++ {
 			c[alphaIdx(i, j)] = model.Power(m.Modes[j])
 		}
 	}
@@ -45,7 +193,8 @@ func (p *Problem) SolveVddHopping(m model.Model) (*Solution, error) {
 	// Work completion.
 	for i := 0; i < n; i++ {
 		row := make([]float64, nvar)
-		for j := 0; j < nm; j++ {
+		lo, hi := win(i)
+		for j := lo; j <= hi; j++ {
 			row[alphaIdx(i, j)] = m.Modes[j]
 		}
 		prob.AddConstraint(row, lp.EQ, p.G.Weight(i))
@@ -54,20 +203,26 @@ func (p *Problem) SolveVddHopping(m model.Model) (*Solution, error) {
 	for _, e := range p.G.Edges() {
 		row := make([]float64, nvar)
 		row[tIdx(e[0])] = 1
-		for j := 0; j < nm; j++ {
+		lo, hi := win(e[1])
+		for j := lo; j <= hi; j++ {
 			row[alphaIdx(e[1], j)] = 1
 		}
 		row[tIdx(e[1])] = -1
 		prob.AddConstraint(row, lp.LE, 0)
 	}
-	// Start ≥ 0 and deadline.
+	// Start ≥ release (0 by default) and deadline.
 	for i := 0; i < n; i++ {
 		row := make([]float64, nvar)
-		for j := 0; j < nm; j++ {
+		lo, hi := win(i)
+		for j := lo; j <= hi; j++ {
 			row[alphaIdx(i, j)] = 1
 		}
 		row[tIdx(i)] = -1
-		prob.AddConstraint(row, lp.LE, 0)
+		rhs := 0.0
+		if release != nil {
+			rhs = -release[i]
+		}
+		prob.AddConstraint(row, lp.LE, rhs)
 	}
 	for i := 0; i < n; i++ {
 		row := make([]float64, nvar)
@@ -77,34 +232,45 @@ func (p *Problem) SolveVddHopping(m model.Model) (*Solution, error) {
 
 	res, err := lp.Solve(prob, lp.Options{})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch res.Status {
 	case lp.Optimal:
 	case lp.Infeasible:
-		return nil, fmt.Errorf("%w: Vdd-Hopping LP infeasible", ErrInfeasible)
+		return nil, nil, fmt.Errorf("%w: Vdd-Hopping LP infeasible", ErrInfeasible)
 	default:
-		return nil, fmt.Errorf("core: Vdd-Hopping LP ended with status %s", res.Status)
+		return nil, nil, fmt.Errorf("core: Vdd-Hopping LP ended with status %s", res.Status)
 	}
 
-	// Extract profiles: fastest mode first so precedence-critical work
-	// happens early within each task's window (ordering inside a task does
-	// not change energy or feasibility).
+	// Extract profiles (fastest mode first so precedence-critical work
+	// happens early within each task's window — ordering inside a task
+	// changes neither energy nor feasibility) and check the certificate.
+	var failed []int
 	profiles := make([]sched.Profile, n)
 	for i := 0; i < n; i++ {
 		var prof sched.Profile
-		for j := nm - 1; j >= 0; j-- {
+		lo, hi := win(i)
+		taskFailed := false
+		for j := hi; j >= lo; j-- {
 			d := res.X[alphaIdx(i, j)]
 			if d > 1e-12 {
 				prof = append(prof, sched.Segment{Speed: m.Modes[j], Duration: d})
+				if windows != nil {
+					if (j == lo && lo > 0) || (j == hi && hi < nm-1) {
+						taskFailed = true
+					}
+				}
 			}
+		}
+		if taskFailed {
+			failed = append(failed, i)
 		}
 		// Guard against tiny work deficits from LP roundoff: rescale the
 		// profile so the executed work matches wᵢ exactly.
 		work := prof.Work()
 		w := p.G.Weight(i)
 		if work <= 0 {
-			return nil, fmt.Errorf("core: task %d received no execution time in LP solution", i)
+			return nil, nil, fmt.Errorf("core: task %d received no execution time in LP solution", i)
 		}
 		if f := w / work; math.Abs(f-1) > 1e-15 {
 			for k := range prof {
@@ -113,16 +279,19 @@ func (p *Problem) SolveVddHopping(m model.Model) (*Solution, error) {
 		}
 		profiles[i] = prof
 	}
-	s, err := sched.FromProfiles(p.G, profiles)
+	if len(failed) > 0 {
+		return nil, failed, nil
+	}
+	s, err := sched.FromProfilesAt(p.G, profiles, release)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return &Solution{
 		Model:    m,
 		Schedule: s,
 		Energy:   s.Energy,
 		Stats:    Stats{Algorithm: "vdd-lp", Pivots: res.Pivots, Exact: true, BoundFactor: 1},
-	}, nil
+	}, nil, nil
 }
 
 // SolveVddTwoMode is the constructive upper bound used to cross-check the

@@ -23,9 +23,20 @@ type PathAnalysis struct {
 // times; pass the makespan itself for zero-slack latest times. The graph
 // must be acyclic.
 func (g *Graph) Analyze(durations []float64, deadline float64) (*PathAnalysis, error) {
+	return g.AnalyzeFrom(durations, nil, deadline)
+}
+
+// AnalyzeFrom is Analyze with per-task release times: task i may not start
+// before release[i] (the residual re-solve constraint — frozen predecessors
+// of an executing schedule finished at these times). A nil release means all
+// zeros; negative entries are treated as zero.
+func (g *Graph) AnalyzeFrom(durations, release []float64, deadline float64) (*PathAnalysis, error) {
 	n := g.N()
 	if len(durations) != n {
 		return nil, fmt.Errorf("graph: %d durations for %d tasks", len(durations), n)
+	}
+	if release != nil && len(release) != n {
+		return nil, fmt.Errorf("graph: %d release times for %d tasks", len(release), n)
 	}
 	order, err := g.TopoOrder()
 	if err != nil {
@@ -40,6 +51,9 @@ func (g *Graph) Analyze(durations []float64, deadline float64) (*PathAnalysis, e
 	last := -1
 	for _, u := range order {
 		start := 0.0
+		if release != nil && release[u] > 0 {
+			start = release[u]
+		}
 		for _, p := range g.pred[u] {
 			if ef[p] > start {
 				start = ef[p]
@@ -78,6 +92,15 @@ func (g *Graph) Analyze(durations []float64, deadline float64) (*PathAnalysis, e
 // Makespan returns only the duration-weighted longest-path length.
 func (g *Graph) Makespan(durations []float64) (float64, error) {
 	pa, err := g.Analyze(durations, 0)
+	if err != nil {
+		return 0, err
+	}
+	return pa.Makespan, nil
+}
+
+// MakespanFrom is Makespan with per-task release times (see AnalyzeFrom).
+func (g *Graph) MakespanFrom(durations, release []float64) (float64, error) {
+	pa, err := g.AnalyzeFrom(durations, release, 0)
 	if err != nil {
 		return 0, err
 	}

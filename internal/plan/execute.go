@@ -14,6 +14,19 @@ import (
 // problem directly, so connected instances behave exactly as an unplanned
 // solve would.
 func (pl *Plan) Execute() (*core.Solution, error) {
+	if pl.res != nil {
+		// Residual plans merge release-aware and may carry warm seeds;
+		// Execute is "replan with every component dirty".
+		all := make([]ComponentID, len(pl.Components))
+		for i := range all {
+			all[i] = i
+		}
+		r, err := Replan(pl, all)
+		if err != nil {
+			return nil, err
+		}
+		return r.Solution, nil
+	}
 	if len(pl.comps) == 1 {
 		return pl.solveComponent(pl.comps[0].Prob, pl.Components[0])
 	}
@@ -30,47 +43,59 @@ func (pl *Plan) Execute() (*core.Solution, error) {
 // classification artifacts (class, SP expression) recorded during Analyze
 // and applying the documented fallbacks (SP algebra → interior point when
 // smax binds, Pareto DP → branch-and-bound when the frontier budget is hit).
+// Residual components carry release times and warm seeds into the solver
+// options; both leave every solver's result untouched (releases are extra
+// constraints, warm starts only shrink the work).
 func (pl *Plan) solveComponent(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
 	m := pl.Model
+	copts := pl.copts
+	copts.Release, copts.Warm = cp.release, cp.warm
+	dopts := pl.dopts
+	dopts.Release, dopts.Warm = cp.release, cp.warm
 	switch pl.Algorithm {
 	case AlgoBB:
-		return p.SolveDiscreteBB(m, pl.dopts)
+		return p.SolveDiscreteBB(m, dopts)
 	case AlgoSP:
-		sol, err := pl.solveDiscreteSP(p, cp)
+		sol, err := pl.solveDiscreteSP(p, cp, dopts)
 		if errors.Is(err, core.ErrNotSeriesParallel) {
 			// Analyze already rejects this; guard against direct construction.
 			return nil, badPlan("algorithm %q requires a series-parallel execution graph", AlgoSP)
 		}
 		return sol, err
 	case AlgoGreedy:
-		return p.SolveDiscreteGreedy(m)
+		return p.SolveDiscreteGreedyOpts(m, dopts)
 	case AlgoRoundUp:
-		return p.SolveDiscreteRoundUp(m, pl.copts)
+		return p.SolveDiscreteRoundUp(m, copts)
 	case AlgoApprox:
 		if m.Kind == model.Incremental {
-			return p.SolveIncrementalApprox(m, pl.k, pl.copts)
+			return p.SolveIncrementalApprox(m, pl.k, copts)
 		}
-		return p.SolveDiscreteApprox(m, pl.k, pl.copts)
+		return p.SolveDiscreteApprox(m, pl.k, copts)
 	}
 	// Auto: the model-aware structured dispatch, mirroring core.SolveAuto
 	// but fed from the plan's own classification (the recognizers do not run
 	// again). The property suite pins this path to the direct dispatch.
 	switch m.Kind {
 	case model.Continuous:
-		return pl.solveContinuousAuto(p, cp)
+		return pl.solveContinuousAuto(p, cp, copts)
 	case model.VddHopping:
-		return p.SolveVddHopping(m)
+		return p.SolveVddHoppingOpts(m, core.VddOptions{Release: cp.release, Warm: cp.warm})
 	case model.Incremental:
-		return p.SolveIncrementalApprox(m, pl.k, pl.copts)
+		return p.SolveIncrementalApprox(m, pl.k, copts)
 	case model.Discrete:
-		sol, err := pl.solveDiscreteSP(p, cp)
+		if cp.release != nil {
+			// The Pareto DP has no notion of absolute time; residual
+			// components go straight to release-aware branch-and-bound.
+			return p.SolveDiscreteBB(m, dopts)
+		}
+		sol, err := pl.solveDiscreteSP(p, cp, dopts)
 		if err == nil {
 			return sol, nil
 		}
 		if !errors.Is(err, core.ErrNotSeriesParallel) && !errors.Is(err, core.ErrSearchLimit) {
 			return nil, err
 		}
-		return p.SolveDiscreteBB(m, pl.dopts)
+		return p.SolveDiscreteBB(m, dopts)
 	}
 	return nil, badPlan("no solver for model %s", m.Kind)
 }
@@ -78,22 +103,23 @@ func (pl *Plan) solveComponent(p *core.Problem, cp ComponentPlan) (*core.Solutio
 // solveDiscreteSP runs the exact Pareto DP on the expression recovered
 // during classification; general DAGs (no expression) report
 // ErrNotSeriesParallel so auto falls back to branch-and-bound.
-func (pl *Plan) solveDiscreteSP(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
+func (pl *Plan) solveDiscreteSP(p *core.Problem, cp ComponentPlan, dopts core.DiscreteOptions) (*core.Solution, error) {
 	if cp.art.expr == nil {
 		return nil, core.ErrNotSeriesParallel
 	}
-	return p.SolveDiscreteSPOn(pl.Model, cp.art.reduced, cp.art.expr, pl.dopts)
+	return p.SolveDiscreteSPOn(pl.Model, cp.art.reduced, cp.art.expr, dopts)
 }
 
 // solveContinuousAuto is core.SolveContinuous driven by the recorded class:
 // closed forms for chains and forks, the equivalent-weight algebra for
 // trees and series-parallel shapes, and the interior point for general DAGs
-// or whenever the algebra reports that the finite smax binds.
-func (pl *Plan) solveContinuousAuto(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
+// or whenever the algebra reports that the finite smax binds. copts already
+// carries the component's release times and warm seed.
+func (pl *Plan) solveContinuousAuto(p *core.Problem, cp ComponentPlan, copts core.ContinuousOptions) (*core.Solution, error) {
 	smax := pl.Model.SMax
-	if pl.copts.SMin > 0 {
-		// The closed forms assume speeds unbounded below.
-		return p.SolveContinuousNumeric(smax, pl.copts)
+	if copts.SMin > 0 || copts.Release != nil {
+		// The closed forms assume speeds unbounded below and zero releases.
+		return p.SolveContinuousNumeric(smax, copts)
 	}
 	switch cp.Class {
 	case ClassChain:
@@ -111,5 +137,5 @@ func (pl *Plan) solveContinuousAuto(p *core.Problem, cp ComponentPlan) (*core.So
 			return sol, nil
 		}
 	}
-	return p.SolveContinuousNumeric(smax, pl.copts)
+	return p.SolveContinuousNumeric(smax, copts)
 }

@@ -133,6 +133,15 @@ type ComponentPlan struct {
 	Cost float64
 
 	art artifacts
+	// release holds component-local earliest starts on residual plans
+	// (nil when every task may start at 0).
+	release []float64
+	// warm is the component-local warm seed sliced from the residual's
+	// previous solution (nil = cold solve).
+	warm *core.WarmStart
+	// reusable marks a component whose previous solution can be replayed
+	// verbatim by Replan when the component is not dirty.
+	reusable bool
 }
 
 // Plan is the full solve plan for one instance: the per-component routing
@@ -154,6 +163,9 @@ type Plan struct {
 	dopts core.DiscreteOptions
 	prob  *core.Problem
 	comps []core.Component
+	// res is non-nil on residual plans (AnalyzeResidual): the full-problem
+	// release vector and previous solution behind the per-component slices.
+	res *Residual
 }
 
 // Classify recognizes the most specific structure class of g, checking the
@@ -195,6 +207,11 @@ func classify(g *graph.Graph) (Class, artifacts) {
 // combination, split p into weakly-connected components, classify each, and
 // route it. No solving happens; Execute runs the plan.
 func Analyze(p *core.Problem, m model.Model, opts Options) (*Plan, error) {
+	return analyze(p, m, opts, nil)
+}
+
+// analyze is the shared implementation behind Analyze and AnalyzeResidual.
+func analyze(p *core.Problem, m model.Model, opts Options, res *Residual) (*Plan, error) {
 	algo := strings.ToLower(opts.Algorithm)
 	if algo == "" {
 		algo = AlgoAuto
@@ -226,20 +243,31 @@ func Analyze(p *core.Problem, m model.Model, opts Options) (*Plan, error) {
 		dopts:      opts.Discrete,
 		prob:       p,
 		comps:      comps,
+		res:        res,
 	}
 	for _, c := range comps {
-		cp := route(c, m, algo, k, opts.Discrete)
+		rel := res.sliceRelease(c.Tasks)
+		cp := route(c, m, algo, k, opts.Discrete, rel)
 		if algo == AlgoSP && cp.Class == ClassGeneralDAG {
 			return nil, badPlan("algorithm %q requires a series-parallel execution graph (component {%s} is %s)",
 				AlgoSP, idRange(cp.Tasks), cp.Class)
 		}
+		if algo == AlgoSP && cp.release != nil {
+			return nil, badPlan("algorithm %q cannot solve residual components with release times (component {%s})",
+				AlgoSP, idRange(cp.Tasks))
+		}
+		cp.warm = res.sliceWarm(c.Tasks, m)
+		cp.reusable = res.reusable(c.Tasks, m)
 		pl.Components = append(pl.Components, cp)
 	}
 	return pl, nil
 }
 
-// route picks the solver for one classified component.
-func route(c core.Component, m model.Model, algo string, k int, dopts core.DiscreteOptions) ComponentPlan {
+// route picks the solver for one classified component. rel carries the
+// component-local release times of a residual plan (nil = none): releases
+// invalidate the closed forms and the SP Pareto DP, so those components go
+// to the general release-aware solvers instead.
+func route(c core.Component, m model.Model, algo string, k int, dopts core.DiscreteOptions, rel []float64) ComponentPlan {
 	g := c.Prob.G
 	class, art := classify(g)
 	cp := ComponentPlan{
@@ -247,6 +275,7 @@ func route(c core.Component, m model.Model, algo string, k int, dopts core.Discr
 		Class:       class,
 		BoundFactor: 1,
 		art:         art,
+		release:     rel,
 	}
 	n := float64(g.N())
 	nm := float64(len(m.Modes))
@@ -290,6 +319,12 @@ func route(c core.Component, m model.Model, algo string, k int, dopts core.Discr
 
 	switch m.Kind {
 	case model.Continuous:
+		if rel != nil {
+			cp.Solver = "continuous-interior-point"
+			cp.Rationale = "residual component with release times: log-barrier geometric program with tᵢ−dᵢ ≥ rᵢ rows"
+			cp.Cost = n * n * n
+			break
+		}
 		switch cp.Class {
 		case ClassChain:
 			cp.Solver = "chain-closed-form"
@@ -315,11 +350,17 @@ func route(c core.Component, m model.Model, algo string, k int, dopts core.Discr
 	case model.VddHopping:
 		cp.Solver = "vdd-lp"
 		cp.Rationale = "Theorem 3: exact linear program, speeds hop between neighboring modes"
+		if rel != nil {
+			cp.Rationale = "Theorem 3 linear program with residual release rows tᵢ − Σαᵢⱼ ≥ rᵢ"
+		}
 		cp.Cost = (n * nm) * (n * nm)
 	case model.Discrete:
-		if cp.Class == ClassGeneralDAG {
+		if cp.Class == ClassGeneralDAG || rel != nil {
 			cp.Solver = "discrete-bb"
 			cp.Rationale = "NP-complete in general (Theorem 4): exact branch-and-bound with greedy incumbent"
+			if rel != nil {
+				cp.Rationale = "residual component with release times: exact branch-and-bound on release-aware makespans (Theorem 4)"
+			}
 			cp.Cost = bbCost(n, nm, dopts)
 		} else {
 			cp.Solver = "discrete-sp-dp"

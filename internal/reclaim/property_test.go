@@ -1,0 +1,204 @@
+package reclaim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// propertyCases spans all four energy models across workload families the
+// residual solvers can afford (discrete residuals route to exact
+// branch-and-bound, so those instances stay small by Theorem 4).
+func propertyCases() []struct {
+	family string
+	n      int
+	seed   int64
+	model  string
+} {
+	return []struct {
+		family string
+		n      int
+		seed   int64
+		model  string
+	}{
+		{"chain", 12, 101, "continuous"},
+		{"layered", 14, 102, "continuous"},
+		{"multi", 3, 103, "continuous"},
+		{"sp", 12, 104, "continuous"},
+		{"chain", 10, 105, "discrete"},
+		{"sp", 10, 106, "discrete"},
+		{"fork", 8, 107, "discrete"},
+		{"chain", 10, 108, "vdd"},
+		{"forkjoin", 3, 109, "vdd"},
+		{"chain", 12, 110, "incremental"},
+		{"layered", 12, 111, "incremental"},
+		{"fork", 10, 112, "incremental"},
+	}
+}
+
+// TestWarmReplanEqualsColdReplan is the headline equivalence: a single
+// deviating completion re-solved warm-started must land on the same
+// residual energy as the cold full re-solve, across all four models.
+func TestWarmReplanEqualsColdReplan(t *testing.T) {
+	models := testModels(t)
+	for _, tc := range propertyCases() {
+		m := models[tc.model]
+		t.Run(tc.family+"-"+tc.model, func(t *testing.T) {
+			probW, solW := buildInstance(t, tc.family, tc.n, tc.seed, m, 1.6)
+			probC, solC := buildInstance(t, tc.family, tc.n, tc.seed, m, 1.6)
+			warm, err := NewSession(probW, m, solW, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := NewSession(probC, m, solC, Options{Cold: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The first machine completion, 30% early.
+			ev, ok := warm.nextCompletion(nil)
+			if !ok {
+				t.Fatal("no ready task")
+			}
+			ev.ActualDuration *= 0.7
+			rw, err := warm.ApplyEvent(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := cold.ApplyEvent(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rw.Clean || rc.Clean {
+				t.Fatalf("a 30%% deviation must not be clean (warm %v, cold %v)", rw.Clean, rc.Clean)
+			}
+			rel := math.Abs(rw.ResidualEnergy-rc.ResidualEnergy) / math.Max(1, rc.ResidualEnergy)
+			if rel > 1e-9 {
+				t.Fatalf("warm residual %v vs cold %v (rel %.3g): warm start changed the optimum",
+					rw.ResidualEnergy, rc.ResidualEnergy, rel)
+			}
+			if rw.Resolved == 0 {
+				t.Fatal("warm session resolved nothing")
+			}
+			if !warm.opts.Cold && rw.WarmSeeded == 0 {
+				t.Fatal("warm session carried no warm seed into the re-solve")
+			}
+		})
+	}
+}
+
+// TestWarmReplayEqualsColdReplay drives a warm session closed-loop through
+// a jittered execution and mirrors every event into a cold session: after
+// each event both sessions have frozen identical history, so their
+// projected total energies must agree within 1e-9 throughout — the
+// incremental machinery (component reuse + warm starts) loses no
+// optimality over the cold full re-solve.
+func TestWarmReplayEqualsColdReplay(t *testing.T) {
+	models := testModels(t)
+	for _, tc := range propertyCases() {
+		m := models[tc.model]
+		t.Run(tc.family+"-"+tc.model, func(t *testing.T) {
+			probW, solW := buildInstance(t, tc.family, tc.n, tc.seed, m, 1.6)
+			probC, solC := buildInstance(t, tc.family, tc.n, tc.seed, m, 1.6)
+			warm, err := NewSession(probW, m, solW, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := NewSession(probC, m, solC, Options{Cold: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jit := workload.Jitter{Seed: tc.seed, Rate: 0.5, Early: 0.35, Late: 0.05}
+			factors, err := jit.Factors(probW.G.N())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				ev, ok := warm.nextCompletion(factors)
+				if !ok {
+					break
+				}
+				rw, err := warm.ApplyEvent(ev)
+				if err != nil {
+					t.Fatalf("warm event %+v: %v", ev, err)
+				}
+				rc, err := cold.ApplyEvent(ev)
+				if err != nil {
+					t.Fatalf("cold event %+v: %v", ev, err)
+				}
+				tw := rw.IncurredEnergy + rw.ResidualEnergy
+				tcold := rc.IncurredEnergy + rc.ResidualEnergy
+				if rel := math.Abs(tw-tcold) / math.Max(1, tcold); rel > 1e-9 {
+					t.Fatalf("after task %d: warm total %v vs cold %v (rel %.3g)", ev.Task, tw, tcold, rel)
+				}
+			}
+			if !warm.Done() || !cold.Done() {
+				t.Fatal("replay did not finish both sessions")
+			}
+			// Both executions saw identical history, so their timelines
+			// must agree. (A late-running *final* task can legitimately
+			// overrun the deadline — there is nothing left to reclaim —
+			// so validate precedence consistency, not the deadline.)
+			sw, err := warm.Schedule()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.Validate(sw.Makespan, nil, 1e-9); err != nil {
+				t.Fatalf("warm final schedule inconsistent: %v", err)
+			}
+			sc, err := cold.Schedule()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Validate(sc.Makespan, nil, 1e-9); err != nil {
+				t.Fatalf("cold final schedule inconsistent: %v", err)
+			}
+			if math.Abs(sw.Makespan-sc.Makespan) > 1e-9*math.Max(1, sc.Makespan) {
+				t.Fatalf("warm makespan %v vs cold %v", sw.Makespan, sc.Makespan)
+			}
+		})
+	}
+}
+
+// TestReclaimNeverLosesToNoReclaim: against the do-nothing baseline (keep
+// the original speeds), reclaiming an early-completing execution never
+// projects more total energy.
+func TestReclaimNeverLosesToNoReclaim(t *testing.T) {
+	models := testModels(t)
+	for _, mk := range []string{"continuous", "incremental"} {
+		m := models[mk]
+		t.Run(mk, func(t *testing.T) {
+			prob, sol := buildInstance(t, "layered", 16, 55, m, 1.5)
+			s, err := NewSession(prob, m, sol, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jit := workload.Jitter{Seed: 55, Rate: 1, Early: 0.4} // strictly early, every task
+			factors, err := jit.Factors(prob.G.N())
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := s.Replay(factors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := results[len(results)-1]
+			total := last.IncurredEnergy + last.ResidualEnergy
+			// No-reclaim baseline: every task runs at its original speed;
+			// early factors shrink durations, energy accounts at the
+			// effective speed w/(planned·f) ≥ planned speed... so compare
+			// against re-running the incurred accounting on original
+			// speeds with the same factors.
+			baseline := 0.0
+			for i := 0; i < prob.G.N(); i++ {
+				w := prob.G.Weight(i)
+				d := sol.Schedule.Profiles[i].Duration() * factors[i]
+				s := w / d
+				baseline += w * s * s
+			}
+			if total > baseline*(1+1e-9) {
+				t.Fatalf("reclaiming projected %v > no-reclaim %v", total, baseline)
+			}
+		})
+	}
+}

@@ -1,0 +1,302 @@
+package reclaim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// buildInstance generates a workload-family instance, solves it through the
+// planner, and returns the problem plus its solution.
+func buildInstance(t *testing.T, family string, n int, seed int64, m model.Model, slack float64) (*core.Problem, *core.Solution) {
+	t.Helper()
+	g, err := workload.FromSeed(family, n, seed, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmin, err := g.MinimalDeadline(m.SMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := core.NewProblem(g, dmin*slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.Analyze(prob, m, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := pl.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, sol
+}
+
+func testModels(t *testing.T) map[string]model.Model {
+	t.Helper()
+	cont, err := model.NewContinuous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := model.NewDiscrete([]float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd, err := model.NewVddHopping([]float64{0.5, 1, 1.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := model.NewIncremental(0.5, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]model.Model{
+		"continuous": cont, "discrete": disc, "vdd": vdd, "incremental": incr,
+	}
+}
+
+func TestZeroDeviationReplayIsExact(t *testing.T) {
+	models := testModels(t)
+	cases := []struct {
+		family string
+		n      int
+		models []string
+	}{
+		{"chain", 10, []string{"continuous", "discrete", "vdd", "incremental"}},
+		{"fork", 8, []string{"continuous", "discrete", "vdd", "incremental"}},
+		{"sp", 10, []string{"continuous", "discrete", "incremental"}},
+		{"layered", 12, []string{"continuous", "incremental"}},
+		{"multi", 2, []string{"continuous"}},
+	}
+	for _, tc := range cases {
+		for _, mk := range tc.models {
+			m := models[mk]
+			t.Run(tc.family+"-"+mk, func(t *testing.T) {
+				prob, sol := buildInstance(t, tc.family, tc.n, 11, m, 1.6)
+				s, err := NewSession(prob, m, sol, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				events, err := Trace(prob.G, sol.Schedule, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, ev := range events {
+					res, err := s.ApplyEvent(ev)
+					if err != nil {
+						t.Fatalf("event %+v: %v", ev, err)
+					}
+					if !res.Clean {
+						t.Fatalf("zero-deviation event %+v was not clean", ev)
+					}
+				}
+				if !s.Done() {
+					t.Fatal("session not done after replaying every task")
+				}
+				st := s.Stats()
+				if st.Replans != 0 {
+					t.Fatalf("zero-deviation replay ran %d replans", st.Replans)
+				}
+				incurred, residual := s.Energy()
+				if residual != 0 {
+					t.Fatalf("residual energy %v after full replay", residual)
+				}
+				if rel := math.Abs(incurred-sol.Energy) / math.Max(1, sol.Energy); rel > 1e-12 {
+					t.Fatalf("replayed energy %v deviates from planned %v (rel %.3g)", incurred, sol.Energy, rel)
+				}
+				final, err := s.Schedule()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := final.Validate(prob.Deadline, nil, 1e-9); err != nil {
+					t.Fatalf("replayed schedule infeasible: %v", err)
+				}
+				for i := range final.Profiles {
+					a, b := final.Profiles[i].Duration(), sol.Schedule.Profiles[i].Duration()
+					if math.Abs(a-b) > 1e-12*math.Max(1, b) {
+						t.Fatalf("task %d duration changed: %v vs %v", i, a, b)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	models := testModels(t)
+	m := models["continuous"]
+	prob, sol := buildInstance(t, "chain", 6, 3, m, 1.5)
+	s, err := NewSession(prob, m, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := sol.Schedule.Profiles[0].Duration()
+
+	for _, bad := range []CompletionEvent{
+		{Task: -1, ActualDuration: 1},
+		{Task: 99, ActualDuration: 1},
+		{Task: 0, ActualDuration: 0},
+		{Task: 0, ActualDuration: -2},
+		{Task: 0, ActualDuration: math.Inf(1)},
+		{Task: 0, ActualDuration: math.NaN()},
+		{Task: 3, ActualDuration: 1}, // out of order: predecessors incomplete
+	} {
+		if _, err := s.ApplyEvent(bad); !errors.Is(err, ErrBadEvent) {
+			t.Fatalf("event %+v: want ErrBadEvent, got %v", bad, err)
+		}
+	}
+	if s.Remaining() != prob.G.N() {
+		t.Fatal("rejected events mutated the session")
+	}
+	if _, err := s.ApplyEvent(CompletionEvent{Task: 0, ActualDuration: d0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyEvent(CompletionEvent{Task: 0, ActualDuration: d0}); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("duplicate completion: want ErrBadEvent, got %v", err)
+	}
+}
+
+func TestEarlyCompletionReclaimsEnergy(t *testing.T) {
+	models := testModels(t)
+	m := models["continuous"]
+	prob, sol := buildInstance(t, "chain", 8, 5, m, 1.5)
+	s, err := NewSession(prob, m, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 0 (the chain head) completes at half its planned duration: the
+	// freed slack lets every remaining task slow down.
+	before := 0.0
+	for i := 1; i < prob.G.N(); i++ {
+		before += sol.Schedule.Profiles[i].Energy()
+	}
+	res, err := s.ApplyEvent(CompletionEvent{Task: 0, ActualDuration: sol.Schedule.Profiles[0].Duration() / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean {
+		t.Fatal("halved duration should not be a clean event")
+	}
+	if res.Resolved == 0 {
+		t.Fatal("deviation did not re-solve any component")
+	}
+	if res.ResidualEnergy >= before-1e-12 {
+		t.Fatalf("early completion reclaimed nothing: residual %v, was %v", res.ResidualEnergy, before)
+	}
+	final, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := final.Validate(prob.Deadline, nil, 1e-9); err != nil {
+		t.Fatalf("reclaimed schedule infeasible: %v", err)
+	}
+}
+
+func TestLateCompletionStaysFeasible(t *testing.T) {
+	models := testModels(t)
+	m := models["continuous"]
+	prob, sol := buildInstance(t, "layered", 12, 7, m, 1.8)
+	s, err := NewSession(prob, m, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := make([]float64, prob.G.N())
+	for i := range factors {
+		factors[i] = 1
+	}
+	factors[0] = 1.3 // one late task; ample slack remains
+	if _, err := s.Replay(factors); err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := final.Validate(prob.Deadline, nil, 1e-9); err != nil {
+		t.Fatalf("schedule after late completion violates constraints: %v", err)
+	}
+}
+
+func TestHopelesslyLateCompletionReportsInfeasible(t *testing.T) {
+	models := testModels(t)
+	m := models["continuous"]
+	prob, sol := buildInstance(t, "chain", 6, 9, m, 1.3)
+	s, err := NewSession(prob, m, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The head task eats (more than) the whole deadline: no speed can save
+	// the rest.
+	_, err = s.ApplyEvent(CompletionEvent{Task: 0, ActualDuration: prob.Deadline * 1.01})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if !s.Infeasible() {
+		t.Fatal("session should report infeasible")
+	}
+	if s.Remaining() != prob.G.N()-1 {
+		t.Fatal("the completion itself must still be recorded")
+	}
+}
+
+func TestDirtyFragmentsOnlyResolveTouchedComponents(t *testing.T) {
+	models := testModels(t)
+	m := models["continuous"]
+	// Disconnected workload: a deviation in one component must not
+	// re-solve the others.
+	prob, sol := buildInstance(t, "multi", 3, 13, m, 1.6)
+	s, err := NewSession(prob, m, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete one source task early.
+	src := -1
+	for i := 0; i < prob.G.N(); i++ {
+		if len(prob.G.Pred(i)) == 0 && len(prob.G.Succ(i)) > 0 {
+			src = i
+			break
+		}
+	}
+	if src < 0 {
+		t.Fatal("no source with successors")
+	}
+	res, err := s.ApplyEvent(CompletionEvent{Task: src, ActualDuration: sol.Schedule.Profiles[src].Duration() * 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean || res.Resolved == 0 {
+		t.Fatalf("deviation should resolve the touched component: %+v", res)
+	}
+	if res.Reused == 0 {
+		t.Fatalf("untouched components should be reused, got %+v", res)
+	}
+}
+
+func TestTraceRespectsPrecedence(t *testing.T) {
+	models := testModels(t)
+	m := models["continuous"]
+	prob, sol := buildInstance(t, "layered", 16, 21, m, 1.5)
+	factors := make([]float64, prob.G.N())
+	for i := range factors {
+		factors[i] = 0.5 + 0.1*float64(i%7)
+	}
+	events, err := Trace(prob.G, sol.Schedule, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, prob.G.N())
+	for _, ev := range events {
+		for _, u := range prob.G.Pred(ev.Task) {
+			if !seen[u] {
+				t.Fatalf("task %d completes before predecessor %d", ev.Task, u)
+			}
+		}
+		seen[ev.Task] = true
+	}
+}

@@ -104,6 +104,12 @@ type Schedule struct {
 // FromSpeeds builds the earliest-start schedule for constant per-task
 // speeds on the execution graph g. Speeds must be positive.
 func FromSpeeds(g *graph.Graph, speeds []float64) (*Schedule, error) {
+	return FromSpeedsAt(g, speeds, nil)
+}
+
+// FromSpeedsAt is FromSpeeds with per-task release times: no task starts
+// before its release (residual schedules of a partially executed graph).
+func FromSpeedsAt(g *graph.Graph, speeds, release []float64) (*Schedule, error) {
 	if len(speeds) != g.N() {
 		return nil, fmt.Errorf("sched: %d speeds for %d tasks", len(speeds), g.N())
 	}
@@ -114,13 +120,19 @@ func FromSpeeds(g *graph.Graph, speeds []float64) (*Schedule, error) {
 		}
 		profiles[i] = ConstantProfile(g.Weight(i), s)
 	}
-	return FromProfiles(g, profiles)
+	return FromProfilesAt(g, profiles, release)
 }
 
 // FromProfiles builds the earliest-start schedule for per-task speed
 // profiles. Each profile must complete its task's full cost (within a
 // relative 1e-6).
 func FromProfiles(g *graph.Graph, profiles []Profile) (*Schedule, error) {
+	return FromProfilesAt(g, profiles, nil)
+}
+
+// FromProfilesAt is FromProfiles with per-task release times (earliest
+// permitted starts); nil means zero for every task.
+func FromProfilesAt(g *graph.Graph, profiles []Profile, release []float64) (*Schedule, error) {
 	if len(profiles) != g.N() {
 		return nil, fmt.Errorf("sched: %d profiles for %d tasks", len(profiles), g.N())
 	}
@@ -134,7 +146,7 @@ func FromProfiles(g *graph.Graph, profiles []Profile) (*Schedule, error) {
 		durations[i] = p.Duration()
 		energy += p.Energy()
 	}
-	pa, err := g.Analyze(durations, 0)
+	pa, err := g.AnalyzeFrom(durations, release, 0)
 	if err != nil {
 		return nil, err
 	}

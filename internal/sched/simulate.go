@@ -3,6 +3,7 @@ package sched
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/platform"
@@ -13,6 +14,13 @@ type SimResult struct {
 	Start    []float64
 	Finish   []float64
 	Makespan float64
+	// Slack[i] is task i's total float: how far its completion can slip —
+	// under the same durations, precedence edges, and per-processor order —
+	// without growing the makespan. Zero-slack tasks are critical; tasks
+	// with positive slack are where deviation-replay drivers inject
+	// lateness that a re-planner should absorb without missing the
+	// deadline.
+	Slack []float64
 	// Events counts processed simulation events (diagnostics).
 	Events int
 }
@@ -23,6 +31,10 @@ type event struct {
 	task int
 }
 
+// eventQueue orders completion events by time; simultaneous completions
+// break ties by ascending task ID, so the simulation is deterministic —
+// the same inputs always pop events in the same order — regardless of
+// heap-internal layout.
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -32,9 +44,9 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].task < q[j].task
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -127,5 +139,54 @@ func Simulate(g *graph.Graph, m *platform.Mapping, durations []float64) (*SimRes
 			makespan = f
 		}
 	}
-	return &SimResult{Start: start, Finish: finish, Makespan: makespan, Events: events}, nil
+	slack := simSlack(g, m, durations, finish, makespan)
+	return &SimResult{Start: start, Finish: finish, Makespan: makespan, Slack: slack, Events: events}, nil
+}
+
+// simSlack computes per-task total float by a backward pass over the
+// constraints the simulation actually enforced: precedence edges of g plus
+// the per-processor successor in the mapping order. latest[i] is the
+// latest completion of task i that keeps the makespan; slack = latest −
+// finish.
+func simSlack(g *graph.Graph, m *platform.Mapping, durations, finish []float64, makespan float64) []float64 {
+	n := g.N()
+	latest := make([]float64, n)
+	for i := range latest {
+		latest[i] = makespan
+	}
+	// Reverse finish order is a valid reverse-topological order of the
+	// combined constraint graph: every precedence or processor-order
+	// successor finishes strictly later (durations are non-negative and
+	// the simulation serializes per processor).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if finish[order[a]] != finish[order[b]] {
+			return finish[order[a]] > finish[order[b]]
+		}
+		return order[a] > order[b]
+	})
+	succ := make([][]int, n)
+	for u := 0; u < n; u++ {
+		succ[u] = append(succ[u], g.Succ(u)...)
+	}
+	for _, tasks := range m.Order {
+		for k := 0; k+1 < len(tasks); k++ {
+			succ[tasks[k]] = append(succ[tasks[k]], tasks[k+1])
+		}
+	}
+	for _, u := range order {
+		for _, v := range succ[u] {
+			if l := latest[v] - durations[v]; l < latest[u] {
+				latest[u] = l
+			}
+		}
+	}
+	slack := make([]float64, n)
+	for i := range slack {
+		slack[i] = latest[i] - finish[i]
+	}
+	return slack
 }

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+func TestSimulateSlackChainAllCritical(t *testing.T) {
+	g := graph.Chain(rand.New(rand.NewSource(1)), 5, graph.ConstantWeights(2))
+	m, err := platform.SingleProcessor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durations := []float64{1, 2, 3, 1, 2}
+	res, err := Simulate(g, m, durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Slack {
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("chain task %d has slack %v; every chain task is critical", i, s)
+		}
+	}
+}
+
+func TestSimulateSlackForkShortBranch(t *testing.T) {
+	// source → {long, short} on two processors: the short branch can slip
+	// by exactly the duration difference.
+	g := graph.New()
+	src := g.AddTask("src", 1)
+	long := g.AddTask("long", 4)
+	short := g.AddTask("short", 1)
+	g.MustAddEdge(src, long)
+	g.MustAddEdge(src, short)
+	m := &platform.Mapping{Order: [][]int{{src, long}, {short}}}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	durations := []float64{1, 4, 1}
+	res, err := Simulate(g, m, durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5 {
+		t.Fatalf("makespan %v, want 5", res.Makespan)
+	}
+	want := []float64{0, 0, 3} // short finishes at 2, may finish at 5
+	for i, s := range res.Slack {
+		if math.Abs(s-want[i]) > 1e-12 {
+			t.Fatalf("task %d slack %v, want %v (slacks %v)", i, s, want[i], res.Slack)
+		}
+	}
+}
+
+func TestSimulateSlackRespectsProcessorOrder(t *testing.T) {
+	// Two independent tasks serialized on one processor: the first gains
+	// no slack from the missing precedence edge — the mapping order holds
+	// it on the critical path.
+	g := graph.New()
+	a := g.AddTask("a", 2)
+	b := g.AddTask("b", 3)
+	m := &platform.Mapping{Order: [][]int{{a, b}}}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, m, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5 {
+		t.Fatalf("makespan %v, want 5", res.Makespan)
+	}
+	for i, s := range res.Slack {
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("serialized task %d has slack %v; the processor order makes both critical", i, s)
+		}
+	}
+}

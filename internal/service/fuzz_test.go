@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"testing"
 	"time"
 )
@@ -153,6 +154,91 @@ func FuzzBatchDecode(f *testing.F) {
 			if (res.Err == nil) == (res.Response == nil) {
 				t.Fatalf("result %d: exactly one of response/error must be set: %+v", i, res)
 			}
+		}
+	})
+}
+
+// FuzzSessionEvents feeds arbitrary bytes to the session event decoder and
+// applies whatever parses to a live reclaiming session. The invariants: no
+// panic, rejected events leave the session untouched, and after any event
+// mix the session stays internally consistent — completion counters match
+// the task states, the merged schedule still builds, and energies stay
+// finite and non-negative.
+func FuzzSessionEvents(f *testing.F) {
+	seeds := []string{
+		`{"events":[{"task":0,"actual_duration":2.5}]}`,
+		`{"events":[{"task":0,"actual_duration":2.5},{"task":1,"actual_duration":2.0},{"task":2,"actual_duration":3.5}]}`,
+		`{"events":[{"task":3,"actual_duration":1},{"task":0,"actual_duration":2.5},{"task":0,"actual_duration":2.5}]}`,
+		`{"events":[{"task":-1,"actual_duration":1},{"task":99,"actual_duration":1},{"task":1,"actual_duration":-5}]}`,
+		`{"events":[{"task":0,"actual_duration":1e308},{"task":1,"actual_duration":5e-324}]}`,
+		`{"events":[{"task":0,"actual_duration":9.5},{"task":1,"actual_duration":0.001}]}`,
+		`{"events":[]}`,
+		`{"events":[{"task":0}]}`,
+		`{"events":null}`,
+		`null`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SessionEventsRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		if len(req.Events) > 32 {
+			return
+		}
+		store := NewSessionStore(NewEngine(Options{Workers: 1}), 4)
+		var create SessionRequest
+		if err := json.Unmarshal([]byte(`{"graph":{"tasks":[{"weight":2},{"weight":2},{"weight":2},{"weight":2}],"edges":[[0,1],[1,2],[2,3]]},"deadline":10,"model":{"kind":"continuous","smax":2}}`), &create.SolveRequest); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sess, err := store.Create(ctx, &create)
+		if err != nil {
+			t.Fatalf("session create: %v", err)
+		}
+		resp, err := store.Events(ctx, sess.SessionID, req.Events)
+		if err != nil {
+			// Only the empty batch is rejected wholesale; everything else
+			// reports per entry.
+			if len(req.Events) != 0 || !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("events: %v", err)
+			}
+			return
+		}
+		accepted := 0
+		for i, item := range resp.Results {
+			// Result = completion recorded (possibly alongside a replan
+			// error); Error alone = rejected. Both nil is a bug.
+			if item.Error == nil && item.Result == nil {
+				t.Fatalf("result %d: neither result nor error set", i)
+			}
+			if item.Result != nil {
+				accepted++
+			}
+		}
+		schedule, err := store.Schedule(sess.SessionID)
+		if err != nil {
+			t.Fatalf("schedule after events: %v", err)
+		}
+		done := 0
+		for _, ts := range schedule.TaskStates {
+			if ts.Completed {
+				done++
+			}
+		}
+		if done != accepted || schedule.Remaining != 4-accepted {
+			t.Fatalf("counters diverged: %d accepted, %d completed, %d remaining", accepted, done, schedule.Remaining)
+		}
+		if schedule.Stats.Events != accepted {
+			t.Fatalf("stats count %d events, accepted %d", schedule.Stats.Events, accepted)
+		}
+		if !(schedule.IncurredEnergy >= 0) || !(schedule.ResidualEnergy >= 0) ||
+			math.IsInf(schedule.IncurredEnergy, 0) || math.IsInf(schedule.ResidualEnergy, 0) {
+			t.Fatalf("energies corrupted: incurred %v residual %v", schedule.IncurredEnergy, schedule.ResidualEnergy)
 		}
 	})
 }

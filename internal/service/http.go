@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/reclaim"
 )
 
 // HTTPOptions tunes the JSON transport around an Engine.
@@ -21,6 +23,8 @@ type HTTPOptions struct {
 	MaxBodyBytes int64
 	// MaxBatch bounds the number of requests in one batch (default 1024).
 	MaxBatch int
+	// MaxSessions bounds live reclaiming sessions (default 1024).
+	MaxSessions int
 }
 
 // Defaults returns o with every unset or out-of-range field replaced by its
@@ -84,6 +88,14 @@ func classify(err error) (int, APIError) {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest, APIError{Code: "invalid_request", Message: err.Error()}
+	case errors.Is(err, reclaim.ErrBadEvent):
+		return http.StatusBadRequest, APIError{Code: "invalid_event", Message: err.Error()}
+	case errors.Is(err, reclaim.ErrSessionDone):
+		return http.StatusConflict, APIError{Code: "session_done", Message: err.Error()}
+	case errors.Is(err, ErrSessionNotFound):
+		return http.StatusNotFound, APIError{Code: "session_not_found", Message: err.Error()}
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusServiceUnavailable, APIError{Code: "too_many_sessions", Message: err.Error()}
 	case errors.Is(err, ErrInfeasible):
 		return http.StatusUnprocessableEntity, APIError{Code: "infeasible", Message: err.Error()}
 	case errors.Is(err, ErrSearchLimit):
@@ -118,16 +130,22 @@ type PlanResponse struct {
 
 // NewHandler wires an Engine behind the service's HTTP surface:
 //
-//	POST /v1/solve        one SolveRequest  → SolveResponse (with its plan)
-//	POST /v1/solve/batch  {"requests":[…]}  → {"results":[…]} (per-entry errors)
-//	POST /v1/plan         one SolveRequest  → PlanResponse (analyze only, no solve)
-//	GET  /v1/stats        engine counters (hits, misses, coalesced, solves…)
-//	GET  /healthz         liveness + engine stats
+//	POST   /v1/solve                  one SolveRequest  → SolveResponse (with its plan)
+//	POST   /v1/solve/batch            {"requests":[…]}  → {"results":[…]} (per-entry errors)
+//	POST   /v1/plan                   one SolveRequest  → PlanResponse (analyze only, no solve)
+//	POST   /v1/sessions               SessionRequest    → SessionResponse (solve + open a reclaiming session)
+//	POST   /v1/sessions/{id}/events   {"events":[…]}    → per-event outcomes + energy state
+//	GET    /v1/sessions/{id}/schedule merged execution state of the session
+//	GET    /v1/sessions               live-session listing
+//	DELETE /v1/sessions/{id}          close a session
+//	GET    /v1/stats                  engine counters (hits, misses, coalesced, solves…)
+//	GET    /healthz                   liveness + engine stats
 //
 // The handler is httptest-friendly: it holds no global state beyond the
-// Engine and can be mounted under any server.
+// Engine (plus its session store) and can be mounted under any server.
 func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 	opts = opts.Defaults()
+	store := NewSessionStore(e, opts.MaxSessions)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
 		var req SolveRequest
@@ -192,6 +210,56 @@ func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 		}
 		resp.ElapsedMS = msSince(start)
 		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req SessionRequest
+		if !decodeJSON(w, r, opts.MaxBodyBytes, &req) {
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), req.TimeoutMS, opts)
+		defer cancel()
+		resp, err := store.Create(ctx, &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, resp)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		var req SessionEventsRequest
+		if !decodeJSON(w, r, opts.MaxBodyBytes, &req) {
+			return
+		}
+		if len(req.Events) > opts.MaxBatch {
+			writeError(w, badRequest("event batch of %d exceeds the limit of %d", len(req.Events), opts.MaxBatch))
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), 0, opts)
+		defer cancel()
+		resp, err := store.Events(ctx, r.PathValue("id"), req.Events)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/schedule", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := store.Schedule(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, store.List())
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := store.Delete(r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())

@@ -1,0 +1,421 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+	"repro/internal/sched"
+)
+
+// The session subsystem: long-lived reclaiming sessions over the same
+// engine that serves one-shot solves. POST /v1/sessions runs the initial
+// solve through the engine (sharing its worker pool, cache, and
+// singleflight), wraps the solution in a reclaim.Session, and hands back
+// an ID; POST /v1/sessions/{id}/events streams completions into it —
+// re-solving residuals on the engine's pool — and GET
+// /v1/sessions/{id}/schedule reads the merged execution state.
+
+// Errors of the session layer.
+var (
+	// ErrSessionNotFound is returned for an unknown or deleted session ID.
+	ErrSessionNotFound = errors.New("service: session not found")
+	// ErrTooManySessions is returned when the store is at capacity.
+	ErrTooManySessions = errors.New("service: session limit reached — delete finished sessions or raise MaxSessions")
+)
+
+// SessionRequest creates a reclaiming session: the embedded SolveRequest
+// describes and solves the instance exactly as POST /v1/solve would.
+type SessionRequest struct {
+	SolveRequest
+	// Cold disables the session's incremental reuse and warm starts
+	// (every deviation re-solves the full residual from scratch);
+	// diagnostics and benchmarking.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// SessionResponse answers session creation.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	Tasks     int    `json:"tasks"`
+	Remaining int    `json:"remaining"`
+	// Solve is the initial solution (cache provenance included).
+	Solve *SolveResponse `json:"solve"`
+}
+
+// SessionEventsRequest streams completion events, applied in order.
+type SessionEventsRequest struct {
+	Events []reclaim.CompletionEvent `json:"events"`
+}
+
+// SessionEventJSON is one event's outcome. Result is present whenever the
+// completion was recorded; Error is present when something failed — a
+// rejected event (unknown task, duplicate, out-of-order, bad duration:
+// Error only, session untouched) or a recorded completion whose residual
+// re-solve failed (Result and Error together, e.g. a late completion
+// pushing the residual past the deadline). Neither kind stops the batch —
+// later events still apply.
+type SessionEventJSON struct {
+	Result *reclaim.EventResult `json:"result,omitempty"`
+	Error  *APIError            `json:"error,omitempty"`
+}
+
+// SessionEventsResponse summarizes an event batch.
+type SessionEventsResponse struct {
+	SessionID string             `json:"session_id"`
+	Results   []SessionEventJSON `json:"results"`
+	Remaining int                `json:"remaining"`
+	// IncurredEnergy is spent by completed tasks; ResidualEnergy is the
+	// current plan for the rest.
+	IncurredEnergy float64       `json:"incurred_energy"`
+	ResidualEnergy float64       `json:"residual_energy"`
+	Infeasible     bool          `json:"infeasible"`
+	Stats          reclaim.Stats `json:"stats"`
+	ElapsedMS      float64       `json:"elapsed_ms"`
+}
+
+// SessionTaskJSON is one task's execution state in a schedule snapshot.
+type SessionTaskJSON struct {
+	Task      int           `json:"task"`
+	Completed bool          `json:"completed"`
+	Start     float64       `json:"start"`
+	Finish    float64       `json:"finish"`
+	Profile   []SegmentJSON `json:"profile"`
+}
+
+// SessionScheduleResponse is the merged execution state of a session.
+type SessionScheduleResponse struct {
+	SessionID      string            `json:"session_id"`
+	Tasks          int               `json:"tasks"`
+	Remaining      int               `json:"remaining"`
+	Deadline       float64           `json:"deadline"`
+	Makespan       float64           `json:"makespan"`
+	IncurredEnergy float64           `json:"incurred_energy"`
+	ResidualEnergy float64           `json:"residual_energy"`
+	TotalEnergy    float64           `json:"total_energy"`
+	Infeasible     bool              `json:"infeasible"`
+	TaskStates     []SessionTaskJSON `json:"task_states"`
+	Stats          reclaim.Stats     `json:"stats"`
+}
+
+// SessionInfoJSON is one row of the session listing.
+type SessionInfoJSON struct {
+	SessionID string `json:"session_id"`
+	Tasks     int    `json:"tasks"`
+	Remaining int    `json:"remaining"`
+	CreatedMS int64  `json:"created_unix_ms"`
+}
+
+// SessionListResponse lists live sessions.
+type SessionListResponse struct {
+	Sessions []SessionInfoJSON `json:"sessions"`
+}
+
+// sessionEntry couples a live session with its bookkeeping.
+type sessionEntry struct {
+	id      string
+	created time.Time
+	sess    *reclaim.Session
+}
+
+// SessionStore owns the live sessions of one engine. Methods are safe for
+// concurrent use; per-session event ordering serializes inside
+// reclaim.Session.
+type SessionStore struct {
+	engine *Engine
+	max    int
+
+	mu       sync.Mutex
+	sessions map[string]*sessionEntry
+	// pending counts reserved-but-unregistered creations, so the capacity
+	// bound holds across in-flight initial solves.
+	pending int
+}
+
+// NewSessionStore builds a store over the engine's pool. maxSessions ≤ 0
+// means the default 1024.
+func NewSessionStore(e *Engine, maxSessions int) *SessionStore {
+	if maxSessions <= 0 {
+		maxSessions = 1024
+	}
+	return &SessionStore{engine: e, max: maxSessions, sessions: make(map[string]*sessionEntry)}
+}
+
+// Create compiles and solves the instance on the engine (cache and
+// singleflight included) and opens a session around the solution.
+func (st *SessionStore) Create(ctx context.Context, req *SessionRequest) (*SessionResponse, error) {
+	if req == nil {
+		return nil, badRequest("nil request")
+	}
+	// Reserve capacity up front so a burst of creations cannot blow past
+	// the limit while solves are in flight.
+	if !st.reserve() {
+		return nil, ErrTooManySessions
+	}
+	resp, sess, err := st.buildSession(ctx, req)
+	if err != nil {
+		st.release()
+		return nil, err
+	}
+	id := newSessionID()
+	st.mu.Lock()
+	st.sessions[id] = &sessionEntry{id: id, created: time.Now(), sess: sess}
+	st.pending--
+	st.mu.Unlock()
+	return &SessionResponse{
+		SessionID: id,
+		Tasks:     sess.Problem().G.N(),
+		Remaining: sess.Remaining(),
+		Solve:     resp,
+	}, nil
+}
+
+func (st *SessionStore) buildSession(ctx context.Context, req *SessionRequest) (*SolveResponse, *reclaim.Session, error) {
+	inst, err := req.SolveRequest.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := st.engine.Solve(ctx, &req.SolveRequest)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, err := solutionFromResponse(inst, resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess, err := reclaim.NewSession(inst.prob, inst.mdl, sol, reclaim.Options{
+		Algorithm: inst.algo,
+		K:         inst.k,
+		Cold:      req.Cold,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return resp, sess, nil
+}
+
+// solutionFromResponse rebuilds a verified core.Solution from a solve
+// response (possibly a cache hit) so the session owns real profiles, not
+// wire floats.
+func solutionFromResponse(inst *instance, resp *SolveResponse) (*core.Solution, error) {
+	g := inst.prob.G
+	var s *sched.Schedule
+	var err error
+	switch {
+	case resp.Speeds != nil:
+		s, err = sched.FromSpeeds(g, resp.Speeds)
+	case resp.Profiles != nil:
+		profiles := make([]sched.Profile, len(resp.Profiles))
+		for i, segs := range resp.Profiles {
+			p := make(sched.Profile, len(segs))
+			for k, seg := range segs {
+				p[k] = sched.Segment{Speed: seg.Speed, Duration: seg.Duration}
+			}
+			profiles[i] = p
+		}
+		s, err = sched.FromProfiles(g, profiles)
+	default:
+		return nil, errors.New("service: solve response carries neither speeds nor profiles")
+	}
+	if err != nil {
+		return nil, err
+	}
+	bf := resp.BoundFactor
+	if bf == 0 {
+		bf = 1
+	}
+	return &core.Solution{
+		Model:    inst.mdl,
+		Schedule: s,
+		Energy:   s.Energy,
+		Stats:    core.Stats{Algorithm: resp.Algorithm, Exact: resp.Exact, BoundFactor: bf},
+	}, nil
+}
+
+// Events applies a batch of completion events in order on the engine's
+// worker pool. Rejected events are reported per entry and do not abort the
+// batch; re-solve failures (e.g. a late completion making the residual
+// infeasible) are reported the same way, with the completion recorded.
+func (st *SessionStore) Events(ctx context.Context, id string, events []reclaim.CompletionEvent) (*SessionEventsResponse, error) {
+	start := time.Now()
+	entry, err := st.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, badRequest("no events")
+	}
+	// Residual re-solves are real solver work: take a pool slot (and a
+	// backlog token) like any other solve so event streams cannot starve
+	// the engine.
+	if !st.engine.admit() {
+		return nil, ErrOverloaded
+	}
+	defer st.engine.backlog.Add(-1)
+	select {
+	case st.engine.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-st.engine.sem }()
+
+	out := &SessionEventsResponse{SessionID: id, Results: make([]SessionEventJSON, 0, len(events))}
+	for _, ev := range events {
+		// Every deviating event is a real solver run: stop burning the
+		// pool slot once the caller's deadline passes or it disconnects.
+		// Already-applied events stay applied; the rest report canceled.
+		if err := ctx.Err(); err != nil {
+			_, apiErr := classify(err)
+			out.Results = append(out.Results, SessionEventJSON{Error: &apiErr})
+			continue
+		}
+		res, err := entry.sess.ApplyEvent(ev)
+		item := SessionEventJSON{Result: res}
+		if err != nil {
+			_, apiErr := classify(err)
+			item.Error = &apiErr
+		}
+		out.Results = append(out.Results, item)
+	}
+	out.Remaining = entry.sess.Remaining()
+	out.IncurredEnergy, out.ResidualEnergy = entry.sess.Energy()
+	out.Infeasible = entry.sess.Infeasible()
+	out.Stats = entry.sess.Stats()
+	out.ElapsedMS = msSince(start)
+	return out, nil
+}
+
+// Schedule snapshots a session's merged execution state.
+func (st *SessionStore) Schedule(id string) (*SessionScheduleResponse, error) {
+	entry, err := st.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	sess := entry.sess
+	s, err := sess.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	incurred, residual := sess.Energy()
+	resp := &SessionScheduleResponse{
+		SessionID:      id,
+		Tasks:          s.G.N(),
+		Remaining:      sess.Remaining(),
+		Deadline:       sess.Problem().Deadline,
+		Makespan:       s.Makespan,
+		IncurredEnergy: incurred,
+		ResidualEnergy: residual,
+		TotalEnergy:    incurred + residual,
+		Infeasible:     sess.Infeasible(),
+		TaskStates:     make([]SessionTaskJSON, s.G.N()),
+		Stats:          sess.Stats(),
+	}
+	completed := sess.CompletedTasks()
+	for i := 0; i < s.G.N(); i++ {
+		resp.TaskStates[i] = SessionTaskJSON{
+			Task:      i,
+			Completed: completed[i],
+			Start:     s.Start[i],
+			Finish:    s.Finish[i],
+			Profile:   segmentsJSON(s.Profiles[i]),
+		}
+	}
+	return resp, nil
+}
+
+// Delete removes a session.
+func (st *SessionStore) Delete(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sessions[id]; !ok {
+		return ErrSessionNotFound
+	}
+	delete(st.sessions, id)
+	return nil
+}
+
+// List returns the live sessions, oldest first.
+func (st *SessionStore) List() *SessionListResponse {
+	st.mu.Lock()
+	entries := make([]*sessionEntry, 0, len(st.sessions))
+	for _, e := range st.sessions {
+		entries = append(entries, e)
+	}
+	st.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].created.Equal(entries[j].created) {
+			return entries[i].created.Before(entries[j].created)
+		}
+		return entries[i].id < entries[j].id
+	})
+	out := &SessionListResponse{Sessions: make([]SessionInfoJSON, len(entries))}
+	for i, e := range entries {
+		out.Sessions[i] = SessionInfoJSON{
+			SessionID: e.id,
+			Tasks:     e.sess.Problem().G.N(),
+			Remaining: e.sess.Remaining(),
+			CreatedMS: e.created.UnixMilli(),
+		}
+	}
+	return out
+}
+
+// Len returns the number of live sessions.
+func (st *SessionStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+func (st *SessionStore) lookup(id string) (*sessionEntry, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	entry, ok := st.sessions[id]
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	return entry, nil
+}
+
+// reserve claims a capacity slot by inserting a tombstone-free count check;
+// release undoes a failed creation.
+func (st *SessionStore) reserve() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.sessions)+st.pending >= st.max {
+		return false
+	}
+	st.pending++
+	return true
+}
+
+func (st *SessionStore) release() {
+	st.mu.Lock()
+	st.pending--
+	st.mu.Unlock()
+}
+
+func newSessionID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-derived ID; uniqueness still overwhelmingly
+		// likely and sessions are not a security boundary.
+		return fmt.Sprintf("sess-%d", time.Now().UnixNano())
+	}
+	return "sess-" + hex.EncodeToString(b[:])
+}
+
+func segmentsJSON(p sched.Profile) []SegmentJSON {
+	out := make([]SegmentJSON, len(p))
+	for i, seg := range p {
+		out[i] = SegmentJSON{Speed: seg.Speed, Duration: seg.Duration}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/reclaim"
+)
+
+// chainSessionBody is a 4-task chain with generous slack: every task at
+// weight 2, smax 2, deadline 10 (minimal 4).
+const chainSessionBody = `{"graph":{"tasks":[{"weight":2},{"weight":2},{"weight":2},{"weight":2}],"edges":[[0,1],[1,2],[2,3]]},"deadline":10,"model":{"kind":"continuous","smax":2}}`
+
+func createSession(t *testing.T, url, body string) SessionResponse {
+	t.Helper()
+	resp, data := postJSON(t, url+"/v1/sessions", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var out SessionResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SessionID == "" || out.Solve == nil {
+		t.Fatalf("malformed session response: %s", data)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, dst any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestSessionLifecycleHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	sess := createSession(t, srv.URL, chainSessionBody)
+	if sess.Tasks != 4 || sess.Remaining != 4 {
+		t.Fatalf("want 4 tasks remaining, got %+v", sess)
+	}
+
+	// The chain optimum runs every task at Σw/D = 8/10: duration 2.5 each.
+	// Complete task 0 early (2.0), then read back the re-planned residual.
+	evBody := `{"events":[{"task":0,"actual_duration":2.0}]}`
+	resp, data := postJSON(t, srv.URL+"/v1/sessions/"+sess.SessionID+"/events", evBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var ev SessionEventsResponse
+	if err := json.Unmarshal(data, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Results) != 1 || ev.Results[0].Error != nil || ev.Results[0].Result == nil {
+		t.Fatalf("event outcome malformed: %s", data)
+	}
+	if ev.Results[0].Result.Clean {
+		t.Fatal("an early completion must not be clean")
+	}
+	if ev.Remaining != 3 {
+		t.Fatalf("remaining %d, want 3", ev.Remaining)
+	}
+	// 8 time units remain for 6 units of work: the residual optimum slows
+	// the three remaining tasks from 0.8 to 0.75.
+	wantResidual := 3 * 2 * 0.75 * 0.75
+	if diff := ev.ResidualEnergy - wantResidual; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("residual energy %v, want %v", ev.ResidualEnergy, wantResidual)
+	}
+
+	var schedule SessionScheduleResponse
+	if r := getJSON(t, srv.URL+"/v1/sessions/"+sess.SessionID+"/schedule", &schedule); r.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: HTTP %d", r.StatusCode)
+	}
+	if !schedule.TaskStates[0].Completed || schedule.TaskStates[1].Completed {
+		t.Fatalf("completion flags wrong: %+v", schedule.TaskStates)
+	}
+	if schedule.TaskStates[0].Finish != 2.0 {
+		t.Fatalf("frozen finish %v, want 2", schedule.TaskStates[0].Finish)
+	}
+	if schedule.Makespan > schedule.Deadline+1e-9 {
+		t.Fatalf("re-planned makespan %v exceeds deadline %v", schedule.Makespan, schedule.Deadline)
+	}
+
+	var list SessionListResponse
+	getJSON(t, srv.URL+"/v1/sessions", &list)
+	if len(list.Sessions) != 1 || list.Sessions[0].SessionID != sess.SessionID {
+		t.Fatalf("listing wrong: %+v", list)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/"+sess.SessionID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: HTTP %d", dresp.StatusCode)
+	}
+	if r := getJSON(t, srv.URL+"/v1/sessions/"+sess.SessionID+"/schedule", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted session should 404, got %d", r.StatusCode)
+	}
+}
+
+func TestSessionEventErrorsAreReportedPerEntry(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	sess := createSession(t, srv.URL, chainSessionBody)
+	// duplicate, out-of-order, unknown task, bad duration — interleaved
+	// with one valid event; the valid one must land.
+	evBody := `{"events":[
+		{"task":3,"actual_duration":1},
+		{"task":9,"actual_duration":1},
+		{"task":0,"actual_duration":-1},
+		{"task":0,"actual_duration":2.5},
+		{"task":0,"actual_duration":2.5}
+	]}`
+	resp, data := postJSON(t, srv.URL+"/v1/sessions/"+sess.SessionID+"/events", evBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var ev SessionEventsResponse
+	if err := json.Unmarshal(data, &ev); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := []bool{true, true, true, false, true}
+	for i, item := range ev.Results {
+		if (item.Error != nil) != wantErr[i] {
+			t.Fatalf("event %d: error presence %v, want %v (%s)", i, item.Error != nil, wantErr[i], data)
+		}
+		if item.Error != nil && item.Error.Code != "invalid_event" {
+			t.Fatalf("event %d: code %q, want invalid_event", i, item.Error.Code)
+		}
+	}
+	if ev.Remaining != 3 {
+		t.Fatalf("remaining %d, want 3", ev.Remaining)
+	}
+}
+
+func TestSessionStoreCapacity(t *testing.T) {
+	e := NewEngine(Options{})
+	store := NewSessionStore(e, 2)
+	ctx := context.Background()
+	mk := func() (*SessionResponse, error) {
+		var req SessionRequest
+		if err := json.Unmarshal([]byte(chainSessionBody), &req.SolveRequest); err != nil {
+			t.Fatal(err)
+		}
+		return store.Create(ctx, &req)
+	}
+	a, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk(); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("want ErrTooManySessions, got %v", err)
+	}
+	if err := store.Delete(a.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk(); err != nil {
+		t.Fatalf("capacity not released on delete: %v", err)
+	}
+}
+
+func TestSessionInitialSolveSharesEngineCache(t *testing.T) {
+	srv, e := newTestServer(t, Options{}, HTTPOptions{})
+	// Prime the cache with a plain solve, then create a session on the
+	// same instance: the initial solve must be a cache hit.
+	resp, data := postJSON(t, srv.URL+"/v1/solve", chainSessionBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: HTTP %d: %s", resp.StatusCode, data)
+	}
+	sess := createSession(t, srv.URL, chainSessionBody)
+	if !sess.Solve.CacheHit {
+		t.Fatal("session's initial solve should hit the engine cache")
+	}
+	if st := e.Stats(); st.Hits == 0 {
+		t.Fatalf("engine recorded no cache hits: %+v", st)
+	}
+}
+
+// TestSessionConcurrentEventsRace hammers one session over HTTP from many
+// goroutines (run under -race): every task completion is offered by every
+// worker, so duplicates and out-of-order arrivals are constant; the
+// session must end complete and uncorrupted.
+func TestSessionConcurrentEventsRace(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	// A wider instance: two independent chains (one disconnected graph).
+	g := graph.New()
+	rng := rand.New(rand.NewSource(4))
+	for c := 0; c < 2; c++ {
+		base := g.N()
+		for i := 0; i < 5; i++ {
+			g.AddTask("", 1+rng.Float64())
+		}
+		for i := 0; i < 4; i++ {
+			g.MustAddEdge(base+i, base+i+1)
+		}
+	}
+	gj, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"graph":%s,"deadline":40,"model":{"kind":"continuous","smax":2}}`, gj)
+	sess := createSession(t, srv.URL, body)
+
+	events := make([]string, 0, g.N())
+	// Durations at most deadline/n keep every completion order feasible.
+	for i := 0; i < g.N(); i++ {
+		events = append(events, fmt.Sprintf(`{"events":[{"task":%d,"actual_duration":2.5}]}`, i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, ev := range events {
+				resp, err := http.Post(srv.URL+"/v1/sessions/"+sess.SessionID+"/events", "application/json", strings.NewReader(ev))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	var schedule SessionScheduleResponse
+	if r := getJSON(t, srv.URL+"/v1/sessions/"+sess.SessionID+"/schedule", &schedule); r.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: HTTP %d", r.StatusCode)
+	}
+	if schedule.Remaining != 0 {
+		t.Fatalf("%d tasks remain after every completion was offered %d times", schedule.Remaining, 6)
+	}
+	if schedule.Stats.Events != g.N() {
+		t.Fatalf("accepted %d events for %d tasks", schedule.Stats.Events, g.N())
+	}
+}
+
+// TestSessionEventsTypeMatchesReclaim pins the wire contract: the events
+// request decodes into reclaim.CompletionEvent verbatim.
+func TestSessionEventsTypeMatchesReclaim(t *testing.T) {
+	var req SessionEventsRequest
+	if err := json.Unmarshal([]byte(`{"events":[{"task":3,"actual_duration":1.5}]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	want := reclaim.CompletionEvent{Task: 3, ActualDuration: 1.5}
+	if len(req.Events) != 1 || req.Events[0] != want {
+		t.Fatalf("decoded %+v, want %+v", req.Events, want)
+	}
+}

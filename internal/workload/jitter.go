@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Jitter is a deterministic duration-perturbation: it draws one factor per
+// task, and a replay multiplies each task's planned duration by its factor
+// (factor < 1 — the task completed early; factor > 1 — late). The same
+// Jitter value always yields the same factors, and the struct round-trips
+// through JSON unchanged, so replay scenarios are reproducible from a
+// five-number description.
+type Jitter struct {
+	// Seed fixes the random draw.
+	Seed int64 `json:"seed"`
+	// Rate is the fraction of tasks perturbed, clamped into [0, 1]; the
+	// rest keep factor 1 (on-plan completion). Zero means none — the
+	// zero-value Jitter is the identity perturbation.
+	Rate float64 `json:"rate,omitempty"`
+	// Early and Late bound a perturbed task's factor, drawn uniformly
+	// from [1−Early, 1+Late]. Early must stay in [0, 1) — durations
+	// remain positive — and Late must be ≥ 0.
+	Early float64 `json:"early,omitempty"`
+	Late  float64 `json:"late,omitempty"`
+}
+
+func (j Jitter) rate() float64 {
+	if j.Rate <= 0 {
+		return 0
+	}
+	if j.Rate > 1 {
+		return 1
+	}
+	return j.Rate
+}
+
+// Validate rejects parameter ranges that would produce non-positive or
+// unbounded durations.
+func (j Jitter) Validate() error {
+	if j.Early < 0 || j.Early >= 1 {
+		return fmt.Errorf("workload: jitter early fraction %v outside [0, 1)", j.Early)
+	}
+	if j.Late < 0 {
+		return fmt.Errorf("workload: jitter late fraction %v negative", j.Late)
+	}
+	return nil
+}
+
+// Factors returns the n per-task duration factors. Every call with the
+// same Jitter and n yields the same slice.
+func (j Jitter) Factors(n int) ([]float64, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative task count %d", n)
+	}
+	rng := rand.New(rand.NewSource(j.Seed))
+	rate := j.rate()
+	out := make([]float64, n)
+	for i := range out {
+		// Two draws per task regardless of the rate decision, so the
+		// factor of task i depends only on (Seed, i) — not on the rate.
+		hit := rng.Float64() < rate
+		u := rng.Float64()
+		if hit {
+			out[i] = 1 - j.Early + u*(j.Early+j.Late)
+		} else {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

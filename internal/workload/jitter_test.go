@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJitterDeterministic(t *testing.T) {
+	j := Jitter{Seed: 42, Rate: 0.5, Early: 0.4, Late: 0.2}
+	a, err := j.Factors(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Factors(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("factor %d differs across calls: %v vs %v", i, a[i], b[i])
+		}
+	}
+	perturbed := 0
+	for i, f := range a {
+		if f <= 0 {
+			t.Fatalf("factor %d non-positive: %v", i, f)
+		}
+		if f < 1-j.Early-1e-12 || f > 1+j.Late+1e-12 {
+			t.Fatalf("factor %d = %v outside [%v, %v]", i, f, 1-j.Early, 1+j.Late)
+		}
+		if f != 1 {
+			perturbed++
+		}
+	}
+	if perturbed == 0 || perturbed == len(a) {
+		t.Fatalf("rate 0.5 should perturb some but not all tasks, got %d/%d", perturbed, len(a))
+	}
+}
+
+func TestJitterRatePrefixStable(t *testing.T) {
+	// The factor of task i depends only on (Seed, i): prefixes agree for
+	// different n.
+	j := Jitter{Seed: 7, Rate: 1, Early: 0.3, Late: 0.3}
+	a, _ := j.Factors(16)
+	b, _ := j.Factors(64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("factor %d changed with n: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestJitterJSONRoundTrip(t *testing.T) {
+	j := Jitter{Seed: 99, Rate: 0.25, Early: 0.1, Late: 0.75}
+	data, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Jitter
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != j {
+		t.Fatalf("round trip changed the jitter: %+v vs %+v", back, j)
+	}
+	a, _ := j.Factors(32)
+	b, _ := back.Factors(32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round-tripped jitter draws different factor %d", i)
+		}
+	}
+}
+
+func TestJitterValidate(t *testing.T) {
+	for _, bad := range []Jitter{
+		{Seed: 1, Early: -0.1},
+		{Seed: 1, Early: 1},
+		{Seed: 1, Late: -0.5},
+	} {
+		if _, err := bad.Factors(4); err == nil {
+			t.Fatalf("jitter %+v should be rejected", bad)
+		}
+	}
+	zero := Jitter{Seed: 3}
+	fs, err := zero.Factors(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs {
+		if f != 1 {
+			t.Fatalf("zero jitter perturbed task %d: %v", i, f)
+		}
+	}
+}

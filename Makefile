@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 # Wall-clock slowdown tolerated by bench-compare before a scenario fails.
 TOLERANCE ?= 2
 
-.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-service bench-plan fuzz clean
+.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-large bench-service bench-plan fuzz clean
 
 all: verify
 
@@ -41,10 +41,19 @@ bench-compare:
 	$(GO) run ./cmd/energybench -run '.*' -baseline BENCH_baseline.json \
 		-tolerance $(TOLERANCE) -out BENCH_current.json -compare-out BENCH_compare.json
 
+# bench-large runs the large-N tier (512–4096-task sparse-kernel and
+# closed-form-at-scale scenarios) and gates it against the committed
+# baseline, which carries both tiers. Slower than the default registry by
+# design — it is its own CI step, not part of bench-all.
+bench-large:
+	$(GO) run ./cmd/energybench -tier large -run '.*' -baseline BENCH_baseline.json \
+		-tolerance $(TOLERANCE) -out BENCH_large.json -compare-out BENCH_large_compare.json
+
 # bench-baseline refreshes the committed baseline after an intentional perf
-# change (commit the result).
+# change (commit the result). Both tiers: the default registry and the
+# large-N kernel scenarios live in the same BENCH_baseline.json.
 bench-baseline:
-	$(GO) run ./cmd/energybench -run '.*' -out BENCH_baseline.json
+	$(GO) run ./cmd/energybench -tier all -run '.*' -out BENCH_baseline.json
 
 # bench-service emits BENCH_service.json: the cold vs cache-hit service
 # scenarios of the energybench registry, end-to-end over HTTP.

@@ -17,9 +17,22 @@
 //
 //	energybench -run '.*' -baseline BENCH_baseline.json -tolerance 2
 //
-// Refresh the committed baseline after an intentional perf change:
+// Slice the registry by tier or family: the default tier is the
+// ~7-second CI table, the large tier holds the 512–4096-task kernel
+// scenarios (make bench-large runs it on its own):
 //
-//	energybench -run '.*' -out BENCH_baseline.json
+//	energybench -tier large -run '.*'
+//	energybench -families chain,layered -run 'continuous'
+//
+// Refresh the committed baseline after an intentional perf change (the
+// baseline carries both tiers):
+//
+//	energybench -tier all -run '.*' -out BENCH_baseline.json
+//
+// When gating against a baseline, the baseline is first trimmed to the
+// same (-run, -tier, -families) slice being measured, so a one-tier run
+// against the two-tier baseline doesn't read the other tier as missing
+// coverage.
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/benchkit"
@@ -42,8 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("energybench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list       = fs.Bool("list", false, "list the scenario registry and exit")
+		list       = fs.Bool("list", false, "list the scenario registry (both tiers) and exit")
 		pattern    = fs.String("run", "", "run the scenarios matching this regexp")
+		tier       = fs.String("tier", benchkit.TierDefault, "registry tier to run: default, large, or all")
+		families   = fs.String("families", "", "comma-separated workload families to keep (empty = all)")
 		baseline   = fs.String("baseline", "", "compare the run against this BENCH.json; exit 1 on regression")
 		tolerance  = fs.Float64("tolerance", 2, "wall-clock slowdown factor allowed before a scenario regresses")
 		minMS      = fs.Float64("minms", benchkit.DefaultMinMS, "noise floor in ms applied to both sides of every ratio")
@@ -58,11 +74,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	famList := splitFamilies(*families)
+
 	if *list {
 		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "SCENARIO\tFAMILY\tN\tMODEL\tPATH")
-		for _, s := range benchkit.Registry() {
-			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n", s.Name, s.Family, s.N, s.Model.Kind, s.Path)
+		fmt.Fprintln(tw, "SCENARIO\tFAMILY\tN\tMODEL\tPATH\tTIER")
+		for _, s := range benchkit.FullRegistry() {
+			t := s.Tier
+			if t == "" {
+				t = benchkit.TierDefault
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n", s.Name, s.Family, s.N, s.Model.Kind, s.Path, t)
 		}
 		tw.Flush()
 		return 0
@@ -73,13 +95,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	scenarios, err := benchkit.Match(*pattern)
+	scenarios, err := benchkit.Select(*pattern, *tier, famList)
 	if err != nil {
 		fmt.Fprintln(stderr, "energybench:", err)
 		return 2
 	}
 	if len(scenarios) == 0 {
-		fmt.Fprintf(stderr, "energybench: no scenario matches %q (see -list)\n", *pattern)
+		fmt.Fprintf(stderr, "energybench: no scenario matches %q in the %s tier (see -list)\n", *pattern, *tier)
 		return 2
 	}
 
@@ -116,6 +138,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "energybench:", err)
 		return 2
 	}
+	// Gate apples against apples: the baseline may span more of the
+	// registry (both tiers, all families) than this invocation ran.
+	base, err = base.Subset(*pattern, *tier, famList)
+	if err != nil {
+		fmt.Fprintln(stderr, "energybench:", err)
+		return 2
+	}
 	cmp, err := benchkit.Compare(base, report, *tolerance, *minMS)
 	if err != nil {
 		fmt.Fprintln(stderr, "energybench:", err)
@@ -138,6 +167,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "energybench: PASS — %d scenario(s) within %.2g× of baseline\n", len(cmp.Rows), cmp.Tolerance)
 	return 0
+}
+
+// splitFamilies parses the -families flag into a clean list.
+func splitFamilies(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // printComparison renders the per-scenario verdict table.

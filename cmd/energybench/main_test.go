@@ -25,10 +25,64 @@ func TestListPrintsRegistry(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	for _, want := range []string{cheapScenario, "layered-30-continuous-service-hit", "multi-4-continuous-planner"} {
+	for _, want := range []string{cheapScenario, "layered-240-continuous-service-hit", "multi-4-continuous-planner",
+		"chain-2048-continuous-kernel", "TIER", benchkit.TierLarge} {
 		if !strings.Contains(stdout, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, stdout)
 		}
+	}
+}
+
+// TestTierAndFamilyFlagsSliceTheRegistry: the default tier must exclude
+// the large scenarios, -tier large must select them, and -families must
+// narrow any run. (Selection errors only — nothing is measured: the
+// patterns below match zero scenarios within the filtered slice.)
+func TestTierAndFamilyFlagsSliceTheRegistry(t *testing.T) {
+	// A large-tier name is invisible from the default tier.
+	code, _, stderr := runCLI(t, "-run", "^chain-2048-continuous-kernel$")
+	if code != 2 || !strings.Contains(stderr, "no scenario matches") {
+		t.Fatalf("large scenario leaked into the default tier: exit %d, %q", code, stderr)
+	}
+	// A default-tier name is invisible from the large tier.
+	if code, _, _ := runCLI(t, "-tier", "large", "-run", "^"+cheapScenario+"$"); code != 2 {
+		t.Fatalf("default scenario leaked into -tier large: exit %d", code)
+	}
+	// The family filter excludes everything not listed.
+	if code, _, _ := runCLI(t, "-families", "lu,fft", "-run", "^"+cheapScenario+"$"); code != 2 {
+		t.Fatalf("family filter did not exclude a chain scenario: exit %d", code)
+	}
+	// Unknown tier is a usage error.
+	if code, _, _ := runCLI(t, "-tier", "bogus", "-run", ".*"); code != 2 {
+		t.Fatalf("unknown tier accepted: exit %d", code)
+	}
+}
+
+// TestBaselineSubsetKeepsOneTierGatesClean: gating a default-tier run
+// against a baseline that also carries large-tier rows must not read
+// the large rows as missing coverage.
+func TestBaselineSubsetKeepsOneTierGatesClean(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "current.json")
+	if code, _, stderr := runCLI(t, "-quiet", "-run", "^"+cheapScenario+"$", "-reps", "2", "-out", out); code != 0 {
+		t.Fatalf("measurement run failed: %s", stderr)
+	}
+	report, err := benchkit.LoadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Scenarios = append(report.Scenarios, benchkit.Result{
+		Scenario: "layered-1024-continuous-direct", Family: "layered", Tier: benchkit.TierLarge, P50MS: 100,
+	})
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := report.Write(baseline); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-quiet", "-run", "^"+cheapScenario+"$", "-reps", "2", "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("two-tier baseline failed a one-tier gate: exit %d\n%s\n%s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, benchkit.StatusMissing) {
+		t.Fatalf("large-tier baseline row read as missing:\n%s", stdout)
 	}
 }
 
@@ -104,8 +158,11 @@ func TestSyntheticRegressionFailsTheGate(t *testing.T) {
 	}
 }
 
-// TestMissingScenarioFailsTheGate: a baseline scenario the current run no
-// longer covers must fail the comparison.
+// TestMissingScenarioFailsTheGate: a baseline scenario inside the
+// selected slice that the current run no longer covers must fail the
+// comparison. The retired row matches the -run pattern (an unanchored
+// prefix) so the baseline subset keeps it; rows outside the selection
+// are the other tier's business (see the subset test above).
 func TestMissingScenarioFailsTheGate(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "current.json")
@@ -116,12 +173,14 @@ func TestMissingScenarioFailsTheGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report.Scenarios = append(report.Scenarios, benchkit.Result{Scenario: "retired-scenario", P50MS: 5})
+	report.Scenarios = append(report.Scenarios, benchkit.Result{
+		Scenario: cheapScenario + "-retired", Family: "chain", P50MS: 5,
+	})
 	baseline := filepath.Join(dir, "baseline.json")
 	if err := report.Write(baseline); err != nil {
 		t.Fatal(err)
 	}
-	code, stdout, _ := runCLI(t, "-quiet", "-run", "^"+cheapScenario+"$", "-reps", "2", "-baseline", baseline)
+	code, stdout, _ := runCLI(t, "-quiet", "-run", cheapScenario, "-reps", "2", "-baseline", baseline)
 	if code != 1 {
 		t.Fatalf("missing scenario exited %d, want 1\n%s", code, stdout)
 	}

@@ -131,3 +131,110 @@ func TestMatchRejectsBadPattern(t *testing.T) {
 		t.Fatal("bad pattern accepted")
 	}
 }
+
+// TestLargeRegistryCoverage pins the large-N tier: unique names (also
+// against the default tier), every scenario marked TierLarge with
+// trimmed repetitions, the sparse-kernel chain scenario present, and
+// every instance buildable (building generates the graph and binds the
+// path; it does not solve).
+func TestLargeRegistryCoverage(t *testing.T) {
+	names := make(map[string]bool)
+	for _, s := range Registry() {
+		names[s.Name] = true
+	}
+	large := RegistryLarge()
+	if len(large) < 6 {
+		t.Fatalf("large tier holds %d scenarios, want ≥ 6", len(large))
+	}
+	sawKernel := false
+	for _, s := range large {
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario name %q across tiers", s.Name)
+		}
+		names[s.Name] = true
+		if s.Tier != TierLarge {
+			t.Fatalf("scenario %s carries tier %q, want %q", s.Name, s.Tier, TierLarge)
+		}
+		if s.Reps == 0 || s.Warmup == 0 {
+			t.Fatalf("scenario %s must trim repetitions explicitly", s.Name)
+		}
+		if s.ForceNumeric {
+			sawKernel = true
+		}
+		r, err := s.build()
+		if err != nil {
+			t.Fatalf("scenario %s does not build: %v", s.Name, err)
+		}
+		r.close()
+		if r.tasks < 128 {
+			t.Fatalf("scenario %s built only %d tasks — too small for the large tier", s.Name, r.tasks)
+		}
+	}
+	if !sawKernel {
+		t.Fatal("large tier lacks a ForceNumeric kernel scenario")
+	}
+}
+
+// TestSelectSlicesByTierAndFamily pins the -tier/-families selection
+// semantics shared with Report.Subset.
+func TestSelectSlicesByTierAndFamily(t *testing.T) {
+	all, err := Select(".*", TierAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Registry()) + len(RegistryLarge()); len(all) != want {
+		t.Fatalf("TierAll selected %d scenarios, want %d", len(all), want)
+	}
+	def, err := Select(".*", TierDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != len(Registry()) {
+		t.Fatalf("TierDefault selected %d scenarios, want %d", len(def), len(Registry()))
+	}
+	large, err := Select(".*", TierLarge, []string{"chain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range large {
+		if s.Family != "chain" || s.Tier != TierLarge {
+			t.Fatalf("family/tier filter leaked %s (%s, %s)", s.Name, s.Family, s.Tier)
+		}
+	}
+	if len(large) == 0 {
+		t.Fatal("family filter selected nothing")
+	}
+	if _, err := Select(".*", "weird", nil); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}
+
+// TestForceNumericRequiresContinuousDirect covers the guard: kernel
+// routing only makes sense on the direct path of the continuous model.
+func TestForceNumericRequiresContinuousDirect(t *testing.T) {
+	s := Scenario{Name: "bad", Family: "chain", N: 4, Seed: 1, Model: discModel, Path: PathDirect, ForceNumeric: true}
+	if _, err := s.build(); err == nil {
+		t.Fatal("ForceNumeric with a discrete model accepted")
+	}
+	s = Scenario{Name: "bad2", Family: "chain", N: 4, Seed: 1, Model: contModel, Path: PathPlanner, ForceNumeric: true}
+	if _, err := s.build(); err == nil {
+		t.Fatal("ForceNumeric on the planner path accepted")
+	}
+}
+
+// TestRunRecordsMemoryMetrics: every fresh measurement carries the
+// allocation metrics (solving allocates at setup even when the Newton
+// loop itself is allocation-free).
+func TestRunRecordsMemoryMetrics(t *testing.T) {
+	matched, err := Match("^sp-96-continuous-direct$")
+	if err != nil || len(matched) != 1 {
+		t.Fatalf("Match: %d scenarios, err %v", len(matched), err)
+	}
+	res, err := Run(matched[0], Options{Warmup: 1, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllocsPerOp == 0 || res.BytesPerOp == 0 {
+		t.Fatalf("memory metrics missing: allocs %d, bytes %d", res.AllocsPerOp, res.BytesPerOp)
+	}
+}

@@ -56,14 +56,24 @@ func Registry() []Scenario {
 		// Monolithic baseline for the disconnected workload below: one big
 		// interior-point solve. Expensive — fewer reps.
 		{Name: "multi-4-continuous-direct", Family: "multi", N: 4, Seed: 24, Model: contModel, Path: PathDirect, Warmup: 1, Reps: 3},
+		// The structurally mixed twin pair behind BENCH_plan.json: six
+		// 160-task chains plus two layered DAGs (~1000 tasks). The
+		// monolithic direct solve runs the interior point over the whole
+		// union; the planner routes the chains to the Theorem 1 closed
+		// form and runs the kernel only on the two small layered
+		// components — a structure-routing win that holds on any core
+		// count. (A uniform multi-N pair stopped being a showcase when
+		// the sparse kernel made the monolithic solve near-linear.)
+		{Name: "mixed-8-continuous-direct", Family: "mixed", N: 8, Seed: 34, Model: contModel, Path: PathDirect, Warmup: 1, Reps: 3},
 
 		// --- planner path: structure-aware routing ------------------------
 		{Name: "layered-30-continuous-planner", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathPlanner},
 		{Name: "sp-96-continuous-planner", Family: "sp", N: 96, Seed: 13, Model: contModel, Path: PathPlanner},
 		{Name: "fft-3-continuous-planner", Family: "fft", N: 3, Seed: 25, Model: contModel, Path: PathPlanner},
-		// The planner's headline case: 4 independent components solved
-		// concurrently vs the monolithic twin above (same seed).
+		// The planner's headline case: independent components solved
+		// concurrently vs the monolithic twins above (same seeds).
 		{Name: "multi-4-continuous-planner", Family: "multi", N: 4, Seed: 24, Model: contModel, Path: PathPlanner, Warmup: 1, Reps: 3},
+		{Name: "mixed-8-continuous-planner", Family: "mixed", N: 8, Seed: 34, Model: contModel, Path: PathPlanner, Warmup: 1, Reps: 3},
 		{Name: "mapreduce-8-discrete-planner", Family: "mapreduce", N: 8, Seed: 26, Model: discModel, Path: PathPlanner},
 		{Name: "tree-12-discrete-planner", Family: "tree", N: 12, Seed: 27, Model: discModel, Path: PathPlanner},
 		{Name: "pipeline-8-vdd-planner", Family: "pipeline", N: 8, Seed: 28, Model: vddModel, Path: PathPlanner},
@@ -77,9 +87,12 @@ func Registry() []Scenario {
 		{Name: "gnp-16-incremental-service", Family: "gnp", N: 16, Seed: 33, Model: incrModel, Path: PathService},
 		// The repeated-instance pair behind BENCH_service.json: every
 		// request full-solves (cold) vs every request a cache hit (hit).
-		{Name: "layered-30-continuous-service-cold", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathService,
+		// 240 tasks keeps the solve — not HTTP transport — the dominant
+		// cost the cache removes, now that the sparse kernel has made
+		// small interior-point instances transport-cheap.
+		{Name: "layered-240-continuous-service-cold", Family: "layered", N: 240, Seed: 15, Model: contModel, Path: PathService,
 			Repeat: true, NoCache: true, Requests: 16, Warmup: 1, Reps: 3},
-		{Name: "layered-30-continuous-service-hit", Family: "layered", N: 30, Seed: 15, Model: contModel, Path: PathService,
+		{Name: "layered-240-continuous-service-hit", Family: "layered", N: 240, Seed: 15, Model: contModel, Path: PathService,
 			Repeat: true, Requests: 64},
 
 		// --- reclaim path: online re-solving of executing schedules -------
@@ -114,4 +127,53 @@ func Registry() []Scenario {
 		{Name: "chain-24-vdd-reclaim-cold", Family: "chain", N: 24, Seed: 43, Model: vddLadder, Path: PathReclaim,
 			Jitter: workload.Jitter{Seed: 43, Rate: 0.4, Early: 0.12}, ReclaimCold: true, Warmup: 1, Reps: 3},
 	}
+}
+
+// RegistryLarge returns the large-N tier: the 512–4096-task instances
+// that pin the asymptotics of the sparse interior-point kernel (and of
+// the linear-time closed forms, which must stay linear). The tier runs
+// as its own gate (energybench -tier large, make bench-large) so the
+// default registry stays a ~7-second CI step. Every scenario trims
+// repetitions; the kernel numbers land in BENCH_baseline.json alongside
+// the default tier's.
+func RegistryLarge() []Scenario {
+	large := func(s Scenario) Scenario {
+		s.Tier = TierLarge
+		s.Warmup = 1
+		s.Reps = 3
+		return s
+	}
+	return []Scenario{
+		// Theorem 1 / SP algebra at scale: closed forms are linear-time
+		// and these stay in milliseconds no matter how far N grows.
+		large(Scenario{Name: "chain-4096-continuous-direct", Family: "chain", N: 4096, Seed: 50, Model: contModel, Path: PathDirect}),
+		large(Scenario{Name: "sp-4096-continuous-direct", Family: "sp", N: 4096, Seed: 51, Model: contModel, Path: PathDirect}),
+		// The sparse KKT kernel on a 2048-task chain, routed past the
+		// closed form on purpose: tridiagonal-like Newton systems, zero
+		// fill, and a known exact optimum to diff against. The dense
+		// kernel this PR replaced could not finish this instance.
+		large(Scenario{Name: "chain-2048-continuous-kernel", Family: "chain", N: 2048, Seed: 52, Model: contModel, Path: PathDirect, ForceNumeric: true}),
+		// General DAGs through the interior point: the shapes with no
+		// closed form, where the graph-structured factorization is the
+		// only route to these sizes.
+		large(Scenario{Name: "layered-1024-continuous-direct", Family: "layered", N: 1024, Seed: 53, Model: contModel, Path: PathDirect}),
+		large(Scenario{Name: "layered-2048-continuous-direct", Family: "layered", N: 2048, Seed: 54, Model: contModel, Path: PathDirect}),
+		// Denser than layered (forward edge probability 0.2 gives a
+		// quadratic edge count — ~1700 precedence rows at n=128, each
+		// coupling 3 variables): the fill-reducing ordering earns its
+		// keep here, and the density is why this family stops at 128
+		// while the bounded-degree families go to 2048+.
+		large(Scenario{Name: "gnp-128-continuous-direct", Family: "gnp", N: 128, Seed: 55, Model: contModel, Path: PathDirect}),
+		// Online reclaiming at scale: the warm/cold residual re-solve
+		// pair on a 128-task layered schedule under the default jitter
+		// (~64 deviations, each triggering a residual re-solve — a full
+		// replay is inherently N solves, which bounds the size).
+		large(Scenario{Name: "layered-128-continuous-reclaim-warm", Family: "layered", N: 128, Seed: 56, Model: contModel, Path: PathReclaim}),
+		large(Scenario{Name: "layered-128-continuous-reclaim-cold", Family: "layered", N: 128, Seed: 56, Model: contModel, Path: PathReclaim, ReclaimCold: true}),
+	}
+}
+
+// FullRegistry returns both tiers in run order: default, then large.
+func FullRegistry() []Scenario {
+	return append(Registry(), RegistryLarge()...)
 }

@@ -18,10 +18,16 @@ const SchemaVersion = "energybench/v1"
 // the repetitions. All latencies are milliseconds; for the service path
 // one sample is the wall time of the whole request wave, not a single
 // request.
+//
+// The tier and memory fields (tier, allocs_per_op, bytes_per_op) are a
+// backwards-compatible energybench/v1 addition: reports written before
+// them simply lack the keys, and Compare treats absent memory data as
+// not comparable — never as a regression.
 type Result struct {
 	Scenario string  `json:"scenario"`
 	Family   string  `json:"family"`
 	Path     string  `json:"path"`
+	Tier     string  `json:"tier,omitempty"` // "" means the default tier
 	Model    string  `json:"model"`
 	Tasks    int     `json:"tasks"`
 	Edges    int     `json:"edges"`
@@ -39,6 +45,12 @@ type Result struct {
 	P90MS  float64 `json:"p90_ms"`
 	MaxMS  float64 `json:"max_ms"`
 	MeanMS float64 `json:"mean_ms"`
+	// AllocsPerOp and BytesPerOp are heap allocation counts and bytes
+	// per measured repetition, taken from the runtime's cumulative
+	// malloc counters around the whole measured loop (so they include
+	// everything the operation caused, concurrent helpers included).
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
 }
 
 // Report is the canonical BENCH.json document: schema tag, the runtime
@@ -96,6 +108,27 @@ func (r *Report) Write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// Subset returns a copy of the report keeping only the scenarios the
+// same (pattern, tier, families) selection would run — the predicate of
+// Select applied to a report's recorded rows. The regression gate uses
+// it to trim a whole-registry baseline down to the slice actually being
+// measured, so running one tier against a two-tier baseline does not
+// read the other tier as a coverage loss.
+func (r *Report) Subset(pattern, tier string, families []string) (*Report, error) {
+	keep, err := selector(pattern, tier, families)
+	if err != nil {
+		return nil, err
+	}
+	out := *r
+	out.Scenarios = make([]Result, 0, len(r.Scenarios))
+	for _, res := range r.Scenarios {
+		if keep(res.Scenario, res.Tier, res.Family) {
+			out.Scenarios = append(out.Scenarios, res)
+		}
+	}
+	return &out, nil
+}
+
 // Find returns the result for the named scenario, or nil.
 func (r *Report) Find(name string) *Result {
 	for i := range r.Scenarios {
@@ -123,6 +156,13 @@ type CompareRow struct {
 	// Ratio is current/baseline after the noise floor (>1 means slower).
 	Ratio  float64 `json:"ratio,omitempty"`
 	Status string  `json:"status"`
+	// Allocation counts per op, informational: populated only when both
+	// reports carry memory data (the fields are an energybench/v1
+	// addition — older reports lack them, and a side without data is
+	// treated as absent, never as regressed). The pass/fail verdict is
+	// wall-clock only.
+	BaseAllocs uint64 `json:"base_allocs_per_op,omitempty"`
+	CurAllocs  uint64 `json:"current_allocs_per_op,omitempty"`
 }
 
 // Comparison is the regression report Compare produces; Pass is false
@@ -199,6 +239,10 @@ func Compare(baseline, current *Report, tolerance, minMS float64) (*Comparison, 
 		}
 		row.CurMS = cur.P50MS
 		row.Ratio = floor(cur.P50MS) / floor(base.P50MS)
+		if base.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
+			row.BaseAllocs = base.AllocsPerOp
+			row.CurAllocs = cur.AllocsPerOp
+		}
 		switch {
 		case row.Ratio > tolerance:
 			row.Status = StatusRegressed

@@ -166,6 +166,75 @@ func TestLoadReportRejectsMalformedBaseline(t *testing.T) {
 	}
 }
 
+// TestCompareMemoryFieldsAreInformational pins the energybench/v1
+// schema addition: a baseline predating allocs_per_op/bytes_per_op
+// compares cleanly (absent ≠ regressed), and when both sides carry the
+// data the row surfaces it without affecting the verdict.
+func TestCompareMemoryFieldsAreInformational(t *testing.T) {
+	old := report(res("a", 10)) // pre-addition baseline: no memory data
+	cur := report(Result{Scenario: "a", P50MS: 10, AllocsPerOp: 5000, BytesPerOp: 1 << 20})
+	cmp, err := Compare(old, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass {
+		t.Fatal("memory data absent from the baseline must not regress")
+	}
+	if got := rowFor(t, cmp, "a"); got.BaseAllocs != 0 || got.CurAllocs != 0 {
+		t.Fatalf("one-sided memory data must stay absent from the row: %+v", got)
+	}
+
+	base := report(Result{Scenario: "a", P50MS: 10, AllocsPerOp: 100, BytesPerOp: 4096})
+	cmp, err = Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 50× allocation growth is surfaced but, alone, never fails.
+	if !cmp.Pass {
+		t.Fatal("allocation growth must stay informational")
+	}
+	if got := rowFor(t, cmp, "a"); got.BaseAllocs != 100 || got.CurAllocs != 5000 {
+		t.Fatalf("two-sided memory data missing from the row: %+v", got)
+	}
+}
+
+// TestReportSubset pins the baseline-trimming predicate the CLI applies
+// before Compare: same semantics as Select, keyed on the recorded rows.
+func TestReportSubset(t *testing.T) {
+	r := report(
+		Result{Scenario: "chain-1-continuous-direct", Family: "chain"},
+		Result{Scenario: "layered-2-continuous-direct", Family: "layered"},
+		Result{Scenario: "layered-9-continuous-direct", Family: "layered", Tier: TierLarge},
+	)
+	def, err := r.Subset(".*", TierDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Scenarios) != 2 {
+		t.Fatalf("default-tier subset kept %d rows, want 2 (tier-less rows are default)", len(def.Scenarios))
+	}
+	large, err := r.Subset(".*", TierLarge, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large.Scenarios) != 1 || large.Scenarios[0].Scenario != "layered-9-continuous-direct" {
+		t.Fatalf("large-tier subset = %+v", large.Scenarios)
+	}
+	fam, err := r.Subset("continuous", TierAll, []string{"layered"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam.Scenarios) != 2 {
+		t.Fatalf("family subset kept %d rows, want 2", len(fam.Scenarios))
+	}
+	if _, err := r.Subset("(", TierAll, nil); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if _, err := r.Subset(".*", "bogus", nil); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}
+
 func TestReportWriteLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")

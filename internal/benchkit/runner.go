@@ -3,6 +3,7 @@ package benchkit
 import (
 	"fmt"
 	"regexp"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -53,6 +54,12 @@ func Run(s Scenario, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("scenario %s (warmup): %w", s.Name, err)
 		}
 	}
+	// Memory accounting brackets the measured repetitions: the malloc
+	// counters are cumulative and monotonic, so the delta over the loop
+	// divided by reps is the per-operation cost. ReadMemStats itself
+	// stays outside every timed sample.
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	samples := make([]float64, reps)
 	for i := range samples {
 		start := time.Now()
@@ -61,12 +68,14 @@ func Run(s Scenario, opts Options) (*Result, error) {
 		}
 		samples[i] = float64(time.Since(start)) / float64(time.Millisecond)
 	}
+	runtime.ReadMemStats(&m1)
 	sort.Float64s(samples)
 
 	res := &Result{
 		Scenario: s.Name,
 		Family:   s.Family,
 		Path:     s.Path,
+		Tier:     s.Tier,
 		Model:    s.Model.Kind,
 		Tasks:    r.tasks,
 		Edges:    r.edges,
@@ -79,6 +88,9 @@ func Run(s Scenario, opts Options) (*Result, error) {
 		P90MS:    percentile(samples, 90),
 		MaxMS:    samples[len(samples)-1],
 		MeanMS:   mean(samples),
+
+		AllocsPerOp: (m1.Mallocs - m0.Mallocs) / uint64(reps),
+		BytesPerOp:  (m1.TotalAlloc - m0.TotalAlloc) / uint64(reps),
 	}
 	if s.Path == PathService {
 		res.Clients = s.clients()
@@ -105,21 +117,66 @@ func RunAll(scenarios []Scenario, opts Options, logf func(format string, args ..
 	return NewReport(results), nil
 }
 
-// Match returns the registry scenarios whose names contain a match of
-// the regular expression pattern (grep semantics — anchor with ^…$ to
-// name one scenario exactly), in registry order.
+// Match returns the default-tier registry scenarios whose names contain
+// a match of the regular expression pattern (grep semantics — anchor
+// with ^…$ to name one scenario exactly), in registry order.
 func Match(pattern string) ([]Scenario, error) {
-	re, err := regexp.Compile(pattern)
+	return Select(pattern, TierDefault, nil)
+}
+
+// Select slices the full registry on three axes: a name regexp (grep
+// semantics), a tier (TierDefault, TierLarge, or TierAll), and an
+// optional family allowlist. It is the selection behind energybench's
+// -run/-tier/-families flags; Report.Subset applies the identical
+// predicate to a baseline so the regression gate compares exactly the
+// slice being run.
+func Select(pattern, tier string, families []string) ([]Scenario, error) {
+	keep, err := selector(pattern, tier, families)
 	if err != nil {
-		return nil, fmt.Errorf("benchkit: bad scenario pattern: %w", err)
+		return nil, err
 	}
 	var out []Scenario
-	for _, s := range Registry() {
-		if re.MatchString(s.Name) {
+	for _, s := range FullRegistry() {
+		if keep(s.Name, s.tier(), s.Family) {
 			out = append(out, s)
 		}
 	}
 	return out, nil
+}
+
+// selector compiles the (pattern, tier, families) predicate shared by
+// Select and Report.Subset.
+func selector(pattern, tier string, families []string) (func(name, tier, family string) bool, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: bad scenario pattern: %w", err)
+	}
+	switch tier {
+	case TierDefault, TierLarge, TierAll:
+	case "":
+		tier = TierDefault
+	default:
+		return nil, fmt.Errorf("benchkit: unknown tier %q (want %s, %s, or %s)", tier, TierDefault, TierLarge, TierAll)
+	}
+	var famSet map[string]bool
+	if len(families) > 0 {
+		famSet = make(map[string]bool, len(families))
+		for _, f := range families {
+			famSet[f] = true
+		}
+	}
+	return func(name, t, family string) bool {
+		if t == "" {
+			t = TierDefault
+		}
+		if tier != TierAll && t != tier {
+			return false
+		}
+		if famSet != nil && !famSet[family] {
+			return false
+		}
+		return re.MatchString(name)
+	}, nil
 }
 
 // percentile interpolates the p-th percentile of sorted samples.

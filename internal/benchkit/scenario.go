@@ -48,6 +48,16 @@ const (
 	PathReclaim = "reclaim"
 )
 
+// Registry tiers. The default tier is the ~7-second table every CI run
+// measures; the large tier holds the 512–4096-task instances that pin
+// the sparse interior-point kernel's asymptotics and runs as its own
+// make target (bench-large).
+const (
+	TierDefault = "default"
+	TierLarge   = "large"
+	TierAll     = "all" // Select only: both tiers
+)
+
 // Scenario is one named benchmark workload. Scenarios are pure data —
 // building and running them is the Runner's job — so the registry reads
 // as a table.
@@ -66,8 +76,20 @@ type Scenario struct {
 	Model service.ModelSpec
 	// Path selects the solve path (PathDirect, PathPlanner, PathService).
 	Path string
+	// Tier assigns the scenario to a registry tier; the zero value is
+	// TierDefault. Large-tier scenarios only run when asked for
+	// (energybench -tier large, make bench-large).
+	Tier string
 	// Slack stretches the minimal feasible deadline (default 1.4).
 	Slack float64
+
+	// ForceNumeric bypasses the continuous dispatcher's structure
+	// routing on the direct path and calls the interior-point kernel
+	// (SolveContinuousNumeric) outright. Closed-form families like chain
+	// would otherwise never reach the kernel; this is how the registry
+	// times the sparse KKT solver on shapes whose exact optimum is known.
+	// Only valid with PathDirect and the continuous model.
+	ForceNumeric bool
 
 	// Clients is the service-path concurrency (default 8).
 	Clients int
@@ -94,6 +116,13 @@ type Scenario struct {
 	// affordable in CI).
 	Warmup int
 	Reps   int
+}
+
+func (s Scenario) tier() string {
+	if s.Tier == "" {
+		return TierDefault
+	}
+	return s.Tier
 }
 
 func (s Scenario) slack() float64 {
@@ -148,11 +177,25 @@ func (s Scenario) build() (*runnable, error) {
 	deadline := dmin * s.slack()
 	r := &runnable{tasks: g.N(), edges: g.M(), deadline: deadline, close: func() {}}
 
+	if s.ForceNumeric && (s.Path != PathDirect || s.Model.Kind != "continuous") {
+		return nil, fmt.Errorf("scenario %s: ForceNumeric requires the direct path and the continuous model", s.Name)
+	}
+
 	switch s.Path {
 	case PathDirect:
 		prob, err := core.NewProblem(g, deadline)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if s.ForceNumeric {
+			r.rep = func() (float64, error) {
+				sol, err := prob.SolveContinuousNumeric(mdl.SMax, core.ContinuousOptions{})
+				if err != nil {
+					return 0, err
+				}
+				return sol.Energy, nil
+			}
+			break
 		}
 		r.rep = func() (float64, error) {
 			sol, err := prob.SolveAuto(mdl, core.PlannedOptions{})

@@ -9,6 +9,13 @@
 // arbitrary execution graphs: MinEnergy(G, D) is a geometric program that,
 // in the (completion-time, duration) variables, becomes exactly the shape
 // above with f(d) = Σ wᵢ³/dᵢ².
+//
+// Two code paths share the same path-following scheme. SparseMinimize
+// (sparse.go) is the production kernel: constraints arrive in CSR form,
+// the Newton system is assembled and factored in sparse form with a
+// cached symbolic LDLᵀ, and the inner loop allocates nothing. Minimize
+// below is the dense reference oracle the property suite checks the
+// sparse path against.
 package convex
 
 import (
@@ -105,13 +112,19 @@ func Minimize(f Objective, a *linalg.Matrix, b linalg.Vector, x0 linalg.Vector, 
 	grad := linalg.NewVector(n)
 	hess := linalg.NewMatrix(n, n)
 	dir := linalg.NewVector(n)
+	ws := &denseWorkspace{
+		neg:   linalg.NewVector(n),
+		trial: linalg.NewVector(n),
+		adir:  linalg.NewVector(m),
+		ts:    linalg.NewVector(m),
+	}
 
 	for outer := 0; outer < maxOuter; outer++ {
 		res.OuterStages++
 		// Centering: Newton on  t·f(x) + φ(x),  φ = -Σ log(bᵢ - aᵢᵀx).
 		for it := 0; it < maxNewton; it++ {
 			res.Newton++
-			val, gnorm, err := newtonStep(f, a, b, x, t, grad, hess, dir, slack)
+			val, gnorm, err := newtonStep(f, a, b, x, t, grad, hess, dir, slack, ws)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +137,7 @@ func Minimize(f Objective, a *linalg.Matrix, b linalg.Vector, x0 linalg.Vector, 
 			if lambda2/2 < 1e-12 || gnorm < 1e-13 {
 				break
 			}
-			if !lineSearchAndStep(f, a, b, x, dir, t, grad, slack) {
+			if !lineSearchAndStep(f, a, b, x, dir, t, grad, slack, ws) {
 				break // no progress possible at this scale
 			}
 		}
@@ -147,11 +160,21 @@ func computeSlack(a *linalg.Matrix, b, x, slack linalg.Vector) {
 	}
 }
 
+// denseWorkspace holds the vectors the dense Newton loop reuses across
+// iterations and line-search backtracks, so neither allocates per trial.
+type denseWorkspace struct {
+	neg   linalg.Vector // negated gradient (Newton right-hand side)
+	trial linalg.Vector // candidate point of the line search
+	adir  linalg.Vector // A·dir
+	ts    linalg.Vector // trial slack inside barrierVal
+}
+
 // newtonStep assembles gradient/Hessian of t·f + φ at x and solves for the
 // Newton direction into dir. Returns the barrier-augmented value and the
 // gradient norm.
 func newtonStep(f Objective, a *linalg.Matrix, b linalg.Vector, x linalg.Vector,
-	t float64, grad linalg.Vector, hess *linalg.Matrix, dir linalg.Vector, slack linalg.Vector) (float64, float64, error) {
+	t float64, grad linalg.Vector, hess *linalg.Matrix, dir linalg.Vector, slack linalg.Vector,
+	ws *denseWorkspace) (float64, float64, error) {
 
 	n := len(x)
 	// Gradient: t·∇f + Σ aᵢ/sᵢ.
@@ -177,13 +200,14 @@ func newtonStep(f Objective, a *linalg.Matrix, b linalg.Vector, x linalg.Vector,
 			hess.AddOuterScaled(inv*inv, row)
 		}
 	}
-	neg := grad.Clone()
-	neg.Scale(-1)
-	sol, _, err := linalg.SolvePD(hess, neg)
+	for j := range grad {
+		ws.neg[j] = -grad[j]
+	}
+	fac, _, err := linalg.FactorPD(hess)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%w: %v", ErrNumerical, err)
 	}
-	copy(dir, sol)
+	fac.SolveInto(ws.neg, dir)
 	val := t * f.Value(x)
 	if a != nil {
 		for i := range slack {
@@ -195,10 +219,11 @@ func newtonStep(f Objective, a *linalg.Matrix, b linalg.Vector, x linalg.Vector,
 
 // lineSearchAndStep performs a backtracking line search on t·f + φ along dir,
 // first shrinking the step to stay strictly inside the constraints, then
-// enforcing an Armijo decrease. x is updated in place. Returns false when no
-// step could be taken.
+// enforcing an Armijo decrease. x is updated in place; every trial reuses
+// the workspace vectors, so backtracking allocates nothing. Returns false
+// when no step could be taken.
 func lineSearchAndStep(f Objective, a *linalg.Matrix, b linalg.Vector, x, dir linalg.Vector,
-	t float64, grad, slack linalg.Vector) bool {
+	t float64, grad, slack linalg.Vector, ws *denseWorkspace) bool {
 
 	const (
 		alpha = 0.25
@@ -207,12 +232,11 @@ func lineSearchAndStep(f Objective, a *linalg.Matrix, b linalg.Vector, x, dir li
 	step := 1.0
 	// Shrink to remain strictly feasible: need slack - step·(A·dir) > 0.
 	if a != nil {
-		adir := linalg.NewVector(a.Rows)
-		a.MulVec(dir, adir)
+		a.MulVec(dir, ws.adir)
 		computeSlack(a, b, x, slack)
-		for i := range adir {
-			if adir[i] > 0 {
-				limit := slack[i] / adir[i]
+		for i := range ws.adir {
+			if ws.adir[i] > 0 {
+				limit := slack[i] / ws.adir[i]
 				if 0.99*limit < step {
 					step = 0.99 * limit
 				}
@@ -222,32 +246,33 @@ func lineSearchAndStep(f Objective, a *linalg.Matrix, b linalg.Vector, x, dir li
 	if step <= 0 || math.IsNaN(step) {
 		return false
 	}
-	barrierVal := func(y linalg.Vector) float64 {
-		v := t * f.Value(y)
-		if a != nil {
-			s := linalg.NewVector(a.Rows)
-			computeSlack(a, b, y, s)
-			for i := range s {
-				if s[i] <= 0 {
-					return math.Inf(1)
-				}
-				v -= math.Log(s[i])
-			}
-		}
-		return v
-	}
-	v0 := barrierVal(x)
+	v0 := denseBarrierVal(f, a, b, x, t, ws.ts)
 	slope := grad.Dot(dir) // should be negative
-	y := linalg.NewVector(len(x))
 	for k := 0; k < 60; k++ {
-		copy(y, x)
-		y.AddScaled(step, dir)
-		v := barrierVal(y)
+		copy(ws.trial, x)
+		ws.trial.AddScaled(step, dir)
+		v := denseBarrierVal(f, a, b, ws.trial, t, ws.ts)
 		if v <= v0+alpha*step*slope && !math.IsNaN(v) {
-			copy(x, y)
+			copy(x, ws.trial)
 			return true
 		}
 		step *= beta
 	}
 	return false
+}
+
+// denseBarrierVal evaluates t·f + φ at y using the given slack workspace.
+func denseBarrierVal(f Objective, a *linalg.Matrix, b linalg.Vector, y linalg.Vector,
+	t float64, s linalg.Vector) float64 {
+	v := t * f.Value(y)
+	if a != nil {
+		computeSlack(a, b, y, s)
+		for i := range s {
+			if s[i] <= 0 {
+				return math.Inf(1)
+			}
+			v -= math.Log(s[i])
+		}
+	}
+	return v
 }

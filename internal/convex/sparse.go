@@ -1,0 +1,297 @@
+package convex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// The sparse code path of the barrier method. Every constraint row of
+// MinEnergy(G, D) — precedence tᵤ + d_v ≤ t_v, start d ≤ t, deadline
+// t ≤ D, speed bounds on d — has at most three nonzeros, and the energy
+// objective Σ wᵢ³/dᵢ² is separable, so the Newton system
+//
+//	(t·∇²f + AᵀS⁻²A) Δx = −g
+//
+// has exactly the sparsity of the execution graph. SparseMinimize
+// assembles it directly in sparse form through precomputed scatter maps
+// and factors it with the cached-symbolic LDLᵀ of internal/linalg: one
+// Newton iteration costs O(nnz(L)) and performs zero heap allocations,
+// against the dense path's O(m·n²) assembly and O(n³) factorization.
+
+// DiagObjective is a twice-differentiable convex function with a
+// diagonal Hessian — the separable objectives of the energy programs.
+type DiagObjective interface {
+	// Value returns f(x).
+	Value(x linalg.Vector) float64
+	// Gradient writes ∇f(x) into g.
+	Gradient(x, g linalg.Vector)
+	// HessianDiag writes the diagonal of ∇²f(x) into h.
+	HessianDiag(x, h linalg.Vector)
+}
+
+// sparseSolver holds the compiled problem structure and every workspace
+// the Newton loop needs, so iterations allocate nothing.
+type sparseSolver struct {
+	f DiagObjective
+	a *linalg.CSR
+	b linalg.Vector
+	n int // variables
+	m int // constraints
+
+	h *linalg.SparseSym
+	// Scatter maps, fixed at setup: constraint row i contributes
+	// w·pairProd[k] to h.Val[pairSlot[k]] for k in [pairPtr[i],
+	// pairPtr[i+1]), with w = 1/sᵢ². diagSlot[j] addresses H[j,j] for
+	// the objective's diagonal.
+	pairPtr  []int
+	pairSlot []int32
+	pairProd []float64
+	diagSlot []int32
+
+	// Workspaces.
+	grad  linalg.Vector
+	hdiag linalg.Vector
+	dir   linalg.Vector
+	rhs   linalg.Vector
+	slack linalg.Vector
+	adir  linalg.Vector
+	trial linalg.Vector
+	ts    linalg.Vector // trial slack
+}
+
+// newSparseSolver compiles the problem: Hessian pattern, fill-reducing
+// ordering, symbolic factorization, scatter maps, and workspaces. The
+// result is reusable across Minimize calls on the same (f, a, b).
+func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int) *sparseSolver {
+	s := &sparseSolver{f: f, a: a, b: b, n: n}
+	sb := linalg.NewSymBuilder(n)
+	if a != nil {
+		s.m = a.Rows
+		for i := 0; i < a.Rows; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				for q := p; q < a.RowPtr[i+1]; q++ {
+					sb.Add(a.Col[p], a.Col[q])
+				}
+			}
+		}
+	}
+	s.h = sb.Compile()
+
+	if a != nil {
+		s.pairPtr = make([]int, a.Rows+1)
+		for i := 0; i < a.Rows; i++ {
+			nz := a.RowPtr[i+1] - a.RowPtr[i]
+			s.pairPtr[i+1] = s.pairPtr[i] + nz*(nz+1)/2
+		}
+		s.pairSlot = make([]int32, s.pairPtr[a.Rows])
+		s.pairProd = make([]float64, s.pairPtr[a.Rows])
+		k := 0
+		for i := 0; i < a.Rows; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				for q := p; q < a.RowPtr[i+1]; q++ {
+					s.pairSlot[k] = int32(s.h.Slot(a.Col[p], a.Col[q]))
+					s.pairProd[k] = a.Val[p] * a.Val[q]
+					k++
+				}
+			}
+		}
+	}
+	s.diagSlot = make([]int32, n)
+	for j := 0; j < n; j++ {
+		s.diagSlot[j] = int32(s.h.Slot(j, j))
+	}
+
+	s.grad = linalg.NewVector(n)
+	s.hdiag = linalg.NewVector(n)
+	s.dir = linalg.NewVector(n)
+	s.rhs = linalg.NewVector(n)
+	s.slack = linalg.NewVector(s.m)
+	s.adir = linalg.NewVector(s.m)
+	s.trial = linalg.NewVector(n)
+	s.ts = linalg.NewVector(s.m)
+	return s
+}
+
+// computeSlack fills slack = b − A·x.
+func (s *sparseSolver) computeSlack(x, slack linalg.Vector) {
+	s.a.MulVec(x, slack)
+	for i := range slack {
+		slack[i] = s.b[i] - slack[i]
+	}
+}
+
+// newtonStep assembles the gradient and sparse Hessian of t·f + φ at x
+// and solves for the Newton direction into s.dir. Zero allocations.
+func (s *sparseSolver) newtonStep(x linalg.Vector, t float64) (float64, error) {
+	// Gradient: t·∇f + Σ aᵢ/sᵢ; Hessian: t·∇²f + Σ aᵢaᵢᵀ/sᵢ².
+	s.f.Gradient(x, s.grad)
+	s.grad.Scale(t)
+	s.h.ZeroVals()
+	s.f.HessianDiag(x, s.hdiag)
+	hv := s.h.Val
+	for j := 0; j < s.n; j++ {
+		hv[s.diagSlot[j]] += t * s.hdiag[j]
+	}
+	if s.a != nil {
+		s.computeSlack(x, s.slack)
+		for i := 0; i < s.m; i++ {
+			si := s.slack[i]
+			if si <= 0 {
+				return 0, fmt.Errorf("%w: slack %d non-positive during centering", ErrNumerical, i)
+			}
+			inv := 1 / si
+			for p := s.a.RowPtr[i]; p < s.a.RowPtr[i+1]; p++ {
+				s.grad[s.a.Col[p]] += s.a.Val[p] * inv
+			}
+			w := inv * inv
+			for k := s.pairPtr[i]; k < s.pairPtr[i+1]; k++ {
+				hv[s.pairSlot[k]] += w * s.pairProd[k]
+			}
+		}
+	}
+	if _, err := s.h.Factor(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNumerical, err)
+	}
+	for j := 0; j < s.n; j++ {
+		s.rhs[j] = -s.grad[j]
+	}
+	s.h.SolveInto(s.rhs, s.dir)
+	return s.grad.Norm2(), nil
+}
+
+// barrierVal evaluates t·f + φ at y, using the trial-slack workspace.
+func (s *sparseSolver) barrierVal(y linalg.Vector, t float64) float64 {
+	v := t * s.f.Value(y)
+	if s.a != nil {
+		s.computeSlack(y, s.ts)
+		for i := range s.ts {
+			if s.ts[i] <= 0 {
+				return math.Inf(1)
+			}
+			v -= math.Log(s.ts[i])
+		}
+	}
+	return v
+}
+
+// lineSearch backtracks along s.dir from x, first shrinking to stay
+// strictly feasible, then enforcing an Armijo decrease. x is updated in
+// place; returns false when no step could be taken. Zero allocations.
+func (s *sparseSolver) lineSearch(x linalg.Vector, t float64) bool {
+	const (
+		alpha = 0.25
+		beta  = 0.5
+	)
+	step := 1.0
+	if s.a != nil {
+		s.a.MulVec(s.dir, s.adir)
+		s.computeSlack(x, s.slack)
+		for i := range s.adir {
+			if s.adir[i] > 0 {
+				limit := s.slack[i] / s.adir[i]
+				if 0.99*limit < step {
+					step = 0.99 * limit
+				}
+			}
+		}
+	}
+	if step <= 0 || math.IsNaN(step) {
+		return false
+	}
+	v0 := s.barrierVal(x, t)
+	slope := s.grad.Dot(s.dir)
+	for k := 0; k < 60; k++ {
+		copy(s.trial, x)
+		s.trial.AddScaled(step, s.dir)
+		v := s.barrierVal(s.trial, t)
+		if v <= v0+alpha*step*slope && !math.IsNaN(v) {
+			copy(x, s.trial)
+			return true
+		}
+		step *= beta
+	}
+	return false
+}
+
+// minimize runs the path-following barrier method from the strictly
+// feasible x0, reusing every compiled structure and workspace.
+func (s *sparseSolver) minimize(x0 linalg.Vector, opts Options) (*Result, error) {
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	maxNewton := opts.MaxNewton
+	if maxNewton == 0 {
+		maxNewton = 60
+	}
+	maxOuter := opts.MaxOuter
+	if maxOuter == 0 {
+		maxOuter = 80
+	}
+	mu := opts.Mu
+	if mu == 0 {
+		mu = 12
+	}
+	t := opts.T0
+	if t == 0 {
+		t = 1
+	}
+
+	x := x0.Clone()
+	if s.m > 0 {
+		s.computeSlack(x, s.slack)
+		if s.slack.Min() <= 0 {
+			return nil, fmt.Errorf("%w (min slack %g)", ErrInfeasibleStart, s.slack.Min())
+		}
+	}
+	res := &Result{}
+	for outer := 0; outer < maxOuter; outer++ {
+		res.OuterStages++
+		for it := 0; it < maxNewton; it++ {
+			res.Newton++
+			gnorm, err := s.newtonStep(x, t)
+			if err != nil {
+				return nil, err
+			}
+			lambda2 := -s.grad.Dot(s.dir)
+			if lambda2 < 0 {
+				lambda2 = 0
+			}
+			if lambda2/2 < 1e-12 || gnorm < 1e-13 {
+				break
+			}
+			if !s.lineSearch(x, t) {
+				break
+			}
+		}
+		gap := float64(s.m) / t
+		res.GapBound = gap
+		if s.m == 0 || gap < tol {
+			break
+		}
+		t *= mu
+	}
+	res.X = x
+	res.Value = s.f.Value(x)
+	return res, nil
+}
+
+// SparseMinimize runs the barrier method on the sparse constraint system
+// A·x ≤ b from the strictly feasible point x0. It is numerically the
+// same path-following scheme as Minimize — same centering, same stopping
+// rules — with the Newton system assembled and factored in sparse form:
+// setup compiles the Hessian pattern, a fill-reducing ordering, and the
+// symbolic factorization once, after which every Newton iteration runs
+// allocation-free. a may be nil (unconstrained Newton on a separable
+// objective).
+func SparseMinimize(f DiagObjective, a *linalg.CSR, b linalg.Vector, x0 linalg.Vector, opts Options) (*Result, error) {
+	n := len(x0)
+	if a != nil {
+		if a.Cols != n || len(b) != a.Rows {
+			return nil, ErrDimension
+		}
+	}
+	return newSparseSolver(f, a, b, n).minimize(x0, opts)
+}

@@ -1,0 +1,174 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// sepPowerSum is Σ wᵢ³/xᵢ² — the energy objective shape — implementing
+// both Objective (dense) and DiagObjective (sparse).
+type sepPowerSum struct {
+	w linalg.Vector
+}
+
+func (f *sepPowerSum) Value(x linalg.Vector) float64 {
+	v := 0.0
+	for i, w := range f.w {
+		v += w * w * w / (x[i] * x[i])
+	}
+	return v
+}
+
+func (f *sepPowerSum) Gradient(x, g linalg.Vector) {
+	for i, w := range f.w {
+		g[i] = -2 * w * w * w / (x[i] * x[i] * x[i])
+	}
+}
+
+func (f *sepPowerSum) Hessian(x linalg.Vector, h *linalg.Matrix) {
+	for i, w := range f.w {
+		h.Add(i, i, 6*w*w*w/(x[i]*x[i]*x[i]*x[i]))
+	}
+}
+
+func (f *sepPowerSum) HessianDiag(x, h linalg.Vector) {
+	for i, w := range f.w {
+		h[i] = 6 * w * w * w / (x[i] * x[i] * x[i] * x[i])
+	}
+}
+
+// randomChainProgram builds a feasible random "schedule-shaped" program:
+// n durations on a chain, Σ xᵢ ≤ D, lo ≤ xᵢ, random extra prefix-sum
+// constraints to thicken the pattern. Returns dense and CSR forms of the
+// same constraints plus a strictly feasible start.
+func randomChainProgram(rng *rand.Rand, n int) (*sepPowerSum, *linalg.Matrix, *linalg.CSR, linalg.Vector, linalg.Vector) {
+	w := linalg.NewVector(n)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()
+	}
+	D := 2.0 * float64(n)
+	lo := 0.05
+	rows := 1 + n
+	dense := linalg.NewMatrix(rows, n)
+	b := linalg.NewVector(rows)
+	cb := linalg.NewCSRBuilder(n)
+	for j := 0; j < n; j++ { // Σ x ≤ D
+		dense.Set(0, j, 1)
+		cb.Set(j, 1)
+	}
+	cb.EndRow()
+	b[0] = D
+	for i := 0; i < n; i++ { // -xᵢ ≤ -lo
+		dense.Set(1+i, i, -1)
+		cb.Set(i, -1)
+		cb.EndRow()
+		b[1+i] = -lo
+	}
+	x0 := linalg.NewVector(n)
+	for i := range x0 {
+		x0[i] = D / float64(n) * (0.5 + 0.4*rng.Float64())
+	}
+	return &sepPowerSum{w: w}, dense, cb.Build(), b, x0
+}
+
+func TestSparseMinimizeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		f, da, sa, b, x0 := randomChainProgram(rng, n)
+		dres, err := Minimize(f, da, b, x0, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: dense Minimize: %v", trial, err)
+		}
+		sres, err := SparseMinimize(f, sa, b, x0, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: SparseMinimize: %v", trial, err)
+		}
+		if math.Abs(dres.Value-sres.Value) > 1e-9*(1+math.Abs(dres.Value)) {
+			t.Fatalf("trial %d: value dense %.15g sparse %.15g", trial, dres.Value, sres.Value)
+		}
+		for i := range dres.X {
+			if math.Abs(dres.X[i]-sres.X[i]) > 1e-7*(1+math.Abs(dres.X[i])) {
+				t.Fatalf("trial %d: x[%d] dense %.15g sparse %.15g", trial, i, dres.X[i], sres.X[i])
+			}
+		}
+	}
+}
+
+func TestSparseMinimizeUnconstrained(t *testing.T) {
+	// Quadratic-like separable objective with no constraints: plain Newton.
+	f := &sepPowerSum{w: linalg.Vector{1, 2}}
+	// Unconstrained Σ w³/x² has no finite minimizer; bound it with a tiny
+	// box instead to keep the test meaningful — single lower-bound rows.
+	cb := linalg.NewCSRBuilder(2)
+	cb.Set(0, -1)
+	cb.EndRow()
+	cb.Set(1, -1)
+	cb.EndRow()
+	cb.Set(0, 1)
+	cb.EndRow()
+	cb.Set(1, 1)
+	cb.EndRow()
+	b := linalg.Vector{-0.5, -0.5, 4, 4}
+	res, err := SparseMinimize(f, cb.Build(), b, linalg.Vector{1, 1}, Options{})
+	if err != nil {
+		t.Fatalf("SparseMinimize: %v", err)
+	}
+	// Objective decreases in x: optimum pushes to the upper bound 4.
+	for i, x := range res.X {
+		if math.Abs(x-4) > 1e-3 {
+			t.Fatalf("x[%d] = %g, want ≈ 4", i, x)
+		}
+	}
+}
+
+func TestSparseMinimizeInfeasibleStart(t *testing.T) {
+	f := &sepPowerSum{w: linalg.Vector{1}}
+	cb := linalg.NewCSRBuilder(1)
+	cb.Set(0, 1)
+	cb.EndRow()
+	if _, err := SparseMinimize(f, cb.Build(), linalg.Vector{1}, linalg.Vector{2}, Options{}); err == nil {
+		t.Fatal("expected ErrInfeasibleStart")
+	}
+}
+
+func TestSparseMinimizeDimensionMismatch(t *testing.T) {
+	f := &sepPowerSum{w: linalg.Vector{1}}
+	cb := linalg.NewCSRBuilder(2)
+	cb.Set(0, 1)
+	cb.EndRow()
+	if _, err := SparseMinimize(f, cb.Build(), linalg.Vector{1}, linalg.Vector{0.5}, Options{}); err != ErrDimension {
+		t.Fatalf("expected ErrDimension, got %v", err)
+	}
+}
+
+// TestNewtonInnerLoopZeroAllocs pins the sparse Newton inner loop —
+// assembly, factorization, solve, and line search — at zero heap
+// allocations per iteration. This is the regression test the perf work
+// rests on: any accidental per-iteration allocation fails here before it
+// shows up in a benchmark.
+func TestNewtonInnerLoopZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 24
+	f, _, sa, b, x0 := randomChainProgram(rng, n)
+	s := newSparseSolver(f, sa, b, n)
+	x := x0.Clone()
+	// Warm the path: one full minimize pass compiles nothing new (setup
+	// happened in newSparseSolver) but settles x near the central path.
+	if _, err := s.minimize(x0, Options{}); err != nil {
+		t.Fatalf("minimize: %v", err)
+	}
+	tBar := 8.0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.newtonStep(x, tBar); err != nil {
+			t.Fatalf("newtonStep: %v", err)
+		}
+		s.lineSearch(x, tBar)
+	})
+	if allocs != 0 {
+		t.Fatalf("Newton inner loop allocated %v times per iteration, want 0", allocs)
+	}
+}

@@ -145,6 +145,16 @@ func (f *alphaEnergyObjective) Hessian(x linalg.Vector, h *linalg.Matrix) {
 	}
 }
 
+func (f *alphaEnergyObjective) HessianDiag(x, h linalg.Vector) {
+	for i := 0; i < f.n; i++ {
+		h[i] = 0
+	}
+	a := f.alpha
+	for i := 0; i < f.n; i++ {
+		h[f.n+i] = a * (a - 1) * math.Pow(f.w[i], a) / math.Pow(x[f.n+i], a+1)
+	}
+}
+
 // SolveContinuousNumericAlpha solves the generalized geometric program on an
 // arbitrary execution graph with speeds in (0, smax].
 func (p *Problem) SolveContinuousNumericAlpha(smax, alpha float64, opts ContinuousOptions) (*AlphaSolution, error) {
@@ -182,32 +192,37 @@ func (p *Problem) SolveContinuousNumericAlpha(smax, alpha float64, opts Continuo
 	}
 	edges := p.G.Edges()
 	rows := len(edges) + 3*n
-	a := linalg.NewMatrix(rows, 2*n)
+	ab := linalg.NewCSRBuilder(2 * n)
 	b := linalg.NewVector(rows)
 	r := 0
 	for _, e := range edges {
-		a.Set(r, e[0], 1)
-		a.Set(r, n+e[1], 1)
-		a.Set(r, e[1], -1)
+		ab.Set(e[0], 1)
+		ab.Set(n+e[1], 1)
+		ab.Set(e[1], -1)
+		ab.EndRow()
 		r++
 	}
 	for i := 0; i < n; i++ {
-		a.Set(r, n+i, 1)
-		a.Set(r, i, -1)
+		ab.Set(n+i, 1)
+		ab.Set(i, -1)
+		ab.EndRow()
 		r++
 	}
 	for i := 0; i < n; i++ {
-		a.Set(r, i, 1)
+		ab.Set(i, 1)
+		ab.EndRow()
 		b[r] = 1
 		r++
 	}
 	lo := make([]float64, n)
 	for i := 0; i < n; i++ {
 		lo[i] = wn[i] / sCap
-		a.Set(r, n+i, -1)
+		ab.Set(n+i, -1)
+		ab.EndRow()
 		b[r] = -lo[i]
 		r++
 	}
+	a := ab.Build()
 	mstar, err := p.G.Makespan(lo)
 	if err != nil {
 		return nil, err
@@ -236,7 +251,13 @@ func (p *Problem) SolveContinuousNumericAlpha(smax, alpha float64, opts Continuo
 		tol = 1e-10
 	}
 	obj := &alphaEnergyObjective{w: wn, n: n, alpha: alpha}
-	res, err := convex.Minimize(obj, a, b, x0, convex.Options{Tol: tol * math.Max(1, obj.Value(x0))})
+	copts := convex.Options{Tol: tol * math.Max(1, obj.Value(x0))}
+	var res *convex.Result
+	if opts.DenseKernel {
+		res, err = convex.Minimize(obj, a.Dense(), b, x0, copts)
+	} else {
+		res, err = convex.SparseMinimize(obj, a, b, x0, copts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: α-continuous solve failed: %w", err)
 	}

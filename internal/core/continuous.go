@@ -43,6 +43,12 @@ type ContinuousOptions struct {
 	// to) is unchanged — only the centering work shrinks. Stale or
 	// infeasible warm data falls back to the cold start silently.
 	Warm *WarmStart
+	// DenseKernel routes the barrier method through the dense reference
+	// kernel (O(m·n²) assembly, O(n³) Cholesky) instead of the default
+	// graph-structured sparse LDLᵀ path. It exists as the oracle the
+	// property suite checks the sparse path against; production solves
+	// should leave it false.
+	DenseKernel bool
 }
 
 // energyObjective is Σ wᵢ³/dᵢ² over x = (t₁..tₙ, d₁..dₙ); the t-part does
@@ -77,6 +83,17 @@ func (f *energyObjective) Hessian(x linalg.Vector, h *linalg.Matrix) {
 		d := x[f.n+i]
 		w3 := f.w[i] * f.w[i] * f.w[i]
 		h.Add(f.n+i, f.n+i, 6*w3/(d*d*d*d))
+	}
+}
+
+func (f *energyObjective) HessianDiag(x, h linalg.Vector) {
+	for i := 0; i < f.n; i++ {
+		h[i] = 0
+	}
+	for i := 0; i < f.n; i++ {
+		d := x[f.n+i]
+		w3 := f.w[i] * f.w[i] * f.w[i]
+		h[f.n+i] = 6 * w3 / (d * d * d * d)
 	}
 }
 
@@ -177,25 +194,30 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 		}
 	}
 
-	// Assemble constraints over x = (t, d), normalized deadline 1.
+	// Assemble constraints over x = (t, d), normalized deadline 1, in
+	// sparse row form: every row has at most three nonzeros, so the CSR
+	// emission is what lets the barrier method keep the execution graph's
+	// sparsity all the way into its Newton systems.
 	edges := p.G.Edges()
 	rows := len(edges) + 3*n
 	if hi != nil {
 		rows += n
 	}
-	a := linalg.NewMatrix(rows, 2*n)
+	ab := linalg.NewCSRBuilder(2 * n)
 	b := linalg.NewVector(rows)
 	r := 0
 	for _, e := range edges { // t_u + d_v - t_v <= 0
-		a.Set(r, e[0], 1)
-		a.Set(r, n+e[1], 1)
-		a.Set(r, e[1], -1)
+		ab.Set(e[0], 1)
+		ab.Set(n+e[1], 1)
+		ab.Set(e[1], -1)
+		ab.EndRow()
 		b[r] = 0
 		r++
 	}
 	for i := 0; i < n; i++ { // d_i - t_i <= -r_i (start no earlier than release)
-		a.Set(r, n+i, 1)
-		a.Set(r, i, -1)
+		ab.Set(n+i, 1)
+		ab.Set(i, -1)
+		ab.EndRow()
 		b[r] = 0
 		if rn != nil {
 			b[r] = -rn[i]
@@ -203,24 +225,28 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 		r++
 	}
 	for i := 0; i < n; i++ { // t_i <= 1
-		a.Set(r, i, 1)
+		ab.Set(i, 1)
+		ab.EndRow()
 		b[r] = 1
 		r++
 	}
 	lo := make([]float64, n)
 	for i := 0; i < n; i++ { // -d_i <= -w_i/sCap
 		lo[i] = wn[i] / sCap
-		a.Set(r, n+i, -1)
+		ab.Set(n+i, -1)
+		ab.EndRow()
 		b[r] = -lo[i]
 		r++
 	}
 	if hi != nil {
 		for i := 0; i < n; i++ { // d_i <= w_i/smin
-			a.Set(r, n+i, 1)
+			ab.Set(n+i, 1)
+			ab.EndRow()
 			b[r] = hi[i]
 			r++
 		}
 	}
+	a := ab.Build()
 
 	// Strictly feasible start. Warm path: durations from the previous
 	// speed vector, clamped into the admissible band and shrunk a hair so
@@ -270,7 +296,13 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	obj := &energyObjective{w: wn, n: n}
 	// The duality gap bound is m/t in the barrier method; request it small
 	// relative to the objective scale (normalized energies are O(1)).
-	res, err := convex.Minimize(obj, a, b, x0, convex.Options{Tol: tol * math.Max(1, obj.Value(x0))})
+	copts := convex.Options{Tol: tol * math.Max(1, obj.Value(x0))}
+	var res *convex.Result
+	if opts.DenseKernel {
+		res, err = convex.Minimize(obj, a.Dense(), b, x0, copts)
+	} else {
+		res, err = convex.SparseMinimize(obj, a, b, x0, copts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: continuous solve failed: %w", err)
 	}

@@ -56,6 +56,16 @@ func (f *perProcObjective) Hessian(x linalg.Vector, h *linalg.Matrix) {
 	}
 }
 
+func (f *perProcObjective) HessianDiag(x, h linalg.Vector) {
+	for i := range h {
+		h[i] = 0
+	}
+	for q, w := range f.procWeight {
+		u := x[f.n+q]
+		h[f.n+q] = 6 * w / (u * u * u * u)
+	}
+}
+
 // SolvePerProcessorContinuous finds the optimal single continuous speed per
 // processor for the given mapping (which must be the mapping that produced
 // p.G). The result is reported as a standard per-task Solution whose tasks
@@ -137,27 +147,31 @@ func (p *Problem) SolvePerProcessorContinuous(m *platform.Mapping, smax float64,
 	}
 	edges := p.G.Edges()
 	rows := len(edges) + n + n + 2*np
-	a := linalg.NewMatrix(rows, n+np)
+	ab := linalg.NewCSRBuilder(n + np)
 	b := linalg.NewVector(rows)
 	r := 0
 	for _, e := range edges { // t_u + w_v·u_{p(v)} − t_v ≤ 0
-		a.Set(r, e[0], 1)
-		a.Add(r, n+procOf[e[1]][0], wn[e[1]])
-		a.Set(r, e[1], -1)
+		ab.Set(e[0], 1)
+		ab.Set(n+procOf[e[1]][0], wn[e[1]])
+		ab.Set(e[1], -1)
+		ab.EndRow()
 		r++
 	}
 	for i := 0; i < n; i++ { // w_i·u_{p(i)} − t_i ≤ 0
-		a.Add(r, n+procOf[i][0], wn[i])
-		a.Set(r, i, -1)
+		ab.Set(n+procOf[i][0], wn[i])
+		ab.Set(i, -1)
+		ab.EndRow()
 		r++
 	}
 	for i := 0; i < n; i++ { // t_i ≤ 1
-		a.Set(r, i, 1)
+		ab.Set(i, 1)
+		ab.EndRow()
 		b[r] = 1
 		r++
 	}
 	for q := 0; q < np; q++ { // −u_q ≤ −uLo
-		a.Set(r, n+q, -1)
+		ab.Set(n+q, -1)
+		ab.EndRow()
 		b[r] = -uLo
 		r++
 	}
@@ -167,10 +181,12 @@ func (p *Problem) SolvePerProcessorContinuous(m *platform.Mapping, smax float64,
 		} else {
 			uHi[q] = 2 * mu * uLo // idle processor: value irrelevant, boxed around x0
 		}
-		a.Set(r, n+q, 1)
+		ab.Set(n+q, 1)
+		ab.EndRow()
 		b[r] = uHi[q]
 		r++
 	}
+	a := ab.Build()
 
 	// Strictly feasible start: all processors slightly slower than smax,
 	// finish times stretched, exactly as in the per-task solver.
@@ -195,7 +211,13 @@ func (p *Problem) SolvePerProcessorContinuous(m *platform.Mapping, smax float64,
 		tol = 1e-10
 	}
 	obj := &perProcObjective{procWeight: procW, n: n}
-	res, err := convex.Minimize(obj, a, b, x0, convex.Options{Tol: tol * math.Max(1, obj.Value(x0))})
+	copts := convex.Options{Tol: tol * math.Max(1, obj.Value(x0))}
+	var res *convex.Result
+	if opts.DenseKernel {
+		res, err = convex.Minimize(obj, a.Dense(), b, x0, copts)
+	} else {
+		res, err = convex.SparseMinimize(obj, a, b, x0, copts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: per-processor solve failed: %w", err)
 	}

@@ -45,11 +45,18 @@ func Cholesky(a *Matrix) (*CholeskyFactor, error) {
 
 // Solve solves A·x = b given the factorization A = L·Lᵀ, returning x.
 func (c *CholeskyFactor) Solve(b Vector) Vector {
-	n := c.n
-	if len(b) != n {
-		panic("linalg: CholeskyFactor.Solve dimension mismatch")
-	}
 	x := b.Clone()
+	c.SolveInto(b, x)
+	return x
+}
+
+// SolveInto solves A·x = b into x without allocating. b and x may alias.
+func (c *CholeskyFactor) SolveInto(b, x Vector) {
+	n := c.n
+	if len(b) != n || len(x) != n {
+		panic("linalg: CholeskyFactor.SolveInto dimension mismatch")
+	}
+	copy(x, b)
 	// Forward substitution: L·y = b.
 	for i := 0; i < n; i++ {
 		s := x[i]
@@ -66,16 +73,17 @@ func (c *CholeskyFactor) Solve(b Vector) Vector {
 		}
 		x[i] = s / c.l[i*n+i]
 	}
-	return x
 }
 
-// SolvePD solves the symmetric positive definite system A·x = b using a
-// Cholesky factorization, with a diagonal-boost retry if A is nearly
-// singular: A + eps·I is factored instead, with eps growing geometrically.
-// It returns the solution and the boost that was applied (0 if none).
-func SolvePD(a *Matrix, b Vector) (Vector, float64, error) {
+// FactorPD factors the symmetric positive definite matrix a, with a
+// diagonal-boost retry if a is nearly singular: a single working copy is
+// cloned once and its diagonal boosted in place with a geometrically
+// growing eps until A + eps·I factors. The input is never modified. It
+// returns the factor — reusable across solves — and the boost applied
+// (0 in the common path).
+func FactorPD(a *Matrix) (*CholeskyFactor, float64, error) {
 	if f, err := Cholesky(a); err == nil {
-		return f.Solve(b), 0, nil
+		return f, 0, nil
 	}
 	// Compute a scale for the boost from the diagonal magnitude.
 	scale := 0.0
@@ -87,16 +95,30 @@ func SolvePD(a *Matrix, b Vector) (Vector, float64, error) {
 	if scale == 0 {
 		scale = 1
 	}
+	ab := a.Clone()
 	boost := scale * 1e-12
+	applied := 0.0
 	for iter := 0; iter < 40; iter++ {
-		ab := a.Clone()
+		delta := boost - applied
 		for i := 0; i < ab.Rows; i++ {
-			ab.Add(i, i, boost)
+			ab.Add(i, i, delta)
 		}
+		applied = boost
 		if f, err := Cholesky(ab); err == nil {
-			return f.Solve(b), boost, nil
+			return f, boost, nil
 		}
 		boost *= 10
 	}
 	return nil, boost, ErrNotPositiveDefinite
+}
+
+// SolvePD solves the symmetric positive definite system A·x = b via
+// FactorPD. It returns the solution and the boost that was applied
+// (0 if none).
+func SolvePD(a *Matrix, b Vector) (Vector, float64, error) {
+	f, boost, err := FactorPD(a)
+	if err != nil {
+		return nil, boost, err
+	}
+	return f.Solve(b), boost, nil
 }

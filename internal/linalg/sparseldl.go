@@ -1,0 +1,446 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SparseSym is a symmetric positive definite matrix with a fixed sparsity
+// pattern, built once and refactored many times: the shape of the Newton
+// systems t·∇²f + AᵀS⁻²A of the barrier method, whose pattern is the
+// execution graph and never changes across iterations. Construction (via
+// SymBuilder.Compile) chooses a fill-reducing reverse Cuthill–McKee
+// ordering and performs the symbolic LDLᵀ analysis — elimination tree and
+// column counts — exactly once; every later Factor reuses the symbolic
+// data and preallocated workspaces, so refactoring and solving allocate
+// nothing.
+//
+// Values live in Val, addressed by the slots Slot returns; assembly is
+//
+//	h.ZeroVals()
+//	h.Val[slot] += coefficient
+//	boost, err := h.Factor()
+//	h.SolveInto(rhs, x)
+type SparseSym struct {
+	n    int
+	perm []int // perm[new] = old
+	pinv []int // pinv[old] = new
+
+	// Upper triangle of the permuted matrix in compressed-column form.
+	colPtr []int
+	rowIdx []int
+	Val    []float64
+
+	slots    map[uint64]int // canonical (min,max) original pair -> Val index
+	diagSlot []int          // Val index of each diagonal entry, original order
+
+	// Symbolic factorization (fixed after Compile).
+	parent []int
+	lnz    []int // column counts of L
+	lp     []int // len n+1, column pointers of L
+
+	// Numeric factor PHPᵀ = L·D·Lᵀ.
+	li []int
+	lx []float64
+	d  []float64
+
+	// Workspaces reused by Factor and SolveInto.
+	y        []float64
+	pat      []int
+	flag     []int
+	lnzw     []int
+	w        []float64
+	factored bool
+}
+
+// SymBuilder collects the nonzero pattern of an n×n symmetric matrix.
+// Positions are unordered pairs; duplicates are fine. Every diagonal
+// entry is included automatically (the barrier Hessian always has a full
+// diagonal, and diagonal slots are what Factor boosts on near-singular
+// systems).
+type SymBuilder struct {
+	n     int
+	pairs [][2]int
+}
+
+// NewSymBuilder starts a pattern for an n×n symmetric matrix.
+func NewSymBuilder(n int) *SymBuilder {
+	if n < 0 {
+		panic(fmt.Sprintf("linalg: NewSymBuilder negative dimension %d", n))
+	}
+	return &SymBuilder{n: n}
+}
+
+// Add records position (i, j) (and, by symmetry, (j, i)).
+func (b *SymBuilder) Add(i, j int) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("linalg: SymBuilder.Add (%d,%d) out of range [0,%d)", i, j, b.n))
+	}
+	if i > j {
+		i, j = j, i
+	}
+	b.pairs = append(b.pairs, [2]int{i, j})
+}
+
+// Compile fixes the pattern: dedupe, order with reverse Cuthill–McKee,
+// build the permuted upper-triangular storage, and run the symbolic
+// LDLᵀ analysis. The builder must not be reused.
+func (b *SymBuilder) Compile() *SparseSym {
+	n := b.n
+	for k := 0; k < n; k++ {
+		b.pairs = append(b.pairs, [2]int{k, k})
+	}
+	sort.Slice(b.pairs, func(x, y int) bool {
+		if b.pairs[x][0] != b.pairs[y][0] {
+			return b.pairs[x][0] < b.pairs[y][0]
+		}
+		return b.pairs[x][1] < b.pairs[y][1]
+	})
+	pairs := b.pairs[:0]
+	for _, p := range b.pairs {
+		if len(pairs) == 0 || pairs[len(pairs)-1] != p {
+			pairs = append(pairs, p)
+		}
+	}
+
+	// Fill-reducing ordering from the off-diagonal adjacency.
+	deg := make([]int, n)
+	for _, p := range pairs {
+		if p[0] != p[1] {
+			deg[p[0]]++
+			deg[p[1]]++
+		}
+	}
+	adjPtr := make([]int, n+1)
+	for k := 0; k < n; k++ {
+		adjPtr[k+1] = adjPtr[k] + deg[k]
+	}
+	adj := make([]int, adjPtr[n])
+	fill := make([]int, n)
+	copy(fill, adjPtr[:n])
+	for _, p := range pairs {
+		if p[0] != p[1] {
+			adj[fill[p[0]]] = p[1]
+			fill[p[0]]++
+			adj[fill[p[1]]] = p[0]
+			fill[p[1]]++
+		}
+	}
+	perm := rcmOrder(n, adjPtr, adj, deg)
+	pinv := make([]int, n)
+	for k, old := range perm {
+		pinv[old] = k
+	}
+
+	s := &SparseSym{
+		n:        n,
+		perm:     perm,
+		pinv:     pinv,
+		slots:    make(map[uint64]int, len(pairs)),
+		diagSlot: make([]int, n),
+	}
+
+	// Permuted upper-triangular CSC: entry (i,j) lands in column
+	// max(pinv[i],pinv[j]) at row min(pinv[i],pinv[j]).
+	type ent struct{ r, c, orig int }
+	ents := make([]ent, len(pairs))
+	for idx, p := range pairs {
+		r, c := pinv[p[0]], pinv[p[1]]
+		if r > c {
+			r, c = c, r
+		}
+		ents[idx] = ent{r: r, c: c, orig: idx}
+	}
+	sort.Slice(ents, func(x, y int) bool {
+		if ents[x].c != ents[y].c {
+			return ents[x].c < ents[y].c
+		}
+		return ents[x].r < ents[y].r
+	})
+	s.colPtr = make([]int, n+1)
+	s.rowIdx = make([]int, len(ents))
+	s.Val = make([]float64, len(ents))
+	for slot, e := range ents {
+		s.colPtr[e.c+1]++
+		s.rowIdx[slot] = e.r
+		p := pairs[e.orig]
+		s.slots[pairKey(p[0], p[1])] = slot
+		if p[0] == p[1] {
+			s.diagSlot[p[0]] = slot
+		}
+	}
+	for k := 0; k < n; k++ {
+		s.colPtr[k+1] += s.colPtr[k]
+	}
+
+	// Symbolic LDLᵀ: elimination tree and column counts of L, by the
+	// up-looking row traversal (Davis, "Algorithm 849: LDL").
+	s.parent = make([]int, n)
+	s.lnz = make([]int, n)
+	s.flag = make([]int, n)
+	for k := 0; k < n; k++ {
+		s.parent[k] = -1
+		s.flag[k] = k
+		for p := s.colPtr[k]; p < s.colPtr[k+1]; p++ {
+			for i := s.rowIdx[p]; s.flag[i] != k; i = s.parent[i] {
+				if s.parent[i] == -1 {
+					s.parent[i] = k
+				}
+				s.lnz[i]++
+				s.flag[i] = k
+			}
+		}
+	}
+	s.lp = make([]int, n+1)
+	for k := 0; k < n; k++ {
+		s.lp[k+1] = s.lp[k] + s.lnz[k]
+	}
+	s.li = make([]int, s.lp[n])
+	s.lx = make([]float64, s.lp[n])
+	s.d = make([]float64, n)
+	s.y = make([]float64, n)
+	s.pat = make([]int, n)
+	s.lnzw = make([]int, n)
+	s.w = make([]float64, n)
+	return s
+}
+
+func pairKey(i, j int) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(i)<<32 | uint64(j)
+}
+
+// N returns the dimension.
+func (s *SparseSym) N() int { return s.n }
+
+// NNZ returns the stored entry count of the (upper triangular) pattern.
+func (s *SparseSym) NNZ() int { return len(s.Val) }
+
+// FactorNNZ returns the entry count of the factor L (fill included),
+// fixed by the symbolic analysis.
+func (s *SparseSym) FactorNNZ() int { return s.lp[s.n] }
+
+// Slot returns the Val index of position (i, j), or -1 when the position
+// is not in the compiled pattern. Intended for setup-time scatter-map
+// construction; the hot loop then indexes Val directly.
+func (s *SparseSym) Slot(i, j int) int {
+	if slot, ok := s.slots[pairKey(i, j)]; ok {
+		return slot
+	}
+	return -1
+}
+
+// ZeroVals clears every stored value, keeping the pattern.
+func (s *SparseSym) ZeroVals() {
+	for i := range s.Val {
+		s.Val[i] = 0
+	}
+	s.factored = false
+}
+
+// Dense materializes the full symmetric matrix in original indexing, for
+// tests and oracles.
+func (s *SparseSym) Dense() *Matrix {
+	m := NewMatrix(s.n, s.n)
+	for c := 0; c < s.n; c++ {
+		for p := s.colPtr[c]; p < s.colPtr[c+1]; p++ {
+			i, j := s.perm[s.rowIdx[p]], s.perm[c]
+			m.Add(i, j, s.Val[p])
+			if i != j {
+				m.Add(j, i, s.Val[p])
+			}
+		}
+	}
+	return m
+}
+
+// factorOnce runs the up-looking numeric LDLᵀ on the current values.
+// It fails (restoring workspace invariants) when a pivot is not strictly
+// positive — the matrix is numerically not positive definite.
+func (s *SparseSym) factorOnce() error {
+	n := s.n
+	for k := 0; k < n; k++ {
+		// Scatter column k of the permuted upper triangle into y and
+		// compute the nonzero pattern of row k of L as an etree prefix.
+		top := n
+		s.flag[k] = k
+		s.lnzw[k] = 0
+		for p := s.colPtr[k]; p < s.colPtr[k+1]; p++ {
+			i := s.rowIdx[p]
+			s.y[i] += s.Val[p]
+			ln := 0
+			for ; s.flag[i] != k; i = s.parent[i] {
+				s.pat[ln] = i
+				ln++
+				s.flag[i] = k
+			}
+			for ln > 0 {
+				ln--
+				top--
+				s.pat[top] = s.pat[ln]
+			}
+		}
+		s.d[k] = s.y[k]
+		s.y[k] = 0
+		for ; top < n; top++ {
+			i := s.pat[top]
+			yi := s.y[i]
+			s.y[i] = 0
+			p2 := s.lp[i] + s.lnzw[i]
+			for p := s.lp[i]; p < p2; p++ {
+				s.y[s.li[p]] -= s.lx[p] * yi
+			}
+			lki := yi / s.d[i]
+			s.d[k] -= lki * yi
+			s.li[p2] = k
+			s.lx[p2] = lki
+			s.lnzw[i]++
+		}
+		// y is already clean here: every pattern entry was zeroed as the
+		// loop above consumed it, so a retry can start immediately.
+		if s.d[k] <= 0 || math.IsNaN(s.d[k]) {
+			return ErrNotPositiveDefinite
+		}
+	}
+	return nil
+}
+
+// Factor computes PHPᵀ = L·D·Lᵀ for the current values, reusing the
+// cached symbolic analysis — zero allocations. When the matrix is not
+// (numerically) positive definite it retries with a geometrically
+// growing diagonal boost applied in place and then removed, so Val is
+// unchanged on return while the factor corresponds to H + boost·I.
+// Returns the boost applied (0 in the common path).
+func (s *SparseSym) Factor() (float64, error) {
+	if err := s.factorOnce(); err == nil {
+		s.factored = true
+		return 0, nil
+	}
+	scale := 0.0
+	for _, slot := range s.diagSlot {
+		if d := math.Abs(s.Val[slot]); d > scale {
+			scale = d
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	boost := scale * 1e-12
+	applied := 0.0
+	for iter := 0; iter < 40; iter++ {
+		delta := boost - applied
+		for _, slot := range s.diagSlot {
+			s.Val[slot] += delta
+		}
+		applied = boost
+		err := s.factorOnce()
+		if err == nil {
+			for _, slot := range s.diagSlot {
+				s.Val[slot] -= applied
+			}
+			s.factored = true
+			return applied, nil
+		}
+		boost *= 10
+	}
+	for _, slot := range s.diagSlot {
+		s.Val[slot] -= applied
+	}
+	return boost, ErrNotPositiveDefinite
+}
+
+// SolveInto solves H·x = rhs using the last successful Factor. rhs and x
+// may alias. Zero allocations.
+func (s *SparseSym) SolveInto(rhs, x Vector) {
+	if !s.factored {
+		panic("linalg: SparseSym.SolveInto before a successful Factor")
+	}
+	n := s.n
+	if len(rhs) != n || len(x) != n {
+		panic(fmt.Sprintf("linalg: SparseSym.SolveInto dimension mismatch %d/%d vs %d", len(rhs), len(x), n))
+	}
+	for k := 0; k < n; k++ {
+		s.w[k] = rhs[s.perm[k]]
+	}
+	for k := 0; k < n; k++ { // L·w' = w (unit lower, stored by columns)
+		wk := s.w[k]
+		if wk == 0 {
+			continue
+		}
+		for p := s.lp[k]; p < s.lp[k+1]; p++ {
+			s.w[s.li[p]] -= s.lx[p] * wk
+		}
+	}
+	for k := 0; k < n; k++ { // D·w'' = w'
+		s.w[k] /= s.d[k]
+	}
+	for k := n - 1; k >= 0; k-- { // Lᵀ·w''' = w''
+		wk := s.w[k]
+		for p := s.lp[k]; p < s.lp[k+1]; p++ {
+			wk -= s.lx[p] * s.w[s.li[p]]
+		}
+		s.w[k] = wk
+	}
+	for k := 0; k < n; k++ {
+		x[s.perm[k]] = s.w[k]
+	}
+}
+
+// rcmOrder computes a reverse Cuthill–McKee ordering of the undirected
+// pattern graph: per component, breadth-first from a pseudo-peripheral
+// vertex with neighbors visited in increasing-degree order, then the
+// whole sequence reversed. Returns perm with perm[new] = old.
+func rcmOrder(n int, adjPtr, adj, deg []int) []int {
+	perm := make([]int, 0, n)
+	visited := make([]bool, n)
+	queue := make([]int, 0, n)
+	nbuf := make([]int, 0, 16)
+
+	// bfs appends the breadth-first order of start's component to out and
+	// returns it plus the last vertex reached (an eccentric vertex).
+	bfs := func(start int, mark []bool, out []int) ([]int, int) {
+		base := len(out)
+		mark[start] = true
+		out = append(out, start)
+		last := start
+		for head := base; head < len(out); head++ {
+			v := out[head]
+			last = v
+			nbuf = nbuf[:0]
+			for p := adjPtr[v]; p < adjPtr[v+1]; p++ {
+				if u := adj[p]; !mark[u] {
+					mark[u] = true
+					nbuf = append(nbuf, u)
+				}
+			}
+			sort.Slice(nbuf, func(a, b int) bool { return deg[nbuf[a]] < deg[nbuf[b]] })
+			out = append(out, nbuf...)
+		}
+		return out, last
+	}
+
+	scratch := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if visited[v] {
+			continue
+		}
+		// Pseudo-peripheral start: BFS from v, restart from the farthest
+		// vertex found (one refinement level is enough in practice).
+		queue = queue[:0]
+		var far int
+		queue, far = bfs(v, scratch, queue)
+		for _, u := range queue {
+			scratch[u] = false
+		}
+		perm, _ = bfs(far, visited, perm)
+	}
+	// Reverse: RCM is CM read backwards, which flips the fill-heavy
+	// envelope to the lower-right corner.
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}

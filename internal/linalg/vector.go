@@ -1,8 +1,13 @@
-// Package linalg provides the small dense linear-algebra kernel used by the
-// convex and LP solvers: vectors, column-major matrices, Cholesky and LDLᵀ
-// factorizations, and triangular solves. It is deliberately minimal — just
-// what an interior-point method on a few hundred variables needs — and has
-// no dependencies outside the standard library.
+// Package linalg provides the linear-algebra kernels used by the convex
+// and LP solvers, in two weights. The dense side — vectors, column-major
+// matrices, Cholesky/LDLᵀ factorizations, triangular solves — is the
+// reference path for problems of a few hundred variables. The sparse
+// side (sparse.go, sparseldl.go) is the production path of the
+// interior-point method: CSR matrices, and a symmetric sparse LDLᵀ with
+// a reverse Cuthill–McKee fill-reducing ordering whose symbolic
+// factorization is computed once and reused across refactorizations, so
+// each Newton iteration factors and solves with zero heap allocations.
+// No dependencies outside the standard library.
 package linalg
 
 import (

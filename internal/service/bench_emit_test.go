@@ -14,7 +14,7 @@ import (
 )
 
 // benchServicePattern selects the cold/hit pair behind BENCH_service.json.
-const benchServicePattern = "^layered-30-continuous-service-(cold|hit)$"
+const benchServicePattern = "^layered-240-continuous-service-(cold|hit)$"
 
 // TestEmitBenchServiceJSON writes the BENCH_service.json artifact when
 // BENCH_SERVICE_OUT names a path (wired to `make bench-service`). The
@@ -36,8 +36,8 @@ func TestEmitBenchServiceJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold := report.Find("layered-30-continuous-service-cold")
-	hit := report.Find("layered-30-continuous-service-hit")
+	cold := report.Find("layered-240-continuous-service-cold")
+	hit := report.Find("layered-240-continuous-service-hit")
 	// The artifact doubles as the acceptance record: the cold wave solves
 	// every request, the hit wave answers 4× as many requests from the
 	// cache — it must still finish far faster. 5× holds with orders of

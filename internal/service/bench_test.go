@@ -27,6 +27,25 @@ func benchRequest() *SolveRequest {
 	}
 }
 
+// slowRequest builds an instance that reliably occupies a worker for tens
+// of milliseconds even on the sparse interior-point kernel: a 600-task
+// layered DAG. Tests that need a solve to still be in flight when they act
+// (overload shedding, per-request timeouts) use this instead of
+// benchRequest, which the sparse kernel finishes in a few milliseconds.
+func slowRequest() *SolveRequest {
+	rng := rand.New(rand.NewSource(4343))
+	g := graph.Layered(rng, 120, 5, 0.35, graph.UniformWeights(0.5, 3))
+	dmin, err := g.MinimalDeadline(2)
+	if err != nil {
+		panic(err)
+	}
+	return &SolveRequest{
+		Graph:    g,
+		Deadline: dmin * 1.4,
+		Model:    ModelSpec{Kind: "continuous", SMax: 2},
+	}
+}
+
 func BenchmarkSolveCold(b *testing.B) {
 	e := NewEngine(Options{CacheSize: -1})
 	req := benchRequest()

@@ -358,7 +358,7 @@ func TestSolveBatchMixedModels(t *testing.T) {
 func TestSolveCoalescesConcurrentDuplicates(t *testing.T) {
 	e := NewEngine(Options{Workers: 4})
 	ctx := context.Background()
-	req := benchRequest() // ~tens of ms cold: a wide window to pile into
+	req := slowRequest() // ~tens of ms cold: a wide window to pile into
 
 	const callers = 8
 	var wg sync.WaitGroup
@@ -410,7 +410,7 @@ func TestSolveOverloadShedding(t *testing.T) {
 	e := NewEngine(Options{Workers: 1, MaxBacklog: 1, CacheSize: -1})
 	ctx := context.Background()
 
-	slow := benchRequest() // ~tens of ms: holds the single backlog slot
+	slow := slowRequest() // ~tens of ms: holds the single backlog slot
 	started := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {

@@ -330,7 +330,7 @@ func TestHTTPBodyLimit(t *testing.T) {
 // on the server default.
 func TestHTTPBatchPerRequestTimeouts(t *testing.T) {
 	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
-	heavy := benchRequest()
+	heavy := slowRequest()
 	heavy.ID = "impatient"
 	heavy.TimeoutMS = 1
 	heavy.NoCache = true

@@ -9,9 +9,10 @@
 // join, tree, and sp admit linear-time continuous optima (Theorems 1–2);
 // layered, gnp, stencil, and fft are general DAGs that force the
 // interior-point solver; lu, pipeline, and mapreduce mimic the
-// application graphs of the evaluation; multi builds a disconnected
-// union of layered components, the shape the structure-aware planner
-// exploits hardest.
+// application graphs of the evaluation; multi and mixed build
+// disconnected unions (uniform layered components, and chains mixed
+// with layered DAGs), the shapes the structure-aware planner exploits
+// hardest.
 package workload
 
 import (
@@ -44,6 +45,11 @@ type Generator func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph
 //	pipeline   4 stages × n items
 //	mapreduce  n map tasks feeding ⌈n/4⌉ reduce tasks
 //	multi      disjoint union of n independent layered components
+//	mixed      disjoint union of n components, every fourth a layered
+//	           DAG and the rest 160-task chains — structurally
+//	           heterogeneous, the shape the planner's routing (closed
+//	           forms for the chains, interior point only where needed)
+//	           wins hardest on
 var generators = map[string]Generator{
 	"chain": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
 		return graph.Chain(rng, n, wf)
@@ -101,6 +107,17 @@ var generators = map[string]Generator{
 		parts := make([]*graph.Graph, n)
 		for i := range parts {
 			parts[i] = graph.Layered(rng, 5, 4, 0.45, wf)
+		}
+		return DisjointUnion(parts...)
+	},
+	"mixed": func(rng *rand.Rand, n int, wf graph.WeightFunc) *graph.Graph {
+		parts := make([]*graph.Graph, n)
+		for i := range parts {
+			if (i+1)%4 == 0 {
+				parts[i] = graph.Layered(rng, 5, 4, 0.45, wf)
+			} else {
+				parts[i] = graph.Chain(rng, 160, wf)
+			}
 		}
 		return DisjointUnion(parts...)
 	},

@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 # Wall-clock slowdown tolerated by bench-compare before a scenario fails.
 TOLERANCE ?= 2
 
-.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-large bench-service bench-plan fuzz clean
+.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-large bench-service bench-plan loadtest fuzz clean
 
 all: verify
 
@@ -65,6 +65,15 @@ bench-service:
 # scenario of the energybench registry.
 bench-plan:
 	BENCH_PLAN_OUT=$(CURDIR)/BENCH_plan.json $(GO) test -run TestEmitBenchPlanJSON -v ./internal/plan/
+
+# loadtest storms an in-process server with the production traffic mix
+# (zipf-popular solves, reclaiming-session lifecycles with jittered events
+# and abandons, batch floods; open-loop arrivals, coordinated-omission-safe
+# latency) and gates the result on an SLO: p99 under 500 ms at ~150 req/s,
+# zero 5xx. Writes the energybench/v1 report to BENCH_load.json.
+loadtest:
+	$(GO) run ./cmd/energyload -rate 150 -duration 4s -n 12 -mix 'solve=6,session=3,batch=1' \
+		-slo-p99 500 -slo-error-rate 0 -out BENCH_load.json
 
 # Short fuzz pass over every fuzz target (decoders, canonical encoding, SP
 # recognizer, solve and plan requests). FUZZTIME tunes the per-target budget.

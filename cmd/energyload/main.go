@@ -1,0 +1,194 @@
+// Command energyload replays synthetic production traffic against the
+// energy-scheduling service and gates the result on throughput, tail
+// latency, and error rate.
+//
+// Storm a live server:
+//
+//	energyload -target http://localhost:8080 -rate 200 -duration 10s
+//
+// Or, with no -target, an in-process server (the same handler
+// energyserver mounts) — the self-contained smoke mode CI runs:
+//
+//	energyload -rate 150 -duration 4s -slo-p99 500
+//
+// Traffic mixes plain solves, full reclaiming-session lifecycles
+// (create → jittered completion events → schedule poll → delete, with a
+// fraction abandoned), and batch floods, over a zipf-popular instance
+// pool (see internal/loadgen). The arrival schedule is open-loop and
+// seeded: latency is measured from each request's intended send time,
+// so a stalling server cannot hide its stall by slowing the generator
+// down.
+//
+// The report is energybench/v1 — the same schema energybench writes —
+// with throughput_rps, p99/p999, error_rate, and the SLO embedded, so a
+// committed baseline gates load results exactly like scenario p50s:
+//
+//	energyload -rate 150 -duration 4s -out BENCH_load.json
+//	energyload -rate 150 -duration 4s -baseline BENCH_load.json -tolerance 2
+//
+// Exit codes: 0 pass, 1 SLO violation or baseline regression, 2 usage
+// or I/O error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/benchkit"
+	"repro/internal/loadgen"
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 success, 1 gate failed, 2 usage or
+// I/O error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("energyload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "", "base URL of a running server (empty = in-process server)")
+		rate        = fs.Float64("rate", 100, "mean arrival rate in requests per second (open-loop Poisson)")
+		duration    = fs.Duration("duration", 5*time.Second, "arrival window of the storm")
+		concurrency = fs.Int("concurrency", 16, "worker count (bounds in-flight requests, not arrivals)")
+		mixFlag     = fs.String("mix", "solve=6,session=3,batch=1", "op-class weights")
+		family      = fs.String("family", "layered", "workload family of the instance pool")
+		n           = fs.Int("n", 24, "family size parameter")
+		instances   = fs.Int("instances", 16, "distinct instances in the pool")
+		zipfS       = fs.Float64("zipf-s", 1.2, "zipf popularity exponent over the pool (must exceed 1)")
+		seed        = fs.Int64("seed", 1, "master seed: plan, pool, jitter, abandon draws")
+		sloP99      = fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unbounded)")
+		sloP999     = fs.Float64("slo-p999", 0, "SLO: p999 latency bound in ms (0 = unbounded)")
+		sloErrRate  = fs.Float64("slo-error-rate", 0, "SLO: max failed-request fraction (0 = no errors tolerated)")
+		workers     = fs.Int("workers", 0, "in-process server: engine worker pool (0 = GOMAXPROCS)")
+		maxSessions = fs.Int("max-sessions", 0, "in-process server: session capacity (0 = default)")
+		out         = fs.String("out", "", "write the energybench/v1 report here")
+		baseline    = fs.String("baseline", "", "compare against this report; exit 1 on regression")
+		tolerance   = fs.Float64("tolerance", 2, "slowdown factor allowed before a row regresses")
+		compareOut  = fs.String("compare-out", "", "write the comparison report JSON here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "energyload:", err)
+		return 2
+	}
+
+	base := *target
+	if base == "" {
+		srv := httptest.NewServer(service.NewHandler(
+			service.NewEngine(service.Options{Workers: *workers}),
+			service.HTTPOptions{MaxSessions: *maxSessions},
+		))
+		defer srv.Close()
+		base = srv.URL
+		fmt.Fprintf(stderr, "energyload: storming in-process server at %s\n", base)
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:     base,
+		Rate:        *rate,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Mix:         mix,
+		Family:      *family,
+		N:           *n,
+		Instances:   *instances,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+		SLO: &benchkit.SLO{
+			MaxP99MS:     *sloP99,
+			MaxP999MS:    *sloP999,
+			MaxErrorRate: *sloErrRate,
+		},
+	}
+	res, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "energyload:", err)
+		return 2
+	}
+	printRows(stdout, res)
+
+	if *out != "" {
+		if err := res.Report().Write(*out); err != nil {
+			fmt.Fprintln(stderr, "energyload:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d rows)\n", *out, len(res.Rows))
+	}
+
+	fail := false
+	if len(res.Violations) > 0 {
+		fail = true
+		for _, v := range res.Violations {
+			fmt.Fprintf(stderr, "energyload: SLO violation: %s\n", v)
+		}
+	}
+	if *baseline != "" {
+		basePrev, err := benchkit.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "energyload:", err)
+			return 2
+		}
+		cmp, err := benchkit.Compare(basePrev, res.Report(), *tolerance, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "energyload:", err)
+			return 2
+		}
+		if *compareOut != "" {
+			if err := writeJSONFile(*compareOut, cmp); err != nil {
+				fmt.Fprintln(stderr, "energyload:", err)
+				return 2
+			}
+		}
+		if !cmp.Pass {
+			fail = true
+			fmt.Fprintf(stderr, "energyload: baseline gate FAILED — %d regression(s), %d missing, %d SLO failure(s) at tolerance %.2g×\n",
+				cmp.Regressions, cmp.Missing, cmp.SLOFailures, cmp.Tolerance)
+		}
+	}
+	if fail {
+		return 1
+	}
+	fmt.Fprintf(stderr, "energyload: PASS — %d requests, %d errors, p99 %.1f ms\n",
+		res.Requests, res.Errors, overallP99(res))
+	return 0
+}
+
+func overallP99(res *loadgen.RunResult) float64 {
+	if row := res.Overall(); row != nil {
+		return row.P99MS
+	}
+	return 0
+}
+
+// printRows renders the per-class result table.
+func printRows(w io.Writer, res *loadgen.RunResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ROW\tREQS\tERRS\tp50 (ms)\tp99 (ms)\tp999 (ms)\tRPS")
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.1f\n",
+			row.Scenario, row.Requests, row.Errors, row.P50MS, row.P99MS, row.P999MS, row.Throughput)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "wall %.2fs, total energy %.1f\n", res.Wall.Seconds(), res.Energy)
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// storm is the cheap shared invocation: a short in-process storm small
+// enough for CI but mixed enough to touch every op class.
+var storm = []string{"-rate", "50", "-duration", "1s", "-n", "8", "-instances", "4", "-seed", "7", "-concurrency", "6"}
+
+func TestRunStormPasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(storm, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "load/overall") {
+		t.Fatalf("no result table:\n%s", out.String())
+	}
+}
+
+func TestRunFailsImpossibleSLO(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := append([]string{"-slo-p99", "0.000001"}, storm...)
+	if code := run(args, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (SLO gate)\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "SLO violation") {
+		t.Fatalf("no violation reported:\n%s", errb.String())
+	}
+}
+
+func TestRunWritesReportAndGatesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "BENCH_load.json")
+	var out, errb bytes.Buffer
+	args := append([]string{"-out", report}, storm...)
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	rep, err := benchkit.LoadReport(report)
+	if err != nil {
+		t.Fatalf("written report invalid: %v", err)
+	}
+	if rep.Find("load/overall") == nil {
+		t.Fatalf("report lacks the overall row: %+v", rep.Scenarios)
+	}
+	// Same seed against its own baseline at a generous tolerance: pass.
+	out.Reset()
+	errb.Reset()
+	args = append([]string{"-baseline", report, "-tolerance", "25"}, storm...)
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("self-baseline exit %d\nstderr: %s", code, errb.String())
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mix", "poll=1"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown mix class: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-zipf-s", "0.5"}, &out, &errb); code != 2 {
+		t.Fatalf("bad zipf exponent: exit %d, want 2", code)
+	}
+}

@@ -45,6 +45,26 @@ type Result struct {
 	P90MS  float64 `json:"p90_ms"`
 	MaxMS  float64 `json:"max_ms"`
 	MeanMS float64 `json:"mean_ms"`
+	// Tail percentiles, populated by sample-rich paths (the load harness
+	// measures thousands of per-request latencies; the scenario runner's
+	// handful of repetitions cannot resolve a p999). Another additive
+	// energybench/v1 extension: absent keys mean "not measured" and
+	// Compare only gates tails when both sides carry them.
+	P99MS  float64 `json:"p99_ms,omitempty"`
+	P999MS float64 `json:"p999_ms,omitempty"`
+	// Throughput and error accounting of the load path: completed
+	// requests per second of storm wall time, and the fraction that
+	// failed (transport errors and 5xx — deliberate load-shedding is a
+	// 5xx too; the server's shed counter tells them apart).
+	Throughput float64 `json:"throughput_rps,omitempty"`
+	Errors     int     `json:"errors,omitempty"`
+	ErrorRate  float64 `json:"error_rate,omitempty"`
+	// SLO, when present, is the service-level objective this scenario was
+	// measured against; SLOViolations lists the clauses the measurement
+	// broke (recomputed by Compare — a hand-edited report cannot pass by
+	// deleting its violations).
+	SLO           *SLO     `json:"slo,omitempty"`
+	SLOViolations []string `json:"slo_violations,omitempty"`
 	// AllocsPerOp and BytesPerOp are heap allocation counts and bytes
 	// per measured repetition, taken from the runtime's cumulative
 	// malloc counters around the whole measured loop (so they include
@@ -139,13 +159,53 @@ func (r *Report) Find(name string) *Result {
 	return nil
 }
 
+// SLO is a service-level objective attached to a load scenario: the gate
+// "p99 under X ms at the measured request rate, error rate at most Y"
+// expressed as data, so benchkit.Compare can fail it exactly like a
+// per-scenario p50 regression. Zero-valued bounds are inactive — except
+// MaxErrorRate, which is always enforced when an SLO is present: its zero
+// value is the production default "no errors tolerated".
+type SLO struct {
+	// MaxP50MS / MaxP99MS / MaxP999MS cap the latency percentiles in
+	// milliseconds (0 = unbounded).
+	MaxP50MS  float64 `json:"max_p50_ms,omitempty"`
+	MaxP99MS  float64 `json:"max_p99_ms,omitempty"`
+	MaxP999MS float64 `json:"max_p999_ms,omitempty"`
+	// MaxErrorRate caps the failed-request fraction; 0 means zero errors.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MinThroughput floors the sustained request rate (0 = unbounded).
+	MinThroughput float64 `json:"min_throughput_rps,omitempty"`
+}
+
+// Check returns the SLO clauses r breaks, empty when the objective holds.
+func (s SLO) Check(r *Result) []string {
+	var v []string
+	bound := func(name string, got, max float64) {
+		if max > 0 && got > max {
+			v = append(v, fmt.Sprintf("%s %.3f exceeds the SLO bound %.3f", name, got, max))
+		}
+	}
+	bound("p50_ms", r.P50MS, s.MaxP50MS)
+	bound("p99_ms", r.P99MS, s.MaxP99MS)
+	bound("p999_ms", r.P999MS, s.MaxP999MS)
+	if r.ErrorRate > s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error_rate %.5f exceeds the SLO bound %.5f (%d failed requests)",
+			r.ErrorRate, s.MaxErrorRate, r.Errors))
+	}
+	if s.MinThroughput > 0 && r.Throughput < s.MinThroughput {
+		v = append(v, fmt.Sprintf("throughput_rps %.1f under the SLO floor %.1f", r.Throughput, s.MinThroughput))
+	}
+	return v
+}
+
 // Comparison statuses, per scenario.
 const (
-	StatusOK        = "ok"        // within tolerance
-	StatusImproved  = "improved"  // faster than 1/tolerance — informational
-	StatusRegressed = "regressed" // slower than tolerance× baseline — fails
-	StatusNew       = "new"       // in current, absent from baseline — informational
-	StatusMissing   = "missing"   // in baseline, absent from current — fails (coverage loss)
+	StatusOK        = "ok"         // within tolerance
+	StatusImproved  = "improved"   // faster than 1/tolerance — informational
+	StatusRegressed = "regressed"  // slower than tolerance× baseline — fails
+	StatusNew       = "new"        // in current, absent from baseline — informational
+	StatusMissing   = "missing"    // in baseline, absent from current — fails (coverage loss)
+	StatusSLOFailed = "slo_failed" // current run breaks its own SLO — fails
 )
 
 // CompareRow is one scenario's verdict.
@@ -156,6 +216,16 @@ type CompareRow struct {
 	// Ratio is current/baseline after the noise floor (>1 means slower).
 	Ratio  float64 `json:"ratio,omitempty"`
 	Status string  `json:"status"`
+	// Tail-latency gate: populated when both reports carry a p99 (the
+	// load harness does; the repetition runner does not). The p99 ratio
+	// fails the row at the same tolerance as the p50 ratio, so a latency
+	// regression hiding in the tail cannot pass on a healthy median.
+	BaseP99MS float64 `json:"base_p99_ms,omitempty"`
+	CurP99MS  float64 `json:"current_p99_ms,omitempty"`
+	P99Ratio  float64 `json:"p99_ratio,omitempty"`
+	// SLOViolations lists the clauses the current result breaks against
+	// its own embedded SLO (recomputed here, never trusted from the file).
+	SLOViolations []string `json:"slo_violations,omitempty"`
 	// Allocation counts per op, informational: populated only when both
 	// reports carry memory data (the fields are an energybench/v1
 	// addition — older reports lack them, and a side without data is
@@ -173,6 +243,9 @@ type Comparison struct {
 	Pass        bool    `json:"pass"`
 	Regressions int     `json:"regressions"`
 	Missing     int     `json:"missing"`
+	// SLOFailures counts current-side scenarios that break their own SLO
+	// (also a failure, independent of any baseline movement).
+	SLOFailures int `json:"slo_failures,omitempty"`
 	// EnvMismatch notes baseline-vs-current differences in the recorded
 	// runtime environment (Go version, OS/arch, GOMAXPROCS). Informational:
 	// wall-clock ratios across different hardware are only as meaningful as
@@ -239,12 +312,30 @@ func Compare(baseline, current *Report, tolerance, minMS float64) (*Comparison, 
 		}
 		row.CurMS = cur.P50MS
 		row.Ratio = floor(cur.P50MS) / floor(base.P50MS)
+		if base.P99MS > 0 && cur.P99MS > 0 {
+			row.BaseP99MS, row.CurP99MS = base.P99MS, cur.P99MS
+			row.P99Ratio = floor(cur.P99MS) / floor(base.P99MS)
+		}
+		if cur.SLO != nil {
+			row.SLOViolations = cur.SLO.Check(cur)
+		}
 		if base.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
 			row.BaseAllocs = base.AllocsPerOp
 			row.CurAllocs = cur.AllocsPerOp
 		}
+		regressed := row.Ratio > tolerance || row.P99Ratio > tolerance
 		switch {
-		case row.Ratio > tolerance:
+		case len(row.SLOViolations) > 0:
+			// Breaking the absolute objective outranks any relative
+			// movement; a row can't be "ok" on ratios while violating its
+			// SLO.
+			row.Status = StatusSLOFailed
+			cmp.SLOFailures++
+			cmp.Pass = false
+			if regressed {
+				cmp.Regressions++
+			}
+		case regressed:
 			row.Status = StatusRegressed
 			cmp.Regressions++
 			cmp.Pass = false
@@ -258,7 +349,18 @@ func Compare(baseline, current *Report, tolerance, minMS float64) (*Comparison, 
 	extra := make([]CompareRow, 0)
 	for _, cur := range current.Scenarios {
 		if !seen[cur.Scenario] {
-			extra = append(extra, CompareRow{Scenario: cur.Scenario, CurMS: cur.P50MS, Status: StatusNew})
+			row := CompareRow{Scenario: cur.Scenario, CurMS: cur.P50MS, Status: StatusNew}
+			// A scenario new to the baseline still has to meet its own SLO
+			// — that is the whole point of an absolute gate.
+			if cur.SLO != nil {
+				if v := cur.SLO.Check(&cur); len(v) > 0 {
+					row.SLOViolations = v
+					row.Status = StatusSLOFailed
+					cmp.SLOFailures++
+					cmp.Pass = false
+				}
+			}
+			extra = append(extra, row)
 		}
 	}
 	sort.Slice(extra, func(i, j int) bool { return extra[i].Scenario < extra[j].Scenario })

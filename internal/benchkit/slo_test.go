@@ -1,0 +1,140 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLOCheckBoundsAndDefaults(t *testing.T) {
+	slo := SLO{MaxP99MS: 50, MaxErrorRate: 0.01}
+	ok := Result{P50MS: 5, P99MS: 40, ErrorRate: 0.005}
+	if v := slo.Check(&ok); len(v) != 0 {
+		t.Fatalf("healthy result violated the SLO: %v", v)
+	}
+	bad := Result{P50MS: 5, P99MS: 80, ErrorRate: 0.02, Errors: 7}
+	v := slo.Check(&bad)
+	if len(v) != 2 {
+		t.Fatalf("want p99 and error-rate violations, got %v", v)
+	}
+	// Unset bounds stay inactive: a huge p999 passes when only p99 is bounded.
+	loose := Result{P99MS: 40, P999MS: 1e6}
+	if v := slo.Check(&loose); len(v) != 0 {
+		t.Fatalf("unbounded p999 was gated: %v", v)
+	}
+}
+
+func TestSLOZeroErrorRateIsEnforced(t *testing.T) {
+	// MaxErrorRate 0 is not "unbounded" — it is the production default
+	// "no errors tolerated", unlike every other zero-valued bound.
+	slo := SLO{MaxP99MS: 1000}
+	r := Result{P99MS: 5, Errors: 1, ErrorRate: 0.001}
+	v := slo.Check(&r)
+	if len(v) != 1 || !strings.Contains(v[0], "error_rate") {
+		t.Fatalf("one failed request must violate a zero-error SLO, got %v", v)
+	}
+}
+
+func TestSLOMinThroughputFloor(t *testing.T) {
+	slo := SLO{MinThroughput: 100}
+	r := Result{Throughput: 60}
+	if v := slo.Check(&r); len(v) != 1 || !strings.Contains(v[0], "throughput") {
+		t.Fatalf("want a throughput violation, got %v", v)
+	}
+	r.Throughput = 150
+	if v := slo.Check(&r); len(v) != 0 {
+		t.Fatalf("adequate throughput was gated: %v", v)
+	}
+}
+
+func TestCompareGatesP99Tail(t *testing.T) {
+	// Healthy medians, regressed tail: the p99 ratio must fail the row
+	// even though the p50 ratio is within tolerance.
+	base := report(Result{Scenario: "load/overall", P50MS: 10, P99MS: 20})
+	cur := report(Result{Scenario: "load/overall", P50MS: 11, P99MS: 90})
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass || cmp.Regressions != 1 {
+		t.Fatalf("tail regression passed: %+v", cmp)
+	}
+	row := rowFor(t, cmp, "load/overall")
+	if row.Status != StatusRegressed || row.P99Ratio != 4.5 {
+		t.Fatalf("row = %+v, want regressed at p99 ratio 4.5", row)
+	}
+}
+
+func TestCompareSkipsP99WhenEitherSideLacksIt(t *testing.T) {
+	// Reports written before the tail fields simply lack p99; absence is
+	// "not measured", never a regression.
+	base := report(Result{Scenario: "a", P50MS: 10})
+	cur := report(Result{Scenario: "a", P50MS: 10, P99MS: 500})
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass {
+		t.Fatalf("p99 against a baseline without one failed the gate: %+v", cmp)
+	}
+	if row := rowFor(t, cmp, "a"); row.P99Ratio != 0 {
+		t.Fatalf("p99 ratio computed from absent baseline data: %+v", row)
+	}
+}
+
+func TestCompareFailsSLOViolationIndependently(t *testing.T) {
+	// No baseline movement at all — but the current run breaks its own
+	// embedded SLO, which fails the comparison on its own.
+	base := report(Result{Scenario: "load/overall", P50MS: 10, P99MS: 20})
+	cur := report(Result{
+		Scenario: "load/overall", P50MS: 10, P99MS: 20,
+		Errors: 3, ErrorRate: 0.01,
+		SLO: &SLO{MaxP99MS: 100},
+	})
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass || cmp.SLOFailures != 1 {
+		t.Fatalf("SLO violation passed the gate: %+v", cmp)
+	}
+	row := rowFor(t, cmp, "load/overall")
+	if row.Status != StatusSLOFailed || len(row.SLOViolations) != 1 {
+		t.Fatalf("row = %+v, want slo_failed with one violation", row)
+	}
+}
+
+func TestCompareRecomputesSLOViolations(t *testing.T) {
+	// A hand-edited report cannot pass by deleting its recorded
+	// violations: Compare re-runs the check from the raw numbers.
+	cur := report(Result{
+		Scenario: "load/overall", P50MS: 10, P99MS: 500,
+		SLO:           &SLO{MaxP99MS: 100},
+		SLOViolations: nil, // "cleaned up"
+	})
+	base := report(Result{Scenario: "load/overall", P50MS: 10, P99MS: 500})
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass {
+		t.Fatal("scrubbed violations passed the gate")
+	}
+}
+
+func TestCompareChecksSLOOnNewScenarios(t *testing.T) {
+	base := report(res("a", 10))
+	cur := report(
+		res("a", 10),
+		Result{Scenario: "load/new", P99MS: 500, SLO: &SLO{MaxP99MS: 100}},
+	)
+	cmp, err := Compare(base, cur, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass || cmp.SLOFailures != 1 {
+		t.Fatalf("new scenario's SLO violation passed: %+v", cmp)
+	}
+	if row := rowFor(t, cmp, "load/new"); row.Status != StatusSLOFailed {
+		t.Fatalf("row = %+v, want slo_failed", row)
+	}
+}

@@ -1,0 +1,633 @@
+// Package loadgen replays synthetic production traffic against the
+// service's HTTP surface and reports tail latency, throughput, and error
+// rate in the energybench/v1 schema, so load results gate in CI exactly
+// like scenario benchmarks.
+//
+// The generator is open-loop: the arrival schedule (Poisson with the
+// configured mean rate) is precomputed from the seed before the storm
+// starts, and every request's latency is measured from its *intended*
+// send time, not the moment a worker got around to it. A server that
+// stalls therefore sees queued arrivals pile up and the stall priced
+// into the tail — the coordinated-omission trap of closed-loop "send,
+// wait, repeat" harnesses, which silently stop arriving while the
+// server is slow.
+//
+// Traffic mixes three op classes over a pool of distinct instances with
+// zipf-distributed popularity (hot instances exercise the engine's
+// result cache and singleflight; the cold tail forces real solves):
+//
+//   - solve: one POST /v1/solve
+//   - batch: one POST /v1/solve/batch of a few instances
+//   - session: a full reclaiming-session lifecycle — create, stream
+//     jittered completion events (durations from the initial solve's
+//     speeds, perturbed by workload.Jitter), poll the schedule, then
+//     delete; a configurable fraction abandons the session instead
+//     (half mid-execution, half finished), exercising the store's
+//     eviction paths.
+//
+// Everything is deterministic under a fixed Config: the plan, the
+// instance pool, the jitter, and the abandon decisions all derive from
+// Seed. Only the measured latencies vary between runs.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchkit"
+	"repro/internal/reclaim"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Op classes of the traffic mix.
+const (
+	OpSolve   = "solve"
+	OpSession = "session"
+	OpBatch   = "batch"
+)
+
+// Mix weighs the op classes; arrivals are assigned proportionally.
+// The zero value selects the default 6:3:1 solve:session:batch.
+type Mix struct {
+	Solve   int `json:"solve"`
+	Session int `json:"session"`
+	Batch   int `json:"batch"`
+}
+
+func (m Mix) total() int { return m.Solve + m.Session + m.Batch }
+
+// ParseMix reads the flag form "solve=6,session=3,batch=1". Classes may
+// be omitted (weight 0); unknown classes and negative weights are errors.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	if strings.TrimSpace(s) == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("loadgen: mix entry %q is not class=weight", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(v), "%d", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("loadgen: mix weight %q must be a non-negative integer", v)
+		}
+		switch strings.TrimSpace(k) {
+		case OpSolve:
+			m.Solve = w
+		case OpSession:
+			m.Session = w
+		case OpBatch:
+			m.Batch = w
+		default:
+			return m, fmt.Errorf("loadgen: unknown mix class %q (have %s, %s, %s)", k, OpSolve, OpSession, OpBatch)
+		}
+	}
+	if m.total() == 0 {
+		return m, fmt.Errorf("loadgen: mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// Config describes one storm. The zero value of every field except
+// BaseURL picks a sensible default (see withDefaults).
+type Config struct {
+	// BaseURL targets a live server ("http://host:port"); required.
+	BaseURL string
+	// Rate is the mean arrival rate in requests per second (default 100).
+	Rate float64
+	// Duration is the storm's arrival window (default 5s). Workers run
+	// until every arrival completes, so wall time can exceed it.
+	Duration time.Duration
+	// Concurrency is the worker count (default 16). Workers only bound
+	// in-flight requests; arrivals are scheduled independently.
+	Concurrency int
+	// Mix weighs the op classes (zero value → 6:3:1 solve:session:batch).
+	Mix Mix
+	// Family and N pick the workload family and size of the instance
+	// pool (defaults "layered", 24).
+	Family string
+	N      int
+	// Instances is the pool size (default 16); popularity over the pool
+	// is zipf(ZipfS) (default 1.2), so a few instances stay cache-hot.
+	Instances int
+	ZipfS     float64
+	// Seed fixes the plan, pool, jitter, and abandon draws (default 1).
+	Seed int64
+	// EventBatch is the events-per-POST granularity of session ops
+	// (default 8).
+	EventBatch int
+	// AbandonRate is the fraction of session ops that never delete their
+	// session (default 0.25): half abandon mid-execution (an idle ghost),
+	// half after the last completion (a finished ghost).
+	AbandonRate float64
+	// SLO, when set, is attached to the overall result row and checked;
+	// Run reports the violated clauses.
+	SLO *benchkit.SLO
+	// Client overrides the HTTP client (default: 30s request timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = Mix{Solve: 6, Session: 3, Batch: 1}
+	}
+	if c.Family == "" {
+		c.Family = "layered"
+	}
+	if c.N <= 0 {
+		c.N = 24
+	}
+	if c.Instances <= 0 {
+		c.Instances = 16
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if !(c.ZipfS > 1) {
+		return c, fmt.Errorf("loadgen: zipf exponent must exceed 1, got %v", c.ZipfS)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.EventBatch <= 0 {
+		c.EventBatch = 8
+	}
+	if c.AbandonRate < 0 {
+		c.AbandonRate = 0
+	}
+	if c.AbandonRate > 1 {
+		c.AbandonRate = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c, nil
+}
+
+// instanceSpec is one prebuilt pool entry: the wire request plus the
+// local facts session replay needs (weights → planned durations).
+type instanceSpec struct {
+	req      service.SolveRequest
+	body     []byte
+	weights  []float64
+	tasks    int
+	edges    int
+	deadline float64
+}
+
+// buildPool materializes the instance pool. Deadline = Σ weights: a
+// serial speed-1 run meets it, so every instance is feasible under any
+// precedence structure, while the optimum still spreads real slack for
+// the reclaiming sessions to work with.
+func buildPool(cfg Config) ([]instanceSpec, error) {
+	pool := make([]instanceSpec, cfg.Instances)
+	for i := range pool {
+		g, err := workload.FromSeed(cfg.Family, cfg.N, cfg.Seed+int64(i)*7919, 0.5, 3)
+		if err != nil {
+			return nil, err
+		}
+		total := 0.0
+		weights := make([]float64, g.N())
+		for t := 0; t < g.N(); t++ {
+			weights[t] = g.Weight(t)
+			total += g.Weight(t)
+		}
+		req := service.SolveRequest{
+			Graph:    g,
+			Deadline: total,
+			Model:    service.ModelSpec{Kind: "continuous", SMax: 2},
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = instanceSpec{
+			req:      req,
+			body:     body,
+			weights:  weights,
+			tasks:    g.N(),
+			edges:    len(g.Edges()),
+			deadline: total,
+		}
+	}
+	return pool, nil
+}
+
+// job is one planned arrival.
+type job struct {
+	at   time.Duration // intended start, offset from storm start
+	op   string
+	inst int
+	seed int64 // per-op randomness (jitter, abandon, batch picks)
+}
+
+// maxPlannedArrivals bounds the precomputed plan so an absurd
+// rate×duration cannot allocate without limit.
+const maxPlannedArrivals = 1 << 20
+
+// buildPlan precomputes the whole arrival schedule: Poisson arrivals at
+// cfg.Rate over cfg.Duration, each tagged with a mix-weighted op class
+// and a zipf-popular instance. Deterministic in cfg.Seed.
+func buildPlan(cfg Config) []job {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Instances > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Instances-1))
+	}
+	total := cfg.Mix.total()
+	var jobs []job
+	t := 0.0
+	horizon := cfg.Duration.Seconds()
+	for len(jobs) < maxPlannedArrivals {
+		t += rng.ExpFloat64() / cfg.Rate
+		if t >= horizon {
+			break
+		}
+		op := OpSolve
+		switch pick := rng.Intn(total); {
+		case pick < cfg.Mix.Solve:
+			op = OpSolve
+		case pick < cfg.Mix.Solve+cfg.Mix.Session:
+			op = OpSession
+		default:
+			op = OpBatch
+		}
+		inst := 0
+		if zipf != nil {
+			inst = int(zipf.Uint64())
+		}
+		jobs = append(jobs, job{
+			at:   time.Duration(t * float64(time.Second)),
+			op:   op,
+			inst: inst,
+			seed: rng.Int63(),
+		})
+	}
+	return jobs
+}
+
+// sample is one measured HTTP request.
+type sample struct {
+	op     string
+	ms     float64
+	err    bool // transport failure or 5xx
+	status int  // 0 on transport failure
+}
+
+// worker executes jobs and collects its own samples lock-free; Run
+// merges the collectors after the storm.
+type worker struct {
+	cfg     *Config
+	pool    []instanceSpec
+	samples []sample
+	energy  float64
+	status  map[int]int
+}
+
+// do issues one request and records it: latency from ref (the intended
+// arrival time for an op's first request, the actual send time for its
+// causally dependent follow-ups), error = transport failure or 5xx.
+// When dst is non-nil and the response is 2xx, the body is decoded into
+// it. Returns the status (0 on transport failure) and whether the
+// request succeeded.
+func (w *worker) do(ctx context.Context, method, url string, body []byte, ref time.Time, op string, dst any) (int, bool) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		w.record(op, ref, 0, true)
+		return 0, false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		w.record(op, ref, 0, true)
+		return 0, false
+	}
+	defer resp.Body.Close()
+	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	if ok && dst != nil {
+		if derr := json.NewDecoder(resp.Body).Decode(dst); derr != nil {
+			// A 2xx with an undecodable body is a server bug: count it.
+			w.record(op, ref, resp.StatusCode, true)
+			return resp.StatusCode, false
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	w.record(op, ref, resp.StatusCode, resp.StatusCode >= 500)
+	return resp.StatusCode, ok
+}
+
+func (w *worker) record(op string, ref time.Time, status int, isErr bool) {
+	w.samples = append(w.samples, sample{
+		op:     op,
+		ms:     float64(time.Since(ref)) / float64(time.Millisecond),
+		err:    isErr,
+		status: status,
+	})
+	w.status[status]++
+}
+
+func (w *worker) run(ctx context.Context, jb job, intended time.Time) {
+	spec := &w.pool[jb.inst]
+	base := w.cfg.BaseURL
+	switch jb.op {
+	case OpSolve:
+		var resp service.SolveResponse
+		if _, ok := w.do(ctx, http.MethodPost, base+"/v1/solve", spec.body, intended, OpSolve, &resp); ok {
+			w.energy += resp.Energy
+		}
+	case OpBatch:
+		w.runBatch(ctx, jb, intended)
+	case OpSession:
+		w.runSession(ctx, jb, spec, intended)
+	}
+}
+
+func (w *worker) runBatch(ctx context.Context, jb job, intended time.Time) {
+	rng := rand.New(rand.NewSource(jb.seed))
+	reqs := make([]service.SolveRequest, 0, 3)
+	reqs = append(reqs, w.pool[jb.inst].req)
+	for len(reqs) < 3 {
+		reqs = append(reqs, w.pool[rng.Intn(len(w.pool))].req)
+	}
+	body, err := json.Marshal(service.BatchRequestJSON{Requests: reqs})
+	if err != nil {
+		w.record(OpBatch, intended, 0, true)
+		return
+	}
+	var resp service.BatchResponseJSON
+	if _, ok := w.do(ctx, http.MethodPost, w.cfg.BaseURL+"/v1/solve/batch", body, intended, OpBatch, &resp); ok {
+		for _, item := range resp.Results {
+			if item.Response != nil {
+				w.energy += item.Response.Energy
+			}
+		}
+	}
+}
+
+// runSession drives one reclaiming-session lifecycle. Planned durations
+// come from the initial solve's speeds (wᵢ/sᵢ), perturbed by a seeded
+// Jitter so a fixed fraction of completions deviates and forces residual
+// re-solves; the rest replay on-plan and exercise the clean-event fast
+// path. Event order is task-index order — every workload family's edges
+// point forward, so index order is a topological order.
+func (w *worker) runSession(ctx context.Context, jb job, spec *instanceSpec, intended time.Time) {
+	var create service.SessionResponse
+	if _, ok := w.do(ctx, http.MethodPost, w.cfg.BaseURL+"/v1/sessions", spec.body, intended, OpSession, &create); !ok {
+		return
+	}
+	if create.Solve != nil {
+		w.energy += create.Solve.Energy
+	}
+	n := spec.tasks
+	durations := make([]float64, n)
+	for i := range durations {
+		durations[i] = spec.weights[i] // speed-1 fallback
+		if create.Solve != nil && len(create.Solve.Speeds) == n && create.Solve.Speeds[i] > 0 {
+			durations[i] = spec.weights[i] / create.Solve.Speeds[i]
+		}
+	}
+	factors, err := workload.Jitter{Seed: jb.seed, Rate: 0.4, Early: 0.3, Late: 0.3}.Factors(n)
+	if err != nil {
+		factors = nil
+	}
+	rng := rand.New(rand.NewSource(jb.seed))
+	limit, deleteAfter := n, true
+	switch u := rng.Float64(); {
+	case u < w.cfg.AbandonRate/2:
+		limit, deleteAfter = n/2, false // walked away mid-execution
+	case u < w.cfg.AbandonRate:
+		deleteAfter = false // finished but never cleaned up
+	}
+	sessURL := w.cfg.BaseURL + "/v1/sessions/" + create.SessionID
+	for sent := 0; sent < limit; {
+		if ctx.Err() != nil {
+			return
+		}
+		end := min(sent+w.cfg.EventBatch, limit)
+		evs := make([]reclaim.CompletionEvent, 0, end-sent)
+		for i := sent; i < end; i++ {
+			f := 1.0
+			if factors != nil {
+				f = factors[i]
+			}
+			evs = append(evs, reclaim.CompletionEvent{Task: i, ActualDuration: durations[i] * f})
+		}
+		body, merr := json.Marshal(service.SessionEventsRequest{Events: evs})
+		if merr != nil {
+			w.record(OpSession, time.Now(), 0, true)
+			return
+		}
+		if _, ok := w.do(ctx, http.MethodPost, sessURL+"/events", body, time.Now(), OpSession, nil); !ok {
+			return
+		}
+		sent = end
+	}
+	w.do(ctx, http.MethodGet, sessURL+"/schedule", nil, time.Now(), OpSession, nil)
+	if deleteAfter {
+		w.do(ctx, http.MethodDelete, sessURL, nil, time.Now(), OpSession, nil)
+	}
+}
+
+// RunResult is one storm's outcome: aggregate counters, the
+// energybench/v1 rows (one overall row carrying the SLO, plus one row
+// per op class), and the SLO clauses the overall row broke.
+type RunResult struct {
+	Wall         time.Duration
+	Requests     int
+	Errors       int
+	Energy       float64
+	StatusCounts map[int]int
+	Rows         []benchkit.Result
+	Violations   []string
+}
+
+// Report wraps the rows in a schema-tagged energybench/v1 report.
+func (r *RunResult) Report() *benchkit.Report { return benchkit.NewReport(r.Rows) }
+
+// Pass is true when no SLO clause was violated.
+func (r *RunResult) Pass() bool { return len(r.Violations) == 0 }
+
+// Overall returns the aggregate row (the one carrying the SLO).
+func (r *RunResult) Overall() *benchkit.Result {
+	for i := range r.Rows {
+		if r.Rows[i].Scenario == "load/overall" {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Run executes one storm against cfg.BaseURL and blocks until every
+// planned arrival has completed (or ctx is canceled — remaining
+// arrivals are then dropped unrecorded).
+func Run(ctx context.Context, cfg Config) (*RunResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pool, err := buildPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	jobs := buildPlan(cfg)
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("loadgen: empty plan — rate %v over %v yields no arrivals", cfg.Rate, cfg.Duration)
+	}
+	ch := make(chan job, len(jobs))
+	for _, jb := range jobs {
+		ch <- jb
+	}
+	close(ch)
+
+	workers := make([]*worker, cfg.Concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &worker{cfg: &cfg, pool: pool, status: make(map[int]int)}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range ch {
+				intended := start.Add(jb.at)
+				if d := time.Until(intended); d > 0 {
+					t := time.NewTimer(d)
+					select {
+					case <-t.C:
+					case <-ctx.Done():
+						t.Stop()
+					}
+				}
+				if ctx.Err() != nil {
+					continue // drain: remaining arrivals dropped
+				}
+				w.run(ctx, jb, intended)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &RunResult{Wall: wall, StatusCounts: make(map[int]int)}
+	byOp := make(map[string][]sample)
+	for _, w := range workers {
+		res.Energy += w.energy
+		for st, c := range w.status {
+			res.StatusCounts[st] += c
+		}
+		for _, s := range w.samples {
+			byOp[s.op] = append(byOp[s.op], s)
+		}
+	}
+	all := make([]sample, 0)
+	for _, ss := range byOp {
+		all = append(all, ss...)
+	}
+	overall := buildRow(cfg, pool, "load/overall", all, wall)
+	overall.Energy = res.Energy
+	overall.SLO = cfg.SLO
+	if cfg.SLO != nil {
+		overall.SLOViolations = cfg.SLO.Check(&overall)
+		res.Violations = overall.SLOViolations
+	}
+	res.Requests = overall.Requests
+	res.Errors = overall.Errors
+	res.Rows = []benchkit.Result{overall}
+	for _, op := range []string{OpSolve, OpSession, OpBatch} {
+		if ss := byOp[op]; len(ss) > 0 {
+			res.Rows = append(res.Rows, buildRow(cfg, pool, "load/"+op, ss, wall))
+		}
+	}
+	return res, nil
+}
+
+// buildRow aggregates samples into one energybench/v1 result row.
+func buildRow(cfg Config, pool []instanceSpec, name string, samples []sample, wall time.Duration) benchkit.Result {
+	lat := make([]float64, len(samples))
+	errs := 0
+	for i, s := range samples {
+		lat[i] = s.ms
+		if s.err {
+			errs++
+		}
+	}
+	sort.Float64s(lat)
+	row := benchkit.Result{
+		Scenario: name,
+		Family:   cfg.Family,
+		Path:     "load",
+		Model:    "continuous",
+		Tasks:    pool[0].tasks,
+		Edges:    pool[0].edges,
+		Deadline: pool[0].deadline,
+		Clients:  cfg.Concurrency,
+		Requests: len(samples),
+		Errors:   errs,
+	}
+	if len(lat) == 0 {
+		return row
+	}
+	mean := 0.0
+	for _, v := range lat {
+		mean += v
+	}
+	row.MinMS = lat[0]
+	row.MaxMS = lat[len(lat)-1]
+	row.MeanMS = mean / float64(len(lat))
+	row.P50MS = percentile(lat, 0.50)
+	row.P90MS = percentile(lat, 0.90)
+	row.P99MS = percentile(lat, 0.99)
+	row.P999MS = percentile(lat, 0.999)
+	if secs := wall.Seconds(); secs > 0 {
+		row.Throughput = float64(len(samples)) / secs
+	}
+	row.ErrorRate = float64(errs) / float64(len(samples))
+	return row
+}
+
+// percentile reads the q-quantile of an ascending slice (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,256 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/benchkit"
+	"repro/internal/service"
+)
+
+func newServer(t *testing.T, hopts service.HTTPOptions) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(service.NewHandler(service.NewEngine(service.Options{}), hopts))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func smokeConfig(url string) Config {
+	return Config{
+		BaseURL:     url,
+		Rate:        80,
+		Duration:    time.Second,
+		Concurrency: 8,
+		Family:      "layered",
+		N:           10,
+		Instances:   6,
+		Seed:        42,
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("solve=6,session=3,batch=1")
+	if err != nil || m != (Mix{Solve: 6, Session: 3, Batch: 1}) {
+		t.Fatalf("ParseMix = %+v, %v", m, err)
+	}
+	if m, err := ParseMix("session=1"); err != nil || m != (Mix{Session: 1}) {
+		t.Fatalf("single-class mix = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"solve=6,poll=1", "solve=-1", "solve", "solve=0,batch=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPlanDeterministic pins the open-loop contract: the whole arrival
+// schedule — times, op classes, instances, per-op seeds — derives from
+// the seed before the storm starts.
+func TestPlanDeterministic(t *testing.T) {
+	cfg, err := smokeConfig("http://unused").withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := buildPlan(cfg), buildPlan(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty plan")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed++
+	if c := buildPlan(cfg); len(c) == len(a) && c[0] == a[0] && c[len(c)-1] == a[len(a)-1] {
+		t.Fatal("a different seed reproduced the same plan")
+	}
+	// Arrival times are non-decreasing and inside the window.
+	for i := 1; i < len(a); i++ {
+		if a[i].at < a[i-1].at {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+	if last := a[len(a)-1].at; last >= cfg.Duration {
+		t.Fatalf("arrival %v past the %v window", last, cfg.Duration)
+	}
+}
+
+// TestRunSmoke drives a deterministic 1-second storm against a healthy
+// in-process server: zero errors, a populated report, and an SLO pass.
+func TestRunSmoke(t *testing.T) {
+	srv := newServer(t, service.HTTPOptions{})
+	cfg := smokeConfig(srv.URL)
+	cfg.SLO = &benchkit.SLO{MaxP99MS: 60_000} // generous: gate wiring, not speed
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("storm issued no requests")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("healthy server produced %d errors (statuses %v)", res.Errors, res.StatusCounts)
+	}
+	if !res.Pass() {
+		t.Fatalf("SLO violated: %v", res.Violations)
+	}
+	overall := res.Overall()
+	if overall == nil {
+		t.Fatal("no overall row")
+	}
+	if overall.P99MS <= 0 || overall.Throughput <= 0 || overall.Requests != res.Requests {
+		t.Fatalf("overall row incomplete: %+v", overall)
+	}
+	if overall.SLO == nil {
+		t.Fatal("overall row must embed the SLO for Compare to re-check")
+	}
+	if overall.Energy <= 0 {
+		t.Fatalf("no energy accumulated: %+v", overall)
+	}
+	// The report round-trips through the energybench/v1 codec.
+	data, err := json.Marshal(res.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := benchkit.ParseReport(data); err != nil {
+		t.Fatalf("report does not parse as energybench/v1: %v", err)
+	}
+	// The mix produced samples of every class.
+	for _, op := range []string{OpSolve, OpSession, OpBatch} {
+		found := false
+		for _, row := range res.Rows {
+			if row.Scenario == "load/"+op && row.Requests > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no samples for op class %s: %+v", op, res.Rows)
+		}
+	}
+}
+
+// TestRunFailsLatencySLO injects a delay in front of the handler and
+// checks the p99 gate trips.
+func TestRunFailsLatencySLO(t *testing.T) {
+	inner := service.NewHandler(service.NewEngine(service.Options{}), service.HTTPOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(15 * time.Millisecond)
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	cfg := smokeConfig(srv.URL)
+	cfg.Rate, cfg.Duration = 40, 500*time.Millisecond
+	cfg.SLO = &benchkit.SLO{MaxP99MS: 1}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Fatalf("a 15 ms floor passed a 1 ms p99 SLO: %+v", res.Overall())
+	}
+}
+
+// TestRunCountsServerErrors injects 500s and checks they land in the
+// error rate and trip the zero-error default.
+func TestRunFailsOnServerErrors(t *testing.T) {
+	inner := service.NewHandler(service.NewEngine(service.Options{}), service.HTTPOptions{})
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	cfg := smokeConfig(srv.URL)
+	cfg.Duration = 500 * time.Millisecond
+	cfg.SLO = &benchkit.SLO{} // MaxErrorRate 0: no errors tolerated
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("injected 500s were not counted")
+	}
+	if res.Pass() {
+		t.Fatalf("errors passed a zero-error SLO: %+v", res.Overall())
+	}
+	if o := res.Overall(); o.ErrorRate <= 0 {
+		t.Fatalf("error rate missing: %+v", o)
+	}
+}
+
+// TestSessionChurnNeverReaches503 is the acceptance storm for the
+// eviction fix: session-only traffic creating far more sessions than
+// MaxSessions — with a quarter abandoned mid-flight or unfinished — must
+// never hit capacity 503s, because finished ghosts evict under pressure
+// and abandoned ones fall to the idle TTL.
+func TestSessionChurnNeverReaches503(t *testing.T) {
+	srv := newServer(t, service.HTTPOptions{
+		MaxSessions:        8,
+		SessionIdleTTL:     50 * time.Millisecond,
+		SessionFinishedTTL: time.Millisecond,
+	})
+	cfg := Config{
+		BaseURL:     srv.URL,
+		Rate:        40,
+		Duration:    2 * time.Second,
+		Concurrency: 4,
+		Mix:         Mix{Session: 1},
+		Family:      "chain",
+		N:           6,
+		Instances:   4,
+		Seed:        7,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.StatusCounts[http.StatusServiceUnavailable]; got != 0 {
+		t.Fatalf("churn past MaxSessions hit %d capacity 503s (statuses %v)", got, res.StatusCounts)
+	}
+	if created := res.StatusCounts[http.StatusCreated]; created <= 8 {
+		t.Fatalf("storm created only %d sessions — not a churn test past MaxSessions 8", created)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("churn storm produced %d errors (statuses %v)", res.Errors, res.StatusCounts)
+	}
+	// The server actually evicted: read back its lifecycle counters.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats service.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions.Evicted == 0 {
+		t.Fatalf("no evictions during churn: %+v", stats.Sessions)
+	}
+	if stats.Sessions.Live > 8 {
+		t.Fatalf("%d live sessions exceed MaxSessions 8", stats.Sessions.Live)
+	}
+}
+
+// TestRunValidatesConfig covers the error paths callers hit first.
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", ZipfS: 0.5}); err == nil {
+		t.Fatal("zipf exponent below 1 accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Family: "nope"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -188,12 +188,29 @@ func NewSession(p *core.Problem, m model.Model, sol *core.Solution, opts Options
 	return s, nil
 }
 
+// ReplanGate admits one residual re-solve into an external worker pool.
+// ApplyEventGated calls it right before a re-solve and runs the returned
+// release when the solve finishes; on a gate error the re-solve is
+// skipped — the completion stays recorded, the dirty flags stay set, and
+// the next event retries — exactly the semantics of a failed re-solve.
+// The gate runs while the session's event lock is held: events of one
+// session serialize anyway, so blocking here blocks only this session.
+type ReplanGate func() (release func(), err error)
+
 // ApplyEvent ingests one completion. Invalid events (ErrBadEvent) leave
 // the session untouched. A valid completion is always recorded, even when
 // the residual re-solve it triggers fails (e.g. ErrInfeasible after a
 // late completion) — in that case the remaining tasks keep their previous
 // speeds and the re-solve is retried on the next event.
 func (s *Session) ApplyEvent(ev CompletionEvent) (*EventResult, error) {
+	return s.ApplyEventGated(ev, nil)
+}
+
+// ApplyEventGated is ApplyEvent with a pool gate: clean events (the
+// common case under sustained traffic) never touch the gate, and a
+// deviating event claims a solver slot only for the duration of its
+// residual re-solve. gate may be nil (no gating).
+func (s *Session) ApplyEventGated(ev CompletionEvent, gate ReplanGate) (*EventResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -276,6 +293,19 @@ func (s *Session) ApplyEvent(ev CompletionEvent) (*EventResult, error) {
 	}
 	if s.remaining > 0 && pending {
 		res.Clean = false
+		if gate != nil {
+			release, gerr := gate()
+			if gerr != nil {
+				// Pool admission failed (overload, caller deadline): the
+				// completion stays recorded, the dirty flags stay set, and
+				// the next event retries the re-solve — the same contract
+				// as a failed re-solve, without burning a solver slot.
+				res.IncurredEnergy = s.energyIncurred
+				res.ResidualEnergy = s.residualEnergyLocked()
+				return res, gerr
+			}
+			defer release()
+		}
 		s.stats.Replans++
 		rr, err := s.replanLocked()
 		if err != nil {

@@ -103,6 +103,7 @@ type Engine struct {
 	coalesced atomic.Uint64
 	solved    atomic.Uint64
 	failures  atomic.Uint64
+	shed      atomic.Uint64
 }
 
 // call is one in-flight solve that concurrent identical requests share.
@@ -140,6 +141,11 @@ type Stats struct {
 	Solved uint64 `json:"solved"`
 	// Failures counts solver runs that returned an error.
 	Failures uint64 `json:"failures"`
+	// Shed counts admissions refused because the backlog was full — every
+	// ErrOverloaded handed out, whether to a solve, an explain, or a
+	// session event's residual re-solve. A load test reads this to tell
+	// deliberate load-shedding apart from failures.
+	Shed uint64 `json:"shed"`
 	// CacheLen is the current number of cached instances.
 	CacheLen int `json:"cache_len"`
 	// Workers is the worker-pool bound.
@@ -154,6 +160,7 @@ func (e *Engine) Stats() Stats {
 		Coalesced: e.coalesced.Load(),
 		Solved:    e.solved.Load(),
 		Failures:  e.failures.Load(),
+		Shed:      e.shed.Load(),
 		CacheLen:  e.cache.Len(),
 		Workers:   cap(e.sem),
 	}
@@ -280,10 +287,12 @@ func (e *Engine) unjoin(key string) {
 	e.flightMu.Unlock()
 }
 
-// admit reserves a backlog slot, refusing when the bound is reached.
+// admit reserves a backlog slot, refusing (and counting the shed) when the
+// bound is reached.
 func (e *Engine) admit() bool {
 	if e.backlog.Add(1) > e.maxBacklog {
 		e.backlog.Add(-1)
+		e.shed.Add(1)
 		return false
 	}
 	return true

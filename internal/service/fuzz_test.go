@@ -189,7 +189,7 @@ func FuzzSessionEvents(f *testing.F) {
 		if len(req.Events) > 32 {
 			return
 		}
-		store := NewSessionStore(NewEngine(Options{Workers: 1}), 4)
+		store := NewSessionStore(NewEngine(Options{Workers: 1}), SessionConfig{MaxSessions: 4})
 		var create SessionRequest
 		if err := json.Unmarshal([]byte(`{"graph":{"tasks":[{"weight":2},{"weight":2},{"weight":2},{"weight":2}],"edges":[[0,1],[1,2],[2,3]]},"deadline":10,"model":{"kind":"continuous","smax":2}}`), &create.SolveRequest); err != nil {
 			t.Fatal(err)

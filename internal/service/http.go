@@ -25,6 +25,13 @@ type HTTPOptions struct {
 	MaxBatch int
 	// MaxSessions bounds live reclaiming sessions (default 1024).
 	MaxSessions int
+	// SessionIdleTTL evicts sessions no request has touched for this long
+	// (default 10m) — abandoned executions must not hold capacity forever.
+	SessionIdleTTL time.Duration
+	// SessionFinishedTTL is the linger granted to finished sessions before
+	// the sweep reclaims them (default 30s); under capacity pressure
+	// finished sessions are reclaimed immediately.
+	SessionFinishedTTL time.Duration
 }
 
 // Defaults returns o with every unset or out-of-range field replaced by its
@@ -49,6 +56,15 @@ func (o HTTPOptions) Defaults() HTTPOptions {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 1024
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	if o.SessionIdleTTL <= 0 {
+		o.SessionIdleTTL = 10 * time.Minute
+	}
+	if o.SessionFinishedTTL <= 0 {
+		o.SessionFinishedTTL = 30 * time.Second
 	}
 	return o
 }
@@ -145,7 +161,11 @@ type PlanResponse struct {
 // Engine (plus its session store) and can be mounted under any server.
 func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 	opts = opts.Defaults()
-	store := NewSessionStore(e, opts.MaxSessions)
+	store := NewSessionStore(e, SessionConfig{
+		MaxSessions: opts.MaxSessions,
+		IdleTTL:     opts.SessionIdleTTL,
+		FinishedTTL: opts.SessionFinishedTTL,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
 		var req SolveRequest
@@ -234,7 +254,7 @@ func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 			writeError(w, badRequest("event batch of %d exceeds the limit of %d", len(req.Events), opts.MaxBatch))
 			return
 		}
-		ctx, cancel := requestContext(r.Context(), 0, opts)
+		ctx, cancel := requestContext(r.Context(), req.TimeoutMS, opts)
 		defer cancel()
 		resp, err := store.Events(ctx, r.PathValue("id"), req.Events)
 		if err != nil {
@@ -262,15 +282,23 @@ func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+		writeJSON(w, http.StatusOK, ServerStats{Stats: e.Stats(), Sessions: store.Stats()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ok",
-			"stats":  e.Stats(),
+			"stats":  ServerStats{Stats: e.Stats(), Sessions: store.Stats()},
 		})
 	})
 	return mux
+}
+
+// ServerStats is the GET /v1/stats payload: the engine counters inline
+// (backwards compatible — previous payloads were exactly Stats) plus the
+// session store's lifecycle counters.
+type ServerStats struct {
+	Stats
+	Sessions SessionStats `json:"sessions"`
 }
 
 // requestContext derives the per-request deadline from timeout_ms, clamped

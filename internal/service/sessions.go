@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -53,6 +54,10 @@ type SessionResponse struct {
 // SessionEventsRequest streams completion events, applied in order.
 type SessionEventsRequest struct {
 	Events []reclaim.CompletionEvent `json:"events"`
+	// TimeoutMS bounds this batch's wall time (HTTP layer; 0 = server
+	// default), mirroring SolveRequest.TimeoutMS: residual re-solves are
+	// real solver work and deserve the same budget control.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // SessionEventJSON is one event's outcome. Result is present whenever the
@@ -118,11 +123,72 @@ type SessionListResponse struct {
 	Sessions []SessionInfoJSON `json:"sessions"`
 }
 
-// sessionEntry couples a live session with its bookkeeping.
+// sessionEntry couples a live session with its bookkeeping. lastUsed and
+// remaining are atomics so the eviction sweep can classify entries without
+// taking any session lock — a session mid-replan holds its own mutex for
+// the length of a solver run, and a sweep that waited on it while holding
+// the store lock would stall every Create/Delete/lookup behind it.
 type sessionEntry struct {
 	id      string
 	created time.Time
 	sess    *reclaim.Session
+	// lastUsed is the unix-nano timestamp of the last request that touched
+	// this session (create, events, schedule).
+	lastUsed atomic.Int64
+	// remaining mirrors sess.Remaining() after every event batch; zero
+	// marks the session finished and eligible for the finished sweep.
+	remaining atomic.Int64
+	// closed is set (under the store lock) by Delete and eviction. An
+	// in-flight event batch checks it between events, so a concurrently
+	// deleted session stops accepting mutations instead of becoming a
+	// ghost the batch keeps writing to.
+	closed atomic.Bool
+}
+
+func (e *sessionEntry) touch(now time.Time) { e.lastUsed.Store(now.UnixNano()) }
+
+func (e *sessionEntry) idle(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, e.lastUsed.Load()))
+}
+
+// SessionConfig tunes a SessionStore. The zero value picks the defaults;
+// NewHandler derives it from HTTPOptions.
+type SessionConfig struct {
+	// MaxSessions bounds live sessions (≤ 0 → 1024).
+	MaxSessions int
+	// IdleTTL evicts sessions no request has touched for this long —
+	// abandoned executions must not occupy capacity forever (≤ 0 → 10m).
+	IdleTTL time.Duration
+	// FinishedTTL is the linger granted to finished sessions
+	// (Remaining() == 0) before the sweep reclaims them; under capacity
+	// pressure finished sessions are reclaimed immediately (≤ 0 → 30s).
+	FinishedTTL time.Duration
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = 10 * time.Minute
+	}
+	if c.FinishedTTL <= 0 {
+		c.FinishedTTL = 30 * time.Second
+	}
+	return c
+}
+
+// SessionStats counts the store's lifecycle activity; /v1/stats exposes it
+// alongside the engine counters.
+type SessionStats struct {
+	// Live is the current number of registered sessions.
+	Live int `json:"live"`
+	// Evicted totals the sweep's removals; the Finished/Idle split names
+	// the reason (a completed session lingering past its TTL or capacity
+	// pressure, vs. an abandoned session past the idle TTL).
+	Evicted         uint64 `json:"evicted"`
+	EvictedFinished uint64 `json:"evicted_finished"`
+	EvictedIdle     uint64 `json:"evicted_idle"`
 }
 
 // SessionStore owns the live sessions of one engine. Methods are safe for
@@ -130,22 +196,36 @@ type sessionEntry struct {
 // reclaim.Session.
 type SessionStore struct {
 	engine *Engine
-	max    int
+	cfg    SessionConfig
+	// sweepEvery rate-limits the opportunistic time-based sweep.
+	sweepEvery time.Duration
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
 	// pending counts reserved-but-unregistered creations, so the capacity
 	// bound holds across in-flight initial solves.
-	pending int
+	pending   int
+	lastSweep time.Time
+
+	evictedFinished uint64
+	evictedIdle     uint64
 }
 
-// NewSessionStore builds a store over the engine's pool. maxSessions ≤ 0
-// means the default 1024.
-func NewSessionStore(e *Engine, maxSessions int) *SessionStore {
-	if maxSessions <= 0 {
-		maxSessions = 1024
+// NewSessionStore builds a store over the engine's pool.
+func NewSessionStore(e *Engine, cfg SessionConfig) *SessionStore {
+	cfg = cfg.withDefaults()
+	sweepEvery := cfg.IdleTTL
+	if cfg.FinishedTTL < sweepEvery {
+		sweepEvery = cfg.FinishedTTL
 	}
-	return &SessionStore{engine: e, max: maxSessions, sessions: make(map[string]*sessionEntry)}
+	sweepEvery /= 2
+	return &SessionStore{
+		engine:     e,
+		cfg:        cfg,
+		sweepEvery: sweepEvery,
+		sessions:   make(map[string]*sessionEntry),
+		lastSweep:  time.Now(),
+	}
 }
 
 // Create compiles and solves the instance on the engine (cache and
@@ -165,8 +245,12 @@ func (st *SessionStore) Create(ctx context.Context, req *SessionRequest) (*Sessi
 		return nil, err
 	}
 	id := newSessionID()
+	now := time.Now()
+	entry := &sessionEntry{id: id, created: now, sess: sess}
+	entry.touch(now)
+	entry.remaining.Store(int64(sess.Remaining()))
 	st.mu.Lock()
-	st.sessions[id] = &sessionEntry{id: id, created: time.Now(), sess: sess}
+	st.sessions[id] = entry
 	st.pending--
 	st.mu.Unlock()
 	return &SessionResponse{
@@ -239,10 +323,13 @@ func solutionFromResponse(inst *instance, resp *SolveResponse) (*core.Solution, 
 	}, nil
 }
 
-// Events applies a batch of completion events in order on the engine's
-// worker pool. Rejected events are reported per entry and do not abort the
-// batch; re-solve failures (e.g. a late completion making the residual
-// infeasible) are reported the same way, with the completion recorded.
+// Events applies a batch of completion events in order. Rejected events
+// are reported per entry and do not abort the batch; re-solve failures
+// (e.g. a late completion making the residual infeasible) are reported the
+// same way, with the completion recorded. Engine pool slots (and backlog
+// tokens) are claimed only around the residual re-solves that deviating
+// events trigger: a storm of clean completions — the common case under
+// sustained traffic — never blocks a real solve.
 func (st *SessionStore) Events(ctx context.Context, id string, events []reclaim.CompletionEvent) (*SessionEventsResponse, error) {
 	start := time.Now()
 	entry, err := st.lookup(id)
@@ -252,31 +339,47 @@ func (st *SessionStore) Events(ctx context.Context, id string, events []reclaim.
 	if len(events) == 0 {
 		return nil, badRequest("no events")
 	}
-	// Residual re-solves are real solver work: take a pool slot (and a
-	// backlog token) like any other solve so event streams cannot starve
-	// the engine.
-	if !st.engine.admit() {
-		return nil, ErrOverloaded
+
+	// gate admits one residual re-solve: a backlog token plus a pool slot,
+	// exactly like a solve request, held only for the solve itself.
+	gate := func() (func(), error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !st.engine.admit() {
+			return nil, ErrOverloaded
+		}
+		select {
+		case st.engine.sem <- struct{}{}:
+		case <-ctx.Done():
+			st.engine.backlog.Add(-1)
+			return nil, ctx.Err()
+		}
+		return func() {
+			<-st.engine.sem
+			st.engine.backlog.Add(-1)
+		}, nil
 	}
-	defer st.engine.backlog.Add(-1)
-	select {
-	case st.engine.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-	defer func() { <-st.engine.sem }()
 
 	out := &SessionEventsResponse{SessionID: id, Results: make([]SessionEventJSON, 0, len(events))}
 	for _, ev := range events {
-		// Every deviating event is a real solver run: stop burning the
-		// pool slot once the caller's deadline passes or it disconnects.
+		// Every deviating event is a real solver run: stop dispatching
+		// once the caller's deadline passes or it disconnects.
 		// Already-applied events stay applied; the rest report canceled.
 		if err := ctx.Err(); err != nil {
 			_, apiErr := classify(err)
 			out.Results = append(out.Results, SessionEventJSON{Error: &apiErr})
 			continue
 		}
-		res, err := entry.sess.ApplyEvent(ev)
+		// A concurrent Delete closed this session: the entry the initial
+		// lookup returned is a ghost now. Fail the remaining events
+		// instead of mutating a session the store no longer owns.
+		if entry.closed.Load() {
+			_, apiErr := classify(ErrSessionNotFound)
+			out.Results = append(out.Results, SessionEventJSON{Error: &apiErr})
+			continue
+		}
+		res, err := entry.sess.ApplyEventGated(ev, gate)
 		item := SessionEventJSON{Result: res}
 		if err != nil {
 			_, apiErr := classify(err)
@@ -285,6 +388,8 @@ func (st *SessionStore) Events(ctx context.Context, id string, events []reclaim.
 		out.Results = append(out.Results, item)
 	}
 	out.Remaining = entry.sess.Remaining()
+	entry.remaining.Store(int64(out.Remaining))
+	entry.touch(time.Now())
 	out.IncurredEnergy, out.ResidualEnergy = entry.sess.Energy()
 	out.Infeasible = entry.sess.Infeasible()
 	out.Stats = entry.sess.Stats()
@@ -330,13 +435,18 @@ func (st *SessionStore) Schedule(id string) (*SessionScheduleResponse, error) {
 	return resp, nil
 }
 
-// Delete removes a session.
+// Delete removes a session. The entry is marked closed under the store
+// lock, so an event batch that looked the session up before this call
+// fails its remaining events with ErrSessionNotFound instead of mutating
+// a ghost.
 func (st *SessionStore) Delete(id string) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if _, ok := st.sessions[id]; !ok {
+	entry, ok := st.sessions[id]
+	if !ok {
 		return ErrSessionNotFound
 	}
+	entry.closed.Store(true)
 	delete(st.sessions, id)
 	return nil
 }
@@ -377,19 +487,74 @@ func (st *SessionStore) Len() int {
 func (st *SessionStore) lookup(id string) (*sessionEntry, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	now := time.Now()
+	st.maybeSweepLocked(now)
 	entry, ok := st.sessions[id]
 	if !ok {
 		return nil, ErrSessionNotFound
 	}
+	entry.touch(now)
 	return entry, nil
 }
 
+// Stats snapshots the store's lifecycle counters.
+func (st *SessionStore) Stats() SessionStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return SessionStats{
+		Live:            len(st.sessions),
+		Evicted:         st.evictedFinished + st.evictedIdle,
+		EvictedFinished: st.evictedFinished,
+		EvictedIdle:     st.evictedIdle,
+	}
+}
+
+// maybeSweepLocked runs the time-based sweep at most once per sweepEvery:
+// finished sessions past their linger and abandoned sessions past the idle
+// TTL are reclaimed even without capacity pressure. Caller holds st.mu.
+func (st *SessionStore) maybeSweepLocked(now time.Time) {
+	if now.Sub(st.lastSweep) < st.sweepEvery {
+		return
+	}
+	st.sweepLocked(now, false)
+}
+
+// sweepLocked evicts reclaimable sessions: finished ones (immediately
+// under capacity pressure, after FinishedTTL otherwise) and idle ones past
+// IdleTTL. It reads only the entries' atomics — never a session lock, which
+// a long replan may hold — so the store lock is never held hostage by a
+// solver run. Caller holds st.mu.
+func (st *SessionStore) sweepLocked(now time.Time, pressure bool) {
+	st.lastSweep = now
+	for id, e := range st.sessions {
+		idle := e.idle(now)
+		switch {
+		case e.remaining.Load() == 0 && (pressure || idle >= st.cfg.FinishedTTL):
+			e.closed.Store(true)
+			delete(st.sessions, id)
+			st.evictedFinished++
+		case idle >= st.cfg.IdleTTL:
+			e.closed.Store(true)
+			delete(st.sessions, id)
+			st.evictedIdle++
+		}
+	}
+}
+
 // reserve claims a capacity slot by inserting a tombstone-free count check;
-// release undoes a failed creation.
+// release undoes a failed creation. At capacity it sweeps first, so
+// finished and abandoned sessions are reclaimed instead of pinning the
+// store at its limit forever (sustained churn used to end in a permanent
+// 503 once MaxSessions distinct sessions had ever existed).
 func (st *SessionStore) reserve() bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if len(st.sessions)+st.pending >= st.max {
+	now := time.Now()
+	st.maybeSweepLocked(now)
+	if len(st.sessions)+st.pending >= st.cfg.MaxSessions {
+		st.sweepLocked(now, true)
+	}
+	if len(st.sessions)+st.pending >= st.cfg.MaxSessions {
 		return false
 	}
 	st.pending++

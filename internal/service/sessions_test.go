@@ -154,7 +154,7 @@ func TestSessionEventErrorsAreReportedPerEntry(t *testing.T) {
 
 func TestSessionStoreCapacity(t *testing.T) {
 	e := NewEngine(Options{})
-	store := NewSessionStore(e, 2)
+	store := NewSessionStore(e, SessionConfig{MaxSessions: 2})
 	ctx := context.Background()
 	mk := func() (*SessionResponse, error) {
 		var req SessionRequest

@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 # Wall-clock slowdown tolerated by bench-compare before a scenario fails.
 TOLERANCE ?= 2
 
-.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-large bench-service bench-plan loadtest fuzz clean
+.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-large bench-huge bench-service bench-plan loadtest fuzz clean
 
 all: verify
 
@@ -49,9 +49,19 @@ bench-large:
 	$(GO) run ./cmd/energybench -tier large -run '.*' -baseline BENCH_baseline.json \
 		-tolerance $(TOLERANCE) -out BENCH_large.json -compare-out BENCH_large_compare.json
 
+# bench-huge runs the out-of-core tier: 32k–1M-task instances written to
+# disk and solved through the memory-mapped EGRF path, with peak RSS
+# recorded per scenario (peak_rss_bytes). Opt-in — it writes multi-
+# megabyte temp files and holds minute-scale solves, so it is its own CI
+# job, not part of bench-all.
+bench-huge:
+	$(GO) run ./cmd/energybench -tier huge -run '.*' -baseline BENCH_baseline.json \
+		-tolerance $(TOLERANCE) -out BENCH_huge.json -compare-out BENCH_huge_compare.json
+
 # bench-baseline refreshes the committed baseline after an intentional perf
-# change (commit the result). Both tiers: the default registry and the
-# large-N kernel scenarios live in the same BENCH_baseline.json.
+# change (commit the result). Every tier: the default registry, the large-N
+# kernel scenarios, and the out-of-core huge tier all live in the same
+# BENCH_baseline.json.
 bench-baseline:
 	$(GO) run ./cmd/energybench -tier all -run '.*' -out BENCH_baseline.json
 

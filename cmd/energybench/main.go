@@ -19,20 +19,23 @@
 //
 // Slice the registry by tier or family: the default tier is the
 // ~7-second CI table, the large tier holds the 512–4096-task kernel
-// scenarios (make bench-large runs it on its own):
+// scenarios (make bench-large), and the huge tier holds the 32k–1M-task
+// out-of-core instances solved through the memory-mapped EGRF path with
+// peak RSS recorded (make bench-huge):
 //
 //	energybench -tier large -run '.*'
+//	energybench -tier huge -run 'mmap'
 //	energybench -families chain,layered -run 'continuous'
 //
 // Refresh the committed baseline after an intentional perf change (the
-// baseline carries both tiers):
+// baseline carries every tier):
 //
 //	energybench -tier all -run '.*' -out BENCH_baseline.json
 //
 // When gating against a baseline, the baseline is first trimmed to the
 // same (-run, -tier, -families) slice being measured, so a one-tier run
-// against the two-tier baseline doesn't read the other tier as missing
-// coverage.
+// against the multi-tier baseline doesn't read the other tiers as
+// missing coverage.
 package main
 
 import (
@@ -56,9 +59,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("energybench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list       = fs.Bool("list", false, "list the scenario registry (both tiers) and exit")
+		list       = fs.Bool("list", false, "list the scenario registry (every tier) and exit")
 		pattern    = fs.String("run", "", "run the scenarios matching this regexp")
-		tier       = fs.String("tier", benchkit.TierDefault, "registry tier to run: default, large, or all")
+		tier       = fs.String("tier", benchkit.TierDefault, "registry tier to run: default, large, huge, or all")
 		families   = fs.String("families", "", "comma-separated workload families to keep (empty = all)")
 		baseline   = fs.String("baseline", "", "compare the run against this BENCH.json; exit 1 on regression")
 		tolerance  = fs.Float64("tolerance", 2, "wall-clock slowdown factor allowed before a scenario regresses")

@@ -84,14 +84,20 @@
 // exactly the sparsity of the execution graph: the solvers emit
 // constraints in compressed-sparse-row form, the barrier method
 // assembles the Hessian directly in sparse form through scatter maps
-// precomputed at setup, and a sparse LDLᵀ under a reverse Cuthill–McKee
-// fill-reducing ordering factors it with the symbolic analysis
-// (elimination tree, column counts) computed once and reused across
-// all Newton iterations. One Newton step costs O(nnz(L)) instead of the
-// dense path's O(m·n²) assembly plus O(n³) Cholesky, and performs zero
-// heap allocations (workspaces for gradient, slack, direction, and
-// line-search trials are preallocated; a regression test pins the inner
-// loop at 0 allocs/op). The dense kernel remains available behind
+// precomputed at setup, and a sparse LDLᵀ under a fill-reducing
+// ordering factors it with the symbolic analysis (elimination tree,
+// column counts) computed once and reused across all Newton iterations.
+// Two orderings compete at compile time — reverse Cuthill–McKee and
+// graph-bisection nested dissection — and the kernel keeps whichever
+// predicts less symbolic fill for the instance at hand. With
+// ContinuousOptions.Workers > 1 the numeric factorization runs
+// independent elimination-tree subtrees concurrently and stays
+// bit-identical to the sequential result. One Newton step costs
+// O(nnz(L)) instead of the dense path's O(m·n²) assembly plus O(n³)
+// Cholesky, and performs zero heap allocations sequentially or in
+// parallel (workspaces for gradient, slack, direction, and line-search
+// trials are preallocated; a regression test pins the inner loop at 0
+// allocs/op). The dense kernel remains available behind
 // ContinuousOptions{DenseKernel: true} as the reference oracle the
 // property suite checks the sparse path against (equal to 1e-9 across
 // all workload families and solve-option variants). In practice this
@@ -169,9 +175,13 @@
 // energybench/v1 addition; baselines predating it compare cleanly), and
 // the registry is tiered: the default tier is the fast CI table, the
 // large tier pins the sparse interior-point kernel on 128–4096-task
-// instances. `energybench -list` prints the registry; `make
-// bench-compare` runs the default gate and `make bench-large` the
-// large-N gate locally.
+// instances, and the huge tier generates 32k–1M-task instances straight
+// to disk and solves them through the memory-mapped EGRF path
+// (internal/graph.Mapped + internal/core.SolveMappedContinuous),
+// recording peak RSS per scenario so the out-of-core claim stays
+// measured, not asserted. `energybench -list` prints the registry;
+// `make bench-compare` runs the default gate, `make bench-large` the
+// large-N gate, and `make bench-huge` the out-of-core tier locally.
 //
 // Everything is pure Go, standard library only. The experiment harness in
 // cmd/experiments regenerates the comparative study described in DESIGN.md

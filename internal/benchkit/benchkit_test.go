@@ -182,7 +182,7 @@ func TestSelectSlicesByTierAndFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := len(Registry()) + len(RegistryLarge()); len(all) != want {
+	if want := len(Registry()) + len(RegistryLarge()) + len(RegistryHuge()); len(all) != want {
 		t.Fatalf("TierAll selected %d scenarios, want %d", len(all), want)
 	}
 	def, err := Select(".*", TierDefault, nil)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package benchkit
+
+const raceEnabled = false

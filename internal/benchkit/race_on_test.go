@@ -1,0 +1,7 @@
+//go:build race
+
+package benchkit
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose 5–20× slowdown makes wall-clock assertions meaningless.
+const raceEnabled = true

@@ -173,7 +173,39 @@ func RegistryLarge() []Scenario {
 	}
 }
 
-// FullRegistry returns both tiers in run order: default, then large.
+// RegistryHuge returns the out-of-core tier: 32k–1M-task instances
+// generated straight to disk and solved through the memory-mapped EGRF
+// path (make bench-huge). These scenarios never materialize their
+// graphs — build streams the instance file, each rep classifies and
+// solves from the mapping, and the recorded peak_rss_bytes is the
+// number the tier exists to bound. One conventional in-memory scenario
+// (layered-8192) rides along as the largest instance the interior-point
+// kernel is asked to hold in RAM, for the complexity table's top row.
+func RegistryHuge() []Scenario {
+	huge := func(s Scenario) Scenario {
+		s.Tier = TierHuge
+		s.Warmup = 1
+		s.Reps = 2
+		return s
+	}
+	return []Scenario{
+		// Chains at 256k and 1M tasks: pure streaming — union-find
+		// classification plus the Theorem 1 closed form, ~12 bytes of
+		// state per task, no Graph ever built.
+		huge(Scenario{Name: "chain-262144-continuous-mmap", Family: "chain", N: 262144, Seed: 60, Model: contModel, Path: PathDirect, Mmap: true}),
+		huge(Scenario{Name: "chain-1048576-continuous-mmap", Family: "chain", N: 1048576, Seed: 61, Model: contModel, Path: PathDirect, Mmap: true}),
+		// 2048 disconnected layered components (~41k tasks): every
+		// component fails the chain test, so this measures the
+		// classify-then-materialize path — per-component lifting into the
+		// numeric solver with the mapping as the only whole-instance copy.
+		huge(Scenario{Name: "multi-2048-continuous-mmap", Family: "multi", N: 2048, Seed: 62, Model: contModel, Path: PathDirect, Mmap: true}),
+		// The in-memory ceiling: one connected 8192-task layered DAG
+		// through the parallel sparse interior-point kernel.
+		huge(Scenario{Name: "layered-8192-continuous-direct", Family: "layered", N: 8192, Seed: 63, Model: contModel, Path: PathDirect}),
+	}
+}
+
+// FullRegistry returns every tier in run order: default, large, huge.
 func FullRegistry() []Scenario {
-	return append(Registry(), RegistryLarge()...)
+	return append(append(Registry(), RegistryLarge()...), RegistryHuge()...)
 }

@@ -71,6 +71,12 @@ type Result struct {
 	// everything the operation caused, concurrent helpers included).
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
+	// PeakRSSBytes is the process resident-set high-water mark over the
+	// measured loop (Linux VmHWM, reset per scenario), the footprint
+	// number the huge tier's out-of-core scenarios exist to bound. Like
+	// the other memory fields it is additive and informational: absent on
+	// platforms without /proc, never part of the pass/fail verdict.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Report is the canonical BENCH.json document: schema tag, the runtime

@@ -60,6 +60,7 @@ func Run(s Scenario, opts Options) (*Result, error) {
 	// stays outside every timed sample.
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	resetPeakRSS()
 	samples := make([]float64, reps)
 	for i := range samples {
 		start := time.Now()
@@ -91,6 +92,8 @@ func Run(s Scenario, opts Options) (*Result, error) {
 
 		AllocsPerOp: (m1.Mallocs - m0.Mallocs) / uint64(reps),
 		BytesPerOp:  (m1.TotalAlloc - m0.TotalAlloc) / uint64(reps),
+
+		PeakRSSBytes: peakRSSBytes(),
 	}
 	if s.Path == PathService {
 		res.Clients = s.clients()
@@ -152,11 +155,11 @@ func selector(pattern, tier string, families []string) (func(name, tier, family 
 		return nil, fmt.Errorf("benchkit: bad scenario pattern: %w", err)
 	}
 	switch tier {
-	case TierDefault, TierLarge, TierAll:
+	case TierDefault, TierLarge, TierHuge, TierAll:
 	case "":
 		tier = TierDefault
 	default:
-		return nil, fmt.Errorf("benchkit: unknown tier %q (want %s, %s, or %s)", tier, TierDefault, TierLarge, TierAll)
+		return nil, fmt.Errorf("benchkit: unknown tier %q (want %s, %s, %s, or %s)", tier, TierDefault, TierLarge, TierHuge, TierAll)
 	}
 	var famSet map[string]bool
 	if len(families) > 0 {

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/plan"
 	"repro/internal/reclaim"
 	"repro/internal/service"
@@ -51,11 +53,14 @@ const (
 // Registry tiers. The default tier is the ~7-second table every CI run
 // measures; the large tier holds the 512–4096-task instances that pin
 // the sparse interior-point kernel's asymptotics and runs as its own
-// make target (bench-large).
+// make target (bench-large); the huge tier holds the 32k–1M-task
+// out-of-core instances behind make bench-huge, disk-generated and
+// solved through the memory-mapped EGRF path with peak RSS recorded.
 const (
 	TierDefault = "default"
 	TierLarge   = "large"
-	TierAll     = "all" // Select only: both tiers
+	TierHuge    = "huge"
+	TierAll     = "all" // Select only: every tier
 )
 
 // Scenario is one named benchmark workload. Scenarios are pure data —
@@ -82,6 +87,13 @@ type Scenario struct {
 	Tier string
 	// Slack stretches the minimal feasible deadline (default 1.4).
 	Slack float64
+
+	// Mmap routes the scenario through the out-of-core path: the
+	// instance is written to a temporary EGRF file at build time (never
+	// materialized as an in-memory Graph — that is the point) and each
+	// rep solves it with core.SolveMappedContinuous straight from the
+	// mapping. Only valid with PathDirect and the continuous model.
+	Mmap bool
 
 	// ForceNumeric bypasses the continuous dispatcher's structure
 	// routing on the direct path and calls the interior-point kernel
@@ -163,6 +175,9 @@ func (s Scenario) build() (*runnable, error) {
 	mdl, err := s.Model.Build()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Mmap {
+		return s.buildMmap(mdl.SMax)
 	}
 	g, err := workload.FromSeed(s.Family, s.N, s.Seed, 0.5, 3)
 	if err != nil {
@@ -260,6 +275,56 @@ func (s Scenario) build() (*runnable, error) {
 		}
 	default:
 		return nil, fmt.Errorf("scenario %s: unknown path %q", s.Name, s.Path)
+	}
+	return r, nil
+}
+
+// buildMmap writes the instance to a temporary EGRF file and binds a rep
+// that solves it out-of-core. Generation streams to disk (chains never
+// exist in memory at all), the mapping stays open across reps, and the
+// file is removed on close.
+func (s Scenario) buildMmap(smax float64) (*runnable, error) {
+	if s.Path != PathDirect || s.Model.Kind != "continuous" {
+		return nil, fmt.Errorf("scenario %s: Mmap requires the direct path and the continuous model", s.Name)
+	}
+	f, err := os.CreateTemp("", "energybench-*.egrf")
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	path := f.Name()
+	f.Close()
+	cleanup := func() { os.Remove(path) }
+	if err := workload.WriteInstanceFile(path, s.Family, s.N, s.Seed, 0.5, 3); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	mg, err := graph.OpenMapped(path)
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	dmin, err := core.MappedMinimalDeadline(mg, smax)
+	if err != nil {
+		mg.Close()
+		cleanup()
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	deadline := dmin * s.slack()
+	r := &runnable{
+		tasks:    mg.N(),
+		edges:    mg.M(),
+		deadline: deadline,
+		close: func() {
+			mg.Close()
+			cleanup()
+		},
+	}
+	r.rep = func() (float64, error) {
+		res, err := core.SolveMappedContinuous(mg, deadline, smax, core.ContinuousOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Energy, nil
 	}
 	return r, nil
 }

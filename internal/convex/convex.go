@@ -36,6 +36,17 @@ type Objective interface {
 	Hessian(x linalg.Vector, h *linalg.Matrix)
 }
 
+// Ordering re-exports the fill-reducing ordering choice of the sparse
+// kernel so callers above convex need not import linalg.
+type Ordering = linalg.Ordering
+
+// Re-exported ordering constants (see internal/linalg/order.go).
+const (
+	OrderAuto = linalg.OrderAuto
+	OrderRCM  = linalg.OrderRCM
+	OrderND   = linalg.OrderND
+)
+
 // Options tunes the barrier method.
 type Options struct {
 	// Tol is the duality-gap tolerance m/t at which the outer loop stops.
@@ -49,6 +60,24 @@ type Options struct {
 	Mu float64
 	// T0 is the initial barrier weight. Zero means 1.
 	T0 float64
+	// AutoT0 estimates the initial barrier weight from the least-squares
+	// centrality of x0 — the t for which x0 best matches a central point,
+	// t* = −⟨∇f,∇φ⟩/⟨∇f,∇f⟩ — instead of starting at 1. Warm starts
+	// near the optimum then skip most outer stages; at a generic cold
+	// start the estimate is small and clamps back to 1, leaving the path
+	// unchanged. An explicit nonzero T0 wins over the estimate.
+	AutoT0 bool
+	// Workers caps the parallelism of the sparse kernel (factorization,
+	// constraint assembly, mat-vec and barrier loops). 0 selects
+	// automatically: GOMAXPROCS capped at 8, and only for systems with at
+	// least sparseParallelMinVars variables — smaller systems stay on the
+	// exact sequential path. 1 or negative forces sequential. The dense
+	// path ignores it.
+	Workers int
+	// Ordering forces the sparse kernel's fill-reducing ordering;
+	// OrderAuto (zero) picks the cheaper of RCM and nested dissection by
+	// symbolic factor size. The dense path ignores it.
+	Ordering Ordering
 }
 
 // Result reports the outcome of Minimize.
@@ -119,6 +148,27 @@ func Minimize(f Objective, a *linalg.Matrix, b linalg.Vector, x0 linalg.Vector, 
 		ts:    linalg.NewVector(m),
 	}
 
+	if opts.AutoT0 && opts.T0 == 0 && m > 0 {
+		// grad ← ∇f(x0), dir ← ∇φ(x0) = Σ aᵢ/sᵢ (both still scratch here).
+		f.Gradient(x, grad)
+		for i := 0; i < m; i++ {
+			row := a.Row(i)
+			inv := 1 / slack[i]
+			for j := 0; j < n; j++ {
+				dir[j] += row[j] * inv
+			}
+		}
+		num, den := 0.0, 0.0
+		for j := 0; j < n; j++ {
+			num -= grad[j] * dir[j]
+			den += grad[j] * grad[j]
+		}
+		t = clampT0(num/den, m, tol)
+		for j := range dir {
+			dir[j] = 0
+		}
+	}
+
 	for outer := 0; outer < maxOuter; outer++ {
 		res.OuterStages++
 		// Centering: Newton on  t·f(x) + φ(x),  φ = -Σ log(bᵢ - aᵢᵀx).
@@ -151,6 +201,20 @@ func Minimize(f Objective, a *linalg.Matrix, b linalg.Vector, x0 linalg.Vector, 
 	res.X = x
 	res.Value = f.Value(x)
 	return res, nil
+}
+
+// clampT0 bounds the AutoT0 centrality estimate: non-finite or sub-unit
+// estimates fall back to the classical start t=1, and the upper clamp
+// keeps at least a few outer stages so the final gap certificate m/t is
+// still driven below tol by centering rather than assumed.
+func clampT0(t float64, m int, tol float64) float64 {
+	if !(t > 1) { // catches NaN, ±Inf from a zero gradient, and t ≤ 1
+		return 1
+	}
+	if hi := 0.1 * float64(m) / tol; t > hi {
+		return hi
+	}
+	return t
 }
 
 func computeSlack(a *linalg.Matrix, b, x, slack linalg.Vector) {

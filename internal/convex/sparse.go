@@ -3,6 +3,9 @@ package convex
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/linalg"
 )
@@ -19,6 +22,14 @@ import (
 // and factors it with the cached-symbolic LDLᵀ of internal/linalg: one
 // Newton iteration costs O(nnz(L)) and performs zero heap allocations,
 // against the dense path's O(m·n²) assembly and O(n³) factorization.
+//
+// With Options.Workers > 1 the per-iteration loops also run sharded on
+// the shared linalg pool: the constraint mat-vecs (slack, A·dir) split
+// by row range and stay bitwise identical to the sequential loop (rows
+// are independent), and the gradient/Hessian assembly accumulates into
+// per-worker partials reduced in fixed worker order — deterministic for
+// a fixed worker count. All per-worker workspaces are allocated once at
+// setup, preserving the zero-allocation steady state.
 
 // DiagObjective is a twice-differentiable convex function with a
 // diagonal Hessian — the separable objectives of the energy programs.
@@ -29,6 +40,41 @@ type DiagObjective interface {
 	Gradient(x, g linalg.Vector)
 	// HessianDiag writes the diagonal of ∇²f(x) into h.
 	HessianDiag(x, h linalg.Vector)
+}
+
+const (
+	// sparseParallelMinVars is the variable count below which automatic
+	// worker selection stays sequential: dispatch overhead beats the win,
+	// and the AllocsPerRun pin covers the exact sequential path.
+	sparseParallelMinVars = 2048
+	// sparseParallelMaxWorkers caps automatic worker selection.
+	sparseParallelMaxWorkers = 8
+	// barrierParallelMinRows is the constraint count below which the
+	// line-search barrier evaluation stays sequential even when workers
+	// are available.
+	barrierParallelMinRows = 4096
+)
+
+// resolveWorkers maps Options.Workers to an effective worker count for a
+// system with n variables.
+func resolveWorkers(opts Options, n int) int {
+	w := opts.Workers
+	if w == 1 || w < 0 {
+		return 1
+	}
+	if w == 0 {
+		if n < sparseParallelMinVars {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+		if w > sparseParallelMaxWorkers {
+			w = sparseParallelMaxWorkers
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // sparseSolver holds the compiled problem structure and every workspace
@@ -58,14 +104,34 @@ type sparseSolver struct {
 	slack linalg.Vector
 	adir  linalg.Vector
 	trial linalg.Vector
-	ts    linalg.Vector // trial slack
+
+	// Parallel state (workers > 1); see the package comment. rowPtr holds
+	// the fixed row-shard boundaries (len workers+1). The mv/asm/bar task
+	// lists and their closures are created once at setup; per-call inputs
+	// travel through the cur* fields set before RunTasks.
+	workers  int
+	rowPtr   []int
+	gradW    []linalg.Vector // per-worker gradient partials
+	hvW      [][]float64     // per-worker Hessian value partials
+	phiW     []float64       // per-worker barrier partial sums
+	mvTasks  []*linalg.PoolTask
+	asmTasks []*linalg.PoolTask
+	barTasks []*linalg.PoolTask
+	wg       sync.WaitGroup
+	mvX      linalg.Vector // mat-vec input
+	mvDst    linalg.Vector // mat-vec output
+	mvSub    bool          // true: dst = b − A·x, false: dst = A·x
+	curT     float64       // barrier weight for the assembly/barrier tasks
+	curStep  float64       // line-search step for the barrier tasks
+	fail     atomic.Bool
 }
 
 // newSparseSolver compiles the problem: Hessian pattern, fill-reducing
-// ordering, symbolic factorization, scatter maps, and workspaces. The
-// result is reusable across Minimize calls on the same (f, a, b).
-func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int) *sparseSolver {
-	s := &sparseSolver{f: f, a: a, b: b, n: n}
+// ordering, symbolic factorization, scatter maps, workspaces, and (for
+// workers > 1) the per-worker shards and task closures. The result is
+// reusable across minimize calls on the same (f, a, b).
+func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int, opts Options) *sparseSolver {
+	s := &sparseSolver{f: f, a: a, b: b, n: n, workers: resolveWorkers(opts, n)}
 	sb := linalg.NewSymBuilder(n)
 	if a != nil {
 		s.m = a.Rows
@@ -77,7 +143,7 @@ func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int) *sp
 			}
 		}
 	}
-	s.h = sb.Compile()
+	s.h = sb.CompileOpts(linalg.CompileOptions{Ordering: opts.Ordering, Workers: s.workers})
 
 	if a != nil {
 		s.pairPtr = make([]int, a.Rows+1)
@@ -110,16 +176,113 @@ func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int) *sp
 	s.slack = linalg.NewVector(s.m)
 	s.adir = linalg.NewVector(s.m)
 	s.trial = linalg.NewVector(n)
-	s.ts = linalg.NewVector(s.m)
+
+	if s.workers > 1 && s.m > 0 {
+		w := s.workers
+		s.rowPtr = make([]int, w+1)
+		for i := 0; i <= w; i++ {
+			s.rowPtr[i] = i * s.m / w
+		}
+		s.gradW = make([]linalg.Vector, w)
+		s.hvW = make([][]float64, w)
+		s.phiW = make([]float64, w)
+		for i := 0; i < w; i++ {
+			i := i
+			s.gradW[i] = linalg.NewVector(n)
+			s.hvW[i] = make([]float64, len(s.h.Val))
+			s.mvTasks = append(s.mvTasks, &linalg.PoolTask{Fn: func() { s.mvShard(i) }})
+			s.asmTasks = append(s.asmTasks, &linalg.PoolTask{Fn: func() { s.asmShard(i) }})
+			s.barTasks = append(s.barTasks, &linalg.PoolTask{Fn: func() { s.barShard(i) }})
+		}
+	}
 	return s
+}
+
+// mvShard computes rows [rowPtr[w], rowPtr[w+1]) of the current mat-vec:
+// per-row dot products in ascending index order, so the result is
+// bitwise identical to the sequential computation.
+func (s *sparseSolver) mvShard(w int) {
+	a, x := s.a, s.mvX
+	for i := s.rowPtr[w]; i < s.rowPtr[w+1]; i++ {
+		sum := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			sum += a.Val[p] * x[a.Col[p]]
+		}
+		if s.mvSub {
+			s.mvDst[i] = s.b[i] - sum
+		} else {
+			s.mvDst[i] = sum
+		}
+	}
 }
 
 // computeSlack fills slack = b − A·x.
 func (s *sparseSolver) computeSlack(x, slack linalg.Vector) {
+	if s.mvTasks != nil {
+		s.mvX, s.mvDst, s.mvSub = x, slack, true
+		linalg.RunTasks(s.mvTasks, &s.wg)
+		return
+	}
 	s.a.MulVec(x, slack)
 	for i := range slack {
 		slack[i] = s.b[i] - slack[i]
 	}
+}
+
+// mulA fills dst = A·x.
+func (s *sparseSolver) mulA(x, dst linalg.Vector) {
+	if s.mvTasks != nil {
+		s.mvX, s.mvDst, s.mvSub = x, dst, false
+		linalg.RunTasks(s.mvTasks, &s.wg)
+		return
+	}
+	s.a.MulVec(x, dst)
+}
+
+// asmShard accumulates the barrier gradient and Hessian contributions of
+// its row shard into this worker's partials. Slack must already hold
+// b − A·x; a non-positive entry flips fail and aborts the shard.
+func (s *sparseSolver) asmShard(w int) {
+	a := s.a
+	gw := s.gradW[w]
+	for j := range gw {
+		gw[j] = 0
+	}
+	hw := s.hvW[w]
+	for k := range hw {
+		hw[k] = 0
+	}
+	for i := s.rowPtr[w]; i < s.rowPtr[w+1]; i++ {
+		si := s.slack[i]
+		if si <= 0 {
+			s.fail.Store(true)
+			return
+		}
+		inv := 1 / si
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			gw[a.Col[p]] += a.Val[p] * inv
+		}
+		ww := inv * inv
+		for k := s.pairPtr[i]; k < s.pairPtr[i+1]; k++ {
+			hw[s.pairSlot[k]] += ww * s.pairProd[k]
+		}
+	}
+}
+
+// barShard evaluates the barrier sum −Σ log(sᵢ − step·(A·dir)ᵢ) over its
+// row shard into phiW[w]; a non-positive trial slack flips fail.
+func (s *sparseSolver) barShard(w int) {
+	step := s.curStep
+	phi := 0.0
+	for i := s.rowPtr[w]; i < s.rowPtr[w+1]; i++ {
+		ts := s.slack[i] - step*s.adir[i]
+		if ts <= 0 {
+			s.fail.Store(true)
+			return
+		}
+		phi -= math.Log(ts)
+	}
+	s.phiW[w] = phi
 }
 
 // newtonStep assembles the gradient and sparse Hessian of t·f + φ at x
@@ -136,18 +299,42 @@ func (s *sparseSolver) newtonStep(x linalg.Vector, t float64) (float64, error) {
 	}
 	if s.a != nil {
 		s.computeSlack(x, s.slack)
-		for i := 0; i < s.m; i++ {
-			si := s.slack[i]
-			if si <= 0 {
-				return 0, fmt.Errorf("%w: slack %d non-positive during centering", ErrNumerical, i)
+		if s.asmTasks != nil {
+			s.fail.Store(false)
+			linalg.RunTasks(s.asmTasks, &s.wg)
+			if s.fail.Load() {
+				for i := 0; i < s.m; i++ {
+					if s.slack[i] <= 0 {
+						return 0, fmt.Errorf("%w: slack %d non-positive during centering", ErrNumerical, i)
+					}
+				}
 			}
-			inv := 1 / si
-			for p := s.a.RowPtr[i]; p < s.a.RowPtr[i+1]; p++ {
-				s.grad[s.a.Col[p]] += s.a.Val[p] * inv
+			// Reduce the per-worker partials in fixed worker order —
+			// deterministic for a fixed worker count.
+			for w := 0; w < len(s.gradW); w++ {
+				gw := s.gradW[w]
+				for j := 0; j < s.n; j++ {
+					s.grad[j] += gw[j]
+				}
+				hw := s.hvW[w]
+				for k := range hw {
+					hv[k] += hw[k]
+				}
 			}
-			w := inv * inv
-			for k := s.pairPtr[i]; k < s.pairPtr[i+1]; k++ {
-				hv[s.pairSlot[k]] += w * s.pairProd[k]
+		} else {
+			for i := 0; i < s.m; i++ {
+				si := s.slack[i]
+				if si <= 0 {
+					return 0, fmt.Errorf("%w: slack %d non-positive during centering", ErrNumerical, i)
+				}
+				inv := 1 / si
+				for p := s.a.RowPtr[i]; p < s.a.RowPtr[i+1]; p++ {
+					s.grad[s.a.Col[p]] += s.a.Val[p] * inv
+				}
+				w := inv * inv
+				for k := s.pairPtr[i]; k < s.pairPtr[i+1]; k++ {
+					hv[s.pairSlot[k]] += w * s.pairProd[k]
+				}
 			}
 		}
 	}
@@ -161,17 +348,37 @@ func (s *sparseSolver) newtonStep(x linalg.Vector, t float64) (float64, error) {
 	return s.grad.Norm2(), nil
 }
 
-// barrierVal evaluates t·f + φ at y, using the trial-slack workspace.
-func (s *sparseSolver) barrierVal(y linalg.Vector, t float64) float64 {
-	v := t * s.f.Value(y)
-	if s.a != nil {
-		s.computeSlack(y, s.ts)
-		for i := range s.ts {
-			if s.ts[i] <= 0 {
-				return math.Inf(1)
-			}
-			v -= math.Log(s.ts[i])
+// trialBarrier evaluates t·f + φ at x + step·dir using the slack and
+// A·dir vectors already computed by the line search: the trial slack is
+// slack − step·(A·dir), so backtracking never re-runs the constraint
+// mat-vec. step 0 evaluates the current point.
+func (s *sparseSolver) trialBarrier(x linalg.Vector, step, t float64) float64 {
+	copy(s.trial, x)
+	if step != 0 {
+		s.trial.AddScaled(step, s.dir)
+	}
+	v := t * s.f.Value(s.trial)
+	if s.a == nil {
+		return v
+	}
+	if s.barTasks != nil && s.m >= barrierParallelMinRows {
+		s.fail.Store(false)
+		s.curStep = step
+		linalg.RunTasks(s.barTasks, &s.wg)
+		if s.fail.Load() {
+			return math.Inf(1)
 		}
+		for _, phi := range s.phiW {
+			v += phi
+		}
+		return v
+	}
+	for i := 0; i < s.m; i++ {
+		ts := s.slack[i] - step*s.adir[i]
+		if ts <= 0 {
+			return math.Inf(1)
+		}
+		v -= math.Log(ts)
 	}
 	return v
 }
@@ -186,7 +393,7 @@ func (s *sparseSolver) lineSearch(x linalg.Vector, t float64) bool {
 	)
 	step := 1.0
 	if s.a != nil {
-		s.a.MulVec(s.dir, s.adir)
+		s.mulA(s.dir, s.adir)
 		s.computeSlack(x, s.slack)
 		for i := range s.adir {
 			if s.adir[i] > 0 {
@@ -200,19 +407,39 @@ func (s *sparseSolver) lineSearch(x linalg.Vector, t float64) bool {
 	if step <= 0 || math.IsNaN(step) {
 		return false
 	}
-	v0 := s.barrierVal(x, t)
+	v0 := s.trialBarrier(x, 0, t)
 	slope := s.grad.Dot(s.dir)
 	for k := 0; k < 60; k++ {
-		copy(s.trial, x)
-		s.trial.AddScaled(step, s.dir)
-		v := s.barrierVal(s.trial, t)
+		v := s.trialBarrier(x, step, t)
 		if v <= v0+alpha*step*slope && !math.IsNaN(v) {
-			copy(x, s.trial)
+			copy(x, s.trial) // trialBarrier left x + step·dir here
 			return true
 		}
 		step *= beta
 	}
 	return false
+}
+
+// estimateT0 returns the AutoT0 barrier weight at x: the least-squares
+// fit of t·∇f(x) + ∇φ(x) ≈ 0, clamped by clampT0. s.slack must already
+// hold the (strictly positive) slack at x. Uses s.rhs as scratch.
+func (s *sparseSolver) estimateT0(x linalg.Vector, tol float64) float64 {
+	s.f.Gradient(x, s.grad)
+	for j := 0; j < s.n; j++ {
+		s.rhs[j] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		inv := 1 / s.slack[i]
+		for p := s.a.RowPtr[i]; p < s.a.RowPtr[i+1]; p++ {
+			s.rhs[s.a.Col[p]] += s.a.Val[p] * inv
+		}
+	}
+	num, den := 0.0, 0.0
+	for j := 0; j < s.n; j++ {
+		num -= s.grad[j] * s.rhs[j]
+		den += s.grad[j] * s.grad[j]
+	}
+	return clampT0(num/den, s.m, tol)
 }
 
 // minimize runs the path-following barrier method from the strictly
@@ -244,6 +471,9 @@ func (s *sparseSolver) minimize(x0 linalg.Vector, opts Options) (*Result, error)
 		s.computeSlack(x, s.slack)
 		if s.slack.Min() <= 0 {
 			return nil, fmt.Errorf("%w (min slack %g)", ErrInfeasibleStart, s.slack.Min())
+		}
+		if opts.AutoT0 && opts.T0 == 0 {
+			t = s.estimateT0(x, tol)
 		}
 	}
 	res := &Result{}
@@ -285,7 +515,9 @@ func (s *sparseSolver) minimize(x0 linalg.Vector, opts Options) (*Result, error)
 // setup compiles the Hessian pattern, a fill-reducing ordering, and the
 // symbolic factorization once, after which every Newton iteration runs
 // allocation-free. a may be nil (unconstrained Newton on a separable
-// objective).
+// objective). Options.Workers > 1 (or 0 on a large enough system with
+// GOMAXPROCS > 1) runs the factorization and per-iteration loops on the
+// shared worker pool; concurrent SparseMinimize calls are independent.
 func SparseMinimize(f DiagObjective, a *linalg.CSR, b linalg.Vector, x0 linalg.Vector, opts Options) (*Result, error) {
 	n := len(x0)
 	if a != nil {
@@ -293,5 +525,5 @@ func SparseMinimize(f DiagObjective, a *linalg.CSR, b linalg.Vector, x0 linalg.V
 			return nil, ErrDimension
 		}
 	}
-	return newSparseSolver(f, a, b, n).minimize(x0, opts)
+	return newSparseSolver(f, a, b, n, opts).minimize(x0, opts)
 }

@@ -154,7 +154,7 @@ func TestNewtonInnerLoopZeroAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	n := 24
 	f, _, sa, b, x0 := randomChainProgram(rng, n)
-	s := newSparseSolver(f, sa, b, n)
+	s := newSparseSolver(f, sa, b, n, Options{})
 	x := x0.Clone()
 	// Warm the path: one full minimize pass compiles nothing new (setup
 	// happened in newSparseSolver) but settles x near the central path.

@@ -49,6 +49,14 @@ type ContinuousOptions struct {
 	// property suite checks the sparse path against; production solves
 	// should leave it false.
 	DenseKernel bool
+	// Workers caps the parallelism of the sparse kernel (elimination-tree
+	// factorization, constraint assembly, mat-vec loops). 0 selects
+	// automatically by system size and GOMAXPROCS; 1 or negative forces
+	// the sequential path (the bisection knob). See convex.Options.
+	Workers int
+	// Ordering forces the sparse kernel's fill-reducing ordering; the
+	// zero value picks the cheaper of RCM and nested dissection.
+	Ordering convex.Ordering
 }
 
 // energyObjective is Σ wᵢ³/dᵢ² over x = (t₁..tₙ, d₁..dₙ); the t-part does
@@ -198,7 +206,22 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	// sparse row form: every row has at most three nonzeros, so the CSR
 	// emission is what lets the barrier method keep the execution graph's
 	// sparsity all the way into its Newton systems.
+	//
+	// Dense DAGs (m > 2n) usually carry transitively implied precedences:
+	// u→v alongside u→w→v. Every duration is strictly positive (d_w ≥
+	// w_w/sCap > 0), so the u→v row is strictly implied by the u→w and
+	// w→v rows and the transitive reduction defines the same feasible set
+	// with fewer barrier terms; Stats.PrecedenceRowsDropped records the
+	// reduction. Sparse graphs skip the O(n·m) reduction cost.
 	edges := p.G.Edges()
+	rowsDropped := 0
+	if len(edges) > 2*n {
+		if reduced, rerr := p.G.TransitiveReduction(); rerr == nil {
+			redEdges := reduced.Edges()
+			rowsDropped = len(edges) - len(redEdges)
+			edges = redEdges
+		}
+	}
 	rows := len(edges) + 3*n
 	if hi != nil {
 		rows += n
@@ -257,6 +280,7 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	// strictly slack. Release-dominated paths scale sublinearly in the
 	// durations, so both inflations remain valid with rn present.
 	x0 := p.warmStartPoint(opts.Warm, wn, lo, hi, rn)
+	warmStarted := x0 != nil
 	if x0 == nil {
 		mstar, err := p.G.MakespanFrom(lo, rn)
 		if err != nil {
@@ -296,7 +320,16 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	obj := &energyObjective{w: wn, n: n}
 	// The duality gap bound is m/t in the barrier method; request it small
 	// relative to the objective scale (normalized energies are O(1)).
-	copts := convex.Options{Tol: tol * math.Max(1, obj.Value(x0))}
+	// Warm starts begin next to the optimum, so AutoT0 lets the barrier
+	// weight start at the point's own centrality instead of re-walking
+	// the whole path from t=1 — that is what makes a warm re-solve
+	// cheaper than a cold one.
+	copts := convex.Options{
+		Tol:      tol * math.Max(1, obj.Value(x0)),
+		AutoT0:   warmStarted,
+		Workers:  opts.Workers,
+		Ordering: opts.Ordering,
+	}
 	var res *convex.Result
 	if opts.DenseKernel {
 		res, err = convex.Minimize(obj, a.Dense(), b, x0, copts)
@@ -324,10 +357,11 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 		return nil, err
 	}
 	sol, err := p.solutionFromSpeedsAt(m, speeds, release, Stats{
-		Algorithm:   "continuous-interior-point",
-		Newton:      res.Newton,
-		Exact:       true, // up to the numeric gap
-		BoundFactor: 1,
+		Algorithm:             "continuous-interior-point",
+		Newton:                res.Newton,
+		Exact:                 true, // up to the numeric gap
+		BoundFactor:           1,
+		PrecedenceRowsDropped: rowsDropped,
 	})
 	if err != nil {
 		return nil, err

@@ -85,6 +85,11 @@ type Stats struct {
 	// BoundFactor is the a-priori approximation guarantee for approximate
 	// algorithms (1 for exact ones).
 	BoundFactor float64
+	// PrecedenceRowsDropped counts transitively implied precedence rows
+	// removed before constraint assembly (continuous numeric on dense
+	// DAGs). The feasible set is unchanged; the barrier just carries
+	// fewer terms.
+	PrecedenceRowsDropped int
 }
 
 // Solution is a feasible (or optimal) answer to MinEnergy for some model.

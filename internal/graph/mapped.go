@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"syscall"
+)
+
+// Memory-mapped on-disk instance format, for graphs larger than RAM.
+//
+// Layout ("EGRF" version 1):
+//
+//	offset 0:  magic "EGRF" (4 bytes)
+//	offset 4:  format version, uint32 big-endian (currently 1)
+//	offset 8:  the graph's CanonicalBytes, verbatim:
+//	           n (uint32 BE), m (uint32 BE),
+//	           n × weight (IEEE-754 bits, uint64 BE, task-ID order),
+//	           m × edge (uint64 BE: u<<32 | v, sorted ascending)
+//
+// The body being exactly CanonicalBytes is the point of the format: a
+// mapped instance has the same canonical-hash identity as its in-memory
+// twin without materializing anything — Fingerprint() hashes the mapping
+// directly, so the service cache, the planner, and the reclaim session
+// store all key mapped and in-memory instances identically. Version
+// bumps (new sections, compression) must keep offset 8 as the canonical
+// body or give up that property explicitly.
+//
+// Readers access weights and edges through the mapping with fixed-width
+// big-endian loads; nothing is decoded up front, so opening a
+// multi-gigabyte instance costs one mmap syscall and peak RSS stays at
+// whatever the access pattern actually touches.
+
+// MappedMagic is the four-byte file signature of the format.
+const MappedMagic = "EGRF"
+
+// MappedVersion is the current format version.
+const MappedVersion = 1
+
+// mappedHeaderLen is the byte offset of the canonical body.
+const mappedHeaderLen = 8
+
+// Errors returned by OpenMapped.
+var (
+	ErrMappedFormat  = errors.New("graph: not an EGRF instance file")
+	ErrMappedVersion = errors.New("graph: unsupported EGRF version")
+)
+
+// Mapped is a read-only execution-graph instance backed by a
+// memory-mapped file. The zero value is not usable; open with
+// OpenMapped. Close releases the mapping.
+type Mapped struct {
+	data   []byte // whole file (mmap or, on fallback, heap)
+	body   []byte // canonical bytes: data[mappedHeaderLen:]
+	n, m   int
+	mapped bool // true when data is an actual mmap
+}
+
+// OpenMapped maps the instance file at path. The file stays mapped (and
+// must stay unmodified) until Close. When mmap is unavailable the whole
+// file is read into memory instead — identical semantics, no RSS bound.
+func OpenMapped(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < mappedHeaderLen+8 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrMappedFormat, size)
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("%w: file too large to map", ErrMappedFormat)
+	}
+	var data []byte
+	mapped := true
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fallback: plain read. Keeps odd filesystems working; large
+		// instances lose the RSS bound but nothing else.
+		mapped = false
+		data = make([]byte, size)
+		if _, err := io.ReadFull(f, data); err != nil {
+			return nil, err
+		}
+	}
+	g := &Mapped{data: data, mapped: mapped}
+	if err := g.validate(); err != nil {
+		g.Close()
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *Mapped) validate() error {
+	if string(g.data[:4]) != MappedMagic {
+		return ErrMappedFormat
+	}
+	if v := binary.BigEndian.Uint32(g.data[4:8]); v != MappedVersion {
+		return fmt.Errorf("%w: %d", ErrMappedVersion, v)
+	}
+	g.body = g.data[mappedHeaderLen:]
+	if len(g.body) < 8 {
+		return fmt.Errorf("%w: truncated body", ErrMappedFormat)
+	}
+	g.n = int(binary.BigEndian.Uint32(g.body[0:4]))
+	g.m = int(binary.BigEndian.Uint32(g.body[4:8]))
+	want := 8 + 8*int64(g.n) + 8*int64(g.m)
+	if int64(len(g.body)) != want {
+		return fmt.Errorf("%w: body %d bytes, want %d for n=%d m=%d",
+			ErrMappedFormat, len(g.body), want, g.n, g.m)
+	}
+	return nil
+}
+
+// Close unmaps the file. The Mapped (and every slice it handed out) must
+// not be used afterwards.
+func (g *Mapped) Close() error {
+	data := g.data
+	g.data, g.body = nil, nil
+	if data == nil || !g.mapped {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// N returns the task count.
+func (g *Mapped) N() int { return g.n }
+
+// M returns the edge count.
+func (g *Mapped) M() int { return g.m }
+
+// Weight returns task i's weight, read from the mapping.
+func (g *Mapped) Weight(i int) float64 {
+	return math.Float64frombits(binary.BigEndian.Uint64(g.body[8+8*i:]))
+}
+
+// Edge returns the k-th edge (sorted order) as (from, to).
+func (g *Mapped) Edge(k int) (int, int) {
+	packed := binary.BigEndian.Uint64(g.body[8+8*g.n+8*k:])
+	return int(packed >> 32), int(uint32(packed))
+}
+
+// TotalWeight returns Σ weights, streamed through the mapping.
+func (g *Mapped) TotalWeight() float64 {
+	total := 0.0
+	for i := 0; i < g.n; i++ {
+		total += g.Weight(i)
+	}
+	return total
+}
+
+// CanonicalBytes returns the canonical encoding — the mapped body
+// itself, zero-copy. The caller must not mutate it and must not retain
+// it past Close.
+func (g *Mapped) CanonicalBytes() []byte { return g.body }
+
+// Fingerprint hashes the canonical body straight out of the mapping; it
+// equals Graph.Fingerprint() of the materialized twin.
+func (g *Mapped) Fingerprint() [32]byte { return sha256.Sum256(g.body) }
+
+// Graph materializes the full in-memory Graph. Intended for instances
+// that fit in RAM (tests, non-chain components); the out-of-core solve
+// path avoids it.
+func (g *Mapped) Graph() (*Graph, error) {
+	mg := New()
+	for i := 0; i < g.n; i++ {
+		mg.AddTask("", g.Weight(i))
+	}
+	for k := 0; k < g.m; k++ {
+		u, v := g.Edge(k)
+		if err := mg.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return mg, nil
+}
+
+// MappedWriter streams an instance file in EGRF layout: header, then n
+// weights in task-ID order, then m edges in sorted order. The caller
+// supplies counts up front (the format is not append-able) and must
+// deliver edges already sorted by (from, to) — the writer enforces it.
+type MappedWriter struct {
+	w        *bufio.Writer
+	n, m     int
+	weights  int
+	edges    int
+	lastEdge uint64
+	scratch  [8]byte
+}
+
+// NewMappedWriter starts an instance with n tasks and m edges.
+func NewMappedWriter(w io.Writer, n, m int) (*MappedWriter, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: MappedWriter negative counts n=%d m=%d", n, m)
+	}
+	mw := &MappedWriter{w: bufio.NewWriterSize(w, 1<<20), n: n, m: m}
+	if _, err := mw.w.WriteString(MappedMagic); err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(mw.scratch[:4], MappedVersion)
+	if _, err := mw.w.Write(mw.scratch[:4]); err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(mw.scratch[:4], uint32(n))
+	if _, err := mw.w.Write(mw.scratch[:4]); err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(mw.scratch[:4], uint32(m))
+	if _, err := mw.w.Write(mw.scratch[:4]); err != nil {
+		return nil, err
+	}
+	return mw, nil
+}
+
+// WriteWeight appends the next task's weight (task-ID order).
+func (mw *MappedWriter) WriteWeight(w float64) error {
+	if mw.weights >= mw.n {
+		return fmt.Errorf("graph: MappedWriter weight overflow (n=%d)", mw.n)
+	}
+	mw.weights++
+	binary.BigEndian.PutUint64(mw.scratch[:], math.Float64bits(w))
+	_, err := mw.w.Write(mw.scratch[:])
+	return err
+}
+
+// WriteEdge appends the next edge; edges must arrive sorted by (from,
+// to) and may only follow the weights.
+func (mw *MappedWriter) WriteEdge(from, to int) error {
+	if mw.weights != mw.n {
+		return fmt.Errorf("graph: MappedWriter edge before all %d weights", mw.n)
+	}
+	if mw.edges >= mw.m {
+		return fmt.Errorf("graph: MappedWriter edge overflow (m=%d)", mw.m)
+	}
+	if from < 0 || from >= mw.n || to < 0 || to >= mw.n {
+		return fmt.Errorf("graph: MappedWriter edge (%d,%d) out of range [0,%d)", from, to, mw.n)
+	}
+	packed := uint64(from)<<32 | uint64(uint32(to))
+	if mw.edges > 0 && packed <= mw.lastEdge {
+		return fmt.Errorf("graph: MappedWriter edges out of order at (%d,%d)", from, to)
+	}
+	mw.lastEdge = packed
+	mw.edges++
+	binary.BigEndian.PutUint64(mw.scratch[:], packed)
+	_, err := mw.w.Write(mw.scratch[:])
+	return err
+}
+
+// Finish flushes and verifies the declared counts were met.
+func (mw *MappedWriter) Finish() error {
+	if mw.weights != mw.n || mw.edges != mw.m {
+		return fmt.Errorf("graph: MappedWriter incomplete: %d/%d weights, %d/%d edges",
+			mw.weights, mw.n, mw.edges, mw.m)
+	}
+	return mw.w.Flush()
+}
+
+// WriteMapped writes an existing in-memory graph in EGRF layout; the
+// body is exactly g.CanonicalBytes().
+func WriteMapped(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(MappedMagic); err != nil {
+		return err
+	}
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], MappedVersion)
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(g.CanonicalBytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

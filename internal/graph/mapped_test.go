@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempMapped(t *testing.T, g *Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.egrf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMapped(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMappedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := GnpDAG(rng, 40, 0.2, UniformWeights(0.5, 3))
+	path := writeTempMapped(t, g)
+
+	mg, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	if mg.N() != g.N() || mg.M() != g.M() {
+		t.Fatalf("dims (%d,%d) vs (%d,%d)", mg.N(), mg.M(), g.N(), g.M())
+	}
+	for i := 0; i < g.N(); i++ {
+		if mg.Weight(i) != g.Weight(i) {
+			t.Fatalf("weight[%d] %v vs %v", i, mg.Weight(i), g.Weight(i))
+		}
+	}
+	if mg.TotalWeight() != g.TotalWeight() {
+		t.Fatalf("total weight %v vs %v", mg.TotalWeight(), g.TotalWeight())
+	}
+	// Canonical identity: same bytes, same fingerprint, zero-copy.
+	if !bytes.Equal(mg.CanonicalBytes(), g.CanonicalBytes()) {
+		t.Fatal("canonical bytes differ")
+	}
+	if mg.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprints differ")
+	}
+	// Materializing gives back an identical graph.
+	back, err := mg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != g.Fingerprint() {
+		t.Fatal("materialized graph fingerprint differs")
+	}
+}
+
+func TestMappedWriterStreaming(t *testing.T) {
+	// A writer fed weights then sorted edges must produce the same file
+	// as WriteMapped on the equivalent graph.
+	rng := rand.New(rand.NewSource(9))
+	g := Chain(rng, 50, UniformWeights(0.5, 3))
+	var streamed bytes.Buffer
+	mw, err := NewMappedWriter(&streamed, g.N(), g.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if err := mw.WriteWeight(g.Weight(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < g.N(); i++ {
+		if err := mw.WriteEdge(i-1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var whole bytes.Buffer
+	if err := WriteMapped(&whole, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), whole.Bytes()) {
+		t.Fatal("streamed file differs from WriteMapped output")
+	}
+}
+
+func TestMappedWriterOrderEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	mw, err := NewMappedWriter(&buf, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.WriteEdge(0, 1); err == nil {
+		t.Fatal("edge before weights accepted")
+	}
+	for i := 0; i < 3; i++ {
+		if err := mw.WriteWeight(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.WriteWeight(1); err == nil {
+		t.Fatal("weight overflow accepted")
+	}
+	if err := mw.WriteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.WriteEdge(0, 1); err == nil {
+		t.Fatal("out-of-order edge accepted")
+	}
+	if err := mw.Finish(); err == nil {
+		t.Fatal("incomplete file accepted")
+	}
+}
+
+func TestOpenMappedErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	rng := rand.New(rand.NewSource(3))
+	g := Chain(rng, 5, UniformWeights(0.5, 3))
+	var buf bytes.Buffer
+	if err := WriteMapped(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := OpenMapped(filepath.Join(dir, "missing.egrf")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := OpenMapped(write("short.egrf", good[:10])); !errors.Is(err, ErrMappedFormat) {
+		t.Fatalf("short file: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	copy(bad, "NOPE")
+	if _, err := OpenMapped(write("magic.egrf", bad)); !errors.Is(err, ErrMappedFormat) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[7] = 99
+	if _, err := OpenMapped(write("version.egrf", bad)); !errors.Is(err, ErrMappedVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, err := OpenMapped(write("trunc.egrf", good[:len(good)-8])); !errors.Is(err, ErrMappedFormat) {
+		t.Fatalf("truncated body: %v", err)
+	}
+	if _, err := OpenMapped(write("extra.egrf", append(append([]byte(nil), good...), 0))); !errors.Is(err, ErrMappedFormat) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Elimination-tree parallelism for the up-looking LDLᵀ factorization.
+//
+// The factor's structure obeys: L[k,i] ≠ 0 implies i is a descendant of k
+// in the elimination tree. Disjoint subtrees therefore touch disjoint
+// columns of L, and every row's pattern walk stays inside that row's own
+// subtree — so independent subtrees factor concurrently with no locking.
+// newParState partitions the tree into subtrees of bounded size plus a
+// "top" set of heavy ancestors (separators, under nested dissection);
+// factor runs the subtrees on the shared pool and the top sequentially
+// after the join.
+//
+// The schedule is bit-identical to the sequential factorization: within a
+// subtree, rows run in ascending order by one worker; appends to any
+// column i come only from rows in i's subtree (ascending) followed by top
+// rows (ascending, after the join), which is exactly the sequential
+// append order, and every float operation sequence per row is unchanged
+// (processRow). This holds for every worker count, so results do not
+// depend on GOMAXPROCS.
+const (
+	// parallelMinDim is the matrix dimension below which CompileOpts does
+	// not build parallel state: small systems are dominated by dispatch
+	// overhead and must stay on the exact sequential path the
+	// zero-allocation pin covers.
+	parallelMinDim = 512
+	// parGrainMin is the smallest subtree row count worth a task.
+	parGrainMin = 64
+)
+
+// parWorker owns one shard of subtree rows and the scratch vectors its
+// pattern walks use. Everything is allocated once at Compile.
+type parWorker struct {
+	s    *SparseSym
+	rows []int32
+	y    []float64
+	pat  []int
+	flag []int
+}
+
+// parState is the compiled parallel schedule of one SparseSym.
+type parState struct {
+	workers []*parWorker
+	tasks   []*PoolTask
+	top     []int32
+	wg      sync.WaitGroup
+	fail    atomic.Bool
+}
+
+// newParState builds the subtree partition and per-worker workspaces.
+// Returns nil when the elimination tree does not split into enough
+// independent work (e.g. RCM-ordered chains, whose tree is a path) — the
+// caller then keeps the sequential path.
+func newParState(s *SparseSym, workers int) *parState {
+	n := s.n
+	grain := n / (4 * workers)
+	if grain < parGrainMin {
+		grain = parGrainMin
+	}
+
+	// Subtree sizes by one ascending scan (parent[k] > k always).
+	size := make([]int, n)
+	for i := range size {
+		size[i] = 1
+	}
+	for k := 0; k < n; k++ {
+		if p := s.parent[k]; p != -1 {
+			size[p] += size[k]
+		}
+	}
+
+	// label[k] = root of k's assigned subtree, or -1 for top rows. Roots
+	// are the maximal nodes with size ≤ grain; descending order lets each
+	// node inherit from its (higher-indexed) parent.
+	label := make([]int32, n)
+	covered := 0
+	rootWork := make(map[int32]int)
+	for k := n - 1; k >= 0; k-- {
+		switch {
+		case size[k] > grain:
+			label[k] = -1
+			continue
+		case s.parent[k] == -1 || size[s.parent[k]] > grain:
+			label[k] = int32(k)
+		default:
+			label[k] = label[s.parent[k]]
+		}
+		covered++
+		rootWork[label[k]] += s.lnz[k] + (s.colPtr[k+1] - s.colPtr[k])
+	}
+	if len(rootWork) < 2 || covered < n/2 {
+		return nil
+	}
+
+	// LPT assignment: heaviest subtree first onto the least-loaded
+	// worker. Deterministic (ties broken by root index) so the schedule
+	// is reproducible for a fixed worker count.
+	roots := make([]int32, 0, len(rootWork))
+	for r := range rootWork {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool {
+		wa, wb := rootWork[roots[a]], rootWork[roots[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return roots[a] < roots[b]
+	})
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	owner := make([]int32, n) // owner[root] = worker index
+	load := make([]int, workers)
+	for _, r := range roots {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		owner[r] = int32(best)
+		load[best] += rootWork[r]
+	}
+
+	st := &parState{top: make([]int32, 0, n-covered)}
+	shard := make([][]int32, workers)
+	for k := 0; k < n; k++ {
+		if label[k] == -1 {
+			st.top = append(st.top, int32(k))
+			continue
+		}
+		w := owner[label[k]]
+		shard[w] = append(shard[w], int32(k))
+	}
+	for _, rows := range shard {
+		if len(rows) == 0 {
+			continue
+		}
+		w := &parWorker{s: s, rows: rows, y: make([]float64, n), pat: make([]int, n), flag: make([]int, n)}
+		for i := range w.flag {
+			w.flag[i] = -1
+		}
+		st.workers = append(st.workers, w)
+		st.tasks = append(st.tasks, &PoolTask{Fn: w.run})
+	}
+	return st
+}
+
+// run factors this worker's subtree rows in ascending order. Bails at the
+// next row boundary when another worker failed; processRow leaves y clean
+// at row boundaries, so an aborted run can retry immediately (Factor's
+// diagonal-boost loop relies on this).
+func (w *parWorker) run() {
+	s := w.s
+	st := s.par
+	for _, kk := range w.rows {
+		if st.fail.Load() {
+			return
+		}
+		if !s.processRow(int(kk), w.y, w.pat, w.flag) {
+			st.fail.Store(true)
+			return
+		}
+	}
+}
+
+// factor runs one parallel numeric factorization: subtree shards on the
+// pool, then the top rows sequentially. Zero allocations per call.
+func (st *parState) factor(s *SparseSym) error {
+	st.fail.Store(false)
+	// The top rows' pattern walks run against s.flag, but the rows below
+	// them were marked in worker-local flags this call — the sequential
+	// "every lower row re-marked me" invariant does not hold here, so
+	// clear stale marks explicitly.
+	for i := range s.flag {
+		s.flag[i] = -1
+	}
+	RunTasks(st.tasks, &st.wg)
+	if st.fail.Load() {
+		return ErrNotPositiveDefinite
+	}
+	for _, kk := range st.top {
+		if !s.processRow(int(kk), s.y, s.pat, s.flag) {
+			return ErrNotPositiveDefinite
+		}
+	}
+	return nil
+}
+
+// Supernodes returns the maximal runs of consecutive columns that share
+// one subdiagonal pattern (parent[k] == k+1 and lnz[k] == lnz[k+1]+1),
+// as [first, last] inclusive column ranges in factor order. Dense
+// trailing blocks and separator cliques collapse into long supernodes
+// that could be eliminated as one block; tridiagonal factors stay
+// width-1. Tests use this to reason about factor structure.
+func (s *SparseSym) Supernodes() [][2]int {
+	var runs [][2]int
+	for k := 0; k < s.n; {
+		j := k
+		for j+1 < s.n && s.parent[j] == j+1 && s.lnz[j] == s.lnz[j+1]+1 {
+			j++
+		}
+		runs = append(runs, [2]int{k, j})
+		k = j + 1
+	}
+	return runs
+}

@@ -1,0 +1,305 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gridPairs returns the pattern of a g×g 5-point grid Laplacian — the
+// shape nested dissection is built for.
+func gridPairs(g int) (int, [][2]int) {
+	n := g * g
+	var pairs [][2]int
+	id := func(r, c int) int { return r*g + c }
+	for r := 0; r < g; r++ {
+		for c := 0; c < g; c++ {
+			if r+1 < g {
+				pairs = append(pairs, [2]int{id(r, c), id(r+1, c)})
+			}
+			if c+1 < g {
+				pairs = append(pairs, [2]int{id(r, c), id(r, c+1)})
+			}
+		}
+	}
+	return n, pairs
+}
+
+// fillSPD writes a diagonally dominant SPD value set into s, identical
+// for equal patterns regardless of ordering.
+func fillSPD(s *SparseSym, n int, pairs [][2]int) {
+	s.ZeroVals()
+	deg := make([]int, n)
+	for _, p := range pairs {
+		s.Val[s.Slot(p[0], p[1])] += -1
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	for k := 0; k < n; k++ {
+		s.Val[s.Slot(k, k)] += float64(deg[k]) + 1 + float64(k)*1e-3
+	}
+}
+
+func compileGrid(t *testing.T, g int, opts CompileOptions) (*SparseSym, int, [][2]int) {
+	t.Helper()
+	n, pairs := gridPairs(g)
+	b := NewSymBuilder(n)
+	for _, p := range pairs {
+		b.Add(p[0], p[1])
+	}
+	s := b.CompileOpts(opts)
+	fillSPD(s, n, pairs)
+	return s, n, pairs
+}
+
+func TestNDOrderIsPermutation(t *testing.T) {
+	cases := map[string]func() (int, [][2]int){
+		"grid": func() (int, [][2]int) { return gridPairs(9) },
+		"chain": func() (int, [][2]int) {
+			n := 200
+			var ps [][2]int
+			for i := 1; i < n; i++ {
+				ps = append(ps, [2]int{i - 1, i})
+			}
+			return n, ps
+		},
+		"disconnected": func() (int, [][2]int) {
+			// Three components: a path, a clique, and isolated vertices.
+			var ps [][2]int
+			for i := 1; i < 40; i++ {
+				ps = append(ps, [2]int{i - 1, i})
+			}
+			for i := 40; i < 50; i++ {
+				for j := i + 1; j < 50; j++ {
+					ps = append(ps, [2]int{i, j})
+				}
+			}
+			return 60, ps
+		},
+		"random": func() (int, [][2]int) {
+			rng := rand.New(rand.NewSource(7))
+			n := 150
+			var ps [][2]int
+			for e := 0; e < 400; e++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					ps = append(ps, [2]int{i, j})
+				}
+			}
+			return n, ps
+		},
+	}
+	for name, mk := range cases {
+		n, pairs := mk()
+		deg := make([]int, n)
+		for _, p := range pairs {
+			deg[p[0]]++
+			deg[p[1]]++
+		}
+		adjPtr := make([]int, n+1)
+		for k := 0; k < n; k++ {
+			adjPtr[k+1] = adjPtr[k] + deg[k]
+		}
+		adj := make([]int, adjPtr[n])
+		next := make([]int, n)
+		copy(next, adjPtr[:n])
+		for _, p := range pairs {
+			adj[next[p[0]]] = p[1]
+			next[p[0]]++
+			adj[next[p[1]]] = p[0]
+			next[p[1]]++
+		}
+		perm := ndOrder(n, adjPtr, adj, deg)
+		if len(perm) != n {
+			t.Fatalf("%s: ndOrder returned %d of %d vertices", name, len(perm), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("%s: ndOrder not a permutation (vertex %d)", name, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestParallelFactorMatchesSerialBitwise(t *testing.T) {
+	// Same forced ordering on both sides so the factors are comparable
+	// entry for entry; only the schedule differs.
+	ser, n, pairs := compileGrid(t, 24, CompileOptions{Ordering: OrderND})
+	par, _, _ := compileGrid(t, 24, CompileOptions{Ordering: OrderND, Workers: 4})
+	if par.par == nil {
+		t.Fatalf("grid-%d did not build a parallel schedule; test exercises nothing", n)
+	}
+	for round := 0; round < 3; round++ {
+		fillSPD(ser, n, pairs)
+		fillSPD(par, n, pairs)
+		if _, err := ser.Factor(); err != nil {
+			t.Fatalf("serial Factor: %v", err)
+		}
+		if _, err := par.Factor(); err != nil {
+			t.Fatalf("parallel Factor: %v", err)
+		}
+		for i := range ser.d {
+			if ser.d[i] != par.d[i] {
+				t.Fatalf("round %d: d[%d] differs: %v vs %v", round, i, ser.d[i], par.d[i])
+			}
+		}
+		for i := range ser.lx {
+			if ser.li[i] != par.li[i] || ser.lx[i] != par.lx[i] {
+				t.Fatalf("round %d: L entry %d differs: (%d,%v) vs (%d,%v)",
+					round, i, ser.li[i], ser.lx[i], par.li[i], par.lx[i])
+			}
+		}
+		rhs := make(Vector, n)
+		for i := range rhs {
+			rhs[i] = float64(i%13) - 6
+		}
+		xs, xp := make(Vector, n), make(Vector, n)
+		ser.SolveInto(rhs, xs)
+		par.SolveInto(rhs, xp)
+		for i := range xs {
+			if xs[i] != xp[i] {
+				t.Fatalf("round %d: solution[%d] differs bitwise: %v vs %v", round, i, xs[i], xp[i])
+			}
+		}
+	}
+}
+
+func TestParallelFactorBoostRetryMatchesSerial(t *testing.T) {
+	// An indefinite value set forces the diagonal-boost retry loop, which
+	// exercises the mid-factor abort path: workers must leave their y
+	// workspaces clean so the boosted retry starts from a valid state.
+	ser, n, pairs := compileGrid(t, 24, CompileOptions{Ordering: OrderND})
+	par, _, _ := compileGrid(t, 24, CompileOptions{Ordering: OrderND, Workers: 4})
+	if par.par == nil {
+		t.Fatal("no parallel schedule built")
+	}
+	poison := func(s *SparseSym) {
+		fillSPD(s, n, pairs)
+		s.Val[s.Slot(n/2, n/2)] = -5 // negative pivot somewhere mid-factor
+	}
+	poison(ser)
+	poison(par)
+	bs, errS := ser.Factor()
+	bp, errP := par.Factor()
+	if errS != nil || errP != nil {
+		t.Fatalf("boosted Factor failed: serial %v parallel %v", errS, errP)
+	}
+	if bs != bp {
+		t.Fatalf("boost differs: serial %v parallel %v", bs, bp)
+	}
+	for i := range ser.d {
+		if ser.d[i] != par.d[i] {
+			t.Fatalf("d[%d] differs after boost retry: %v vs %v", i, ser.d[i], par.d[i])
+		}
+	}
+}
+
+func TestParallelFactorDeterministicAcrossCompiles(t *testing.T) {
+	a, n, pairs := compileGrid(t, 24, CompileOptions{Ordering: OrderND, Workers: 3})
+	b, _, _ := compileGrid(t, 24, CompileOptions{Ordering: OrderND, Workers: 3})
+	fillSPD(a, n, pairs)
+	fillSPD(b, n, pairs)
+	if _, err := a.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.lx {
+		if a.lx[i] != b.lx[i] {
+			t.Fatalf("independent compiles with equal worker count diverge at L entry %d", i)
+		}
+	}
+}
+
+func TestOrderingsSolveEquivalent(t *testing.T) {
+	rcm, n, pairs := compileGrid(t, 16, CompileOptions{Ordering: OrderRCM})
+	nd, _, _ := compileGrid(t, 16, CompileOptions{Ordering: OrderND})
+	if _, err := rcm.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nd.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	_ = pairs
+	rhs := make(Vector, n)
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%7)
+	}
+	xr, xn := make(Vector, n), make(Vector, n)
+	rcm.SolveInto(rhs, xr)
+	nd.SolveInto(rhs, xn)
+	for i := range xr {
+		if d := xr[i] - xn[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("RCM and ND solutions differ at %d: %v vs %v", i, xr[i], xn[i])
+		}
+	}
+}
+
+func TestChainStaysSerial(t *testing.T) {
+	// An RCM-ordered chain's elimination tree is a path: no independent
+	// subtrees, so CompileOpts must fall back to the sequential schedule
+	// rather than build a degenerate parallel one.
+	n := 600
+	b := NewSymBuilder(n)
+	for i := 1; i < n; i++ {
+		b.Add(i-1, i)
+	}
+	s := b.CompileOpts(CompileOptions{Ordering: OrderRCM, Workers: 4})
+	if s.par != nil {
+		t.Fatal("path elimination tree should not produce a parallel schedule")
+	}
+}
+
+func TestSupernodes(t *testing.T) {
+	// Dense pattern: every column shares the trailing pattern — one
+	// supernode spanning the whole factor.
+	nd := 12
+	db := NewSymBuilder(nd)
+	for i := 0; i < nd; i++ {
+		for j := i + 1; j < nd; j++ {
+			db.Add(i, j)
+		}
+	}
+	dense := db.Compile()
+	if sn := dense.Supernodes(); len(sn) != 1 || sn[0] != [2]int{0, nd - 1} {
+		t.Fatalf("dense pattern supernodes = %v, want one full-range block", sn)
+	}
+	// Tridiagonal: column k's subdiagonal pattern {k+1} is disjoint from
+	// column k+1's {k+2}, so supernodes stay width 1 — except the final
+	// two columns, whose trailing 2×2 block is dense.
+	nc := 40
+	cb := NewSymBuilder(nc)
+	for i := 1; i < nc; i++ {
+		cb.Add(i-1, i)
+	}
+	chain := cb.CompileOpts(CompileOptions{Ordering: OrderRCM})
+	for _, sn := range chain.Supernodes() {
+		if sn[1]-sn[0] > 1 || (sn[1] > sn[0] && sn[1] != nc-1) {
+			t.Fatalf("tridiagonal factor produced a wide supernode %v", sn)
+		}
+	}
+}
+
+func TestAutoOrderingPicksCheaperFill(t *testing.T) {
+	n, pairs := gridPairs(16)
+	build := func(opts CompileOptions) *SparseSym {
+		b := NewSymBuilder(n)
+		for _, p := range pairs {
+			b.Add(p[0], p[1])
+		}
+		return b.CompileOpts(opts)
+	}
+	auto := build(CompileOptions{})
+	rcm := build(CompileOptions{Ordering: OrderRCM})
+	nd := build(CompileOptions{Ordering: OrderND})
+	min := rcm.FactorNNZ()
+	if nd.FactorNNZ() < min {
+		min = nd.FactorNNZ()
+	}
+	if auto.FactorNNZ() != min {
+		t.Fatalf("auto ordering fill %d; candidates rcm=%d nd=%d",
+			auto.FactorNNZ(), rcm.FactorNNZ(), nd.FactorNNZ())
+	}
+}

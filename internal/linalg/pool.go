@@ -1,0 +1,62 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// A small package-global worker pool shared by every parallel
+// factorization and by the parallel loops in internal/convex. The pool
+// exists so the Newton inner loop stays allocation-free: tasks are
+// pre-created PoolTask values owned by the caller and submitted by
+// pointer over a buffered channel — dispatch allocates nothing, and the
+// goroutines are started once per process instead of once per solve.
+//
+// Tasks must not submit further tasks (no nesting): a task that blocks
+// on the pool could deadlock when every worker is busy. All callers in
+// this module fan out flat task lists and wait.
+
+// PoolTask is one unit of work for RunTasks. Callers embed these in
+// their compiled workspaces and reuse them across calls.
+type PoolTask struct {
+	Fn func()
+	wg *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan *PoolTask
+)
+
+func startPool() {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	poolCh = make(chan *PoolTask, 4*workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range poolCh {
+				t.Fn()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// RunTasks submits every task and blocks until all complete. The wait
+// group pointer is stored into each task, so a single caller-owned
+// WaitGroup serves the whole batch without per-call allocation. Safe for
+// concurrent use by independent callers.
+func RunTasks(tasks []*PoolTask, wg *sync.WaitGroup) {
+	if len(tasks) == 0 {
+		return
+	}
+	poolOnce.Do(startPool)
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t.wg = wg
+		poolCh <- t
+	}
+	wg.Wait()
+}

@@ -10,11 +10,14 @@ import (
 // pattern, built once and refactored many times: the shape of the Newton
 // systems t·∇²f + AᵀS⁻²A of the barrier method, whose pattern is the
 // execution graph and never changes across iterations. Construction (via
-// SymBuilder.Compile) chooses a fill-reducing reverse Cuthill–McKee
-// ordering and performs the symbolic LDLᵀ analysis — elimination tree and
-// column counts — exactly once; every later Factor reuses the symbolic
-// data and preallocated workspaces, so refactoring and solving allocate
-// nothing.
+// SymBuilder.Compile or CompileOpts) chooses a fill-reducing ordering —
+// reverse Cuthill–McKee or nested dissection, see order.go — and performs
+// the symbolic LDLᵀ analysis — elimination tree and column counts —
+// exactly once; every later Factor reuses the symbolic data and
+// preallocated workspaces, so refactoring and solving allocate nothing.
+// With CompileOptions.Workers > 1 Factor runs independent elimination-
+// tree subtrees concurrently (parallel.go) and stays bit-identical to
+// the sequential factorization.
 //
 // Values live in Val, addressed by the slots Slot returns; assembly is
 //
@@ -52,6 +55,9 @@ type SparseSym struct {
 	lnzw     []int
 	w        []float64
 	factored bool
+
+	// Parallel schedule (nil on the sequential path). See parallel.go.
+	par *parState
 }
 
 // SymBuilder collects the nonzero pattern of an n×n symmetric matrix.
@@ -83,10 +89,33 @@ func (b *SymBuilder) Add(i, j int) {
 	b.pairs = append(b.pairs, [2]int{i, j})
 }
 
-// Compile fixes the pattern: dedupe, order with reverse Cuthill–McKee,
-// build the permuted upper-triangular storage, and run the symbolic
-// LDLᵀ analysis. The builder must not be reused.
+// CompileOptions tunes CompileOpts: which fill-reducing ordering to
+// apply and how many workers Factor may use.
+type CompileOptions struct {
+	// Ordering selects RCM, nested dissection, or automatic selection
+	// (cheapest symbolic factor by FactorNNZ; nested dissection is
+	// preferred under parallel factorization unless its fill exceeds
+	// ndParallelFillSlack× the RCM fill).
+	Ordering Ordering
+	// Workers caps the concurrency of Factor. 0 or 1 keeps the numeric
+	// factorization on the exact sequential path; larger values enable
+	// elimination-tree subtree parallelism when the matrix has at least
+	// parallelMinDim columns and the tree splits into enough subtrees.
+	Workers int
+}
+
+// Compile fixes the pattern with the default options: automatic ordering
+// selection and a sequential factorization. The builder must not be
+// reused.
 func (b *SymBuilder) Compile() *SparseSym {
+	return b.CompileOpts(CompileOptions{})
+}
+
+// CompileOpts fixes the pattern: dedupe, fill-reducing ordering, the
+// permuted upper-triangular storage, the symbolic LDLᵀ analysis, and
+// (when requested and profitable) the parallel factorization schedule.
+// The builder must not be reused.
+func (b *SymBuilder) CompileOpts(opts CompileOptions) *SparseSym {
 	n := b.n
 	for k := 0; k < n; k++ {
 		b.pairs = append(b.pairs, [2]int{k, k})
@@ -127,7 +156,83 @@ func (b *SymBuilder) Compile() *SparseSym {
 			fill[p[1]]++
 		}
 	}
-	perm := rcmOrder(n, adjPtr, adj, deg)
+	var perm []int
+	switch opts.Ordering {
+	case OrderRCM:
+		perm = rcmOrder(n, adjPtr, adj, deg)
+	case OrderND:
+		perm = ndOrder(n, adjPtr, adj, deg)
+	default: // OrderAuto: build both candidates, keep the cheaper factor.
+		perm = rcmOrder(n, adjPtr, adj, deg)
+		if n >= ndMinDim {
+			nd := ndOrder(n, adjPtr, adj, deg)
+			rcmFill := symbolicFill(n, pairs, perm)
+			ndFill := symbolicFill(n, pairs, nd)
+			if ndFill <= rcmFill ||
+				(opts.Workers > 1 && float64(ndFill) <= ndParallelFillSlack*float64(rcmFill)) {
+				perm = nd
+			}
+		}
+	}
+	s := buildSym(n, pairs, perm)
+	if opts.Workers > 1 && n >= parallelMinDim {
+		s.par = newParState(s, opts.Workers)
+	}
+	return s
+}
+
+// symbolicFill returns the factor entry count (FactorNNZ) the given
+// ordering would produce, via the etree column-count analysis on the
+// permuted pattern — no numeric storage is allocated.
+func symbolicFill(n int, pairs [][2]int, perm []int) int {
+	pinv := make([]int, n)
+	for k, old := range perm {
+		pinv[old] = k
+	}
+	colPtr := make([]int, n+1)
+	for _, p := range pairs {
+		c := pinv[p[0]]
+		if r := pinv[p[1]]; r > c {
+			c = r
+		}
+		colPtr[c+1]++
+	}
+	for k := 0; k < n; k++ {
+		colPtr[k+1] += colPtr[k]
+	}
+	rowIdx := make([]int, colPtr[n])
+	next := make([]int, n)
+	copy(next, colPtr[:n])
+	for _, p := range pairs {
+		r, c := pinv[p[0]], pinv[p[1]]
+		if r > c {
+			r, c = c, r
+		}
+		rowIdx[next[c]] = r
+		next[c]++
+	}
+	parent := make([]int, n)
+	flag := make([]int, n)
+	total := 0
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		flag[k] = k
+		for p := colPtr[k]; p < colPtr[k+1]; p++ {
+			for i := rowIdx[p]; flag[i] != k; i = parent[i] {
+				if parent[i] == -1 {
+					parent[i] = k
+				}
+				total++
+				flag[i] = k
+			}
+		}
+	}
+	return total
+}
+
+// buildSym constructs the SparseSym for a fixed deduped pattern and
+// ordering: permuted storage, symbolic analysis, workspaces.
+func buildSym(n int, pairs [][2]int, perm []int) *SparseSym {
 	pinv := make([]int, n)
 	for k, old := range perm {
 		pinv[old] = k
@@ -257,51 +362,64 @@ func (s *SparseSym) Dense() *Matrix {
 	return m
 }
 
+// processRow runs row k of the up-looking numeric factorization against
+// the given scratch vectors (s.y/s.pat/s.flag sequentially, per-worker
+// copies in parallel — the float operation sequence is identical either
+// way, which is what makes the parallel factor bit-reproducible).
+// Returns false when the pivot is not strictly positive; y is clean on
+// both outcomes, so a failed call can retry immediately.
+func (s *SparseSym) processRow(k int, y []float64, pat, flag []int) bool {
+	n := s.n
+	// Scatter column k of the permuted upper triangle into y and
+	// compute the nonzero pattern of row k of L as an etree prefix.
+	top := n
+	flag[k] = k
+	s.lnzw[k] = 0
+	for p := s.colPtr[k]; p < s.colPtr[k+1]; p++ {
+		i := s.rowIdx[p]
+		y[i] += s.Val[p]
+		ln := 0
+		for ; flag[i] != k; i = s.parent[i] {
+			pat[ln] = i
+			ln++
+			flag[i] = k
+		}
+		for ln > 0 {
+			ln--
+			top--
+			pat[top] = pat[ln]
+		}
+	}
+	s.d[k] = y[k]
+	y[k] = 0
+	for ; top < n; top++ {
+		i := pat[top]
+		yi := y[i]
+		y[i] = 0
+		p2 := s.lp[i] + s.lnzw[i]
+		for p := s.lp[i]; p < p2; p++ {
+			y[s.li[p]] -= s.lx[p] * yi
+		}
+		lki := yi / s.d[i]
+		s.d[k] -= lki * yi
+		s.li[p2] = k
+		s.lx[p2] = lki
+		s.lnzw[i]++
+	}
+	// y is already clean here: every pattern entry was zeroed as the
+	// loop above consumed it.
+	return !(s.d[k] <= 0 || math.IsNaN(s.d[k]))
+}
+
 // factorOnce runs the up-looking numeric LDLᵀ on the current values.
 // It fails (restoring workspace invariants) when a pivot is not strictly
 // positive — the matrix is numerically not positive definite.
 func (s *SparseSym) factorOnce() error {
-	n := s.n
-	for k := 0; k < n; k++ {
-		// Scatter column k of the permuted upper triangle into y and
-		// compute the nonzero pattern of row k of L as an etree prefix.
-		top := n
-		s.flag[k] = k
-		s.lnzw[k] = 0
-		for p := s.colPtr[k]; p < s.colPtr[k+1]; p++ {
-			i := s.rowIdx[p]
-			s.y[i] += s.Val[p]
-			ln := 0
-			for ; s.flag[i] != k; i = s.parent[i] {
-				s.pat[ln] = i
-				ln++
-				s.flag[i] = k
-			}
-			for ln > 0 {
-				ln--
-				top--
-				s.pat[top] = s.pat[ln]
-			}
-		}
-		s.d[k] = s.y[k]
-		s.y[k] = 0
-		for ; top < n; top++ {
-			i := s.pat[top]
-			yi := s.y[i]
-			s.y[i] = 0
-			p2 := s.lp[i] + s.lnzw[i]
-			for p := s.lp[i]; p < p2; p++ {
-				s.y[s.li[p]] -= s.lx[p] * yi
-			}
-			lki := yi / s.d[i]
-			s.d[k] -= lki * yi
-			s.li[p2] = k
-			s.lx[p2] = lki
-			s.lnzw[i]++
-		}
-		// y is already clean here: every pattern entry was zeroed as the
-		// loop above consumed it, so a retry can start immediately.
-		if s.d[k] <= 0 || math.IsNaN(s.d[k]) {
+	if s.par != nil {
+		return s.par.factor(s)
+	}
+	for k := 0; k < s.n; k++ {
+		if !s.processRow(k, s.y, s.pat, s.flag) {
 			return ErrNotPositiveDefinite
 		}
 	}

@@ -263,6 +263,17 @@ func analyze(p *core.Problem, m model.Model, opts Options, res *Residual) (*Plan
 	return pl, nil
 }
 
+// dedupeNote annotates interior-point rationales for dense components:
+// the solver drops transitively implied precedence rows before assembly
+// (see core.SolveContinuousNumeric), and the plan surfaces that the
+// barrier will carry fewer rows than the raw edge count suggests.
+func dedupeNote(g *graph.Graph) string {
+	if g.M() > 2*g.N() {
+		return fmt.Sprintf("; %d precedence rows exceed 2·n — transitively implied rows are deduped before assembly", g.M())
+	}
+	return ""
+}
+
 // route picks the solver for one classified component. rel carries the
 // component-local release times of a residual plan (nil = none): releases
 // invalidate the closed forms and the SP Pareto DP, so those components go
@@ -321,7 +332,7 @@ func route(c core.Component, m model.Model, algo string, k int, dopts core.Discr
 	case model.Continuous:
 		if rel != nil {
 			cp.Solver = "continuous-interior-point"
-			cp.Rationale = "residual component with release times: log-barrier geometric program with tᵢ−dᵢ ≥ rᵢ rows"
+			cp.Rationale = "residual component with release times: log-barrier geometric program with tᵢ−dᵢ ≥ rᵢ rows" + dedupeNote(g)
 			cp.Cost = n * n * n
 			break
 		}
@@ -344,7 +355,7 @@ func route(c core.Component, m model.Model, algo string, k int, dopts core.Discr
 			cp.Cost = n
 		default:
 			cp.Solver = "continuous-interior-point"
-			cp.Rationale = "general DAG: log-barrier geometric program (Section 2.1)"
+			cp.Rationale = "general DAG: log-barrier geometric program (Section 2.1)" + dedupeNote(g)
 			cp.Cost = n * n * n
 		}
 	case model.VddHopping:

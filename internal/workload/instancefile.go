@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// WriteInstanceFile writes the (family, n, seed, [wlo,whi)) instance to
+// path in the EGRF memory-mapped format. The file's canonical body —
+// and therefore its fingerprint — is identical to
+// FromSeed(family, n, seed, wlo, whi).Fingerprint().
+//
+// Chains are streamed: one weight draw per task in ID order and the
+// naturally sorted edges (i−1, i) go straight to disk, so a multi-
+// million-task chain is written in O(1) memory. Every other family is
+// generated in memory first (their instances are benchmark-sized) and
+// serialized with graph.WriteMapped.
+func WriteInstanceFile(path, family string, n int, seed int64, wlo, whi float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if family == "chain" && n > 0 {
+		err = streamChain(f, n, seed, wlo, whi)
+	} else {
+		var g *graph.Graph
+		g, err = FromSeed(family, n, seed, wlo, whi)
+		if err == nil {
+			err = graph.WriteMapped(f, g)
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+	}
+	return err
+}
+
+// streamChain replicates graph.Chain's rng draw order (one UniformWeights
+// draw per task, ascending ID) without building the graph.
+func streamChain(f *os.File, n int, seed int64, wlo, whi float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	wf := graph.UniformWeights(wlo, whi)
+	mw, err := graph.NewMappedWriter(f, n, n-1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := mw.WriteWeight(wf(rng)); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := mw.WriteEdge(i-1, i); err != nil {
+			return err
+		}
+	}
+	return mw.Finish()
+}

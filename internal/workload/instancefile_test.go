@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The instance file's identity contract: WriteInstanceFile must produce
+// the same fingerprint as FromSeed for every family, including the
+// streamed chain path.
+func TestWriteInstanceFileFingerprintIdentity(t *testing.T) {
+	cases := []struct {
+		family string
+		n      int
+		seed   int64
+	}{
+		{"chain", 1, 4},
+		{"chain", 2, 4},
+		{"chain", 500, 11},
+		{"layered", 60, 12},
+		{"gnp", 40, 13},
+		{"multi", 4, 14},
+		{"mixed", 5, 15},
+		{"sp", 30, 16},
+	}
+	dir := t.TempDir()
+	for _, c := range cases {
+		path := filepath.Join(dir, c.family+".egrf")
+		if err := WriteInstanceFile(path, c.family, c.n, c.seed, 0.5, 3); err != nil {
+			t.Fatalf("%s: write: %v", c.family, err)
+		}
+		want, err := FromSeed(c.family, c.n, c.seed, 0.5, 3)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", c.family, err)
+		}
+		mg, err := graph.OpenMapped(path)
+		if err != nil {
+			t.Fatalf("%s: open: %v", c.family, err)
+		}
+		if mg.Fingerprint() != want.Fingerprint() {
+			mg.Close()
+			t.Fatalf("%s: mapped fingerprint differs from FromSeed", c.family)
+		}
+		if mg.N() != want.N() || mg.M() != want.M() {
+			mg.Close()
+			t.Fatalf("%s: dims (%d,%d) vs (%d,%d)", c.family, mg.N(), mg.M(), want.N(), want.M())
+		}
+		mg.Close()
+	}
+}
+
+func TestWriteInstanceFileUnknownFamily(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.egrf")
+	if err := WriteInstanceFile(path, "nope", 10, 1, 0.5, 3); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

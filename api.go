@@ -299,6 +299,42 @@ type SolveModelSpec = service.ModelSpec
 // BatchResult pairs one batch entry's response with its error.
 type BatchResult = service.BatchResult
 
+// StreamEvent is the shared event envelope of both streaming surfaces —
+// the SSE solve stream and the WebSocket session watch: a per-stream
+// sequence number, an event type, and the type-specific payload.
+type StreamEvent = service.StreamEvent
+
+// StreamEmitter numbers and serializes the events of one solve stream;
+// pass one to Engine.SolveStream with any transport send function.
+type StreamEmitter = service.StreamEmitter
+
+// Stream event types. A solve stream emits plan* → component* → exactly
+// one terminal result|error; a session watch emits schedule, then
+// component/event as the session replans, then one terminal done|closed.
+const (
+	StreamEventPlan      = service.EventPlan
+	StreamEventComponent = service.EventComponent
+	StreamEventResult    = service.EventResult
+	StreamEventError     = service.EventError
+	StreamEventSchedule  = service.EventSchedule
+	StreamEventApplied   = service.EventApplied
+	StreamEventDone      = service.EventDone
+	StreamEventClosed    = service.EventClosed
+)
+
+// APIErrorCode is one of the service's closed set of error codes; every
+// HTTP error body and terminal stream error carries one, and
+// APIErrorCodes enumerates them (each knows its HTTP status).
+type APIErrorCode = service.Code
+
+// APIErrorCodes returns the documented code set.
+func APIErrorCodes() []APIErrorCode { return service.Codes() }
+
+// NewStreamEmitter wraps a transport send function for Engine.SolveStream.
+func NewStreamEmitter(send func(StreamEvent) error) *StreamEmitter {
+	return service.NewStreamEmitter(send)
+}
+
 // SolveHTTPOptions tunes the JSON transport (timeouts, body and batch
 // limits) around an Engine served over HTTP.
 type SolveHTTPOptions = service.HTTPOptions
@@ -307,8 +343,10 @@ type SolveHTTPOptions = service.HTTPOptions
 // workers and a 1024-instance cache.
 func NewEngine(opts EngineOptions) *Engine { return service.NewEngine(opts) }
 
-// NewSolveHandler mounts an Engine behind the JSON HTTP surface
-// (POST /v1/solve, POST /v1/solve/batch, GET /healthz).
+// NewSolveHandler mounts an Engine behind the JSON HTTP surface:
+// POST /v1/solve, POST /v1/solve/stream (SSE), POST /v1/solve/batch,
+// POST /v1/plan, the /v1/sessions subsystem (including the
+// GET /v1/sessions/{id}/watch WebSocket), GET /v1/stats, GET /healthz.
 func NewSolveHandler(e *Engine, opts SolveHTTPOptions) http.Handler {
 	return service.NewHandler(e, opts)
 }

@@ -11,10 +11,13 @@
 //
 //	energyload -rate 150 -duration 4s -slo-p99 500
 //
-// Traffic mixes plain solves, full reclaiming-session lifecycles
-// (create → jittered completion events → schedule poll → delete, with a
-// fraction abandoned), and batch floods, over a zipf-popular instance
-// pool (see internal/loadgen). The arrival schedule is open-loop and
+// Traffic mixes plain solves, streamed solves (POST /v1/solve/stream
+// consumed to the terminal event, with the time to the first event
+// gated separately via -slo-first-plan-p99), full reclaiming-session
+// lifecycles (create → /watch WebSocket watcher + jittered completion
+// events → schedule poll → delete, with a fraction abandoned), and
+// batch floods, over a zipf-popular instance pool (see
+// internal/loadgen). The arrival schedule is open-loop and
 // seeded: latency is measured from each request's intended send time,
 // so a stalling server cannot hide its stall by slowing the generator
 // down.
@@ -60,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rate        = fs.Float64("rate", 100, "mean arrival rate in requests per second (open-loop Poisson)")
 		duration    = fs.Duration("duration", 5*time.Second, "arrival window of the storm")
 		concurrency = fs.Int("concurrency", 16, "worker count (bounds in-flight requests, not arrivals)")
-		mixFlag     = fs.String("mix", "solve=6,session=3,batch=1", "op-class weights")
+		mixFlag     = fs.String("mix", "solve=5,session=3,stream=1,batch=1", "op-class weights")
 		family      = fs.String("family", "layered", "workload family of the instance pool")
 		n           = fs.Int("n", 24, "family size parameter")
 		instances   = fs.Int("instances", 16, "distinct instances in the pool")
@@ -69,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sloP99      = fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unbounded)")
 		sloP999     = fs.Float64("slo-p999", 0, "SLO: p999 latency bound in ms (0 = unbounded)")
 		sloErrRate  = fs.Float64("slo-error-rate", 0, "SLO: max failed-request fraction (0 = no errors tolerated)")
+		sloFirstP99 = fs.Float64("slo-first-plan-p99", 0, "SLO: p99 bound in ms on a stream's first event (0 = unbounded)")
 		workers     = fs.Int("workers", 0, "in-process server: engine worker pool (0 = GOMAXPROCS)")
 		maxSessions = fs.Int("max-sessions", 0, "in-process server: session capacity (0 = default)")
 		out         = fs.String("out", "", "write the energybench/v1 report here")
@@ -112,6 +116,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxP999MS:    *sloP999,
 			MaxErrorRate: *sloErrRate,
 		},
+	}
+	if *sloFirstP99 > 0 {
+		cfg.StreamSLO = &benchkit.SLO{MaxP99MS: *sloFirstP99}
 	}
 	res, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {

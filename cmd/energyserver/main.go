@@ -4,11 +4,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve        one instance  {graph, mapping?, deadline, model, …}
-//	POST /v1/solve/batch  {"requests":[…]} → per-request results and errors
-//	POST /v1/plan         explain-only: the planner's routing, no solve
-//	GET  /v1/stats        engine counters (hits, misses, coalesced, solves…)
-//	GET  /healthz         liveness and engine statistics
+//	POST   /v1/solve                 one instance  {graph, mapping?, deadline, model, …}
+//	POST   /v1/solve/stream          the same instance as SSE: plan* → component* → result|error
+//	POST   /v1/solve/batch           {"requests":[…]} → per-request results and errors
+//	POST   /v1/plan                  explain-only: the planner's routing, no solve
+//	POST   /v1/sessions              solve + open an online reclaiming session
+//	POST   /v1/sessions/{id}/events  apply completion events; per-event outcomes
+//	GET    /v1/sessions/{id}/watch   WebSocket: re-solved residuals pushed as replans finish
+//	GET    /v1/sessions/{id}/schedule  merged execution state (one-shot; /watch replaces polling)
+//	GET    /v1/sessions              list sessions (+count) · DELETE /v1/sessions/{id} closes one
+//	GET    /v1/stats                 engine + session counters (hits, misses, coalesced, solves…)
+//	GET    /healthz                  liveness and engine statistics
 //
 // Usage:
 //

@@ -126,8 +126,23 @@
 // Every solve routes through the structure-aware planner, and the response
 // carries the plan that produced it, so results are auditable end to end.
 //
+// Internally, dispatch is built on a small generic stage framework
+// (internal/pipeline): a typed Source feeds typed Stages connected by
+// channels, each stage with its own worker count and buffer, with
+// first-error-wins cancellation propagated through a shared context.
+// Solve dispatch instantiates it as split → classify/route → solve →
+// merge: weakly-connected components stream out of classification into
+// the routed solver workers as they are found, and each solved component
+// is available the moment its solver returns. The monolithic Solve waits
+// for the merge; SolveStream emits the intermediate stages as events —
+// a `plan` event per routing decision, a `component` event per solved
+// sub-schedule with the running energy total — so a client sees the
+// first result while later components are still solving, and a client
+// that disconnects cancels the stream's remaining work.
+//
 // The same Engine serves HTTP via NewSolveHandler — JSON endpoints
-// POST /v1/solve, POST /v1/solve/batch, POST /v1/plan (analyze without
+// POST /v1/solve, POST /v1/solve/stream (the event stream above as SSE),
+// POST /v1/solve/batch, POST /v1/plan (analyze without
 // solving), GET /v1/stats, and GET /healthz — packaged as the
 // cmd/energyserver binary. SolveRequest is simultaneously the programmatic
 // input and the wire format; see that type for the field catalogue.
@@ -156,7 +171,10 @@
 //
 // Over HTTP the same runtime is the session subsystem: POST /v1/sessions
 // (solve + open), POST /v1/sessions/{id}/events (stream completions),
-// GET /v1/sessions/{id}/schedule (merged execution state), sharing the
+// GET /v1/sessions/{id}/schedule (merged execution state), and
+// GET /v1/sessions/{id}/watch (a WebSocket pushing each re-solved
+// residual component as replans finish — the push alternative to
+// polling the schedule), sharing the
 // engine's worker pool and instance cache. The energysim -replay flag and
 // examples/reclaim demonstrate full jittered replays; the Jitter type
 // makes them reproducible.
@@ -166,8 +184,9 @@
 // Performance is measured through the scenario registry in
 // internal/benchkit, driven by the cmd/energybench CLI: named scenarios
 // pair the task-graph families of internal/workload with every energy
-// model and four solve paths (direct kernel, planner-routed, end-to-end
-// HTTP service under concurrent load, and warm-vs-cold online reclaiming
+// model and five solve paths (direct kernel, planner-routed, end-to-end
+// HTTP service under concurrent load, progressive SSE streaming timed to
+// the first or last component, and warm-vs-cold online reclaiming
 // replays), producing one canonical BENCH.json
 // report whose per-scenario p50 the CI regression gate diffs against the
 // committed BENCH_baseline.json. Reports also record heap allocation

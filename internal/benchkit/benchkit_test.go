@@ -5,7 +5,7 @@ import (
 )
 
 // TestRegistryCoverage pins the acceptance floor of the scenario table:
-// ≥ 28 scenarios, ≥ 6 graph families, all four energy models, all four
+// ≥ 28 scenarios, ≥ 6 graph families, all four energy models, all five
 // solve paths, unique names, and every scenario buildable (graph
 // generated, deadline feasible, path bound) without running it.
 func TestRegistryCoverage(t *testing.T) {
@@ -41,8 +41,8 @@ func TestRegistryCoverage(t *testing.T) {
 	if len(models) != 4 {
 		t.Fatalf("registry spans %d models, want all 4: %v", len(models), models)
 	}
-	if len(paths) != 4 {
-		t.Fatalf("registry spans %d paths, want all 4: %v", len(paths), paths)
+	if len(paths) != 5 {
+		t.Fatalf("registry spans %d paths, want all 5: %v", len(paths), paths)
 	}
 }
 
@@ -73,6 +73,41 @@ func TestRunOnePerPath(t *testing.T) {
 				t.Fatalf("options not honored: %+v", res)
 			}
 		})
+	}
+}
+
+// TestStreamScenarioPair is the streaming API's acceptance benchmark on
+// the 32-component disconnected workload: the first merged `component`
+// event lands before the monolithic solve returns, and the streamed
+// terminal result carries the identical total energy.
+func TestStreamScenarioPair(t *testing.T) {
+	run := func(name string) *Result {
+		t.Helper()
+		matched, err := Match("^" + name + "$")
+		if err != nil || len(matched) != 1 {
+			t.Fatalf("Match(%q) = %d scenarios, err %v", name, len(matched), err)
+		}
+		res, err := Run(matched[0], Options{Warmup: 1, Reps: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mono := run("multi-32-continuous-service-mono")
+	first := run("multi-32-continuous-stream-first")
+	last := run("multi-32-continuous-stream-last")
+
+	if first.P50MS >= mono.P50MS {
+		t.Fatalf("first component at p50 %.3f ms did not beat the monolithic return at %.3f ms",
+			first.P50MS, mono.P50MS)
+	}
+	if diff := last.Energy - mono.Energy; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("streamed energy %g diverges from monolithic %g", last.Energy, mono.Energy)
+	}
+	// The first-component sample carries the partial running energy:
+	// positive, but strictly inside the total.
+	if first.Energy <= 0 || first.Energy >= last.Energy {
+		t.Fatalf("first-component running energy %g outside (0, %g)", first.Energy, last.Energy)
 	}
 }
 

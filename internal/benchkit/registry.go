@@ -25,8 +25,8 @@ var (
 // scenarios) so -run patterns can slice by any axis.
 //
 // Coverage by construction (kept honest by TestRegistryCoverage):
-// every solve path (direct, planner, service, reclaim), all four energy
-// models, and the structural spectrum — closed-form shapes (chain, fork),
+// every solve path (direct, planner, service, stream, reclaim), all four
+// energy models, and the structural spectrum — closed-form shapes (chain, fork),
 // the SP/tree algebra, interior-point DAGs (layered, gnp, fft, stencil),
 // application graphs (lu, mapreduce, pipeline), and the disconnected
 // multi-component workload the planner parallelizes.
@@ -94,6 +94,23 @@ func Registry() []Scenario {
 			Repeat: true, NoCache: true, Requests: 16, Warmup: 1, Reps: 3},
 		{Name: "layered-240-continuous-service-hit", Family: "layered", N: 240, Seed: 15, Model: contModel, Path: PathService,
 			Repeat: true, Requests: 64},
+
+		// --- stream path: progressive results over /v1/solve/stream -------
+		// The same 32-component instance three ways: one monolithic
+		// POST /v1/solve (the client sees nothing until the whole union is
+		// solved), the stream timed to its first merged component, and the
+		// stream timed to its terminal result. 32 interior-point components
+		// solved by one plan worker make the monolithic barrier the sum of
+		// all solves while the first component streams out after just one —
+		// stream-first landing far inside the monolithic time is the
+		// streaming API's reason to exist; stream-last vs service-mono
+		// bounds the overhead of progressive delivery.
+		{Name: "multi-32-continuous-service-mono", Family: "multi", N: 32, Seed: 35, Model: contModel, Path: PathService,
+			Repeat: true, NoCache: true, Clients: 1, Requests: 1, Warmup: 1, Reps: 3},
+		{Name: "multi-32-continuous-stream-first", Family: "multi", N: 32, Seed: 35, Model: contModel, Path: PathStream,
+			StreamFirst: true, NoCache: true, Warmup: 1, Reps: 3},
+		{Name: "multi-32-continuous-stream-last", Family: "multi", N: 32, Seed: 35, Model: contModel, Path: PathStream,
+			NoCache: true, Warmup: 1, Reps: 3},
 
 		// --- reclaim path: online re-solving of executing schedules -------
 		// Each warm/cold pair replays the identical jittered execution

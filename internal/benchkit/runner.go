@@ -47,10 +47,23 @@ func Run(s Scenario, opts Options) (*Result, error) {
 	}
 	defer r.close()
 
+	// sample runs one rep and returns its measured interval: the runner's
+	// wall-clock bracket, unless the scenario self-times (repTimed —
+	// streaming scenarios stop the clock at a mid-stream event and drain
+	// the rest untimed).
+	sample := func() (time.Duration, float64, error) {
+		if r.repTimed != nil {
+			return r.repTimed()
+		}
+		start := time.Now()
+		e, err := r.rep()
+		return time.Since(start), e, err
+	}
+
 	warmup, reps := opts.warmup(s), opts.reps(s)
 	var energy float64
 	for i := 0; i < warmup; i++ {
-		if energy, err = r.rep(); err != nil {
+		if _, energy, err = sample(); err != nil {
 			return nil, fmt.Errorf("scenario %s (warmup): %w", s.Name, err)
 		}
 	}
@@ -63,11 +76,11 @@ func Run(s Scenario, opts Options) (*Result, error) {
 	resetPeakRSS()
 	samples := make([]float64, reps)
 	for i := range samples {
-		start := time.Now()
-		if energy, err = r.rep(); err != nil {
+		var d time.Duration
+		if d, energy, err = sample(); err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
-		samples[i] = float64(time.Since(start)) / float64(time.Millisecond)
+		samples[i] = float64(d) / float64(time.Millisecond)
 	}
 	runtime.ReadMemStats(&m1)
 	sort.Float64s(samples)

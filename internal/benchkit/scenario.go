@@ -2,22 +2,26 @@
 // cmd/energybench and the BENCH_*.json artifacts: a Scenario names one
 // measured workload (graph family × size × energy model × solve path),
 // the Registry spans the paper's complexity landscape across graph
-// families, all four energy models, and four solve paths (direct
+// families, all four energy models, and five solve paths (direct
 // solver, planner-routed, end-to-end HTTP service under concurrent
-// load, and online reclaiming replays — warm vs cold residual
-// re-solves under a jittered event stream), the Runner measures a
+// load, progressive SSE streaming timed to first or last result, and
+// online reclaiming replays — warm vs cold residual re-solves under a
+// jittered event stream), the Runner measures a
 // scenario with warmup and repetitions into percentile statistics, and
 // Compare diffs two reports into the CI regression gate.
 package benchkit
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -40,6 +44,12 @@ const (
 	// requests over concurrent clients against a live handler; one
 	// sample is the wall time of the whole wave.
 	PathService = "service"
+	// PathStream drives one POST /v1/solve/stream against a live handler
+	// and self-times a scenario-defined interval: from the request to the
+	// first merged `component` event (Scenario.StreamFirst) or to the
+	// terminal `result`. The pair against a monolithic single-request
+	// service scenario is the streaming API's time-to-first-result story.
+	PathStream = "stream"
 	// PathReclaim replays a jittered execution through a reclaiming
 	// session (internal/reclaim): one sample is a full closed-loop replay
 	// — every completion event ingested, every dirtied residual
@@ -79,7 +89,8 @@ type Scenario struct {
 	// Model selects and parameterizes the energy model, in the service
 	// wire form.
 	Model service.ModelSpec
-	// Path selects the solve path (PathDirect, PathPlanner, PathService).
+	// Path selects the solve path (PathDirect, PathPlanner, PathService,
+	// PathStream, PathReclaim).
 	Path string
 	// Tier assigns the scenario to a registry tier; the zero value is
 	// TierDefault. Large-tier scenarios only run when asked for
@@ -114,6 +125,12 @@ type Scenario struct {
 	// NoCache marks every service-path request no_cache and disables the
 	// engine cache, so a repeated instance measures the full solve.
 	NoCache bool
+
+	// StreamFirst stops the stream path's measured interval at the first
+	// `component` event instead of the terminal `result`; the rest of the
+	// stream is abandoned (client disconnect cancels the downstream
+	// stages) and the engine unwinds outside the timed region.
+	StreamFirst bool
 
 	// ReclaimCold switches the reclaim path to the cold baseline: every
 	// deviation re-solves the full residual from scratch (no component
@@ -160,10 +177,14 @@ func (s Scenario) requests() int {
 
 // runnable is a built scenario: rep runs one measured sample and returns
 // the energy it produced; close releases path resources (HTTP server).
+// repTimed, when set, replaces the runner's wall-clock bracket with a
+// scenario-defined measured interval (streaming scenarios time to a
+// mid-stream event, then drain untimed).
 type runnable struct {
 	tasks, edges int
 	deadline     float64
 	rep          func() (float64, error)
+	repTimed     func() (time.Duration, float64, error)
 	close        func()
 }
 
@@ -237,6 +258,8 @@ func (s Scenario) build() (*runnable, error) {
 		}
 	case PathService:
 		return s.buildService(r)
+	case PathStream:
+		return s.buildStream(r, g)
 	case PathReclaim:
 		prob, err := core.NewProblem(g, deadline)
 		if err != nil {
@@ -327,6 +350,106 @@ func (s Scenario) buildMmap(smax float64) (*runnable, error) {
 		return res.Energy, nil
 	}
 	return r, nil
+}
+
+// buildStream stands up a live server and binds a self-timed rep over
+// POST /v1/solve/stream: the measured interval runs from the request to
+// the first merged `component` event (StreamFirst) or to the terminal
+// `result`. A StreamFirst rep abandons the stream once its interval ends
+// — closing the body cancels the remaining stages — then waits, untimed,
+// for the engine backlog to unwind so samples never overlap.
+func (s Scenario) buildStream(r *runnable, g *graph.Graph) (*runnable, error) {
+	req := service.SolveRequest{
+		Graph:    g,
+		Deadline: r.deadline,
+		Model:    s.Model,
+		NoCache:  s.NoCache,
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	opts := service.Options{}
+	if s.NoCache {
+		opts.CacheSize = -1
+	}
+	engine := service.NewEngine(opts)
+	srv := httptest.NewServer(service.NewHandler(engine, service.HTTPOptions{}))
+	client := srv.Client()
+	r.close = srv.Close
+
+	r.repTimed = func() (time.Duration, float64, error) {
+		start := time.Now()
+		resp, err := client.Post(srv.URL+"/v1/solve/stream", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("stream: HTTP %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev service.StreamEvent
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+				return 0, 0, fmt.Errorf("stream: bad event: %w", err)
+			}
+			switch ev.Type {
+			case service.EventComponent:
+				if !s.StreamFirst {
+					continue
+				}
+				elapsed := time.Since(start)
+				var comp service.StreamComponentData
+				if err := json.Unmarshal(ev.Data, &comp); err != nil {
+					return 0, 0, err
+				}
+				resp.Body.Close()
+				if err := waitEngineIdle(engine); err != nil {
+					return 0, 0, err
+				}
+				return elapsed, comp.RunningEnergy, nil
+			case service.EventResult:
+				elapsed := time.Since(start)
+				var out struct {
+					Energy float64 `json:"energy"`
+				}
+				if err := json.Unmarshal(ev.Data, &out); err != nil {
+					return 0, 0, err
+				}
+				return elapsed, out.Energy, nil
+			case service.EventError:
+				var apiErr struct {
+					Message string `json:"message"`
+				}
+				_ = json.Unmarshal(ev.Data, &apiErr)
+				return 0, 0, fmt.Errorf("stream: %s", apiErr.Message)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return 0, 0, err
+		}
+		return 0, 0, fmt.Errorf("stream: ended without a terminal event")
+	}
+	return r, nil
+}
+
+// waitEngineIdle blocks until the engine's backlog gauge returns to zero
+// (an abandoned stream's stages unwind in the background).
+func waitEngineIdle(engine *service.Engine) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for engine.Stats().Backlog != 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("stream: engine backlog never unwound after disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
 }
 
 // buildService stands up a live HTTP server around a fresh engine and

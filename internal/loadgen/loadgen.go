@@ -12,18 +12,21 @@
 // wait, repeat" harnesses, which silently stop arriving while the
 // server is slow.
 //
-// Traffic mixes three op classes over a pool of distinct instances with
+// Traffic mixes four op classes over a pool of distinct instances with
 // zipf-distributed popularity (hot instances exercise the engine's
 // result cache and singleflight; the cold tail forces real solves):
 //
 //   - solve: one POST /v1/solve
 //   - batch: one POST /v1/solve/batch of a few instances
-//   - session: a full reclaiming-session lifecycle — create, stream
-//     jittered completion events (durations from the initial solve's
-//     speeds, perturbed by workload.Jitter), poll the schedule, then
-//     delete; a configurable fraction abandons the session instead
-//     (half mid-execution, half finished), exercising the store's
-//     eviction paths.
+//   - stream: one POST /v1/solve/stream consumed to its terminal event;
+//     the time to the stream's first event gets its own result row
+//     ("load/stream-first-plan") and SLO gate
+//   - session: a full reclaiming-session lifecycle — create, attach a
+//     /watch WebSocket watcher, stream jittered completion events
+//     (durations from the initial solve's speeds, perturbed by
+//     workload.Jitter), poll the schedule, then delete; a configurable
+//     fraction abandons the session instead (half mid-execution, half
+//     finished), exercising the store's eviction paths.
 //
 // Everything is deterministic under a fixed Config: the plan, the
 // instance pool, the jitter, and the abandon decisions all derive from
@@ -31,6 +34,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -48,6 +52,7 @@ import (
 	"repro/internal/reclaim"
 	"repro/internal/service"
 	"repro/internal/workload"
+	"repro/internal/ws"
 )
 
 // Op classes of the traffic mix.
@@ -55,17 +60,28 @@ const (
 	OpSolve   = "solve"
 	OpSession = "session"
 	OpBatch   = "batch"
+	// OpStream consumes one POST /v1/solve/stream SSE stream to its
+	// terminal event, recording both the whole-stream latency (op row
+	// "load/stream") and the time to the first event (row
+	// "load/stream-first-plan" — the streaming API's reason to exist).
+	OpStream = "stream"
 )
 
+// opStreamFirstPlan is the internal sample tag for time-to-first-event;
+// it gets its own result row but stays out of the overall aggregate (it
+// is a sub-measurement of a stream op, not a request of its own).
+const opStreamFirstPlan = "stream-first-plan"
+
 // Mix weighs the op classes; arrivals are assigned proportionally.
-// The zero value selects the default 6:3:1 solve:session:batch.
+// The zero value selects the default 5:3:1:1 solve:session:stream:batch.
 type Mix struct {
 	Solve   int `json:"solve"`
 	Session int `json:"session"`
 	Batch   int `json:"batch"`
+	Stream  int `json:"stream"`
 }
 
-func (m Mix) total() int { return m.Solve + m.Session + m.Batch }
+func (m Mix) total() int { return m.Solve + m.Session + m.Batch + m.Stream }
 
 // ParseMix reads the flag form "solve=6,session=3,batch=1". Classes may
 // be omitted (weight 0); unknown classes and negative weights are errors.
@@ -90,8 +106,10 @@ func ParseMix(s string) (Mix, error) {
 			m.Session = w
 		case OpBatch:
 			m.Batch = w
+		case OpStream:
+			m.Stream = w
 		default:
-			return m, fmt.Errorf("loadgen: unknown mix class %q (have %s, %s, %s)", k, OpSolve, OpSession, OpBatch)
+			return m, fmt.Errorf("loadgen: unknown mix class %q (have %s, %s, %s, %s)", k, OpSolve, OpSession, OpStream, OpBatch)
 		}
 	}
 	if m.total() == 0 {
@@ -135,6 +153,10 @@ type Config struct {
 	// SLO, when set, is attached to the overall result row and checked;
 	// Run reports the violated clauses.
 	SLO *benchkit.SLO
+	// StreamSLO, when set, is attached to the "load/stream-first-plan"
+	// row and checked — the streaming gate ("first plan event p99 < N ms")
+	// rides here, separate from the whole-request SLO.
+	StreamSLO *benchkit.SLO
 	// Client overrides the HTTP client (default: 30s request timeout).
 	Client *http.Client
 }
@@ -154,7 +176,7 @@ func (c Config) withDefaults() (Config, error) {
 		c.Concurrency = 16
 	}
 	if c.Mix.total() == 0 {
-		c.Mix = Mix{Solve: 6, Session: 3, Batch: 1}
+		c.Mix = Mix{Solve: 5, Session: 3, Stream: 1, Batch: 1}
 	}
 	if c.Family == "" {
 		c.Family = "layered"
@@ -274,6 +296,8 @@ func buildPlan(cfg Config) []job {
 			op = OpSolve
 		case pick < cfg.Mix.Solve+cfg.Mix.Session:
 			op = OpSession
+		case pick < cfg.Mix.Solve+cfg.Mix.Session+cfg.Mix.Stream:
+			op = OpStream
 		default:
 			op = OpBatch
 		}
@@ -371,6 +395,8 @@ func (w *worker) run(ctx context.Context, jb job, intended time.Time) {
 		w.runBatch(ctx, jb, intended)
 	case OpSession:
 		w.runSession(ctx, jb, spec, intended)
+	case OpStream:
+		w.runStream(ctx, jb, spec, intended)
 	}
 }
 
@@ -431,6 +457,24 @@ func (w *worker) runSession(ctx context.Context, jb job, spec *instanceSpec, int
 		deleteAfter = false // finished but never cleaned up
 	}
 	sessURL := w.cfg.BaseURL + "/v1/sessions/" + create.SessionID
+	// A watcher rides along for the session's life, draining the pushed
+	// schedule/component/event stream like a real monitoring client. It
+	// measures nothing — it exists to keep the watch path under load.
+	if wconn, werr := ws.Dial(strings.Replace(sessURL, "http://", "ws://", 1) + "/watch"); werr == nil {
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			for {
+				if _, rerr := wconn.ReadMessage(); rerr != nil {
+					return
+				}
+			}
+		}()
+		defer func() {
+			wconn.Close()
+			<-watchDone
+		}()
+	}
 	for sent := 0; sent < limit; {
 		if ctx.Err() != nil {
 			return
@@ -458,6 +502,61 @@ func (w *worker) runSession(ctx context.Context, jb job, spec *instanceSpec, int
 	if deleteAfter {
 		w.do(ctx, http.MethodDelete, sessURL, nil, time.Now(), OpSession, nil)
 	}
+}
+
+// runStream consumes one streaming solve to its terminal event. Two
+// measurements come out of it: the time to the stream's first event
+// (recorded against the intended arrival — the metric the streaming API
+// exists for) and the whole-stream latency.
+func (w *worker) runStream(ctx context.Context, jb job, spec *instanceSpec, intended time.Time) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.BaseURL+"/v1/solve/stream", bytes.NewReader(spec.body))
+	if err != nil {
+		w.record(OpStream, intended, 0, true)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		w.record(OpStream, intended, 0, true)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		w.record(OpStream, intended, resp.StatusCode, resp.StatusCode >= 500)
+		return
+	}
+	br := bufio.NewReader(resp.Body)
+	first, ok := true, false
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr != nil {
+			break
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if first {
+			w.record(opStreamFirstPlan, intended, resp.StatusCode, false)
+			first = false
+		}
+		var ev service.StreamEvent
+		if json.Unmarshal([]byte(strings.TrimSuffix(strings.TrimPrefix(line, "data: "), "\n")), &ev) != nil {
+			break
+		}
+		if ev.Type == service.EventResult {
+			var out service.SolveResponse
+			if json.Unmarshal(ev.Data, &out) == nil {
+				w.energy += out.Energy
+			}
+			ok = true
+			break
+		}
+		if ev.Type == service.EventError {
+			break
+		}
+	}
+	w.record(OpStream, intended, resp.StatusCode, !ok)
 }
 
 // RunResult is one storm's outcome: aggregate counters, the
@@ -552,7 +651,10 @@ func Run(ctx context.Context, cfg Config) (*RunResult, error) {
 		}
 	}
 	all := make([]sample, 0)
-	for _, ss := range byOp {
+	for op, ss := range byOp {
+		if op == opStreamFirstPlan {
+			continue // sub-measurement, not a request
+		}
 		all = append(all, ss...)
 	}
 	overall := buildRow(cfg, pool, "load/overall", all, wall)
@@ -565,10 +667,18 @@ func Run(ctx context.Context, cfg Config) (*RunResult, error) {
 	res.Requests = overall.Requests
 	res.Errors = overall.Errors
 	res.Rows = []benchkit.Result{overall}
-	for _, op := range []string{OpSolve, OpSession, OpBatch} {
-		if ss := byOp[op]; len(ss) > 0 {
-			res.Rows = append(res.Rows, buildRow(cfg, pool, "load/"+op, ss, wall))
+	for _, op := range []string{OpSolve, OpSession, OpStream, opStreamFirstPlan, OpBatch} {
+		ss := byOp[op]
+		if len(ss) == 0 {
+			continue
 		}
+		row := buildRow(cfg, pool, "load/"+op, ss, wall)
+		if op == opStreamFirstPlan && cfg.StreamSLO != nil {
+			row.SLO = cfg.StreamSLO
+			row.SLOViolations = cfg.StreamSLO.Check(&row)
+			res.Violations = append(res.Violations, row.SLOViolations...)
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }

@@ -123,8 +123,9 @@ func TestRunSmoke(t *testing.T) {
 	if _, err := benchkit.ParseReport(data); err != nil {
 		t.Fatalf("report does not parse as energybench/v1: %v", err)
 	}
-	// The mix produced samples of every class.
-	for _, op := range []string{OpSolve, OpSession, OpBatch} {
+	// The mix produced samples of every class, plus the stream
+	// time-to-first-event sub-row.
+	for _, op := range []string{OpSolve, OpSession, OpStream, opStreamFirstPlan, OpBatch} {
 		found := false
 		for _, row := range res.Rows {
 			if row.Scenario == "load/"+op && row.Requests > 0 {
@@ -134,6 +135,55 @@ func TestRunSmoke(t *testing.T) {
 		if !found {
 			t.Fatalf("no samples for op class %s: %+v", op, res.Rows)
 		}
+	}
+}
+
+// TestStreamFirstPlanSLO wires the streaming gate: the
+// "load/stream-first-plan" row carries StreamSLO, a generous bound
+// passes, and an impossible bound trips.
+func TestStreamFirstPlanSLO(t *testing.T) {
+	srv := newServer(t, service.HTTPOptions{})
+	cfg := smokeConfig(srv.URL)
+	cfg.Mix = Mix{Stream: 1}
+	cfg.StreamSLO = &benchkit.SLO{MaxP99MS: 60_000}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("stream-only storm produced %d errors (statuses %v)", res.Errors, res.StatusCounts)
+	}
+	if !res.Pass() {
+		t.Fatalf("generous first-plan SLO violated: %v", res.Violations)
+	}
+	var row *benchkit.Result
+	for i := range res.Rows {
+		if res.Rows[i].Scenario == "load/"+opStreamFirstPlan {
+			row = &res.Rows[i]
+		}
+	}
+	if row == nil || row.Requests == 0 || row.SLO == nil {
+		t.Fatalf("first-plan row missing or bare: %+v", res.Rows)
+	}
+	// First-event latency must be a strict sub-measurement of the whole
+	// stream on aggregate.
+	var stream *benchkit.Result
+	for i := range res.Rows {
+		if res.Rows[i].Scenario == "load/"+OpStream {
+			stream = &res.Rows[i]
+		}
+	}
+	if stream == nil || row.MeanMS > stream.MeanMS {
+		t.Fatalf("first-plan mean %v exceeds whole-stream mean %v", row.MeanMS, stream.MeanMS)
+	}
+
+	cfg.StreamSLO = &benchkit.SLO{MaxP99MS: 0.000001}
+	res, err = Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Fatal("impossible first-plan SLO passed")
 	}
 }
 

@@ -1,0 +1,208 @@
+// Package pipeline is a small generic stage framework for streaming
+// dispatch: a Pipeline owns a context, stages are linked by channels,
+// and each stage runs a fixed pool of workers that consume items from
+// an input channel and emit zero or more outputs downstream.
+//
+// The design goals, in order:
+//
+//   - Backpressure. Stage output channels are bounded (Buffer); a slow
+//     downstream stage stalls upstream workers instead of buffering
+//     unbounded work.
+//   - Error propagation. The first error from any stage cancels the
+//     pipeline context; every other stage observes the cancellation on
+//     its next receive or emit and drains out. Wait returns that first
+//     error (the cancellation *cause*), not a generic "context canceled".
+//   - Cancellation from outside. The parent context passed to New flows
+//     into every stage, so a disconnecting HTTP client (request context
+//     done) tears the whole pipeline down.
+//
+// Stages are attached with the free functions Source and Attach rather
+// than methods because Go methods cannot introduce type parameters.
+//
+// Typical shape:
+//
+//	pp := pipeline.New(ctx)
+//	idx := pipeline.Source(pp, "components", 4, feed)
+//	planned := pipeline.Attach(pp, pipeline.Stage[int, planned]{...}, idx)
+//	solved := pipeline.Attach(pp, pipeline.Stage[planned, solved]{...}, planned)
+//	for s := range solved { ... }
+//	err := pp.Wait()
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pipeline ties a set of stages to one cancellable context. Zero or
+// more stages are attached with Source/Attach; Wait blocks until all
+// of them finish and reports the first failure.
+type Pipeline struct {
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	wg     sync.WaitGroup
+}
+
+// New creates a pipeline whose stages all run under a context derived
+// from parent. Cancelling parent cancels every stage.
+func New(parent context.Context) *Pipeline {
+	ctx, cancel := context.WithCancelCause(parent)
+	return &Pipeline{ctx: ctx, cancel: cancel}
+}
+
+// Context returns the pipeline's context. Stage workers receive it via
+// their Do callback; external consumers can select on Context().Done()
+// while reading the final stage's output channel.
+func (p *Pipeline) Context() context.Context { return p.ctx }
+
+// Fail cancels the pipeline with the given cause. Safe to call from
+// any goroutine; the first cause wins. Consumers that stop reading a
+// stage's output early MUST call Fail (or cancel the parent context)
+// before abandoning the channel, otherwise blocked emitters would leak.
+func (p *Pipeline) Fail(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	p.cancel(err)
+}
+
+// Wait blocks until every attached stage has finished, then releases
+// the pipeline's context and returns the first error that cancelled it
+// (nil on clean completion). A cancellation without an explicit cause
+// — e.g. the parent request context dying on client disconnect —
+// surfaces as context.Canceled, never as silent success.
+func (p *Pipeline) Wait() error {
+	p.wg.Wait()
+	var err error
+	if p.ctx.Err() != nil {
+		err = context.Cause(p.ctx)
+	}
+	p.cancel(context.Canceled) // release resources; no-op if already cancelled
+	return err
+}
+
+// A Stage transforms items of type I into items of type O. Workers
+// goroutines run concurrently, each pulling from the stage input and
+// calling Do; Do may emit any number of outputs (including zero) per
+// input. When Do returns an error the pipeline is cancelled with a
+// stage-tagged wrapper preserving errors.Is/As on the underlying error.
+type Stage[I, O any] struct {
+	// Name tags errors originating in this stage.
+	Name string
+	// Workers is the number of concurrent Do invocations (default 1).
+	Workers int
+	// Buffer is the capacity of the stage's output channel (default 0,
+	// i.e. rendezvous — full backpressure).
+	Buffer int
+	// Do processes one input item. emit forwards an output downstream
+	// and fails fast (returning the pipeline's cancellation cause) once
+	// the pipeline is cancelled; Do should return that error unchanged.
+	Do func(ctx context.Context, item I, emit func(O) error) error
+}
+
+// Attach links st to the pipeline, consuming in and returning the
+// stage's output channel. The output channel is closed when all
+// workers have finished (input exhausted or pipeline cancelled).
+func Attach[I, O any](p *Pipeline, st Stage[I, O], in <-chan I) <-chan O {
+	workers := st.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan O, st.Buffer)
+	emit := func(o O) error {
+		select {
+		case out <- o:
+			return nil
+		case <-p.ctx.Done():
+			return cause(p.ctx)
+		}
+	}
+	var stage sync.WaitGroup
+	stage.Add(workers)
+	p.wg.Add(workers + 1)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			defer stage.Done()
+			for {
+				var item I
+				var ok bool
+				select {
+				case item, ok = <-in:
+					if !ok {
+						return
+					}
+				case <-p.ctx.Done():
+					return
+				}
+				if err := st.Do(p.ctx, item, emit); err != nil {
+					p.cancel(stageError(st.Name, err))
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer p.wg.Done()
+		stage.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Source attaches a producer stage with no input: feed runs in a
+// single goroutine and emits items until done. The returned channel is
+// closed when feed returns or the pipeline is cancelled.
+func Source[T any](p *Pipeline, name string, buffer int, feed func(ctx context.Context, emit func(T) error) error) <-chan T {
+	out := make(chan T, buffer)
+	emit := func(t T) error {
+		select {
+		case out <- t:
+			return nil
+		case <-p.ctx.Done():
+			return cause(p.ctx)
+		}
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(out)
+		if err := feed(p.ctx, emit); err != nil {
+			p.cancel(stageError(name, err))
+		}
+	}()
+	return out
+}
+
+// cause returns the context's cancellation cause, falling back to the
+// plain context error.
+func cause(ctx context.Context) error {
+	if c := context.Cause(ctx); c != nil {
+		return c
+	}
+	return ctx.Err()
+}
+
+// stageError tags err with the stage name unless it is already a
+// cancellation passed back through Do (which would double-wrap on
+// every stage it crosses).
+func stageError(name string, err error) error {
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		return err
+	}
+	if _, ok := err.(*Error); ok {
+		return err
+	}
+	return &Error{Stage: name, Err: err}
+}
+
+// Error tags a stage failure with the stage's name. Unwrap preserves
+// errors.Is/errors.As against the underlying error.
+type Error struct {
+	Stage string
+	Err   error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pipeline stage %q: %v", e.Stage, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }

@@ -14,6 +14,17 @@ import (
 // problem directly, so connected instances behave exactly as an unplanned
 // solve would.
 func (pl *Plan) Execute() (*core.Solution, error) {
+	return pl.ExecuteEmit(nil)
+}
+
+// ExecuteEmit is Execute with a component-granular observer: emit (when
+// non-nil) is invoked once per component the moment its solve succeeds,
+// with the component's index into pl.Components and its standalone
+// solution, while other components may still be solving. emit is called
+// from solver goroutines — it must be safe for concurrent use and must not
+// block for long (it stalls that worker, not the merge). The merged
+// solution is identical to Execute's; emit is observation only.
+func (pl *Plan) ExecuteEmit(emit func(i int, sol *core.Solution)) (*core.Solution, error) {
 	if pl.res != nil {
 		// Residual plans merge release-aware and may carry warm seeds;
 		// Execute is "replan with every component dirty".
@@ -21,17 +32,25 @@ func (pl *Plan) Execute() (*core.Solution, error) {
 		for i := range all {
 			all[i] = i
 		}
-		r, err := Replan(pl, all)
+		r, err := ReplanEmit(pl, all, emit)
 		if err != nil {
 			return nil, err
 		}
 		return r.Solution, nil
 	}
 	if len(pl.comps) == 1 {
-		return pl.solveComponent(pl.comps[0].Prob, pl.Components[0])
+		sol, err := pl.rt.Solve(pl.comps[0].Prob, pl.Components[0])
+		if err == nil && emit != nil {
+			emit(0, sol)
+		}
+		return sol, err
 	}
 	sols, err := core.SolveComponents(pl.comps, pl.Workers, func(i int, c core.Component) (*core.Solution, error) {
-		return pl.solveComponent(c.Prob, pl.Components[i])
+		sol, err := pl.rt.Solve(c.Prob, pl.Components[i])
+		if err == nil && emit != nil {
+			emit(i, sol)
+		}
+		return sol, err
 	})
 	if err != nil {
 		return nil, err
@@ -39,26 +58,26 @@ func (pl *Plan) Execute() (*core.Solution, error) {
 	return pl.prob.MergeSolutions(pl.comps, sols)
 }
 
-// solveComponent dispatches one component to its routed solver, reusing the
-// classification artifacts (class, SP expression) recorded during Analyze
-// and applying the documented fallbacks (SP algebra → interior point when
-// smax binds, Pareto DP → branch-and-bound when the frontier budget is hit).
+// Solve dispatches one component to its routed solver, reusing the
+// classification artifacts (class, SP expression) recorded during Route and
+// applying the documented fallbacks (SP algebra → interior point when smax
+// binds, Pareto DP → branch-and-bound when the frontier budget is hit).
 // Residual components carry release times and warm seeds into the solver
 // options; both leave every solver's result untouched (releases are extra
 // constraints, warm starts only shrink the work).
-func (pl *Plan) solveComponent(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
-	m := pl.Model
-	copts := pl.copts
+func (rt *Router) Solve(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
+	m := rt.m
+	copts := rt.copts
 	copts.Release, copts.Warm = cp.release, cp.warm
-	dopts := pl.dopts
+	dopts := rt.dopts
 	dopts.Release, dopts.Warm = cp.release, cp.warm
-	switch pl.Algorithm {
+	switch rt.algo {
 	case AlgoBB:
 		return p.SolveDiscreteBB(m, dopts)
 	case AlgoSP:
-		sol, err := pl.solveDiscreteSP(p, cp, dopts)
+		sol, err := rt.solveDiscreteSP(p, cp, dopts)
 		if errors.Is(err, core.ErrNotSeriesParallel) {
-			// Analyze already rejects this; guard against direct construction.
+			// Route already rejects this; guard against direct construction.
 			return nil, badPlan("algorithm %q requires a series-parallel execution graph", AlgoSP)
 		}
 		return sol, err
@@ -68,27 +87,27 @@ func (pl *Plan) solveComponent(p *core.Problem, cp ComponentPlan) (*core.Solutio
 		return p.SolveDiscreteRoundUp(m, copts)
 	case AlgoApprox:
 		if m.Kind == model.Incremental {
-			return p.SolveIncrementalApprox(m, pl.k, copts)
+			return p.SolveIncrementalApprox(m, rt.k, copts)
 		}
-		return p.SolveDiscreteApprox(m, pl.k, copts)
+		return p.SolveDiscreteApprox(m, rt.k, copts)
 	}
 	// Auto: the model-aware structured dispatch, mirroring core.SolveAuto
-	// but fed from the plan's own classification (the recognizers do not run
-	// again). The property suite pins this path to the direct dispatch.
+	// but fed from the router's own classification (the recognizers do not
+	// run again). The property suite pins this path to the direct dispatch.
 	switch m.Kind {
 	case model.Continuous:
-		return pl.solveContinuousAuto(p, cp, copts)
+		return rt.solveContinuousAuto(p, cp, copts)
 	case model.VddHopping:
 		return p.SolveVddHoppingOpts(m, core.VddOptions{Release: cp.release, Warm: cp.warm})
 	case model.Incremental:
-		return p.SolveIncrementalApprox(m, pl.k, copts)
+		return p.SolveIncrementalApprox(m, rt.k, copts)
 	case model.Discrete:
 		if cp.release != nil {
 			// The Pareto DP has no notion of absolute time; residual
 			// components go straight to release-aware branch-and-bound.
 			return p.SolveDiscreteBB(m, dopts)
 		}
-		sol, err := pl.solveDiscreteSP(p, cp, dopts)
+		sol, err := rt.solveDiscreteSP(p, cp, dopts)
 		if err == nil {
 			return sol, nil
 		}
@@ -103,11 +122,11 @@ func (pl *Plan) solveComponent(p *core.Problem, cp ComponentPlan) (*core.Solutio
 // solveDiscreteSP runs the exact Pareto DP on the expression recovered
 // during classification; general DAGs (no expression) report
 // ErrNotSeriesParallel so auto falls back to branch-and-bound.
-func (pl *Plan) solveDiscreteSP(p *core.Problem, cp ComponentPlan, dopts core.DiscreteOptions) (*core.Solution, error) {
+func (rt *Router) solveDiscreteSP(p *core.Problem, cp ComponentPlan, dopts core.DiscreteOptions) (*core.Solution, error) {
 	if cp.art.expr == nil {
 		return nil, core.ErrNotSeriesParallel
 	}
-	return p.SolveDiscreteSPOn(pl.Model, cp.art.reduced, cp.art.expr, dopts)
+	return p.SolveDiscreteSPOn(rt.m, cp.art.reduced, cp.art.expr, dopts)
 }
 
 // solveContinuousAuto is core.SolveContinuous driven by the recorded class:
@@ -115,8 +134,8 @@ func (pl *Plan) solveDiscreteSP(p *core.Problem, cp ComponentPlan, dopts core.Di
 // trees and series-parallel shapes, and the interior point for general DAGs
 // or whenever the algebra reports that the finite smax binds. copts already
 // carries the component's release times and warm seed.
-func (pl *Plan) solveContinuousAuto(p *core.Problem, cp ComponentPlan, copts core.ContinuousOptions) (*core.Solution, error) {
-	smax := pl.Model.SMax
+func (rt *Router) solveContinuousAuto(p *core.Problem, cp ComponentPlan, copts core.ContinuousOptions) (*core.Solution, error) {
+	smax := rt.m.SMax
 	if copts.SMin > 0 || copts.Release != nil {
 		// The closed forms assume speeds unbounded below and zero releases.
 		return p.SolveContinuousNumeric(smax, copts)

@@ -158,14 +158,88 @@ type Plan struct {
 	// Workers bounds concurrent component solves during Execute.
 	Workers int
 
-	k     int
-	copts core.ContinuousOptions
-	dopts core.DiscreteOptions
+	rt    *Router
 	prob  *core.Problem
 	comps []core.Component
 	// res is non-nil on residual plans (AnalyzeResidual): the full-problem
 	// release vector and previous solution behind the per-component slices.
 	res *Residual
+}
+
+// Router is the per-component half of the planner: a validated
+// model/algorithm/options bundle that classifies and routes one component at
+// a time (Route) and dispatches a routed component to its solver (Solve).
+// Analyze is a Router applied to every component of a split problem at once;
+// the streaming dispatch path in internal/service drives a Router
+// incrementally instead, emitting each component's plan and solution as soon
+// as they exist rather than after the whole instance finishes.
+//
+// A Router is immutable after NewRouter and safe for concurrent use.
+type Router struct {
+	m     model.Model
+	algo  string
+	k     int
+	copts core.ContinuousOptions
+	dopts core.DiscreteOptions
+}
+
+// NewRouter validates the model/algorithm combination (the same checks
+// Analyze applies) and returns a reusable router.
+func NewRouter(m model.Model, opts Options) (*Router, error) {
+	algo := strings.ToLower(opts.Algorithm)
+	if algo == "" {
+		algo = AlgoAuto
+	}
+	switch algo {
+	case AlgoAuto, AlgoBB, AlgoSP, AlgoGreedy, AlgoRoundUp, AlgoApprox:
+	default:
+		return nil, badPlan("unknown algorithm %q", opts.Algorithm)
+	}
+	if algo != AlgoAuto && m.Kind != model.Discrete && m.Kind != model.Incremental {
+		return nil, badPlan("algorithm %q is not defined for the %s model", algo, m.Kind)
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 4
+	}
+	return &Router{m: m, algo: algo, k: k, copts: opts.Continuous, dopts: opts.Discrete}, nil
+}
+
+// Algorithm returns the validated selector (auto or a forced algorithm).
+func (rt *Router) Algorithm() string { return rt.algo }
+
+// Route classifies one component and picks its solver. rel carries
+// component-local release times on residual plans (nil otherwise). The sp
+// selector's structural requirements are enforced here, exactly as Analyze
+// enforces them for whole plans.
+func (rt *Router) Route(c core.Component, rel []float64) (ComponentPlan, error) {
+	cp := route(c, rt.m, rt.algo, rt.k, rt.dopts, rel)
+	if rt.algo == AlgoSP && cp.Class == ClassGeneralDAG {
+		return ComponentPlan{}, badPlan("algorithm %q requires a series-parallel execution graph (component {%s} is %s)",
+			AlgoSP, idRange(cp.Tasks), cp.Class)
+	}
+	if rt.algo == AlgoSP && cp.release != nil {
+		return ComponentPlan{}, badPlan("algorithm %q cannot solve residual components with release times (component {%s})",
+			AlgoSP, idRange(cp.Tasks))
+	}
+	return cp, nil
+}
+
+// Assemble builds a Plan from routing decisions produced incrementally with
+// Router.Route — the streaming dispatch path's way back to the Plan-shaped
+// response (PlanJSON, Exact, String) once every component has been routed.
+// comps and cps must be index-aligned per SplitComponents order.
+func Assemble(p *core.Problem, rt *Router, comps []core.Component, cps []ComponentPlan, workers int) *Plan {
+	return &Plan{
+		Algorithm:  rt.algo,
+		Model:      rt.m,
+		Deadline:   p.Deadline,
+		Components: cps,
+		Workers:    workers,
+		rt:         rt,
+		prob:       p,
+		comps:      comps,
+	}
 }
 
 // Classify recognizes the most specific structure class of g, checking the
@@ -212,49 +286,29 @@ func Analyze(p *core.Problem, m model.Model, opts Options) (*Plan, error) {
 
 // analyze is the shared implementation behind Analyze and AnalyzeResidual.
 func analyze(p *core.Problem, m model.Model, opts Options, res *Residual) (*Plan, error) {
-	algo := strings.ToLower(opts.Algorithm)
-	if algo == "" {
-		algo = AlgoAuto
-	}
-	switch algo {
-	case AlgoAuto, AlgoBB, AlgoSP, AlgoGreedy, AlgoRoundUp, AlgoApprox:
-	default:
-		return nil, badPlan("unknown algorithm %q", opts.Algorithm)
-	}
-	if algo != AlgoAuto && m.Kind != model.Discrete && m.Kind != model.Incremental {
-		return nil, badPlan("algorithm %q is not defined for the %s model", algo, m.Kind)
-	}
-	k := opts.K
-	if k <= 0 {
-		k = 4
+	rt, err := NewRouter(m, opts)
+	if err != nil {
+		return nil, err
 	}
 	comps, err := p.SplitComponents()
 	if err != nil {
 		return nil, err
 	}
 	pl := &Plan{
-		Algorithm:  algo,
+		Algorithm:  rt.algo,
 		Model:      m,
 		Deadline:   p.Deadline,
 		Components: make([]ComponentPlan, 0, len(comps)),
 		Workers:    opts.Workers,
-		k:          k,
-		copts:      opts.Continuous,
-		dopts:      opts.Discrete,
+		rt:         rt,
 		prob:       p,
 		comps:      comps,
 		res:        res,
 	}
 	for _, c := range comps {
-		rel := res.sliceRelease(c.Tasks)
-		cp := route(c, m, algo, k, opts.Discrete, rel)
-		if algo == AlgoSP && cp.Class == ClassGeneralDAG {
-			return nil, badPlan("algorithm %q requires a series-parallel execution graph (component {%s} is %s)",
-				AlgoSP, idRange(cp.Tasks), cp.Class)
-		}
-		if algo == AlgoSP && cp.release != nil {
-			return nil, badPlan("algorithm %q cannot solve residual components with release times (component {%s})",
-				AlgoSP, idRange(cp.Tasks))
+		cp, err := rt.Route(c, res.sliceRelease(c.Tasks))
+		if err != nil {
+			return nil, err
 		}
 		cp.warm = res.sliceWarm(c.Tasks, m)
 		cp.reusable = res.reusable(c.Tasks, m)

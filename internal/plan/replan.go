@@ -141,6 +141,18 @@ type ReplanResult struct {
 // previous speeds verbatim. A clean component without previous data is
 // treated as dirty. The merged solution covers the whole residual problem.
 func Replan(prev *Plan, dirty []ComponentID) (*ReplanResult, error) {
+	return ReplanEmit(prev, dirty, nil)
+}
+
+// ReplanEmit is Replan with a component-granular observer: emit (when
+// non-nil) fires once per re-solved component the moment its solver
+// succeeds — while other dirty components may still be solving — with the
+// component's index into prev.Components and its standalone solution.
+// Replayed (clean) components are not emitted; they carry no new
+// information. emit runs on solver goroutines: it must be safe for
+// concurrent use and should not block. The merged result is identical to
+// Replan's.
+func ReplanEmit(prev *Plan, dirty []ComponentID, emit func(i int, sol *core.Solution)) (*ReplanResult, error) {
 	if prev == nil {
 		return nil, badPlan("nil plan")
 	}
@@ -181,7 +193,11 @@ func Replan(prev *Plan, dirty []ComponentID) (*ReplanResult, error) {
 			}
 		}
 		solved, err := core.SolveComponents(comps, prev.Workers, func(k int, c core.Component) (*core.Solution, error) {
-			return prev.solveComponent(c.Prob, prev.Components[solveIdx[k]])
+			sol, err := prev.rt.Solve(c.Prob, prev.Components[solveIdx[k]])
+			if err == nil && emit != nil {
+				emit(solveIdx[k], sol)
+			}
+			return sol, err
 		})
 		if err != nil {
 			return nil, err

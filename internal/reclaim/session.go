@@ -160,6 +160,35 @@ type Session struct {
 	energyIncurred float64
 	infeasible     bool
 	stats          Stats
+
+	// onComponent, when set, observes every re-solved residual component
+	// the moment its solver finishes (see SetOnComponent).
+	onComponent func(ComponentUpdate)
+}
+
+// ComponentUpdate describes one re-solved residual component, pushed to the
+// SetOnComponent observer as soon as its solver finishes — possibly while
+// other dirty components of the same replan are still solving. Task IDs are
+// original problem IDs (not residual-local), so consumers can stream the
+// update without knowing the residual mapping.
+type ComponentUpdate struct {
+	// Tasks lists the component's original task IDs.
+	Tasks []int
+	// Energy is the component's re-planned energy.
+	Energy float64
+	// Profiles are the re-planned speed profiles, aligned with Tasks.
+	Profiles []sched.Profile
+}
+
+// SetOnComponent registers an observer for re-solved residual components.
+// f fires once per dirtied component per replan, from a solver goroutine
+// while the session's event lock is held: it must not call back into the
+// session and should return quickly (push to a buffered channel, drop on
+// overflow). Passing nil removes the observer.
+func (s *Session) SetOnComponent(f func(ComponentUpdate)) {
+	s.mu.Lock()
+	s.onComponent = f
+	s.mu.Unlock()
 }
 
 // NewSession starts a reclaiming session over a solved problem. sol must
@@ -388,7 +417,24 @@ func (s *Session) replanLocked() (*plan.ReplanResult, error) {
 			}
 		}
 	}
-	rr, err := plan.Replan(rp, dirty)
+	var emit func(ci int, sol *core.Solution)
+	if s.onComponent != nil {
+		obs := s.onComponent
+		emit = func(ci int, sol *core.Solution) {
+			cp := rp.Components[ci]
+			upd := ComponentUpdate{
+				Tasks:    make([]int, len(cp.Tasks)),
+				Energy:   sol.Energy,
+				Profiles: make([]sched.Profile, len(cp.Tasks)),
+			}
+			for k, local := range cp.Tasks {
+				upd.Tasks[k] = back[local]
+				upd.Profiles[k] = sol.Schedule.Profiles[k]
+			}
+			obs(upd)
+		}
+	}
+	rr, err := plan.ReplanEmit(rp, dirty, emit)
 	if err != nil {
 		// Keep the previous profiles (stale but complete); the needs
 		// flags stay set so the next event retries.

@@ -104,6 +104,7 @@ type Engine struct {
 	solved    atomic.Uint64
 	failures  atomic.Uint64
 	shed      atomic.Uint64
+	canceled  atomic.Uint64
 }
 
 // call is one in-flight solve that concurrent identical requests share.
@@ -146,6 +147,14 @@ type Stats struct {
 	// session event's residual re-solve. A load test reads this to tell
 	// deliberate load-shedding apart from failures.
 	Shed uint64 `json:"shed"`
+	// Canceled counts streaming solves abandoned by context cancellation
+	// (client disconnect or deadline) before completing. Detached solves
+	// never cancel — they run to completion and populate the cache.
+	Canceled uint64 `json:"canceled"`
+	// Backlog is the current queued-plus-running admission count — a gauge,
+	// not a counter. It returns to zero when the engine is idle; the
+	// streaming disconnect tests read it to prove no pool slot leaked.
+	Backlog int64 `json:"backlog"`
 	// CacheLen is the current number of cached instances.
 	CacheLen int `json:"cache_len"`
 	// Workers is the worker-pool bound.
@@ -161,6 +170,8 @@ func (e *Engine) Stats() Stats {
 		Solved:    e.solved.Load(),
 		Failures:  e.failures.Load(),
 		Shed:      e.shed.Load(),
+		Canceled:  e.canceled.Load(),
+		Backlog:   e.backlog.Load(),
 		CacheLen:  e.cache.Len(),
 		Workers:   cap(e.sem),
 	}

@@ -8,7 +8,7 @@ import (
 	"net/http"
 	"time"
 
-	"repro/internal/reclaim"
+	"repro/internal/ws"
 )
 
 // HTTPOptions tunes the JSON transport around an Engine.
@@ -99,34 +99,6 @@ type BatchResponseJSON struct {
 	Results []BatchItemJSON `json:"results"`
 }
 
-// classify maps an engine error to its HTTP status and stable code.
-func classify(err error) (int, APIError) {
-	switch {
-	case errors.Is(err, ErrBadRequest):
-		return http.StatusBadRequest, APIError{Code: "invalid_request", Message: err.Error()}
-	case errors.Is(err, reclaim.ErrBadEvent):
-		return http.StatusBadRequest, APIError{Code: "invalid_event", Message: err.Error()}
-	case errors.Is(err, reclaim.ErrSessionDone):
-		return http.StatusConflict, APIError{Code: "session_done", Message: err.Error()}
-	case errors.Is(err, ErrSessionNotFound):
-		return http.StatusNotFound, APIError{Code: "session_not_found", Message: err.Error()}
-	case errors.Is(err, ErrTooManySessions):
-		return http.StatusServiceUnavailable, APIError{Code: "too_many_sessions", Message: err.Error()}
-	case errors.Is(err, ErrInfeasible):
-		return http.StatusUnprocessableEntity, APIError{Code: "infeasible", Message: err.Error()}
-	case errors.Is(err, ErrSearchLimit):
-		return http.StatusUnprocessableEntity, APIError{Code: "search_limit", Message: err.Error()}
-	case errors.Is(err, ErrOverloaded):
-		return http.StatusServiceUnavailable, APIError{Code: "overloaded", Message: err.Error()}
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, APIError{Code: "timeout", Message: "solve exceeded its time budget"}
-	case errors.Is(err, context.Canceled):
-		return 499, APIError{Code: "canceled", Message: "request canceled"} // nginx-style client closed request
-	default:
-		return http.StatusInternalServerError, APIError{Code: "solver_error", Message: err.Error()}
-	}
-}
-
 // PlanResponse is the wire form of POST /v1/plan: the instance summary plus
 // the routing the planner would use, without solving anything.
 type PlanResponse struct {
@@ -147,15 +119,21 @@ type PlanResponse struct {
 // NewHandler wires an Engine behind the service's HTTP surface:
 //
 //	POST   /v1/solve                  one SolveRequest  → SolveResponse (with its plan)
+//	POST   /v1/solve/stream           one SolveRequest  → SSE: plan / component / result events
 //	POST   /v1/solve/batch            {"requests":[…]}  → {"results":[…]} (per-entry errors)
 //	POST   /v1/plan                   one SolveRequest  → PlanResponse (analyze only, no solve)
 //	POST   /v1/sessions               SessionRequest    → SessionResponse (solve + open a reclaiming session)
 //	POST   /v1/sessions/{id}/events   {"events":[…]}    → per-event outcomes + energy state
 //	GET    /v1/sessions/{id}/schedule merged execution state of the session
-//	GET    /v1/sessions               live-session listing
+//	GET    /v1/sessions/{id}/watch    WebSocket: re-solved components pushed as Replan finishes them
+//	GET    /v1/sessions               live-session listing (+count)
 //	DELETE /v1/sessions/{id}          close a session
 //	GET    /v1/stats                  engine counters (hits, misses, coalesced, solves…)
 //	GET    /healthz                   liveness + engine stats
+//
+// The two streaming routes share one event envelope ({seq, type, data}:
+// StreamEvent); /v1/solve/stream carries it in SSE frames, /watch in
+// WebSocket text frames.
 //
 // The handler is httptest-friendly: it holds no global state beyond the
 // Engine (plus its session store) and can be mounted under any server.
@@ -180,6 +158,35 @@ func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/solve/stream", func(w http.ResponseWriter, r *http.Request) {
+		var req SolveRequest
+		if !decodeJSON(w, r, opts.MaxBodyBytes, &req) {
+			return
+		}
+		f, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, errors.New("service: response writer cannot stream"))
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), req.TimeoutMS, opts)
+		defer cancel()
+		sse := &sseWriter{w: w, f: f}
+		em := NewStreamEmitter(sse.send)
+		resp, err := e.SolveStream(ctx, &req, em)
+		if err != nil {
+			// Before the first event the response line is still ours: fail
+			// as a plain JSON error. After it, the 200 is committed — the
+			// terminal `error` event is the only way to report failure.
+			if !sse.Started() {
+				writeError(w, err)
+				return
+			}
+			_, apiErr := classify(err)
+			_ = em.Emit(EventError, apiErr)
+			return
+		}
+		_ = em.Emit(EventResult, resp)
 	})
 	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
 		var batch BatchRequestJSON
@@ -271,6 +278,23 @@ func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("GET /v1/sessions/{id}/watch", func(w http.ResponseWriter, r *http.Request) {
+		entry, err := store.lookup(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		conn, err := ws.Upgrade(w, r)
+		if err != nil {
+			if errors.Is(err, ws.ErrNotWebSocket) {
+				// Plain HTTP request: the writer is untouched, answer 426.
+				writeError(w, fmt.Errorf("%w: %v", ErrUpgradeRequired, err))
+			}
+			// Otherwise the connection was hijacked and is unusable.
+			return
+		}
+		serveWatch(conn, store, entry)
+	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, store.List())
 	})
@@ -323,10 +347,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any)
 	if err := dec.Decode(dst); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorEnvelope{Error: APIError{
-				Code:    "payload_too_large",
-				Message: fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit),
-			}})
+			writeError(w, fmt.Errorf("%w: request body exceeds the %d-byte limit", ErrPayloadTooLarge, tooBig.Limit))
 			return false
 		}
 		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))

@@ -75,15 +75,15 @@ func TestHTTPErrors(t *testing.T) {
 		status     int
 		code       string
 	}{
-		{"malformed json", "/v1/solve", `{`, http.StatusBadRequest, "invalid_request"},
-		{"missing graph", "/v1/solve", `{"deadline":1,"model":{"kind":"continuous","smax":1}}`, http.StatusBadRequest, "invalid_request"},
-		{"cyclic graph", "/v1/solve", `{"graph":{"tasks":[{"weight":1},{"weight":1}],"edges":[[0,1],[1,0]]},"deadline":1,"model":{"kind":"continuous","smax":1}}`, http.StatusBadRequest, "invalid_request"},
+		{"malformed json", "/v1/solve", `{`, http.StatusBadRequest, "bad_request"},
+		{"missing graph", "/v1/solve", `{"deadline":1,"model":{"kind":"continuous","smax":1}}`, http.StatusBadRequest, "bad_request"},
+		{"cyclic graph", "/v1/solve", `{"graph":{"tasks":[{"weight":1},{"weight":1}],"edges":[[0,1],[1,0]]},"deadline":1,"model":{"kind":"continuous","smax":1}}`, http.StatusBadRequest, "bad_request"},
 		{"infeasible", "/v1/solve", `{"graph":{"tasks":[{"weight":8}],"edges":[]},"deadline":1,"model":{"kind":"continuous","smax":2}}`, http.StatusUnprocessableEntity, "infeasible"},
-		{"empty batch", "/v1/solve/batch", `{"requests":[]}`, http.StatusBadRequest, "invalid_request"},
-		{"trailing data", "/v1/solve", chainBody + `{"second":"value"}`, http.StatusBadRequest, "invalid_request"},
+		{"empty batch", "/v1/solve/batch", `{"requests":[]}`, http.StatusBadRequest, "bad_request"},
+		{"trailing data", "/v1/solve", chainBody + `{"second":"value"}`, http.StatusBadRequest, "bad_request"},
 		{"adversarial incremental grid", "/v1/solve",
 			`{"graph":{"tasks":[{"weight":1}],"edges":[]},"deadline":1,"model":{"kind":"incremental","smin":1e-300,"smax":1,"delta":1e-300}}`,
-			http.StatusBadRequest, "invalid_request"},
+			http.StatusBadRequest, "bad_request"},
 	}
 	for _, tc := range cases {
 		resp, body := postJSON(t, srv.URL+tc.path, tc.body)
@@ -287,7 +287,7 @@ func TestHTTPPlan(t *testing.T) {
 		t.Fatalf("bb-on-continuous plan: status %d: %s", resp.StatusCode, body)
 	}
 	var env errorEnvelope
-	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "invalid_request" {
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "bad_request" {
 		t.Fatalf("error body %s", body)
 	}
 }

@@ -3,7 +3,6 @@ package service
 import (
 	"errors"
 	"fmt"
-	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -278,23 +277,7 @@ func planJSON(pl *plan.Plan) *PlanJSON {
 		Components: make([]ComponentPlanJSON, len(pl.Components)),
 	}
 	for i, cp := range pl.Components {
-		cj := ComponentPlanJSON{
-			Tasks:       len(cp.Tasks),
-			FirstTask:   cp.Tasks[0],
-			LastTask:    cp.Tasks[len(cp.Tasks)-1],
-			Class:       cp.Class.String(),
-			Solver:      cp.Solver,
-			Rationale:   cp.Rationale,
-			BoundFactor: cp.BoundFactor,
-			EstCost:     cp.Cost,
-		}
-		if math.IsInf(cj.BoundFactor, 1) {
-			cj.BoundFactor = 0 // heuristics: no finite guarantee
-		}
-		if len(cp.Tasks) <= 64 {
-			cj.TaskIDs = cp.Tasks
-		}
-		out.Components[i] = cj
+		out.Components[i] = componentPlanJSON(cp)
 	}
 	return out
 }

@@ -118,9 +118,13 @@ type SessionInfoJSON struct {
 	CreatedMS int64  `json:"created_unix_ms"`
 }
 
-// SessionListResponse lists live sessions.
+// SessionListResponse lists live sessions. Count duplicates
+// len(Sessions) so shell clients can read the size without parsing the
+// array (added alongside the streaming API; the sessions array is
+// unchanged, so pre-existing clients keep working).
 type SessionListResponse struct {
 	Sessions []SessionInfoJSON `json:"sessions"`
+	Count    int               `json:"count"`
 }
 
 // sessionEntry couples a live session with its bookkeeping. lastUsed and
@@ -143,6 +147,8 @@ type sessionEntry struct {
 	// deleted session stops accepting mutations instead of becoming a
 	// ghost the batch keeps writing to.
 	closed atomic.Bool
+	// hub fans the session's events out to /watch subscribers.
+	hub *watchHub
 }
 
 func (e *sessionEntry) touch(now time.Time) { e.lastUsed.Store(now.UnixNano()) }
@@ -189,6 +195,9 @@ type SessionStats struct {
 	Evicted         uint64 `json:"evicted"`
 	EvictedFinished uint64 `json:"evicted_finished"`
 	EvictedIdle     uint64 `json:"evicted_idle"`
+	// WatchersDropped counts /watch subscribers disconnected for falling
+	// behind their event buffer (slow consumers are dropped, not waited on).
+	WatchersDropped uint64 `json:"watchers_dropped"`
 }
 
 // SessionStore owns the live sessions of one engine. Methods are safe for
@@ -209,6 +218,8 @@ type SessionStore struct {
 
 	evictedFinished uint64
 	evictedIdle     uint64
+
+	watchersDropped atomic.Uint64
 }
 
 // NewSessionStore builds a store over the engine's pool.
@@ -247,6 +258,27 @@ func (st *SessionStore) Create(ctx context.Context, req *SessionRequest) (*Sessi
 	id := newSessionID()
 	now := time.Now()
 	entry := &sessionEntry{id: id, created: now, sess: sess}
+	entry.hub = newWatchHub(&st.watchersDropped)
+	// Push each dirtied component to watchers the moment its residual
+	// re-solve finishes. The callback runs on a solver goroutine with the
+	// session's event lock held; broadcast never blocks (slow subscribers
+	// are dropped), so replan latency is untouched by watchers.
+	hub := entry.hub
+	sess.SetOnComponent(func(cu reclaim.ComponentUpdate) {
+		data := WatchComponentData{
+			SessionID: id,
+			Tasks:     len(cu.Tasks),
+			Energy:    cu.Energy,
+		}
+		if len(cu.Tasks) <= 64 {
+			data.TaskIDs = cu.Tasks
+			data.Profiles = make([][]SegmentJSON, len(cu.Profiles))
+			for k, p := range cu.Profiles {
+				data.Profiles[k] = segmentsJSON(p)
+			}
+		}
+		hub.broadcast(EventComponent, data)
+	})
 	entry.touch(now)
 	entry.remaining.Store(int64(sess.Remaining()))
 	st.mu.Lock()
@@ -386,6 +418,11 @@ func (st *SessionStore) Events(ctx context.Context, id string, events []reclaim.
 			item.Error = &apiErr
 		}
 		out.Results = append(out.Results, item)
+		if res != nil {
+			// Watchers see every recorded completion (re-solved components
+			// were already pushed from inside the replan).
+			entry.hub.broadcast(EventApplied, res)
+		}
 	}
 	out.Remaining = entry.sess.Remaining()
 	entry.remaining.Store(int64(out.Remaining))
@@ -394,6 +431,13 @@ func (st *SessionStore) Events(ctx context.Context, id string, events []reclaim.
 	out.Infeasible = entry.sess.Infeasible()
 	out.Stats = entry.sess.Stats()
 	out.ElapsedMS = msSince(start)
+	if out.Remaining == 0 {
+		entry.hub.close(EventDone, watchTerminalData{
+			SessionID:      id,
+			Reason:         "completed",
+			IncurredEnergy: out.IncurredEnergy,
+		})
+	}
 	return out, nil
 }
 
@@ -403,6 +447,12 @@ func (st *SessionStore) Schedule(id string) (*SessionScheduleResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	return st.scheduleOf(entry)
+}
+
+// scheduleOf builds the schedule snapshot for an already-resolved entry;
+// the watch handler uses it for the opening event of a watcher.
+func (st *SessionStore) scheduleOf(entry *sessionEntry) (*SessionScheduleResponse, error) {
 	sess := entry.sess
 	s, err := sess.Schedule()
 	if err != nil {
@@ -410,7 +460,7 @@ func (st *SessionStore) Schedule(id string) (*SessionScheduleResponse, error) {
 	}
 	incurred, residual := sess.Energy()
 	resp := &SessionScheduleResponse{
-		SessionID:      id,
+		SessionID:      entry.id,
 		Tasks:          s.G.N(),
 		Remaining:      sess.Remaining(),
 		Deadline:       sess.Problem().Deadline,
@@ -448,6 +498,7 @@ func (st *SessionStore) Delete(id string) error {
 	}
 	entry.closed.Store(true)
 	delete(st.sessions, id)
+	entry.hub.close(EventClosed, watchTerminalData{SessionID: id, Reason: "deleted"})
 	return nil
 }
 
@@ -465,7 +516,7 @@ func (st *SessionStore) List() *SessionListResponse {
 		}
 		return entries[i].id < entries[j].id
 	})
-	out := &SessionListResponse{Sessions: make([]SessionInfoJSON, len(entries))}
+	out := &SessionListResponse{Sessions: make([]SessionInfoJSON, len(entries)), Count: len(entries)}
 	for i, e := range entries {
 		out.Sessions[i] = SessionInfoJSON{
 			SessionID: e.id,
@@ -506,6 +557,7 @@ func (st *SessionStore) Stats() SessionStats {
 		Evicted:         st.evictedFinished + st.evictedIdle,
 		EvictedFinished: st.evictedFinished,
 		EvictedIdle:     st.evictedIdle,
+		WatchersDropped: st.watchersDropped.Load(),
 	}
 }
 
@@ -533,10 +585,12 @@ func (st *SessionStore) sweepLocked(now time.Time, pressure bool) {
 			e.closed.Store(true)
 			delete(st.sessions, id)
 			st.evictedFinished++
+			e.hub.close(EventClosed, watchTerminalData{SessionID: id, Reason: "evicted"})
 		case idle >= st.cfg.IdleTTL:
 			e.closed.Store(true)
 			delete(st.sessions, id)
 			st.evictedIdle++
+			e.hub.close(EventClosed, watchTerminalData{SessionID: id, Reason: "evicted"})
 		}
 	}
 }

@@ -143,8 +143,8 @@ func TestSessionEventErrorsAreReportedPerEntry(t *testing.T) {
 		if (item.Error != nil) != wantErr[i] {
 			t.Fatalf("event %d: error presence %v, want %v (%s)", i, item.Error != nil, wantErr[i], data)
 		}
-		if item.Error != nil && item.Error.Code != "invalid_event" {
-			t.Fatalf("event %d: code %q, want invalid_event", i, item.Error.Code)
+		if item.Error != nil && item.Error.Code != "bad_event" {
+			t.Fatalf("event %d: code %q, want bad_event", i, item.Error.Code)
 		}
 	}
 	if ev.Remaining != 3 {

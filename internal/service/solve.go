@@ -9,35 +9,20 @@ import (
 )
 
 // dispatch routes a compiled instance through the structure-aware planner:
-// Analyze classifies every weakly-connected component of the execution graph
-// (chain / fork / join / tree / series-parallel / general DAG) and picks the
-// cheapest solver the paper's complexity landscape admits for the model and
-// requested algorithm; Execute solves the components and merges the
-// solutions. workers bounds the per-plan component concurrency — the engine
-// passes its PlanWorkers setting (default 1) so Options.Workers stays the
-// engine-wide concurrency bound instead of being multiplied per request.
-// The plan is returned alongside the solution so every response can explain
-// its own routing.
+// classification recognizes every weakly-connected component of the
+// execution graph (chain / fork / join / tree / series-parallel / general
+// DAG) and picks the cheapest solver the paper's complexity landscape
+// admits for the model and requested algorithm; the solver workers solve
+// the components and the solutions merge back. Since the streaming
+// redesign, this is streamDispatch with no emitter and no cancellation —
+// the monolithic and streamed paths share one pipeline, so they cannot
+// drift apart. workers bounds the per-plan component concurrency — the
+// engine passes its PlanWorkers setting (default 1) so Options.Workers
+// stays the engine-wide concurrency bound instead of being multiplied per
+// request. The plan is returned alongside the solution so every response
+// can explain its own routing.
 func dispatch(inst *instance, workers int) (*core.Solution, *plan.Plan, error) {
-	pl, err := plan.Analyze(inst.prob, inst.mdl, plan.Options{
-		Algorithm: inst.algo,
-		K:         inst.k,
-		Workers:   workers,
-	})
-	if err != nil {
-		if errors.Is(err, plan.ErrBadPlan) {
-			return nil, nil, badRequest("%v", err)
-		}
-		return nil, nil, err
-	}
-	sol, err := pl.Execute()
-	if err != nil {
-		if errors.Is(err, plan.ErrBadPlan) {
-			return nil, nil, badRequest("%v", err)
-		}
-		return nil, nil, err
-	}
-	return sol, pl, nil
+	return streamDispatch(context.Background(), inst, workers, nil)
 }
 
 // Explain compiles a request and runs the planner's analysis without

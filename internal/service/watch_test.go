@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ws"
+)
+
+func dialWatch(t *testing.T, srvURL, id string) *ws.Conn {
+	t.Helper()
+	conn, err := ws.Dial(strings.Replace(srvURL, "http://", "ws://", 1) + "/v1/sessions/" + id + "/watch")
+	if err != nil {
+		t.Fatalf("dial watch: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func readWatchEvent(t *testing.T, conn *ws.Conn) StreamEvent {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	msg, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatalf("reading watch event: %v", err)
+	}
+	var ev StreamEvent
+	if err := json.Unmarshal(msg, &ev); err != nil {
+		t.Fatalf("bad watch frame %s: %v", msg, err)
+	}
+	return ev
+}
+
+// TestWatchLifecycle drives a watcher through a session's whole life:
+// opening schedule snapshot, a component push the moment Replan re-solves
+// the dirtied residual, an applied-event record, and the terminal done.
+func TestWatchLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	sess := createSession(t, srv.URL, chainSessionBody)
+	conn := dialWatch(t, srv.URL, sess.SessionID)
+
+	first := readWatchEvent(t, conn)
+	if first.Type != EventSchedule {
+		t.Fatalf("first event %q, want schedule", first.Type)
+	}
+	var snap SessionScheduleResponse
+	if err := json.Unmarshal(first.Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.SessionID != sess.SessionID || snap.Remaining != 4 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+
+	// Complete every task with a deviating duration: each triggers a
+	// residual replan, whose re-solved component must be pushed, followed
+	// by the applied-event record. The last completion finishes the session.
+	for task := 0; task < 4; task++ {
+		body := fmt.Sprintf(`{"events":[{"task":%d,"actual_duration":2.0}]}`, task)
+		resp, data := postJSON(t, srv.URL+"/v1/sessions/"+sess.SessionID+"/events", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events: HTTP %d: %s", resp.StatusCode, data)
+		}
+	}
+
+	var sawComponent, sawApplied bool
+	var lastSeq uint64
+	for {
+		ev := readWatchEvent(t, conn)
+		if ev.Seq <= lastSeq {
+			t.Fatalf("seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case EventComponent:
+			sawComponent = true
+			var data WatchComponentData
+			if err := json.Unmarshal(ev.Data, &data); err != nil {
+				t.Fatal(err)
+			}
+			if data.SessionID != sess.SessionID || data.Tasks == 0 || data.Energy <= 0 {
+				t.Fatalf("component payload %+v", data)
+			}
+		case EventApplied:
+			sawApplied = true
+		case EventDone:
+			var data watchTerminalData
+			if err := json.Unmarshal(ev.Data, &data); err != nil {
+				t.Fatal(err)
+			}
+			if data.Reason != "completed" || data.IncurredEnergy <= 0 {
+				t.Fatalf("done payload %+v", data)
+			}
+			if !sawComponent || !sawApplied {
+				t.Fatalf("done before component (%v) / applied (%v) events", sawComponent, sawApplied)
+			}
+			return
+		default:
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+	}
+}
+
+// TestWatchClosedOnDelete: deleting a watched session pushes the terminal
+// closed event and ends the connection.
+func TestWatchClosedOnDelete(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	sess := createSession(t, srv.URL, chainSessionBody)
+	conn := dialWatch(t, srv.URL, sess.SessionID)
+	if ev := readWatchEvent(t, conn); ev.Type != EventSchedule {
+		t.Fatalf("first event %q", ev.Type)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/"+sess.SessionID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ev := readWatchEvent(t, conn)
+	if ev.Type != EventClosed {
+		t.Fatalf("event %q, want closed", ev.Type)
+	}
+	var data watchTerminalData
+	if err := json.Unmarshal(ev.Data, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.Reason != "deleted" {
+		t.Fatalf("reason %q, want deleted", data.Reason)
+	}
+	// The server then closes the connection cleanly.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.ReadMessage(); err == nil {
+		t.Fatal("expected the connection to close after the terminal event")
+	}
+}
+
+// TestWatchPlainRequest426: a non-WebSocket GET on the watch route answers
+// 426 upgrade_required as a plain JSON error.
+func TestWatchPlainRequest426(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	sess := createSession(t, srv.URL, chainSessionBody)
+	resp, err := http.Get(srv.URL + "/v1/sessions/" + sess.SessionID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUpgradeRequired {
+		t.Fatalf("status %d, want 426", resp.StatusCode)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code != string(CodeUpgradeRequired) {
+		t.Fatalf("error body %+v (%v)", env, err)
+	}
+}
+
+// TestWatchUnknownSession404: the lookup happens before the upgrade, so an
+// unknown ID is an ordinary 404 (a dialing client sees a failed handshake).
+func TestWatchUnknownSession404(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, HTTPOptions{})
+	if _, err := ws.Dial(strings.Replace(srv.URL, "http://", "ws://", 1) + "/v1/sessions/nope/watch"); err == nil {
+		t.Fatal("dial to an unknown session succeeded")
+	}
+}
+
+// TestWatchHubDropsSlowConsumer: a subscriber that stops draining its
+// buffer is dropped — channel closed, drop counted — instead of blocking
+// the broadcaster.
+func TestWatchHubDropsSlowConsumer(t *testing.T) {
+	var dropped atomic.Uint64
+	hub := newWatchHub(&dropped)
+	slow, _ := hub.subscribe()
+	if slow == nil {
+		t.Fatal("subscribe on a fresh hub failed")
+	}
+	start := time.Now()
+	for i := 0; i < watchBuffer+8; i++ {
+		hub.broadcast(EventApplied, map[string]int{"i": i})
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("broadcasts blocked on the slow consumer: %v", elapsed)
+	}
+	if got := dropped.Load(); got != 1 {
+		t.Fatalf("dropped %d, want 1", got)
+	}
+	// The dropped subscriber's channel drains its buffered events, then
+	// reports closed.
+	n := 0
+	for range slow.ch {
+		n++
+	}
+	if n != watchBuffer {
+		t.Fatalf("drained %d buffered events, want %d", n, watchBuffer)
+	}
+	// Fast subscribers are unaffected.
+	fast, _ := hub.subscribe()
+	hub.broadcast(EventApplied, map[string]int{"i": -1})
+	select {
+	case ev := <-fast.ch:
+		if ev.Type != EventApplied {
+			t.Fatalf("event %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("fast subscriber starved")
+	}
+	hub.unsubscribe(fast)
+}
+
+// TestWatchHubLateSubscriberGetsTerminal: a hub closed before subscription
+// hands the terminal event back so late watchers still learn the outcome.
+func TestWatchHubLateSubscriberGetsTerminal(t *testing.T) {
+	hub := newWatchHub(nil)
+	hub.close(EventClosed, watchTerminalData{SessionID: "s", Reason: "deleted"})
+	sub, final := hub.subscribe()
+	if sub != nil || final == nil || final.Type != EventClosed {
+		t.Fatalf("late subscribe: sub=%v final=%+v", sub, final)
+	}
+	// close is idempotent.
+	hub.close(EventDone, nil)
+	if hub.final.Type != EventClosed {
+		t.Fatal("second close overwrote the terminal event")
+	}
+}
+
+// TestWatchStatsCountDrops: slow-watcher drops surface in SessionStats so
+// operators can see consumers falling behind.
+func TestWatchStatsCountDrops(t *testing.T) {
+	st := NewSessionStore(NewEngine(Options{}), SessionConfig{})
+	var req SessionRequest
+	if err := json.Unmarshal([]byte(chainSessionBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := st.Create(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := st.lookup(resp.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub, _ := entry.hub.subscribe(); sub == nil {
+		t.Fatal("subscribe failed")
+	}
+	for i := 0; i < watchBuffer+1; i++ {
+		entry.hub.broadcast(EventApplied, map[string]int{"i": i})
+	}
+	if got := st.Stats().WatchersDropped; got != 1 {
+		t.Fatalf("WatchersDropped = %d, want 1", got)
+	}
+}

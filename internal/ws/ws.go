@@ -1,0 +1,343 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation — just enough
+// for the session watch feed — built on net/http's Hijacker. The module is
+// dependency-free on purpose, so the handshake (Sec-WebSocket-Accept), the
+// frame codec, masking, and the control-frame protocol (ping/pong, close)
+// are implemented here rather than imported.
+//
+// Scope: single-frame text and close/ping/pong control frames. The server
+// feed pushes whole JSON events, so fragmentation, extensions (RSV bits),
+// and subprotocols are rejected rather than half-supported. Payloads are
+// capped at MaxPayload.
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Frame opcodes (RFC 6455 §5.2).
+const (
+	OpText  = 0x1
+	OpClose = 0x8
+	OpPing  = 0x9
+	OpPong  = 0xA
+)
+
+// MaxPayload bounds a single frame's payload (4 MiB). Events in this repo
+// are small JSON documents; anything larger is a protocol violation.
+const MaxPayload = 1 << 22
+
+// magic is the fixed GUID of the RFC 6455 handshake.
+const magic = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Errors.
+var (
+	// ErrNotWebSocket reports a request that is not a WebSocket upgrade;
+	// the handler should answer with a plain HTTP error.
+	ErrNotWebSocket = errors.New("ws: not a websocket upgrade request")
+	// ErrClosed reports a received close frame (normal peer shutdown).
+	ErrClosed = errors.New("ws: connection closed by peer")
+)
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a client key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + magic))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Conn is one WebSocket connection. Reads must come from a single
+// goroutine; writes are internally serialized and may come from several.
+type Conn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	mask bool // client connections mask outgoing frames
+
+	wmu    sync.Mutex
+	closed bool
+}
+
+// Upgrade performs the server half of the RFC 6455 handshake on an
+// inbound request. On ErrNotWebSocket the ResponseWriter is untouched and
+// the caller should reply with a normal HTTP error; on any later failure
+// the connection is already hijacked and dead.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet ||
+		!headerHasToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		return nil, ErrNotWebSocket
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" || r.Header.Get("Sec-WebSocket-Version") != "13" {
+		return nil, ErrNotWebSocket
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, fmt.Errorf("ws: response writer does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	// The HTTP server's read/write deadlines (energyserver sets both) must
+	// not apply to a long-lived feed; the watch loop sets its own write
+	// deadlines per frame.
+	conn.SetDeadline(time.Time{})
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake write: %w", err)
+	}
+	return &Conn{conn: conn, br: rw.Reader}, nil
+}
+
+// Dial opens a client connection to a ws:// URL (http test servers rewrite
+// to ws by swapping the scheme). TLS is out of scope.
+func Dial(rawURL string) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("ws: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host += ":80"
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	keyRaw := make([]byte, 16)
+	if _, err := rand.Read(keyRaw); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw)
+	path := u.RequestURI()
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: reading handshake status: %w", err)
+	}
+	if !strings.Contains(status, " 101 ") {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake rejected: %s", strings.TrimSpace(status))
+	}
+	accept := ""
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("ws: reading handshake headers: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Sec-WebSocket-Accept") {
+			accept = strings.TrimSpace(v)
+		}
+	}
+	if accept != AcceptKey(key) {
+		conn.Close()
+		return nil, fmt.Errorf("ws: bad Sec-WebSocket-Accept")
+	}
+	return &Conn{conn: conn, br: br, mask: true}, nil
+}
+
+// WriteText sends one text frame.
+func (c *Conn) WriteText(payload []byte) error { return c.writeFrame(OpText, payload) }
+
+// WriteClose sends a close frame with the given status code.
+func (c *Conn) WriteClose(code uint16) error {
+	var body [2]byte
+	binary.BigEndian.PutUint16(body[:], code)
+	return c.writeFrame(OpClose, body[:])
+}
+
+// SetWriteDeadline bounds subsequent frame writes; the zero time clears it.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
+
+// SetReadDeadline bounds subsequent frame reads; the zero time clears it.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// Close tears down the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// writeFrame emits one unfragmented frame, masking it on client
+// connections as the RFC requires.
+func (c *Conn) writeFrame(opcode byte, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("ws: payload %d exceeds cap %d", len(payload), MaxPayload)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return net.ErrClosed
+	}
+	hdr := make([]byte, 0, 14)
+	hdr = append(hdr, 0x80|opcode) // FIN set, no RSV
+	maskBit := byte(0)
+	if c.mask {
+		maskBit = 0x80
+	}
+	switch n := len(payload); {
+	case n < 126:
+		hdr = append(hdr, maskBit|byte(n))
+	case n <= 0xFFFF:
+		hdr = append(hdr, maskBit|126, byte(n>>8), byte(n))
+	default:
+		hdr = append(hdr, maskBit|127)
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		hdr = append(hdr, ext[:]...)
+	}
+	if c.mask {
+		var mk [4]byte
+		if _, err := rand.Read(mk[:]); err != nil {
+			return err
+		}
+		hdr = append(hdr, mk[:]...)
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ mk[i&3]
+		}
+		payload = masked
+	}
+	if _, err := c.conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// ReadMessage returns the next text payload, transparently answering pings
+// and close frames (a peer close surfaces as ErrClosed after the close
+// reply is sent).
+func (c *Conn) ReadMessage() ([]byte, error) {
+	for {
+		opcode, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch opcode {
+		case OpText:
+			return payload, nil
+		case OpPing:
+			if err := c.writeFrame(OpPong, payload); err != nil {
+				return nil, err
+			}
+		case OpPong:
+			// unsolicited pong: ignore
+		case OpClose:
+			c.wmu.Lock()
+			alreadyClosed := c.closed
+			c.closed = true
+			c.wmu.Unlock()
+			if !alreadyClosed {
+				// Echo the close (best effort) to complete the handshake.
+				hdr := []byte{0x80 | OpClose, byte(len(payload))}
+				if c.mask {
+					hdr[1] |= 0x80
+					hdr = append(hdr, 0, 0, 0, 0) // zero mask key: payload unchanged
+				}
+				c.conn.Write(append(hdr, payload...))
+			}
+			c.conn.Close()
+			return nil, ErrClosed
+		default:
+			return nil, fmt.Errorf("ws: unsupported opcode %#x", opcode)
+		}
+	}
+}
+
+// readFrame decodes one frame, rejecting fragmentation and reserved bits.
+func (c *Conn) readFrame() (opcode byte, payload []byte, err error) {
+	var h [2]byte
+	if _, err := io.ReadFull(c.br, h[:]); err != nil {
+		return 0, nil, err
+	}
+	fin := h[0]&0x80 != 0
+	if h[0]&0x70 != 0 {
+		return 0, nil, fmt.Errorf("ws: reserved bits set (extensions unsupported)")
+	}
+	opcode = h[0] & 0x0F
+	if !fin || opcode == 0 {
+		return 0, nil, fmt.Errorf("ws: fragmented frames unsupported")
+	}
+	masked := h[1]&0x80 != 0
+	length := uint64(h[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > MaxPayload {
+		return 0, nil, fmt.Errorf("ws: frame payload %d exceeds cap %d", length, MaxPayload)
+	}
+	var mk [4]byte
+	if masked {
+		if _, err := io.ReadFull(c.br, mk[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mk[i&3]
+		}
+	}
+	return opcode, payload, nil
+}
+
+// headerHasToken reports whether a comma-separated header contains a token
+// (case-insensitive) — Connection is a list, e.g. "keep-alive, Upgrade".
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package ws
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAcceptKey pins the RFC 6455 §1.3 worked example.
+func TestAcceptKey(t *testing.T) {
+	got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("AcceptKey = %q, want %q", got, want)
+	}
+}
+
+// TestRoundTrip exercises the full handshake plus text frames both ways
+// through a real HTTP server.
+func TestRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("Upgrade: %v", err)
+			return
+		}
+		defer c.Close()
+		msg, err := c.ReadMessage()
+		if err != nil {
+			t.Errorf("server ReadMessage: %v", err)
+			return
+		}
+		if err := c.WriteText(append([]byte("echo: "), msg...)); err != nil {
+			t.Errorf("server WriteText: %v", err)
+		}
+		// Large frame: force the 16-bit extended length path.
+		if err := c.WriteText([]byte(strings.Repeat("x", 70000))); err != nil {
+			t.Errorf("server WriteText large: %v", err)
+		}
+		for {
+			if _, err := c.ReadMessage(); err != nil {
+				return // close frame or disconnect ends the handler
+			}
+		}
+	}))
+	defer srv.Close()
+
+	c, err := Dial("ws" + strings.TrimPrefix(srv.URL, "http"))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.WriteText([]byte("hello")); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if string(msg) != "echo: hello" {
+		t.Fatalf("got %q", msg)
+	}
+	big, err := c.ReadMessage()
+	if err != nil {
+		t.Fatalf("ReadMessage large: %v", err)
+	}
+	if len(big) != 70000 {
+		t.Fatalf("large frame: got %d bytes, want 70000", len(big))
+	}
+	if err := c.WriteClose(1000); err != nil {
+		t.Fatalf("WriteClose: %v", err)
+	}
+}
+
+// TestCloseHandshake checks a server-initiated close surfaces as ErrClosed
+// on the client.
+func TestCloseHandshake(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("Upgrade: %v", err)
+			return
+		}
+		defer c.Close()
+		c.WriteClose(1000)
+		c.ReadMessage() // wait for the echoed close
+	}))
+	defer srv.Close()
+
+	c, err := Dial("ws" + strings.TrimPrefix(srv.URL, "http"))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.ReadMessage(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadMessage = %v, want ErrClosed", err)
+	}
+}
+
+// TestUpgradeRejectsPlainRequest checks a non-upgrade request gets
+// ErrNotWebSocket with the ResponseWriter untouched.
+func TestUpgradeRejectsPlainRequest(t *testing.T) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/watch", nil)
+	if _, err := Upgrade(rec, req); !errors.Is(err, ErrNotWebSocket) {
+		t.Fatalf("Upgrade = %v, want ErrNotWebSocket", err)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("Upgrade wrote %q to an unhijacked writer", rec.Body.String())
+	}
+}

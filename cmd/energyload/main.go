@@ -69,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		instances   = fs.Int("instances", 16, "distinct instances in the pool")
 		zipfS       = fs.Float64("zipf-s", 1.2, "zipf popularity exponent over the pool (must exceed 1)")
 		seed        = fs.Int64("seed", 1, "master seed: plan, pool, jitter, abandon draws")
+		jitterVals  = fs.Float64("jitter-values", 0, "per-arrival value jitter J: weights scale by seeded factors in [1-J,1+J] (deadline rescaled), defeating the instance cache while keeping shapes structure-cache-hot (0 = bit-identical repeats)")
 		sloP99      = fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unbounded)")
 		sloP999     = fs.Float64("slo-p999", 0, "SLO: p999 latency bound in ms (0 = unbounded)")
 		sloErrRate  = fs.Float64("slo-error-rate", 0, "SLO: max failed-request fraction (0 = no errors tolerated)")
@@ -101,16 +102,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := loadgen.Config{
-		BaseURL:     base,
-		Rate:        *rate,
-		Duration:    *duration,
-		Concurrency: *concurrency,
-		Mix:         mix,
-		Family:      *family,
-		N:           *n,
-		Instances:   *instances,
-		ZipfS:       *zipfS,
-		Seed:        *seed,
+		BaseURL:      base,
+		Rate:         *rate,
+		Duration:     *duration,
+		Concurrency:  *concurrency,
+		Mix:          mix,
+		Family:       *family,
+		N:            *n,
+		Instances:    *instances,
+		ZipfS:        *zipfS,
+		Seed:         *seed,
+		JitterValues: *jitterVals,
 		SLO: &benchkit.SLO{
 			MaxP99MS:     *sloP99,
 			MaxP999MS:    *sloP999,

@@ -94,6 +94,21 @@ func Registry() []Scenario {
 			Repeat: true, NoCache: true, Requests: 16, Warmup: 1, Reps: 3},
 		{Name: "layered-240-continuous-service-hit", Family: "layered", N: 240, Seed: 15, Model: contModel, Path: PathService,
 			Repeat: true, Requests: 64},
+		// The structure-warm pair behind the amortization layer: one SP
+		// shape under per-request value jitter, so every request misses
+		// the instance cache by key. structure-cold also disables the
+		// structure cache, paying the full structural bill per request —
+		// classification, SP recognition, and the SPExpr build, which at
+		// this size dwarf the closed-form evaluation. structure-hit keeps
+		// the cache: after the warmup rep compiles the shape, each request
+		// re-clothes the cached SPExpr with its jittered weights and only
+		// evaluates. The p50 ratio and the allocs/op drop of this pair are
+		// the cache's headline numbers — CI gates allocs/op on the hit
+		// side (see Compare).
+		{Name: "sp-256-continuous-structure-cold", Family: "sp", N: 256, Seed: 13, Model: contModel, Path: PathService,
+			Repeat: true, NoCache: true, NoStructure: true, JitterValues: 0.2, Requests: 32, Warmup: 1, Reps: 3},
+		{Name: "sp-256-continuous-structure-hit", Family: "sp", N: 256, Seed: 13, Model: contModel, Path: PathService,
+			Repeat: true, NoCache: true, JitterValues: 0.2, Requests: 32, Warmup: 1, Reps: 3},
 
 		// --- stream path: progressive results over /v1/solve/stream -------
 		// The same 32-component instance three ways: one monolithic

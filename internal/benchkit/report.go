@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 )
 
 // SchemaVersion tags every report this package writes. Compare and
@@ -232,13 +233,18 @@ type CompareRow struct {
 	// SLOViolations lists the clauses the current result breaks against
 	// its own embedded SLO (recomputed here, never trusted from the file).
 	SLOViolations []string `json:"slo_violations,omitempty"`
-	// Allocation counts per op, informational: populated only when both
-	// reports carry memory data (the fields are an energybench/v1
-	// addition — older reports lack them, and a side without data is
-	// treated as absent, never as regressed). The pass/fail verdict is
-	// wall-clock only.
+	// Allocation counts per op: populated only when both reports carry
+	// memory data (the fields are an energybench/v1 addition — older
+	// reports lack them, and a side without data is treated as absent,
+	// never as regressed). For most rows they are informational and the
+	// pass/fail verdict is wall-clock only; structure-warm scenarios
+	// (the -structure- pair, whose allocs/op IS the workspace-pooling
+	// artifact under test) also gate AllocsRatio at the tolerance.
 	BaseAllocs uint64 `json:"base_allocs_per_op,omitempty"`
 	CurAllocs  uint64 `json:"current_allocs_per_op,omitempty"`
+	// AllocsRatio is current/baseline allocs per op, set only on
+	// structure-warm rows where both sides carry memory data.
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
 }
 
 // Comparison is the regression report Compare produces; Pass is false
@@ -260,6 +266,12 @@ type Comparison struct {
 	EnvMismatch []string     `json:"env_mismatch,omitempty"`
 	Rows        []CompareRow `json:"rows"`
 }
+
+// structureScenario reports whether the named scenario belongs to the
+// structure-warm amortization pair (the -structure- infix), whose
+// allocs/op is a gated artifact of workspace pooling rather than an
+// informational extra.
+func structureScenario(name string) bool { return strings.Contains(name, "-structure-") }
 
 // DefaultMinMS is the noise floor of Compare: timings are clamped up to
 // this many milliseconds before the ratio is taken, so microsecond-scale
@@ -328,8 +340,15 @@ func Compare(baseline, current *Report, tolerance, minMS float64) (*Comparison, 
 		if base.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
 			row.BaseAllocs = base.AllocsPerOp
 			row.CurAllocs = cur.AllocsPerOp
+			// Structure-warm scenarios exist to pin the allocation win of
+			// the structure cache's workspace pooling, so a blown-up
+			// allocs/op there is a regression even at a healthy p50.
+			// Either side lacking memory data leaves the gate inactive.
+			if structureScenario(base.Scenario) {
+				row.AllocsRatio = float64(cur.AllocsPerOp) / float64(base.AllocsPerOp)
+			}
 		}
-		regressed := row.Ratio > tolerance || row.P99Ratio > tolerance
+		regressed := row.Ratio > tolerance || row.P99Ratio > tolerance || row.AllocsRatio > tolerance
 		switch {
 		case len(row.SLOViolations) > 0:
 			// Breaking the absolute objective outranks any relative

@@ -253,3 +253,47 @@ func TestReportWriteLoadRoundTrip(t *testing.T) {
 		t.Fatal("Find invented a scenario")
 	}
 }
+
+// TestCompareGatesAllocsOnStructureScenarios pins the structure-warm
+// exception to the wall-clock-only verdict: on -structure- rows the
+// allocs/op ratio fails the gate at the same tolerance (workspace
+// pooling is the artifact those scenarios measure), while either side
+// lacking memory data leaves the gate inactive — an old baseline stays
+// non-fatal.
+func TestCompareGatesAllocsOnStructureScenarios(t *testing.T) {
+	const name = "sp-256-continuous-structure-hit"
+	base := report(Result{Scenario: name, P50MS: 10, AllocsPerOp: 1000})
+	blown := report(Result{Scenario: name, P50MS: 10, AllocsPerOp: 5000})
+	cmp, err := Compare(base, blown, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pass || cmp.Regressions != 1 {
+		t.Fatalf("5× allocs/op on a structure scenario must regress: %+v", cmp)
+	}
+	if got := rowFor(t, cmp, name); got.Status != StatusRegressed || got.AllocsRatio != 5 {
+		t.Fatalf("structure row verdict: %+v", got)
+	}
+
+	ok := report(Result{Scenario: name, P50MS: 10, AllocsPerOp: 1100})
+	cmp, err = Compare(base, ok, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass {
+		t.Fatalf("in-tolerance allocs/op must pass: %+v", cmp)
+	}
+
+	// A baseline without memory data never arms the gate.
+	old := report(res(name, 10))
+	cmp, err = Compare(old, blown, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Pass {
+		t.Fatal("absent baseline memory data must stay non-fatal on structure scenarios")
+	}
+	if got := rowFor(t, cmp, name); got.AllocsRatio != 0 {
+		t.Fatalf("one-sided memory data set an allocs ratio: %+v", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -125,6 +126,16 @@ type Scenario struct {
 	// NoCache marks every service-path request no_cache and disables the
 	// engine cache, so a repeated instance measures the full solve.
 	NoCache bool
+	// JitterValues perturbs every service-path request's weights by a
+	// seeded factor in [1−J, 1+J] (deadline recomputed on the jittered
+	// weights): combined with Repeat, the wave is one shape under value
+	// churn — instance-cache misses that the structure cache can absorb.
+	JitterValues float64
+	// NoStructure disables the engine's structure cache, so a jittered
+	// repeat pays the full ordering+symbolic+classification cost on every
+	// request. The NoStructure/structure-warm twin of one jittered wave
+	// is the amortization layer's headline pair.
+	NoStructure bool
 
 	// StreamFirst stops the stream path's measured interval at the first
 	// `component` event instead of the terminal `result`; the rest of the
@@ -469,8 +480,16 @@ func (s Scenario) buildService(r *runnable) (*runnable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
+		if s.JitterValues > 0 {
+			rng := rand.New(rand.NewSource(s.Seed + int64(i+1)))
+			w := make([]float64, g.N())
+			for k := range w {
+				w[k] = g.Weight(k) * (1 + s.JitterValues*(2*rng.Float64()-1))
+			}
+			g = g.CloneWithWeights(w)
+		}
 		// Each request carries its own feasible deadline: distinct
-		// instances have distinct critical paths.
+		// instances (and jittered weights) have distinct critical paths.
 		dmin, err := g.MinimalDeadline(mdl.SMax)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -489,6 +508,9 @@ func (s Scenario) buildService(r *runnable) (*runnable, error) {
 	opts := service.Options{}
 	if s.NoCache {
 		opts.CacheSize = -1
+	}
+	if s.NoStructure {
+		opts.StructureCacheSize = -1
 	}
 	engine := service.NewEngine(opts)
 	srv := httptest.NewServer(service.NewHandler(engine, service.HTTPOptions{}))

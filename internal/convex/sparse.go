@@ -77,8 +77,48 @@ func resolveWorkers(opts Options, n int) int {
 	return w
 }
 
-// sparseSolver holds the compiled problem structure and every workspace
-// the Newton loop needs, so iterations allocate nothing.
+// SparseProgram is the compiled, structure-determined part of a sparse
+// barrier solve: the Hessian pattern, fill-reducing ordering, symbolic
+// factorization, scatter maps, and row-shard boundaries for the
+// constraint system A·x ≤ b. It is bound to one constraint matrix A
+// (pattern and values) and one worker count, both fixed at CompileSparse;
+// the objective f, right-hand side b, and start point vary per Minimize.
+//
+// A program is safe for concurrent use: Minimize borrows a pooled
+// per-solve workspace (numeric factor + Newton vectors) per call, so N
+// goroutines can solve against one shared compile. Structure-keyed
+// caches store this object to amortize the one-time work across requests
+// that share a sparsity pattern.
+type SparseProgram struct {
+	a       *linalg.CSR
+	n       int // variables
+	m       int // constraints
+	workers int
+
+	sym *linalg.SymProgram
+
+	// Scatter maps, fixed at compile: constraint row i contributes
+	// w·pairProd[k] to h.Val[pairSlot[k]] for k in [pairPtr[i],
+	// pairPtr[i+1]), with w = 1/sᵢ². diagSlot[j] addresses H[j,j] for
+	// the objective's diagonal.
+	pairPtr  []int
+	pairSlot []int32
+	pairProd []float64
+	diagSlot []int32
+
+	// rowPtr holds the fixed row-shard boundaries (len workers+1) when
+	// workers > 1 and the system has constraints; nil otherwise.
+	rowPtr []int
+
+	// pool recycles per-solve workspaces across Minimize calls.
+	pool sync.Pool
+}
+
+// sparseSolver is one solve's workspace over a compiled SparseProgram:
+// the numeric factor plus every vector the Newton loop needs, so
+// iterations allocate nothing. The structural fields (a, scatter maps,
+// shard boundaries) alias the program and are read-only; f and b are set
+// per solve.
 type sparseSolver struct {
 	f DiagObjective
 	a *linalg.CSR
@@ -126,15 +166,17 @@ type sparseSolver struct {
 	fail     atomic.Bool
 }
 
-// newSparseSolver compiles the problem: Hessian pattern, fill-reducing
-// ordering, symbolic factorization, scatter maps, workspaces, and (for
-// workers > 1) the per-worker shards and task closures. The result is
-// reusable across minimize calls on the same (f, a, b).
-func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int, opts Options) *sparseSolver {
-	s := &sparseSolver{f: f, a: a, b: b, n: n, workers: resolveWorkers(opts, n)}
+// CompileSparse runs the one-time structural work for the constraint
+// system A·x ≤ b with n variables: Hessian pattern, fill-reducing
+// ordering, symbolic factorization, scatter maps, and shard boundaries.
+// a may be nil (unconstrained Newton). Only opts.Ordering and
+// opts.Workers participate — the worker count is baked into the program
+// and later Minimize calls inherit it.
+func CompileSparse(a *linalg.CSR, n int, opts Options) *SparseProgram {
+	pr := &SparseProgram{a: a, n: n, workers: resolveWorkers(opts, n)}
 	sb := linalg.NewSymBuilder(n)
 	if a != nil {
-		s.m = a.Rows
+		pr.m = a.Rows
 		for i := 0; i < a.Rows; i++ {
 			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 				for q := p; q < a.RowPtr[i+1]; q++ {
@@ -143,32 +185,57 @@ func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int, opt
 			}
 		}
 	}
-	s.h = sb.CompileOpts(linalg.CompileOptions{Ordering: opts.Ordering, Workers: s.workers})
+	pr.sym = sb.CompileProgram(linalg.CompileOptions{Ordering: opts.Ordering, Workers: pr.workers})
 
 	if a != nil {
-		s.pairPtr = make([]int, a.Rows+1)
+		pr.pairPtr = make([]int, a.Rows+1)
 		for i := 0; i < a.Rows; i++ {
 			nz := a.RowPtr[i+1] - a.RowPtr[i]
-			s.pairPtr[i+1] = s.pairPtr[i] + nz*(nz+1)/2
+			pr.pairPtr[i+1] = pr.pairPtr[i] + nz*(nz+1)/2
 		}
-		s.pairSlot = make([]int32, s.pairPtr[a.Rows])
-		s.pairProd = make([]float64, s.pairPtr[a.Rows])
+		pr.pairSlot = make([]int32, pr.pairPtr[a.Rows])
+		pr.pairProd = make([]float64, pr.pairPtr[a.Rows])
 		k := 0
 		for i := 0; i < a.Rows; i++ {
 			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 				for q := p; q < a.RowPtr[i+1]; q++ {
-					s.pairSlot[k] = int32(s.h.Slot(a.Col[p], a.Col[q]))
-					s.pairProd[k] = a.Val[p] * a.Val[q]
+					pr.pairSlot[k] = int32(pr.sym.Slot(a.Col[p], a.Col[q]))
+					pr.pairProd[k] = a.Val[p] * a.Val[q]
 					k++
 				}
 			}
 		}
 	}
-	s.diagSlot = make([]int32, n)
+	pr.diagSlot = make([]int32, n)
 	for j := 0; j < n; j++ {
-		s.diagSlot[j] = int32(s.h.Slot(j, j))
+		pr.diagSlot[j] = int32(pr.sym.Slot(j, j))
 	}
+	if pr.workers > 1 && pr.m > 0 {
+		pr.rowPtr = make([]int, pr.workers+1)
+		for i := 0; i <= pr.workers; i++ {
+			pr.rowPtr[i] = i * pr.m / pr.workers
+		}
+	}
+	return pr
+}
 
+// newWorkspace mints one solve's workspace: a numeric factor from the
+// shared symbolic program, the Newton vectors, and (for workers > 1) the
+// per-worker partials and task closures.
+func (pr *SparseProgram) newWorkspace() *sparseSolver {
+	n := pr.n
+	s := &sparseSolver{
+		a:        pr.a,
+		n:        n,
+		m:        pr.m,
+		workers:  pr.workers,
+		h:        pr.sym.NewFactor(),
+		pairPtr:  pr.pairPtr,
+		pairSlot: pr.pairSlot,
+		pairProd: pr.pairProd,
+		diagSlot: pr.diagSlot,
+		rowPtr:   pr.rowPtr,
+	}
 	s.grad = linalg.NewVector(n)
 	s.hdiag = linalg.NewVector(n)
 	s.dir = linalg.NewVector(n)
@@ -179,10 +246,6 @@ func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int, opt
 
 	if s.workers > 1 && s.m > 0 {
 		w := s.workers
-		s.rowPtr = make([]int, w+1)
-		for i := 0; i <= w; i++ {
-			s.rowPtr[i] = i * s.m / w
-		}
 		s.gradW = make([]linalg.Vector, w)
 		s.hvW = make([][]float64, w)
 		s.phiW = make([]float64, w)
@@ -197,6 +260,39 @@ func newSparseSolver(f DiagObjective, a *linalg.CSR, b linalg.Vector, n int, opt
 	}
 	return s
 }
+
+// Minimize runs the barrier method over this compiled program with the
+// given objective, right-hand side, and strictly feasible start point.
+// The per-solve workspace is borrowed from the program's pool, so warm
+// calls skip both the symbolic analysis and the workspace allocations.
+// opts.Workers and opts.Ordering are ignored here — both were fixed at
+// CompileSparse.
+func (pr *SparseProgram) Minimize(f DiagObjective, b linalg.Vector, x0 linalg.Vector, opts Options) (*Result, error) {
+	if pr.a != nil {
+		if pr.a.Cols != len(x0) || len(b) != pr.a.Rows {
+			return nil, ErrDimension
+		}
+	} else if len(x0) != pr.n {
+		return nil, ErrDimension
+	}
+	var s *sparseSolver
+	if v := pr.pool.Get(); v != nil {
+		s = v.(*sparseSolver)
+	} else {
+		s = pr.newWorkspace()
+	}
+	s.f, s.b = f, b
+	res, err := s.minimize(x0, opts)
+	s.f, s.b = nil, nil
+	pr.pool.Put(s)
+	return res, err
+}
+
+// N returns the variable count the program was compiled for.
+func (pr *SparseProgram) N() int { return pr.n }
+
+// M returns the constraint count the program was compiled for.
+func (pr *SparseProgram) M() int { return pr.m }
 
 // mvShard computes rows [rowPtr[w], rowPtr[w+1]) of the current mat-vec:
 // per-row dot products in ascending index order, so the result is
@@ -525,5 +621,5 @@ func SparseMinimize(f DiagObjective, a *linalg.CSR, b linalg.Vector, x0 linalg.V
 			return nil, ErrDimension
 		}
 	}
-	return newSparseSolver(f, a, b, n, opts).minimize(x0, opts)
+	return CompileSparse(a, n, opts).Minimize(f, b, x0, opts)
 }

@@ -154,10 +154,12 @@ func TestNewtonInnerLoopZeroAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	n := 24
 	f, _, sa, b, x0 := randomChainProgram(rng, n)
-	s := newSparseSolver(f, sa, b, n, Options{})
+	s := CompileSparse(sa, n, Options{}).newWorkspace()
+	s.f, s.b = f, b
 	x := x0.Clone()
 	// Warm the path: one full minimize pass compiles nothing new (setup
-	// happened in newSparseSolver) but settles x near the central path.
+	// happened in CompileSparse/newWorkspace) but settles x near the
+	// central path.
 	if _, err := s.minimize(x0, Options{}); err != nil {
 		t.Fatalf("minimize: %v", err)
 	}

@@ -57,6 +57,13 @@ type ContinuousOptions struct {
 	// Ordering forces the sparse kernel's fill-reducing ordering; the
 	// zero value picks the cheaper of RCM and nested dissection.
 	Ordering convex.Ordering
+	// Kernels, when non-nil, caches the structure-determined compilation
+	// of the geometric program (transitive reduction, CSR constraint
+	// matrix, fill-reducing ordering, symbolic factorization) keyed by
+	// the graph's structural fingerprint. Requests whose graphs share a
+	// shape then skip the symbolic work entirely and pay only the numeric
+	// solve; see KernelCache. Ignored by the dense oracle path.
+	Kernels *KernelCache
 }
 
 // energyObjective is Σ wᵢ³/dᵢ² over x = (t₁..tₙ, d₁..dₙ); the t-part does
@@ -202,74 +209,43 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 		}
 	}
 
-	// Assemble constraints over x = (t, d), normalized deadline 1, in
-	// sparse row form: every row has at most three nonzeros, so the CSR
-	// emission is what lets the barrier method keep the execution graph's
-	// sparsity all the way into its Newton systems.
-	//
-	// Dense DAGs (m > 2n) usually carry transitively implied precedences:
-	// u→v alongside u→w→v. Every duration is strictly positive (d_w ≥
-	// w_w/sCap > 0), so the u→v row is strictly implied by the u→w and
-	// w→v rows and the transitive reduction defines the same feasible set
-	// with fewer barrier terms; Stats.PrecedenceRowsDropped records the
-	// reduction. Sparse graphs skip the O(n·m) reduction cost.
-	edges := p.G.Edges()
-	rowsDropped := 0
-	if len(edges) > 2*n {
-		if reduced, rerr := p.G.TransitiveReduction(); rerr == nil {
-			redEdges := reduced.Edges()
-			rowsDropped = len(edges) - len(redEdges)
-			edges = redEdges
-		}
+	// Constraints over x = (t, d), normalized deadline 1. The structural
+	// side — transitive reduction, CSR pattern and its ±1 values, the
+	// compiled sparse program — comes from the kernel (cached across
+	// requests sharing a graph shape when opts.Kernels is set); only the
+	// right-hand side b carries this request's numbers, in the kernel's
+	// fixed row order: precedence rows (0), start rows (−rᵢ), deadline
+	// rows (1), duration floors (−lo), then duration ceilings (hi).
+	var ker *continuousKernel
+	if opts.Kernels != nil && !opts.DenseKernel {
+		ker = opts.Kernels.kernel(p.G, hi != nil, opts)
+	} else {
+		ker = compileContinuousKernel(p.G, hi != nil, opts, opts.DenseKernel)
 	}
-	rows := len(edges) + 3*n
-	if hi != nil {
-		rows += n
-	}
-	ab := linalg.NewCSRBuilder(2 * n)
-	b := linalg.NewVector(rows)
-	r := 0
-	for _, e := range edges { // t_u + d_v - t_v <= 0
-		ab.Set(e[0], 1)
-		ab.Set(n+e[1], 1)
-		ab.Set(e[1], -1)
-		ab.EndRow()
-		b[r] = 0
-		r++
-	}
-	for i := 0; i < n; i++ { // d_i - t_i <= -r_i (start no earlier than release)
-		ab.Set(n+i, 1)
-		ab.Set(i, -1)
-		ab.EndRow()
-		b[r] = 0
+	b := linalg.NewVector(ker.rows)
+	r := len(ker.edges) // precedence rows: b = 0
+	for i := 0; i < n; i++ {
 		if rn != nil {
 			b[r] = -rn[i]
 		}
 		r++
 	}
-	for i := 0; i < n; i++ { // t_i <= 1
-		ab.Set(i, 1)
-		ab.EndRow()
+	for i := 0; i < n; i++ {
 		b[r] = 1
 		r++
 	}
 	lo := make([]float64, n)
-	for i := 0; i < n; i++ { // -d_i <= -w_i/sCap
+	for i := 0; i < n; i++ {
 		lo[i] = wn[i] / sCap
-		ab.Set(n+i, -1)
-		ab.EndRow()
 		b[r] = -lo[i]
 		r++
 	}
 	if hi != nil {
-		for i := 0; i < n; i++ { // d_i <= w_i/smin
-			ab.Set(n+i, 1)
-			ab.EndRow()
+		for i := 0; i < n; i++ {
 			b[r] = hi[i]
 			r++
 		}
 	}
-	a := ab.Build()
 
 	// Strictly feasible start. Warm path: durations from the previous
 	// speed vector, clamped into the admissible band and shrunk a hair so
@@ -332,9 +308,9 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 	}
 	var res *convex.Result
 	if opts.DenseKernel {
-		res, err = convex.Minimize(obj, a.Dense(), b, x0, copts)
+		res, err = convex.Minimize(obj, ker.a.Dense(), b, x0, copts)
 	} else {
-		res, err = convex.SparseMinimize(obj, a, b, x0, copts)
+		res, err = ker.prog.Minimize(obj, b, x0, copts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: continuous solve failed: %w", err)
@@ -361,7 +337,7 @@ func (p *Problem) SolveContinuousNumeric(smax float64, opts ContinuousOptions) (
 		Newton:                res.Newton,
 		Exact:                 true, // up to the numeric gap
 		BoundFactor:           1,
-		PrecedenceRowsDropped: rowsDropped,
+		PrecedenceRowsDropped: ker.rowsDropped,
 	})
 	if err != nil {
 		return nil, err

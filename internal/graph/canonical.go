@@ -52,3 +52,42 @@ func (g *Graph) CanonicalBytes() []byte {
 func (g *Graph) Fingerprint() [32]byte {
 	return sha256.Sum256(g.CanonicalBytes())
 }
+
+// StructuralBytes returns the CanonicalBytes encoding with every numeric
+// field masked out: task count, edge count, and the sorted edge set — no
+// weights. Two instances that differ only in values (weights, and by
+// extension any per-request numbers like deadline or release times, which
+// never appear in either encoding) share these bytes, so the result keys
+// caches of structure-determined compilation artifacts: fill-reducing
+// orderings, symbolic factorizations, scatter maps, and plan
+// classifications, all of which depend only on the precedence structure.
+func (g *Graph) StructuralBytes() []byte {
+	n, m := g.N(), g.M()
+	buf := make([]byte, 0, 8+8*m)
+	var scratch [8]byte
+
+	binary.BigEndian.PutUint32(scratch[:4], uint32(n))
+	buf = append(buf, scratch[:4]...)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(m))
+	buf = append(buf, scratch[:4]...)
+
+	edges := g.Edges()
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+	for _, e := range edges {
+		binary.BigEndian.PutUint64(scratch[:], uint64(e[0])<<32|uint64(uint32(e[1])))
+		buf = append(buf, scratch[:]...)
+	}
+	return buf
+}
+
+// StructuralFingerprint returns the SHA-256 of StructuralBytes: a compact
+// identity for the graph's shape alone, usable as the key of
+// structure-amortized caches.
+func (g *Graph) StructuralFingerprint() [32]byte {
+	return sha256.Sum256(g.StructuralBytes())
+}

@@ -216,6 +216,28 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// CloneWithWeights returns a deep copy of the graph's structure (names and
+// edges) carrying the given weights instead of the receiver's. It is the
+// refresh step of structure-keyed caches: a cached reduced graph holds stale
+// numbers from the request that compiled it, so every cache hit re-clothes
+// the shared structure in the current request's values. len(weights) must
+// equal N.
+func (g *Graph) CloneWithWeights(weights []float64) *Graph {
+	if len(weights) != g.N() {
+		panic(fmt.Sprintf("graph: CloneWithWeights got %d weights for %d tasks", len(weights), g.N()))
+	}
+	c := New()
+	for i := 0; i < g.N(); i++ {
+		c.AddTask(g.names[i], weights[i])
+	}
+	for u, ss := range g.succ {
+		for _, v := range ss {
+			c.MustAddEdge(u, v)
+		}
+	}
+	return c
+}
+
 // Reverse returns the graph with every edge direction flipped (task IDs,
 // names, and weights preserved).
 func (g *Graph) Reverse() *Graph {

@@ -1,0 +1,96 @@
+package graph
+
+import "testing"
+
+// buildShape constructs a small diamond DAG with the given weights.
+func buildShape(t *testing.T, weights []float64) *Graph {
+	t.Helper()
+	g := New()
+	for i, w := range weights {
+		if id := g.AddTask("", w); id != i {
+			t.Fatalf("AddTask id = %d, want %d", id, i)
+		}
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+func TestStructuralFingerprintIgnoresWeights(t *testing.T) {
+	a := buildShape(t, []float64{1, 2, 3, 4})
+	b := buildShape(t, []float64{9, 8, 7, 6})
+
+	if a.StructuralFingerprint() != b.StructuralFingerprint() {
+		t.Fatal("same structure, different weights: structural fingerprints differ")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different weights should change the full fingerprint")
+	}
+	if string(a.StructuralBytes()) != string(b.StructuralBytes()) {
+		t.Fatal("structural bytes differ across weight-only changes")
+	}
+}
+
+func TestStructuralFingerprintSeesStructure(t *testing.T) {
+	a := buildShape(t, []float64{1, 2, 3, 4})
+
+	// Extra edge changes the structure.
+	b := buildShape(t, []float64{1, 2, 3, 4})
+	b.MustAddEdge(0, 3)
+	if a.StructuralFingerprint() == b.StructuralFingerprint() {
+		t.Fatal("edge change should change the structural fingerprint")
+	}
+
+	// Extra task changes the structure.
+	c := buildShape(t, []float64{1, 2, 3, 4})
+	c.AddTask("", 5)
+	if a.StructuralFingerprint() == c.StructuralFingerprint() {
+		t.Fatal("task-count change should change the structural fingerprint")
+	}
+
+	// Names never participate.
+	d := New()
+	for i, w := range []float64{1, 2, 3, 4} {
+		d.AddTask("renamed", w)
+		_ = i
+	}
+	d.MustAddEdge(0, 1)
+	d.MustAddEdge(0, 2)
+	d.MustAddEdge(1, 3)
+	d.MustAddEdge(2, 3)
+	if a.StructuralFingerprint() != d.StructuralFingerprint() {
+		t.Fatal("names should not affect the structural fingerprint")
+	}
+}
+
+func TestCloneWithWeights(t *testing.T) {
+	g := buildShape(t, []float64{1, 2, 3, 4})
+	fresh := []float64{10, 20, 30, 40}
+	c := g.CloneWithWeights(fresh)
+
+	if c.StructuralFingerprint() != g.StructuralFingerprint() {
+		t.Fatal("clone changed the structure")
+	}
+	for i, want := range fresh {
+		if c.Weight(i) != want {
+			t.Fatalf("clone weight[%d] = %v, want %v", i, c.Weight(i), want)
+		}
+	}
+	if c.Name(1) != g.Name(1) {
+		t.Fatal("clone dropped names")
+	}
+	// Mutating the clone must not touch the original.
+	c.SetWeight(0, 99)
+	if g.Weight(0) != 1 {
+		t.Fatal("clone shares weight storage with the original")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CloneWithWeights with wrong length should panic")
+		}
+	}()
+	g.CloneWithWeights([]float64{1})
+}

@@ -35,7 +35,8 @@ const (
 )
 
 // parWorker owns one shard of subtree rows and the scratch vectors its
-// pattern walks use. Everything is allocated once at Compile.
+// pattern walks use. The row list is shared with the program's compiled
+// schedule (read-only); the scratch vectors belong to this factor.
 type parWorker struct {
 	s    *SparseSym
 	rows []int32
@@ -44,7 +45,17 @@ type parWorker struct {
 	flag []int
 }
 
-// parState is the compiled parallel schedule of one SparseSym.
+// parSchedule is the immutable part of the parallel plan, computed once
+// per symbolic compilation and shared by every factor of a SymProgram:
+// which rows each worker shard runs, and which top rows finish
+// sequentially after the join.
+type parSchedule struct {
+	shards [][]int32
+	top    []int32
+}
+
+// parState is one factor's parallel execution state: per-worker scratch
+// over the program's shared schedule.
 type parState struct {
 	workers []*parWorker
 	tasks   []*PoolTask
@@ -53,11 +64,11 @@ type parState struct {
 	fail    atomic.Bool
 }
 
-// newParState builds the subtree partition and per-worker workspaces.
-// Returns nil when the elimination tree does not split into enough
-// independent work (e.g. RCM-ordered chains, whose tree is a path) — the
-// caller then keeps the sequential path.
-func newParState(s *SparseSym, workers int) *parState {
+// buildParSchedule builds the subtree partition and LPT shard assignment
+// from the program's symbolic data. Returns nil when the elimination
+// tree does not split into enough independent work (e.g. RCM-ordered
+// chains, whose tree is a path) — factors then keep the sequential path.
+func buildParSchedule(s *SymProgram, workers int) *parSchedule {
 	n := s.n
 	grain := n / (4 * workers)
 	if grain < parGrainMin {
@@ -128,20 +139,30 @@ func newParState(s *SparseSym, workers int) *parState {
 		load[best] += rootWork[r]
 	}
 
-	st := &parState{top: make([]int32, 0, n-covered)}
+	sched := &parSchedule{top: make([]int32, 0, n-covered)}
 	shard := make([][]int32, workers)
 	for k := 0; k < n; k++ {
 		if label[k] == -1 {
-			st.top = append(st.top, int32(k))
+			sched.top = append(sched.top, int32(k))
 			continue
 		}
 		w := owner[label[k]]
 		shard[w] = append(shard[w], int32(k))
 	}
 	for _, rows := range shard {
-		if len(rows) == 0 {
-			continue
+		if len(rows) > 0 {
+			sched.shards = append(sched.shards, rows)
 		}
+	}
+	return sched
+}
+
+// newParState allocates one factor's per-worker scratch over the shared
+// schedule.
+func newParState(s *SparseSym, sched *parSchedule) *parState {
+	n := s.n
+	st := &parState{top: sched.top}
+	for _, rows := range sched.shards {
 		w := &parWorker{s: s, rows: rows, y: make([]float64, n), pat: make([]int, n), flag: make([]int, n)}
 		for i := range w.flag {
 			w.flag[i] = -1

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // SparseSym is a symmetric positive definite matrix with a fixed sparsity
@@ -31,6 +33,9 @@ type SparseSym struct {
 	pinv []int // pinv[old] = new
 
 	// Upper triangle of the permuted matrix in compressed-column form.
+	// colPtr and rowIdx are shared with the owning SymProgram and are
+	// read-only during Factor/Solve; Val is this factor's own numeric
+	// storage.
 	colPtr []int
 	rowIdx []int
 	Val    []float64
@@ -38,7 +43,7 @@ type SparseSym struct {
 	slots    map[uint64]int // canonical (min,max) original pair -> Val index
 	diagSlot []int          // Val index of each diagonal entry, original order
 
-	// Symbolic factorization (fixed after Compile).
+	// Symbolic factorization (shared with the SymProgram, read-only).
 	parent []int
 	lnz    []int // column counts of L
 	lp     []int // len n+1, column pointers of L
@@ -56,9 +61,59 @@ type SparseSym struct {
 	w        []float64
 	factored bool
 
-	// Parallel schedule (nil on the sequential path). See parallel.go.
+	// Parallel per-factor state (nil on the sequential path); the shard
+	// row lists and top set inside are shared with the SymProgram's
+	// compiled schedule. See parallel.go.
 	par *parState
 }
+
+// SymProgram is the immutable outcome of one symbolic compilation: the
+// fill-reducing ordering, the permuted pattern, the elimination tree and
+// column counts, the slot maps, and (when requested) the parallel
+// factorization schedule. It is safe for concurrent use: N goroutines can
+// each hold their own SparseSym factor minted by NewFactor (or borrowed
+// via Acquire/Release) against one shared program, because every shared
+// slice is read-only after compilation — only the per-factor numeric
+// state (values, factor storage, scratch vectors) is mutated by
+// Factor/SolveInto.
+//
+// This is the unit that structure-keyed caches store: two problems with
+// the same sparsity pattern share one SymProgram and skip the ordering
+// and symbolic analysis entirely, paying only the numeric factorization.
+type SymProgram struct {
+	n    int
+	perm []int
+	pinv []int
+
+	colPtr []int
+	rowIdx []int
+
+	slots    map[uint64]int
+	diagSlot []int
+
+	parent []int
+	lnz    []int
+	lp     []int
+
+	// Compiled parallel schedule (nil = sequential factors): shard row
+	// lists and the top set, shared by every factor's parState.
+	sched *parSchedule
+
+	// pool recycles factors across solves (Acquire/Release).
+	pool sync.Pool
+}
+
+// symbolicAnalyses counts completed symbolic compilations process-wide.
+// Tests pin the structure-hit path on this: a solve that reuses a cached
+// SymProgram must not move the counter.
+var symbolicAnalyses atomic.Uint64
+
+// SymbolicAnalyses returns the number of symbolic compilations (ordering
+// selection + elimination-tree analysis) performed by this process. The
+// counter moves once per CompileProgram/CompileOpts, never on NewFactor,
+// Acquire, Factor, or SolveInto — so a cache layer can assert that warm
+// solves are symbolic-free.
+func SymbolicAnalyses() uint64 { return symbolicAnalyses.Load() }
 
 // SymBuilder collects the nonzero pattern of an n×n symmetric matrix.
 // Positions are unordered pairs; duplicates are fine. Every diagonal
@@ -116,6 +171,15 @@ func (b *SymBuilder) Compile() *SparseSym {
 // (when requested and profitable) the parallel factorization schedule.
 // The builder must not be reused.
 func (b *SymBuilder) CompileOpts(opts CompileOptions) *SparseSym {
+	return b.CompileProgram(opts).NewFactor()
+}
+
+// CompileProgram runs the one-time structural work — dedupe, ordering,
+// symbolic LDLᵀ, parallel schedule — and returns it as a shareable
+// SymProgram without allocating any numeric storage. The builder must
+// not be reused. Factors are minted with NewFactor or borrowed with
+// Acquire/Release.
+func (b *SymBuilder) CompileProgram(opts CompileOptions) *SymProgram {
 	n := b.n
 	for k := 0; k < n; k++ {
 		b.pairs = append(b.pairs, [2]int{k, k})
@@ -174,12 +238,88 @@ func (b *SymBuilder) CompileOpts(opts CompileOptions) *SparseSym {
 			}
 		}
 	}
-	s := buildSym(n, pairs, perm)
+	prog := buildProgram(n, pairs, perm)
 	if opts.Workers > 1 && n >= parallelMinDim {
-		s.par = newParState(s, opts.Workers)
+		prog.sched = buildParSchedule(prog, opts.Workers)
+	}
+	symbolicAnalyses.Add(1)
+	return prog
+}
+
+// NewFactor mints a fresh numeric factor bound to the program: it aliases
+// every read-only symbolic slice and allocates only the per-factor state
+// (values, L storage, scratch). Factors from one program are independent
+// — concurrent Factor/SolveInto on different factors is safe.
+func (p *SymProgram) NewFactor() *SparseSym {
+	n := p.n
+	s := &SparseSym{
+		n:        n,
+		perm:     p.perm,
+		pinv:     p.pinv,
+		colPtr:   p.colPtr,
+		rowIdx:   p.rowIdx,
+		Val:      make([]float64, len(p.rowIdx)),
+		slots:    p.slots,
+		diagSlot: p.diagSlot,
+		parent:   p.parent,
+		lnz:      p.lnz,
+		lp:       p.lp,
+		li:       make([]int, p.lp[n]),
+		lx:       make([]float64, p.lp[n]),
+		d:        make([]float64, n),
+		y:        make([]float64, n),
+		pat:      make([]int, n),
+		flag:     make([]int, n),
+		lnzw:     make([]int, n),
+		w:        make([]float64, n),
+	}
+	for i := range s.flag {
+		s.flag[i] = -1
+	}
+	if p.sched != nil {
+		s.par = newParState(s, p.sched)
 	}
 	return s
 }
+
+// Acquire borrows a pooled factor (minting one when the pool is empty).
+// The returned factor carries arbitrary stale values: assemble and
+// Factor before any SolveInto. Return it with Release when the solve
+// finishes so the next request on this structure skips the allocation.
+func (p *SymProgram) Acquire() *SparseSym {
+	if v := p.pool.Get(); v != nil {
+		return v.(*SparseSym)
+	}
+	return p.NewFactor()
+}
+
+// Release returns a factor obtained from Acquire (or NewFactor on this
+// program) to the pool. The caller must not use it afterwards.
+func (p *SymProgram) Release(s *SparseSym) {
+	p.pool.Put(s)
+}
+
+// N returns the dimension.
+func (p *SymProgram) N() int { return p.n }
+
+// NNZ returns the stored entry count of the (upper triangular) pattern.
+func (p *SymProgram) NNZ() int { return len(p.rowIdx) }
+
+// FactorNNZ returns the entry count of the factor L (fill included).
+func (p *SymProgram) FactorNNZ() int { return p.lp[p.n] }
+
+// Slot returns the Val index of position (i, j) in this program's
+// factors, or -1 when the position is not in the compiled pattern.
+func (p *SymProgram) Slot(i, j int) int {
+	if slot, ok := p.slots[pairKey(i, j)]; ok {
+		return slot
+	}
+	return -1
+}
+
+// Parallel reports whether factors minted from this program use the
+// parallel elimination-tree schedule.
+func (p *SymProgram) Parallel() bool { return p.sched != nil }
 
 // symbolicFill returns the factor entry count (FactorNNZ) the given
 // ordering would produce, via the etree column-count analysis on the
@@ -230,15 +370,16 @@ func symbolicFill(n int, pairs [][2]int, perm []int) int {
 	return total
 }
 
-// buildSym constructs the SparseSym for a fixed deduped pattern and
-// ordering: permuted storage, symbolic analysis, workspaces.
-func buildSym(n int, pairs [][2]int, perm []int) *SparseSym {
+// buildProgram constructs the SymProgram for a fixed deduped pattern and
+// ordering: permuted storage layout, slot maps, and symbolic analysis.
+// No numeric storage is allocated.
+func buildProgram(n int, pairs [][2]int, perm []int) *SymProgram {
 	pinv := make([]int, n)
 	for k, old := range perm {
 		pinv[old] = k
 	}
 
-	s := &SparseSym{
+	s := &SymProgram{
 		n:        n,
 		perm:     perm,
 		pinv:     pinv,
@@ -265,7 +406,6 @@ func buildSym(n int, pairs [][2]int, perm []int) *SparseSym {
 	})
 	s.colPtr = make([]int, n+1)
 	s.rowIdx = make([]int, len(ents))
-	s.Val = make([]float64, len(ents))
 	for slot, e := range ents {
 		s.colPtr[e.c+1]++
 		s.rowIdx[slot] = e.r
@@ -283,17 +423,17 @@ func buildSym(n int, pairs [][2]int, perm []int) *SparseSym {
 	// up-looking row traversal (Davis, "Algorithm 849: LDL").
 	s.parent = make([]int, n)
 	s.lnz = make([]int, n)
-	s.flag = make([]int, n)
+	flag := make([]int, n)
 	for k := 0; k < n; k++ {
 		s.parent[k] = -1
-		s.flag[k] = k
+		flag[k] = k
 		for p := s.colPtr[k]; p < s.colPtr[k+1]; p++ {
-			for i := s.rowIdx[p]; s.flag[i] != k; i = s.parent[i] {
+			for i := s.rowIdx[p]; flag[i] != k; i = s.parent[i] {
 				if s.parent[i] == -1 {
 					s.parent[i] = k
 				}
 				s.lnz[i]++
-				s.flag[i] = k
+				flag[i] = k
 			}
 		}
 	}
@@ -301,13 +441,6 @@ func buildSym(n int, pairs [][2]int, perm []int) *SparseSym {
 	for k := 0; k < n; k++ {
 		s.lp[k+1] = s.lp[k] + s.lnz[k]
 	}
-	s.li = make([]int, s.lp[n])
-	s.lx = make([]float64, s.lp[n])
-	s.d = make([]float64, n)
-	s.y = make([]float64, n)
-	s.pat = make([]int, n)
-	s.lnzw = make([]int, n)
-	s.w = make([]float64, n)
 	return s
 }
 

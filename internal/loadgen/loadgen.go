@@ -150,6 +150,15 @@ type Config struct {
 	// session (default 0.25): half abandon mid-execution (an idle ghost),
 	// half after the last completion (a finished ghost).
 	AbandonRate float64
+	// JitterValues, when positive, perturbs every arrival's numeric values:
+	// each task weight is scaled by a seeded factor in [1−J, 1+J] and the
+	// deadline rescaled to the jittered weight sum (a serial speed-1 run
+	// still meets it, so every instance stays feasible). The values never
+	// repeat but the structure does — zipf-hot shapes stop hitting the
+	// engine's instance cache and instead exercise the structure-keyed
+	// amortization path (symbolic/plan reuse under value churn). Clamped
+	// to [0, 0.9]; 0 (the default) replays bit-identical bodies.
+	JitterValues float64
 	// SLO, when set, is attached to the overall result row and checked;
 	// Run reports the violated clauses.
 	SLO *benchkit.SLO
@@ -204,6 +213,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.AbandonRate > 1 {
 		c.AbandonRate = 1
+	}
+	if c.JitterValues < 0 {
+		c.JitterValues = 0
+	}
+	if c.JitterValues > 0.9 {
+		c.JitterValues = 0.9
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
@@ -382,13 +397,53 @@ func (w *worker) record(op string, ref time.Time, status int, isErr bool) {
 	w.status[status]++
 }
 
+// jitterReq derives one arrival's request from its pool entry. With
+// JitterValues off the pool entry is returned as-is; otherwise every
+// weight is scaled by a seeded factor in [1−J, 1+J] on a cloned graph and
+// the deadline rescales to the jittered weight sum. Returns the request
+// and the weights it carries (the session op plans durations off them).
+func (w *worker) jitterReq(spec *instanceSpec, seed int64) (service.SolveRequest, []float64) {
+	j := w.cfg.JitterValues
+	if j <= 0 {
+		return spec.req, spec.weights
+	}
+	rng := rand.New(rand.NewSource(seed))
+	jw := make([]float64, len(spec.weights))
+	total := 0.0
+	for i, wt := range spec.weights {
+		jw[i] = wt * (1 + j*(2*rng.Float64()-1))
+		total += jw[i]
+	}
+	req := spec.req
+	req.Graph = spec.req.Graph.CloneWithWeights(jw)
+	req.Deadline = total
+	return req, jw
+}
+
+// jitterBody is jitterReq marshaled: the pre-marshaled pool body when
+// value jitter is off (bit-identical repeats keep the instance cache
+// hot), a fresh per-arrival body otherwise.
+func (w *worker) jitterBody(spec *instanceSpec, seed int64) ([]byte, []float64, error) {
+	if w.cfg.JitterValues <= 0 {
+		return spec.body, spec.weights, nil
+	}
+	req, jw := w.jitterReq(spec, seed)
+	body, err := json.Marshal(&req)
+	return body, jw, err
+}
+
 func (w *worker) run(ctx context.Context, jb job, intended time.Time) {
 	spec := &w.pool[jb.inst]
 	base := w.cfg.BaseURL
 	switch jb.op {
 	case OpSolve:
+		body, _, err := w.jitterBody(spec, jb.seed)
+		if err != nil {
+			w.record(OpSolve, intended, 0, true)
+			return
+		}
 		var resp service.SolveResponse
-		if _, ok := w.do(ctx, http.MethodPost, base+"/v1/solve", spec.body, intended, OpSolve, &resp); ok {
+		if _, ok := w.do(ctx, http.MethodPost, base+"/v1/solve", body, intended, OpSolve, &resp); ok {
 			w.energy += resp.Energy
 		}
 	case OpBatch:
@@ -403,9 +458,11 @@ func (w *worker) run(ctx context.Context, jb job, intended time.Time) {
 func (w *worker) runBatch(ctx context.Context, jb job, intended time.Time) {
 	rng := rand.New(rand.NewSource(jb.seed))
 	reqs := make([]service.SolveRequest, 0, 3)
-	reqs = append(reqs, w.pool[jb.inst].req)
+	primary, _ := w.jitterReq(&w.pool[jb.inst], jb.seed)
+	reqs = append(reqs, primary)
 	for len(reqs) < 3 {
-		reqs = append(reqs, w.pool[rng.Intn(len(w.pool))].req)
+		extra, _ := w.jitterReq(&w.pool[rng.Intn(len(w.pool))], rng.Int63())
+		reqs = append(reqs, extra)
 	}
 	body, err := json.Marshal(service.BatchRequestJSON{Requests: reqs})
 	if err != nil {
@@ -429,8 +486,13 @@ func (w *worker) runBatch(ctx context.Context, jb job, intended time.Time) {
 // path. Event order is task-index order — every workload family's edges
 // point forward, so index order is a topological order.
 func (w *worker) runSession(ctx context.Context, jb job, spec *instanceSpec, intended time.Time) {
+	body, weights, err := w.jitterBody(spec, jb.seed)
+	if err != nil {
+		w.record(OpSession, intended, 0, true)
+		return
+	}
 	var create service.SessionResponse
-	if _, ok := w.do(ctx, http.MethodPost, w.cfg.BaseURL+"/v1/sessions", spec.body, intended, OpSession, &create); !ok {
+	if _, ok := w.do(ctx, http.MethodPost, w.cfg.BaseURL+"/v1/sessions", body, intended, OpSession, &create); !ok {
 		return
 	}
 	if create.Solve != nil {
@@ -439,9 +501,9 @@ func (w *worker) runSession(ctx context.Context, jb job, spec *instanceSpec, int
 	n := spec.tasks
 	durations := make([]float64, n)
 	for i := range durations {
-		durations[i] = spec.weights[i] // speed-1 fallback
+		durations[i] = weights[i] // speed-1 fallback
 		if create.Solve != nil && len(create.Solve.Speeds) == n && create.Solve.Speeds[i] > 0 {
-			durations[i] = spec.weights[i] / create.Solve.Speeds[i]
+			durations[i] = weights[i] / create.Solve.Speeds[i]
 		}
 	}
 	factors, err := workload.Jitter{Seed: jb.seed, Rate: 0.4, Early: 0.3, Late: 0.3}.Factors(n)
@@ -509,7 +571,12 @@ func (w *worker) runSession(ctx context.Context, jb job, spec *instanceSpec, int
 // (recorded against the intended arrival — the metric the streaming API
 // exists for) and the whole-stream latency.
 func (w *worker) runStream(ctx context.Context, jb job, spec *instanceSpec, intended time.Time) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.BaseURL+"/v1/solve/stream", bytes.NewReader(spec.body))
+	body, _, err := w.jitterBody(spec, jb.seed)
+	if err != nil {
+		w.record(OpStream, intended, 0, true)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.BaseURL+"/v1/solve/stream", bytes.NewReader(body))
 	if err != nil {
 		w.record(OpStream, intended, 0, true)
 		return

@@ -65,6 +65,14 @@ type Options struct {
 	Continuous core.ContinuousOptions
 	// Discrete tunes the exact discrete solvers.
 	Discrete core.DiscreteOptions
+	// Structures, when non-nil, amortizes the structural work across
+	// requests: component classification (and its SP-recognition
+	// artifacts) is cached per structural fingerprint, and the continuous
+	// solver's compiled kernels are cached through the embedded
+	// core.KernelCache (threaded into Continuous.Kernels automatically
+	// unless one is already set). Safe for concurrent use and shared by
+	// the service engine, streaming pipeline, and reclaim sessions.
+	Structures *StructureCache
 }
 
 // Class is the structural classification of one component.
@@ -176,11 +184,12 @@ type Plan struct {
 //
 // A Router is immutable after NewRouter and safe for concurrent use.
 type Router struct {
-	m     model.Model
-	algo  string
-	k     int
-	copts core.ContinuousOptions
-	dopts core.DiscreteOptions
+	m       model.Model
+	algo    string
+	k       int
+	copts   core.ContinuousOptions
+	dopts   core.DiscreteOptions
+	structs *StructureCache
 }
 
 // NewRouter validates the model/algorithm combination (the same checks
@@ -202,7 +211,11 @@ func NewRouter(m model.Model, opts Options) (*Router, error) {
 	if k <= 0 {
 		k = 4
 	}
-	return &Router{m: m, algo: algo, k: k, copts: opts.Continuous, dopts: opts.Discrete}, nil
+	rt := &Router{m: m, algo: algo, k: k, copts: opts.Continuous, dopts: opts.Discrete, structs: opts.Structures}
+	if opts.Structures != nil && rt.copts.Kernels == nil {
+		rt.copts.Kernels = opts.Structures.Kernels()
+	}
+	return rt, nil
 }
 
 // Algorithm returns the validated selector (auto or a forced algorithm).
@@ -213,7 +226,7 @@ func (rt *Router) Algorithm() string { return rt.algo }
 // selector's structural requirements are enforced here, exactly as Analyze
 // enforces them for whole plans.
 func (rt *Router) Route(c core.Component, rel []float64) (ComponentPlan, error) {
-	cp := route(c, rt.m, rt.algo, rt.k, rt.dopts, rel)
+	cp := route(c, rt.m, rt.algo, rt.k, rt.dopts, rel, rt.structs)
 	if rt.algo == AlgoSP && cp.Class == ClassGeneralDAG {
 		return ComponentPlan{}, badPlan("algorithm %q requires a series-parallel execution graph (component {%s} is %s)",
 			AlgoSP, idRange(cp.Tasks), cp.Class)
@@ -331,10 +344,17 @@ func dedupeNote(g *graph.Graph) string {
 // route picks the solver for one classified component. rel carries the
 // component-local release times of a residual plan (nil = none): releases
 // invalidate the closed forms and the SP Pareto DP, so those components go
-// to the general release-aware solvers instead.
-func route(c core.Component, m model.Model, algo string, k int, dopts core.DiscreteOptions, rel []float64) ComponentPlan {
+// to the general release-aware solvers instead. sc, when non-nil, serves
+// the classification from the structure cache.
+func route(c core.Component, m model.Model, algo string, k int, dopts core.DiscreteOptions, rel []float64, sc *StructureCache) ComponentPlan {
 	g := c.Prob.G
-	class, art := classify(g)
+	var class Class
+	var art artifacts
+	if sc != nil {
+		class, art = sc.classify(g)
+	} else {
+		class, art = classify(g)
+	}
 	cp := ComponentPlan{
 		Tasks:       c.Tasks,
 		Class:       class,

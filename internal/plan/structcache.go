@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// StructureCache is the planner's half of the structure-keyed amortization
+// layer: a bounded, mutex-guarded LRU from a component graph's structural
+// fingerprint to its classification artifacts — the recognized Class, the
+// series-parallel expression (pure task-ID structure, shared as-is), and
+// the transitive reduction (whose weights are stale by construction, so
+// every hit re-clothes it in the requesting graph's current weights via
+// CloneWithWeights). It also owns the core.KernelCache that amortizes the
+// continuous solver's symbolic compilation, so one cache object wired
+// through plan.Options covers both the O(n²·m) SP recognition and the
+// ordering+symbolic work.
+//
+// Entries can be pinned (reference-counted) by long-lived owners —
+// reclaim sessions pin the structures their replans revisit — and pinned
+// entries are never evicted, so a session's replan stays structure-hit
+// for its whole lifetime even under cache pressure from unrelated
+// traffic.
+type StructureCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[[32]byte]*list.Element
+	pins    map[[32]byte]int
+
+	kernels *core.KernelCache
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type structEntry struct {
+	key     [32]byte
+	class   Class
+	expr    *graph.SPExpr
+	reduced *graph.Graph // reduction structure; weights are stale, never read
+}
+
+// NewStructureCache returns a cache holding up to cap structure entries
+// (cap < 1 is clamped to 1), with a kernel cache of the same capacity
+// beneath it.
+func NewStructureCache(cap int) *StructureCache {
+	if cap < 1 {
+		cap = 1
+	}
+	return &StructureCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[[32]byte]*list.Element),
+		pins:    make(map[[32]byte]int),
+		kernels: core.NewKernelCache(cap),
+	}
+}
+
+// Kernels returns the continuous-kernel cache owned by this structure
+// cache; routers hand it to core.SolveContinuousNumeric through
+// ContinuousOptions.Kernels.
+func (sc *StructureCache) Kernels() *core.KernelCache { return sc.kernels }
+
+// classify returns g's classification, consulting the cache first. On a
+// hit the O(n²·m) recognition is skipped entirely; the cached reduction
+// is cloned with g's current weights because downstream solvers read
+// weights off that graph. On a miss the classification runs and the
+// structural artifacts are inserted (double-checked: a concurrent insert
+// of the same key wins and the duplicate is dropped).
+func (sc *StructureCache) classify(g *graph.Graph) (Class, artifacts) {
+	key := g.StructuralFingerprint()
+	sc.mu.Lock()
+	if el, ok := sc.entries[key]; ok {
+		sc.order.MoveToFront(el)
+		e := el.Value.(*structEntry)
+		sc.mu.Unlock()
+		sc.hits.Add(1)
+		art := artifacts{expr: e.expr}
+		if e.reduced != nil {
+			art.reduced = e.reduced.CloneWithWeights(g.Weights())
+		}
+		return e.class, art
+	}
+	sc.mu.Unlock()
+	sc.misses.Add(1)
+
+	class, art := classify(g)
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if el, ok := sc.entries[key]; ok {
+		sc.order.MoveToFront(el)
+		return class, art
+	}
+	sc.entries[key] = sc.order.PushFront(&structEntry{key: key, class: class, expr: art.expr, reduced: art.reduced})
+	sc.evictLocked()
+	return class, art
+}
+
+// evictLocked trims least-recently-used unpinned entries beyond cap.
+// When every entry is pinned the cache is allowed to exceed cap: pins are
+// a liveness promise to sessions, not a budget.
+func (sc *StructureCache) evictLocked() {
+	for sc.order.Len() > sc.cap {
+		var victim *list.Element
+		for el := sc.order.Back(); el != nil; el = el.Prev() {
+			if sc.pins[el.Value.(*structEntry).key] == 0 {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		sc.order.Remove(victim)
+		delete(sc.entries, victim.Value.(*structEntry).key)
+	}
+}
+
+// Pin marks the structure key as in use: pinned keys survive eviction.
+// Pins are counted, so independent owners pin and unpin symmetrically.
+// Pinning a key with no cache entry yet is allowed — the pin applies when
+// the entry appears.
+func (sc *StructureCache) Pin(key [32]byte) {
+	sc.mu.Lock()
+	sc.pins[key]++
+	sc.mu.Unlock()
+}
+
+// Unpin releases one Pin reference on key.
+func (sc *StructureCache) Unpin(key [32]byte) {
+	sc.mu.Lock()
+	if sc.pins[key] > 1 {
+		sc.pins[key]--
+	} else {
+		delete(sc.pins, key)
+	}
+	sc.mu.Unlock()
+}
+
+// PinProblem pins the structure key of every weakly-connected component
+// of p and returns the pinned keys (for symmetric Unpin). Reclaim
+// sessions call this per residual problem so each replan's structures
+// stay resident for the session's lifetime.
+func (sc *StructureCache) PinProblem(p *core.Problem) [][32]byte {
+	comps, err := p.SplitComponents()
+	if err != nil {
+		return nil
+	}
+	keys := make([][32]byte, 0, len(comps))
+	for _, c := range comps {
+		k := c.Prob.G.StructuralFingerprint()
+		sc.Pin(k)
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Hits returns the classification-lookup hit count.
+func (sc *StructureCache) Hits() uint64 { return sc.hits.Load() }
+
+// Misses returns the classification-lookup miss count.
+func (sc *StructureCache) Misses() uint64 { return sc.misses.Load() }
+
+// Len returns the number of cached structure entries.
+func (sc *StructureCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.order.Len()
+}

@@ -64,6 +64,14 @@ type Options struct {
 	// Continuous and Discrete tune the underlying solvers.
 	Continuous core.ContinuousOptions
 	Discrete   core.DiscreteOptions
+	// Structures, when non-nil, amortizes structural work across the
+	// session's replans through the shared structure cache: residual
+	// classification and compiled continuous kernels hit per structural
+	// fingerprint. The session pins every structure it touches (the
+	// initial problem's components and each replan's residual components)
+	// so cache pressure from unrelated traffic cannot evict them
+	// mid-session; Close releases the pins.
+	Structures *plan.StructureCache
 }
 
 func (o Options) deviationTol() float64 {
@@ -161,6 +169,10 @@ type Session struct {
 	infeasible     bool
 	stats          Stats
 
+	// pinned holds the structure-cache keys this session has pinned —
+	// exactly one pin per unique key, released by Close.
+	pinned map[[32]byte]bool
+
 	// onComponent, when set, observes every re-solved residual component
 	// the moment its solver finishes (see SetOnComponent).
 	onComponent func(ComponentUpdate)
@@ -214,7 +226,44 @@ func NewSession(p *core.Problem, m model.Model, sol *core.Solution, opts Options
 		remaining: n,
 	}
 	copy(s.profiles, sol.Schedule.Profiles)
+	s.pinStructuresLocked(p)
 	return s, nil
+}
+
+// pinStructuresLocked pins the structure key of every component of p that
+// this session has not pinned yet, holding exactly one pin per unique key
+// for the session's lifetime. PinProblem pins unconditionally, so keys the
+// session already holds get their duplicate pin released immediately.
+// Caller holds s.mu (or owns a not-yet-shared session).
+func (s *Session) pinStructuresLocked(p *core.Problem) {
+	sc := s.opts.Structures
+	if sc == nil {
+		return
+	}
+	for _, k := range sc.PinProblem(p) {
+		if s.pinned[k] {
+			sc.Unpin(k)
+			continue
+		}
+		if s.pinned == nil {
+			s.pinned = make(map[[32]byte]bool)
+		}
+		s.pinned[k] = true
+	}
+}
+
+// Close releases the session's structure-cache pins. Idempotent; sessions
+// without a structure cache need not call it. The session remains usable
+// afterwards — its structures just lose eviction immunity.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sc := s.opts.Structures; sc != nil {
+		for k := range s.pinned {
+			sc.Unpin(k)
+		}
+	}
+	s.pinned = nil
 }
 
 // ReplanGate admits one residual re-solve into an external worker pool.
@@ -393,12 +442,14 @@ func (s *Session) replanLocked() (*plan.ReplanResult, error) {
 			residual.PrevSpeeds[local] = s.profiles[id][0].Speed
 		}
 	}
+	s.pinStructuresLocked(resProb)
 	rp, err := plan.AnalyzeResidual(resProb, s.mdl, plan.Options{
 		Algorithm:  s.opts.Algorithm,
 		K:          s.opts.K,
 		Workers:    s.opts.Workers,
 		Continuous: s.opts.Continuous,
 		Discrete:   s.opts.Discrete,
+		Structures: s.opts.Structures,
 	}, residual)
 	if err != nil {
 		s.infeasible = true

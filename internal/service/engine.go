@@ -11,6 +11,19 @@
 // over JSON endpoints (POST /v1/solve, POST /v1/solve/batch, POST /v1/plan
 // for analysis without solving, GET /v1/stats, GET /healthz);
 // cmd/energyserver wraps them in a binary.
+//
+// Beneath the instance cache sits a structure-keyed one: an LRU of
+// per-shape artifacts (component classification, SP decompositions,
+// compiled sparse-kernel programs with pooled numeric workspaces) keyed
+// by graph.StructuralFingerprint, which masks every numeric field so all
+// value-variants of one shape share an entry. Traffic that re-submits a
+// known shape with new weights or a new deadline misses the instance
+// cache but skips the ordering, symbolic analysis, and classification
+// work entirely — only the numeric solve runs. The layer is shared by
+// one-shot solves, the streaming pipeline, and reclaim sessions (which
+// pin their entries against eviction for their lifetime), sized by
+// Options.StructureCacheSize, and reported in /v1/stats as
+// structure_hits, structure_misses, and structure_len.
 package service
 
 import (
@@ -22,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 )
 
 // Options configures an Engine. The zero value picks sensible defaults.
@@ -46,6 +60,13 @@ type Options struct {
 	// concurrency is low and single-request latency on disconnected
 	// execution graphs matters more than aggregate throughput.
 	PlanWorkers int
+	// StructureCacheSize bounds the structure-keyed amortization cache: an
+	// LRU of per-component classification artifacts and compiled continuous
+	// kernels keyed by structural fingerprint (values masked), shared by
+	// the monolithic path, the streaming pipeline, and reclaim sessions.
+	// Unlike the instance cache, it hits whenever the *shape* repeats even
+	// if every weight and deadline changed (default 256; negative disables).
+	StructureCacheSize int
 }
 
 func (o Options) workers() int {
@@ -84,12 +105,24 @@ func (o Options) cacheSize() int {
 	}
 }
 
+func (o Options) structureCacheSize() int {
+	switch {
+	case o.StructureCacheSize > 0:
+		return o.StructureCacheSize
+	case o.StructureCacheSize < 0:
+		return 0
+	default:
+		return 256
+	}
+}
+
 // Engine is a concurrent, cached MinEnergy solve service. It is safe for
 // use by any number of goroutines; the zero value is not usable — construct
 // with NewEngine.
 type Engine struct {
 	sem         chan struct{}
 	cache       *lruCache
+	structs     *plan.StructureCache // nil when disabled
 	verifyTol   float64
 	planWorkers int
 	maxBacklog  int64
@@ -119,7 +152,7 @@ type call struct {
 
 // NewEngine builds an Engine with the given options.
 func NewEngine(opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		sem:         make(chan struct{}, opts.workers()),
 		cache:       newLRUCache(opts.cacheSize()),
 		verifyTol:   opts.VerifyTol,
@@ -127,7 +160,16 @@ func NewEngine(opts Options) *Engine {
 		maxBacklog:  opts.maxBacklog(),
 		flight:      make(map[string]*call),
 	}
+	if size := opts.structureCacheSize(); size > 0 {
+		e.structs = plan.NewStructureCache(size)
+	}
+	return e
 }
+
+// Structures returns the engine's structure-keyed amortization cache (nil
+// when disabled). The session store hands it to reclaim sessions so their
+// replans pin — and therefore keep hitting — the structures they revisit.
+func (e *Engine) Structures() *plan.StructureCache { return e.structs }
 
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
@@ -157,13 +199,22 @@ type Stats struct {
 	Backlog int64 `json:"backlog"`
 	// CacheLen is the current number of cached instances.
 	CacheLen int `json:"cache_len"`
+	// StructureHits / StructureMisses count structure-cache lookups across
+	// both of its layers — per-component classification and compiled
+	// continuous kernels. Value-jittered repeats of a known shape miss the
+	// instance cache (Hits/Misses above) but land here as hits: the spread
+	// between the two pairs is the amortization the structure cache buys.
+	StructureHits   uint64 `json:"structure_hits"`
+	StructureMisses uint64 `json:"structure_misses"`
+	// StructureLen is the current number of cached structure entries.
+	StructureLen int `json:"structure_len"`
 	// Workers is the worker-pool bound.
 	Workers int `json:"workers"`
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Hits:      e.hits.Load(),
 		Misses:    e.misses.Load(),
 		Coalesced: e.coalesced.Load(),
@@ -175,6 +226,13 @@ func (e *Engine) Stats() Stats {
 		CacheLen:  e.cache.Len(),
 		Workers:   cap(e.sem),
 	}
+	if e.structs != nil {
+		k := e.structs.Kernels()
+		s.StructureHits = e.structs.Hits() + k.Hits()
+		s.StructureMisses = e.structs.Misses() + k.Misses()
+		s.StructureLen = e.structs.Len() + k.Len()
+	}
+	return s
 }
 
 // Solve answers one request: compile, consult the cache, and on a miss run
@@ -196,11 +254,11 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	if !req.NoCache {
 		if cached, ok := e.cache.Get(key); ok {
 			e.hits.Add(1)
-			resp := *cached // shallow copy; slices shared, treated read-only
+			resp := cached.Clone() // callers may mutate; never hand out cached slices
 			resp.ID = req.ID
 			resp.CacheHit = true
 			resp.ElapsedMS = msSince(start)
-			return &resp, nil
+			return resp, nil
 		}
 	}
 
@@ -269,11 +327,11 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		if c.err != nil {
 			return nil, c.err
 		}
-		resp := *c.resp
+		resp := c.resp.Clone()
 		resp.ID = req.ID
 		resp.CacheHit = c.hit
 		resp.ElapsedMS = msSince(start)
-		return &resp, nil
+		return resp, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -329,7 +387,7 @@ func (e *Engine) spawn(inst *instance, key string, c *call, cleanup func()) {
 
 // runSolver executes the planner dispatch, optionally verifies, and caches.
 func (e *Engine) runSolver(inst *instance, key string) (*SolveResponse, error) {
-	sol, pl, err := dispatch(inst, e.planWorkers)
+	sol, pl, err := dispatch(inst, e.planWorkers, e.structs)
 	if err != nil {
 		e.failures.Add(1)
 		return nil, err

@@ -196,9 +196,9 @@ type SegmentJSON struct {
 	Duration float64 `json:"duration"`
 }
 
-// SolveResponse is the wire form of a solved instance. Cached responses are
-// returned as shallow copies: the slices are shared and must be treated as
-// read-only by callers.
+// SolveResponse is the wire form of a solved instance. Cache hits are
+// served as deep copies (Clone), so callers own every slice in the
+// response they receive.
 type SolveResponse struct {
 	// ID echoes the request's ID.
 	ID string `json:"id,omitempty"`
@@ -226,6 +226,38 @@ type SolveResponse struct {
 	// entry per weakly-connected component of the execution graph. Absent on
 	// responses predating the planner (old cached artifacts).
 	Plan *PlanJSON `json:"plan,omitempty"`
+}
+
+// Clone deep-copies the response, including every mutable slice (Speeds,
+// Profiles, the plan's components and their TaskIDs). Cache hits serve
+// clones so a caller mutating its response cannot poison the cached
+// original that every later hit on the same key shares.
+func (r *SolveResponse) Clone() *SolveResponse {
+	out := *r
+	if r.Speeds != nil {
+		out.Speeds = append([]float64(nil), r.Speeds...)
+	}
+	if r.Profiles != nil {
+		out.Profiles = make([][]SegmentJSON, len(r.Profiles))
+		for i, p := range r.Profiles {
+			if p != nil {
+				out.Profiles[i] = append([]SegmentJSON(nil), p...)
+			}
+		}
+	}
+	if r.Plan != nil {
+		pl := *r.Plan
+		if r.Plan.Components != nil {
+			pl.Components = append([]ComponentPlanJSON(nil), r.Plan.Components...)
+			for i := range pl.Components {
+				if ids := pl.Components[i].TaskIDs; ids != nil {
+					pl.Components[i].TaskIDs = append([]int(nil), ids...)
+				}
+			}
+		}
+		out.Plan = &pl
+	}
+	return &out
 }
 
 // ComponentPlanJSON is the wire form of one component's routing decision.

@@ -310,6 +310,10 @@ func (st *SessionStore) buildSession(ctx context.Context, req *SessionRequest) (
 		Algorithm: inst.algo,
 		K:         inst.k,
 		Cold:      req.Cold,
+		// The engine's structure cache: the session pins the structures
+		// its replans revisit, so they stay resident under cache pressure
+		// from unrelated traffic. Delete/eviction release the pins.
+		Structures: st.engine.structs,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -498,6 +502,10 @@ func (st *SessionStore) Delete(id string) error {
 	}
 	entry.closed.Store(true)
 	delete(st.sessions, id)
+	// Close takes the session lock (which a long replan may hold); release
+	// the structure pins off the store lock so Delete never stalls behind a
+	// solver run.
+	go entry.sess.Close()
 	entry.hub.close(EventClosed, watchTerminalData{SessionID: id, Reason: "deleted"})
 	return nil
 }
@@ -585,11 +593,13 @@ func (st *SessionStore) sweepLocked(now time.Time, pressure bool) {
 			e.closed.Store(true)
 			delete(st.sessions, id)
 			st.evictedFinished++
+			go e.sess.Close() // session lock; must not block the sweep
 			e.hub.close(EventClosed, watchTerminalData{SessionID: id, Reason: "evicted"})
 		case idle >= st.cfg.IdleTTL:
 			e.closed.Store(true)
 			delete(st.sessions, id)
 			st.evictedIdle++
+			go e.sess.Close() // session lock; must not block the sweep
 			e.hub.close(EventClosed, watchTerminalData{SessionID: id, Reason: "evicted"})
 		}
 	}

@@ -21,8 +21,8 @@ import (
 // stays the engine-wide concurrency bound instead of being multiplied per
 // request. The plan is returned alongside the solution so every response
 // can explain its own routing.
-func dispatch(inst *instance, workers int) (*core.Solution, *plan.Plan, error) {
-	return streamDispatch(context.Background(), inst, workers, nil)
+func dispatch(inst *instance, workers int, structs *plan.StructureCache) (*core.Solution, *plan.Plan, error) {
+	return streamDispatch(context.Background(), inst, workers, nil, structs)
 }
 
 // Explain compiles a request and runs the planner's analysis without
@@ -54,8 +54,9 @@ func (e *Engine) Explain(ctx context.Context, req *SolveRequest) (*PlanResponse,
 	defer func() { <-e.sem }()
 
 	pl, err := plan.Analyze(inst.prob, inst.mdl, plan.Options{
-		Algorithm: inst.algo,
-		K:         inst.k,
+		Algorithm:  inst.algo,
+		K:          inst.k,
+		Structures: e.structs,
 	})
 	if err != nil {
 		if errors.Is(err, plan.ErrBadPlan) {

@@ -184,11 +184,11 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 					}
 				}
 			}
-			resp := *cached
+			resp := cached.Clone()
 			resp.ID = req.ID
 			resp.CacheHit = true
 			resp.ElapsedMS = msSince(start)
-			return &resp, nil
+			return resp, nil
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -209,7 +209,7 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 	}
 	defer func() { <-e.sem }()
 
-	sol, pl, err := streamDispatch(ctx, inst, e.planWorkers, em)
+	sol, pl, err := streamDispatch(ctx, inst, e.planWorkers, em, e.structs)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			e.canceled.Add(1)
@@ -227,10 +227,10 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 	e.solved.Add(1)
 	resp := responseFromSolution(sol, pl)
 	e.cache.Add(key, resp)
-	out := *resp
+	out := resp.Clone()
 	out.ID = req.ID
 	out.ElapsedMS = msSince(start)
-	return &out, nil
+	return out, nil
 }
 
 // streamDispatch is the chunked classify→route→solve→merge pipeline behind
@@ -241,8 +241,8 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 // solving. ctx cancellation (client disconnect, deadline) stops unstarted
 // work; in-flight solver kernels run to completion (they are not
 // interruptible) before Wait returns.
-func streamDispatch(ctx context.Context, inst *instance, workers int, em *StreamEmitter) (*core.Solution, *plan.Plan, error) {
-	rt, err := plan.NewRouter(inst.mdl, plan.Options{Algorithm: inst.algo, K: inst.k})
+func streamDispatch(ctx context.Context, inst *instance, workers int, em *StreamEmitter, structs *plan.StructureCache) (*core.Solution, *plan.Plan, error) {
+	rt, err := plan.NewRouter(inst.mdl, plan.Options{Algorithm: inst.algo, K: inst.k, Structures: structs})
 	if err != nil {
 		return nil, nil, planError(err)
 	}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/workload"
+)
+
+// nGraphRequest builds the canonical non-series-parallel DAG (the "N":
+// a→c, b→c, b→d), which routes to the continuous interior point — the
+// path whose ordering+symbolic work the structure cache amortizes.
+func nGraphRequest(w [4]float64, deadline float64) *SolveRequest {
+	g := graph.New()
+	a := g.AddTask("a", w[0])
+	b := g.AddTask("b", w[1])
+	c := g.AddTask("c", w[2])
+	d := g.AddTask("d", w[3])
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(b, d)
+	return &SolveRequest{
+		Graph:    g,
+		Deadline: deadline,
+		Model:    ModelSpec{Kind: "continuous", SMax: 8},
+	}
+}
+
+// TestSolveCacheHitIsDeepCopy pins the cache-poisoning fix: a caller
+// mutating the slices of its response must not corrupt the cached original
+// that later hits on the same key are served from.
+func TestSolveCacheHitIsDeepCopy(t *testing.T) {
+	e := NewEngine(Options{})
+	ctx := context.Background()
+
+	first, err := e.Solve(ctx, chainRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpeed := first.Speeds[0]
+	// Poison every mutable slice of the response we were handed.
+	first.Speeds[0] = -999
+	if first.Plan != nil && len(first.Plan.Components) > 0 {
+		first.Plan.Components[0].Solver = "poisoned"
+		if len(first.Plan.Components[0].TaskIDs) > 0 {
+			first.Plan.Components[0].TaskIDs[0] = -1
+		}
+	}
+
+	second, err := e.Solve(ctx, chainRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("identical instance missed the cache")
+	}
+	if second.Speeds[0] != wantSpeed {
+		t.Fatalf("cache hit served poisoned speeds: got %v, want %v", second.Speeds[0], wantSpeed)
+	}
+	if second.Plan != nil && len(second.Plan.Components) > 0 {
+		if second.Plan.Components[0].Solver == "poisoned" {
+			t.Fatal("cache hit served poisoned plan")
+		}
+		if len(second.Plan.Components[0].TaskIDs) > 0 && second.Plan.Components[0].TaskIDs[0] == -1 {
+			t.Fatal("cache hit served poisoned task IDs")
+		}
+	}
+}
+
+// TestStructureCacheAmortizesAcrossValues drives the tentpole end to end:
+// a value-jittered repeat of a known shape misses the instance cache but
+// hits the structure cache, runs zero new symbolic analyses, and still
+// produces the same answer a cold engine computes.
+func TestStructureCacheAmortizesAcrossValues(t *testing.T) {
+	e := NewEngine(Options{VerifyTol: 1e-9})
+	ctx := context.Background()
+
+	if _, err := e.Solve(ctx, nGraphRequest([4]float64{3, 5, 2, 4}, 6)); err != nil {
+		t.Fatal(err)
+	}
+	st1 := e.Stats()
+	if st1.StructureMisses == 0 {
+		t.Fatal("cold solve recorded no structure misses — cache not wired")
+	}
+	if st1.StructureLen == 0 {
+		t.Fatal("cold solve cached no structure entries")
+	}
+
+	// Same shape, every value different: instance-cache miss by key.
+	jittered := nGraphRequest([4]float64{3.3, 4.7, 2.2, 4.1}, 5.5)
+	sym := linalg.SymbolicAnalyses()
+	resp, err := e.Solve(ctx, jittered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Fatal("value-jittered request hit the instance cache — bad test setup")
+	}
+	if got := linalg.SymbolicAnalyses(); got != sym {
+		t.Fatalf("structure-hit solve ran %d new symbolic analyses, want 0", got-sym)
+	}
+	st2 := e.Stats()
+	if st2.StructureHits <= st1.StructureHits {
+		t.Fatalf("structure hits did not grow: %d → %d", st1.StructureHits, st2.StructureHits)
+	}
+
+	// The amortized answer must match a cold engine bit-for-bit in value.
+	cold := NewEngine(Options{VerifyTol: 1e-9, StructureCacheSize: -1})
+	want, err := cold.Solve(ctx, nGraphRequest([4]float64{3.3, 4.7, 2.2, 4.1}, 5.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.Energy-want.Energy) > 1e-9*(1+math.Abs(want.Energy)) {
+		t.Fatalf("structure-hit energy %.15g != cold energy %.15g", resp.Energy, want.Energy)
+	}
+	for i := range want.Speeds {
+		if math.Abs(resp.Speeds[i]-want.Speeds[i]) > 1e-7*(1+math.Abs(want.Speeds[i])) {
+			t.Fatalf("speed[%d]: structure-hit %.15g != cold %.15g", i, resp.Speeds[i], want.Speeds[i])
+		}
+	}
+}
+
+// TestStructureCacheReducesAllocs pins the workspace-pooling half of the
+// amortization story: on a value-jittered SP stream (every request a new
+// instance), a structure-warm engine must allocate measurably less per
+// solve than one with the cache disabled — the decomposition, routing,
+// and solver workspaces are reused instead of rebuilt.
+func TestStructureCacheReducesAllocs(t *testing.T) {
+	g, err := workload.FromSeed("sp", 96, 13, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	reqs := make([]*SolveRequest, 8)
+	for i := range reqs {
+		w := make([]float64, g.N())
+		for k := range w {
+			w[k] = g.Weight(k) * (0.8 + 0.4*rng.Float64())
+		}
+		jg := g.CloneWithWeights(w)
+		dmin, err := jg.MinimalDeadline(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = &SolveRequest{
+			Graph:    jg,
+			Deadline: dmin * 1.4,
+			Model:    ModelSpec{Kind: "continuous", SMax: 2},
+		}
+	}
+
+	ctx := context.Background()
+	measure := func(e *Engine) float64 {
+		// One warming pass: populates the structure cache (when enabled)
+		// and steadies the allocator before counting.
+		for _, r := range reqs {
+			if _, err := e.Solve(ctx, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		idx := 0
+		return testing.AllocsPerRun(40, func() {
+			if _, err := e.Solve(ctx, reqs[idx%len(reqs)]); err != nil {
+				t.Fatal(err)
+			}
+			idx++
+		})
+	}
+
+	// Both engines run with the instance cache off, so every counted
+	// solve is a full solve and the only difference is the structure layer.
+	cold := measure(NewEngine(Options{CacheSize: -1, StructureCacheSize: -1}))
+	warm := measure(NewEngine(Options{CacheSize: -1}))
+	if warm >= 0.8*cold {
+		t.Fatalf("structure-warm solve allocates %.0f/op, cold %.0f/op — want a ≥20%% reduction", warm, cold)
+	}
+}
+
+// TestStructureCacheDisabled pins the opt-out: a negative size leaves the
+// engine with no structure cache and zeroed counters, and solves still work.
+func TestStructureCacheDisabled(t *testing.T) {
+	e := NewEngine(Options{StructureCacheSize: -1})
+	if e.Structures() != nil {
+		t.Fatal("negative StructureCacheSize still built a cache")
+	}
+	if _, err := e.Solve(context.Background(), nGraphRequest([4]float64{3, 5, 2, 4}, 6)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.StructureHits != 0 || st.StructureMisses != 0 || st.StructureLen != 0 {
+		t.Fatalf("disabled cache reported counters: %+v", st)
+	}
+}

@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 # Wall-clock slowdown tolerated by bench-compare before a scenario fails.
 TOLERANCE ?= 2
 
-.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-large bench-huge bench-service bench-plan loadtest fuzz clean
+.PHONY: all build test race vet bench verify bench-all bench-compare bench-baseline bench-large bench-huge bench-service bench-plan loadtest chaos fuzz clean
 
 all: verify
 
@@ -84,10 +84,28 @@ bench-plan:
 # inside 100 ms at p99. -jitter-values perturbs every arrival's weights and
 # deadline so hot shapes miss the instance cache and ride the structure
 # cache instead — the value-churn traffic the amortization layer exists
-# for. Writes the energybench/v1 report to BENCH_load.json.
+# for. -tenants 3 spreads arrivals zipf-style over three tenants — a
+# flooding tenant-0 and two victims — and the fairness gate fails the run
+# if any tenant's p99 detaches more than 10× from the median tenant p99.
+# 429s retry with backoff (-retries 3); the run also asserts zero panics
+# recovered without injection and a drained backlog. Writes the
+# energybench/v1 report to BENCH_load.json.
 loadtest:
 	$(GO) run ./cmd/energyload -rate 150 -duration 4s -n 12 -mix 'solve=5,session=3,stream=1,batch=1' \
-		-jitter-values 0.2 -slo-p99 500 -slo-error-rate 0 -slo-first-plan-p99 100 -out BENCH_load.json
+		-jitter-values 0.2 -tenants 3 -fairness-k 10 -retries 3 \
+		-slo-p99 500 -slo-error-rate 0 -slo-first-plan-p99 100 -out BENCH_load.json
+
+# chaos runs the fault-injection suites under the race detector: the
+# randomized storm over all four models with errors/latency/panics armed at
+# every site (solver, session store, pipeline, mmap), plus the unit suites
+# of the resilience package. Green means: no crash, every failure a
+# classified error, no leaked admission token, pool slot, session, or
+# structure pin.
+chaos:
+	$(GO) test -race ./internal/resilience/
+	$(GO) test -race -run 'Chaos|Fault|Panic|Degraded|TenantQuota' ./internal/service/
+	$(GO) run ./cmd/energyload -chaos -rate 120 -duration 3s -n 10 -tenants 3 -fairness-k 0 \
+		-retries 3 -slo-error-rate 0.2
 
 # Short fuzz pass over every fuzz target (decoders, canonical encoding, SP
 # recognizer, solve and plan requests). FUZZTIME tunes the per-target budget.

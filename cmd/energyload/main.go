@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/benchkit"
 	"repro/internal/loadgen"
+	"repro/internal/resilience"
 	"repro/internal/service"
 )
 
@@ -70,6 +71,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		zipfS       = fs.Float64("zipf-s", 1.2, "zipf popularity exponent over the pool (must exceed 1)")
 		seed        = fs.Int64("seed", 1, "master seed: plan, pool, jitter, abandon draws")
 		jitterVals  = fs.Float64("jitter-values", 0, "per-arrival value jitter J: weights scale by seeded factors in [1-J,1+J] (deadline rescaled), defeating the instance cache while keeping shapes structure-cache-hot (0 = bit-identical repeats)")
+		tenants     = fs.Int("tenants", 0, "spread arrivals over this many tenants with zipf(1.5) popularity (X-Tenant header; 0/1 = single default tenant)")
+		fairnessK   = fs.Float64("fairness-k", 8, "fairness gate (with -tenants > 1): fail if any tenant p99 exceeds K× the median tenant p99 (0 = no gate)")
+		retries     = fs.Int("retries", 3, "retry budget for shed (429) requests, with Retry-After/exponential backoff")
+		chaos       = fs.Bool("chaos", false, "in-process server only: arm moderate fault injection (solver/store/pipeline errors, latency, panics) and assert the server survives; implies retrying 5xx")
 		sloP99      = fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unbounded)")
 		sloP999     = fs.Float64("slo-p999", 0, "SLO: p999 latency bound in ms (0 = unbounded)")
 		sloErrRate  = fs.Float64("slo-error-rate", 0, "SLO: max failed-request fraction (0 = no errors tolerated)")
@@ -90,15 +95,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *chaos && *target != "" {
+		fmt.Fprintln(stderr, "energyload: -chaos requires the in-process server (drop -target)")
+		return 2
+	}
+
 	base := *target
+	var eng *service.Engine
 	if base == "" {
-		srv := httptest.NewServer(service.NewHandler(
-			service.NewEngine(service.Options{Workers: *workers}),
-			service.HTTPOptions{MaxSessions: *maxSessions},
-		))
+		eng = service.NewEngine(service.Options{Workers: *workers})
+		srv := httptest.NewServer(service.NewHandler(eng, service.HTTPOptions{MaxSessions: *maxSessions}))
 		defer srv.Close()
 		base = srv.URL
 		fmt.Fprintf(stderr, "energyload: storming in-process server at %s\n", base)
+	}
+	if *chaos {
+		// Moderate rates: enough injected failure to prove the recovery
+		// paths under real concurrency, low enough that retries converge.
+		resilience.Arm(resilience.NewFaults(*seed, map[resilience.Site]resilience.SiteFaults{
+			resilience.SiteSolver:   {ErrorRate: 0.02, LatencyRate: 0.05, Latency: 5 * time.Millisecond, PanicRate: 0.01},
+			resilience.SiteStore:    {ErrorRate: 0.01},
+			resilience.SitePipeline: {ErrorRate: 0.01, LatencyRate: 0.05, Latency: 2 * time.Millisecond, PanicRate: 0.005},
+		}))
+		defer resilience.Disarm()
+		fmt.Fprintln(stderr, "energyload: chaos mode — fault injection armed at every site")
 	}
 
 	cfg := loadgen.Config{
@@ -113,6 +133,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ZipfS:        *zipfS,
 		Seed:         *seed,
 		JitterValues: *jitterVals,
+		Tenants:      *tenants,
+		FairnessK:    *fairnessK,
+		MaxRetries:   *retries,
+		RetryOn5xx:   *chaos,
 		SLO: &benchkit.SLO{
 			MaxP99MS:     *sloP99,
 			MaxP999MS:    *sloP999,
@@ -122,12 +146,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *sloFirstP99 > 0 {
 		cfg.StreamSLO = &benchkit.SLO{MaxP99MS: *sloFirstP99}
 	}
+	panicsBefore := resilience.PanicsRecovered()
 	res, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "energyload:", err)
 		return 2
 	}
 	printRows(stdout, res)
+
+	fail := false
+	if eng != nil {
+		// The storm is over: every admission token must drain back out.
+		deadline := time.Now().Add(10 * time.Second)
+		for eng.Stats().Backlog != 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		st := eng.Stats()
+		fmt.Fprintf(stdout, "engine: shed %d, tenant_rejections %d, degraded %d, deadline_shed %d, panics_recovered %d, backlog %d\n",
+			st.Shed, st.TenantRejections, st.Degraded, st.DeadlineShed, st.PanicsRecovered, st.Backlog)
+		if st.Backlog != 0 {
+			fail = true
+			fmt.Fprintf(stderr, "energyload: backlog stuck at %d after the storm — admission tokens leaked\n", st.Backlog)
+		}
+		// Delta, not absolute: the counter is process-global, and an
+		// embedding test binary may have armed faults earlier.
+		if p := resilience.PanicsRecovered() - panicsBefore; !*chaos && p != 0 {
+			// No faults were armed, so every recovered panic is a real bug
+			// the recovery barrier papered over.
+			fail = true
+			fmt.Fprintf(stderr, "energyload: %d panic(s) recovered without fault injection\n", p)
+		}
+	}
 
 	if *out != "" {
 		if err := res.Report().Write(*out); err != nil {
@@ -137,7 +186,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wrote %s (%d rows)\n", *out, len(res.Rows))
 	}
 
-	fail := false
 	if len(res.Violations) > 0 {
 		fail = true
 		for _, v := range res.Violations {
@@ -170,8 +218,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fail {
 		return 1
 	}
-	fmt.Fprintf(stderr, "energyload: PASS — %d requests, %d errors, p99 %.1f ms\n",
-		res.Requests, res.Errors, overallP99(res))
+	fmt.Fprintf(stderr, "energyload: PASS — %d requests, %d errors, %d shed, %d retries, p99 %.1f ms\n",
+		res.Requests, res.Errors, res.Sheds, res.Retries, overallP99(res))
 	return 0
 }
 
@@ -191,7 +239,7 @@ func printRows(w io.Writer, res *loadgen.RunResult) {
 			row.Scenario, row.Requests, row.Errors, row.P50MS, row.P99MS, row.P999MS, row.Throughput)
 	}
 	tw.Flush()
-	fmt.Fprintf(w, "wall %.2fs, total energy %.1f\n", res.Wall.Seconds(), res.Energy)
+	fmt.Fprintf(w, "wall %.2fs, total energy %.1f, shed %d, retries %d\n", res.Wall.Seconds(), res.Energy, res.Sheds, res.Retries)
 }
 
 func writeJSONFile(path string, v any) error {

@@ -70,3 +70,46 @@ func TestRunRejectsBadUsage(t *testing.T) {
 		t.Fatalf("bad zipf exponent: exit %d, want 2", code)
 	}
 }
+
+// TestRunChaosStormSurvives is the CLI face of the chaos gate: with
+// faults armed at every site the storm must complete, the engine must
+// drain, and the exit code must stay 0 (injected failures retry or land
+// as classified errors under the relaxed error budget).
+func TestRunChaosStormSurvives(t *testing.T) {
+	var out, errb bytes.Buffer
+	// Fairness is gated off: latency injection skews per-tenant tails by
+	// design, and this test is about survival, not isolation.
+	args := append([]string{"-chaos", "-tenants", "3", "-fairness-k", "0", "-slo-error-rate", "0.5"}, storm...)
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "chaos mode") {
+		t.Fatalf("chaos arming not announced:\n%s", errb.String())
+	}
+	if !strings.Contains(out.String(), "panics_recovered") {
+		t.Fatalf("no engine counter summary:\n%s", out.String())
+	}
+}
+
+// TestRunChaosRejectsTarget pins the guard: fault injection is
+// process-local, so -chaos against a remote server is a usage error.
+func TestRunChaosRejectsTarget(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-chaos", "-target", "http://example.invalid"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRunMultiTenantStorm drives the tenancy flags end to end: tenant
+// rows render and the fairness verdict passes on a healthy in-process
+// server.
+func TestRunMultiTenantStorm(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := append([]string{"-tenants", "3", "-fairness-k", "10"}, storm...)
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "load/tenant/tenant-0") {
+		t.Fatalf("no per-tenant rows:\n%s", out.String())
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,11 +53,25 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request timeout")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on requested timeouts")
 	verify := fs.Bool("verify", false, "independently re-verify every fresh solution")
+	maxBacklog := fs.Int("max-backlog", 0, "admission gate: max queued-plus-running solves across all tenants (0 = default 256, negative = unbounded)")
+	degradeWatermark := fs.Float64("degrade-watermark", 0, "queue-depth fraction of max-backlog past which solves reroute to the bounded degraded heuristic (0 = default 0.75, negative disables)")
+	tenantWeights := fs.String("tenant-weights", "", `weighted fair shares of the admission gate, "gold=3,bronze=1" (unlisted tenants weigh 1)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 
-	opts := service.Options{Workers: *workers, PlanWorkers: *planWorkers, CacheSize: *cacheSize}
+	opts := service.Options{
+		Workers:          *workers,
+		PlanWorkers:      *planWorkers,
+		CacheSize:        *cacheSize,
+		MaxBacklog:       *maxBacklog,
+		DegradeWatermark: *degradeWatermark,
+		TenantWeights:    weights,
+	}
 	if *verify {
 		opts.VerifyTol = 1e-6
 	}
@@ -108,4 +124,26 @@ func run(args []string) error {
 			st.Solved, st.Hits, st.Failures)
 		return nil
 	}
+}
+
+// parseTenantWeights reads the flag form "gold=3,bronze=1" into the
+// engine's fair-share weight map. Empty input means "every tenant weighs 1".
+func parseTenantWeights(s string) (map[string]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant-weights entry %q is not tenant=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant-weights weight %q must be a positive integer", v)
+		}
+		out[strings.TrimSpace(k)] = w
+	}
+	return out, nil
 }

@@ -147,6 +147,23 @@
 // cmd/energyserver binary. SolveRequest is simultaneously the programmatic
 // input and the wire format; see that type for the field catalogue.
 //
+// The serving layer is overload-resilient by construction
+// (internal/resilience): a weighted fair-queuing admission gate splits a
+// bounded backlog across the tenants currently active (X-Tenant header or
+// the request's tenant field), so one flooding tenant exhausts its own
+// share — answered 429 tenant_quota with a queue-depth-derived Retry-After
+// — while other tenants' latency stays intact; a full global gate answers
+// 429 overloaded. Requests whose client budget is already spent are shed
+// before the pool, and past a queue-depth watermark the planner reroutes
+// components from the exact solvers to the bounded uniform-speed heuristic
+// (responses marked degraded, with the a-priori bound factor, never
+// cached) until the queue drains. A build-tag-free fault-injection hook at
+// the solver, session-store, pipeline, and mmap sites drives the chaos
+// suite and energyload -chaos; panics anywhere in the solve path are
+// contained at recovery barriers, classified as internal errors, and
+// counted, and a panic recovered without injection armed fails the
+// harness.
+//
 // # Online reclaiming
 //
 // Solving once is the paper's offline story; the runtime in

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 )
 
@@ -271,6 +272,14 @@ func SolveComponents(comps []Component, workers int, solve func(int, Component) 
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Solver panics become that component's error instead of
+			// killing the process — these goroutines are beyond any
+			// HTTP-layer recovery.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = resilience.RecoverPanic(fmt.Sprintf("component %d solve", i), r)
+				}
+			}()
 			sols[i], errs[i] = solve(i, comps[i])
 		}(i)
 	}

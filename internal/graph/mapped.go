@@ -10,6 +10,8 @@ import (
 	"math"
 	"os"
 	"syscall"
+
+	"repro/internal/resilience"
 )
 
 // Memory-mapped on-disk instance format, for graphs larger than RAM.
@@ -65,6 +67,9 @@ type Mapped struct {
 // must stay unmodified) until Close. When mmap is unavailable the whole
 // file is read into memory instead — identical semantics, no RSS bound.
 func OpenMapped(path string) (*Mapped, error) {
+	if err := resilience.Fire(resilience.SiteMmap); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

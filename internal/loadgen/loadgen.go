@@ -44,6 +44,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -159,6 +160,28 @@ type Config struct {
 	// amortization path (symbolic/plan reuse under value churn). Clamped
 	// to [0, 0.9]; 0 (the default) replays bit-identical bodies.
 	JitterValues float64
+	// Tenants, when above 1, spreads arrivals over that many tenants with
+	// zipf(1.5) popularity — tenant-0 floods, the tail are victims — and
+	// sends each request with its X-Tenant header. Per-tenant result rows
+	// ("load/tenant/<name>") are emitted alongside the op rows. The tenant
+	// draw uses its own rng chain, so the op/instance plan for a given
+	// Seed is identical with tenancy on or off.
+	Tenants int
+	// FairnessK, when positive (and Tenants > 1), gates isolation: the
+	// storm fails if any tenant's p99 exceeds K× the median tenant p99 —
+	// a flooding tenant must pay for its own queueing, not its victims'.
+	FairnessK float64
+	// MaxRetries bounds the retries of a shed (429) request. Backoff
+	// honors the server's Retry-After hint when present (capped at 1s so
+	// a storm cannot stall), otherwise 50ms·2^attempt, jittered ×[0.5,1.5).
+	// Latency is still measured from the intended arrival, so backoff is
+	// priced into the tail. A request still 429 after the last retry
+	// counts as shed, separately from hard errors.
+	MaxRetries int
+	// RetryOn5xx extends the retry policy to transport failures and 5xx —
+	// for chaos storms, where injected faults are expected and the
+	// question is whether retries converge, not whether errors happen.
+	RetryOn5xx bool
 	// SLO, when set, is attached to the overall result row and checked;
 	// Run reports the violated clauses.
 	SLO *benchkit.SLO
@@ -220,6 +243,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.JitterValues > 0.9 {
 		c.JitterValues = 0.9
 	}
+	if c.Tenants < 0 {
+		c.Tenants = 0
+	}
+	if c.FairnessK < 0 {
+		c.FairnessK = 0
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -277,10 +309,11 @@ func buildPool(cfg Config) ([]instanceSpec, error) {
 
 // job is one planned arrival.
 type job struct {
-	at   time.Duration // intended start, offset from storm start
-	op   string
-	inst int
-	seed int64 // per-op randomness (jitter, abandon, batch picks)
+	at     time.Duration // intended start, offset from storm start
+	op     string
+	inst   int
+	seed   int64  // per-op randomness (jitter, abandon, batch picks)
+	tenant string // empty when tenancy is off
 }
 
 // maxPlannedArrivals bounds the precomputed plan so an absurd
@@ -295,6 +328,13 @@ func buildPlan(cfg Config) []job {
 	var zipf *rand.Zipf
 	if cfg.Instances > 1 {
 		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Instances-1))
+	}
+	// Tenant popularity draws from a separate chain so the op/instance
+	// plan for a given seed does not shift when tenancy is toggled.
+	var tzipf *rand.Zipf
+	if cfg.Tenants > 1 {
+		trng := rand.New(rand.NewSource(cfg.Seed ^ 0x7e9a_11c3))
+		tzipf = rand.NewZipf(trng, 1.5, 1, uint64(cfg.Tenants-1))
 	}
 	total := cfg.Mix.total()
 	var jobs []job
@@ -320,11 +360,16 @@ func buildPlan(cfg Config) []job {
 		if zipf != nil {
 			inst = int(zipf.Uint64())
 		}
+		tenant := ""
+		if tzipf != nil {
+			tenant = fmt.Sprintf("tenant-%d", tzipf.Uint64())
+		}
 		jobs = append(jobs, job{
-			at:   time.Duration(t * float64(time.Second)),
-			op:   op,
-			inst: inst,
-			seed: rng.Int63(),
+			at:     time.Duration(t * float64(time.Second)),
+			op:     op,
+			inst:   inst,
+			seed:   rng.Int63(),
+			tenant: tenant,
 		})
 	}
 	return jobs
@@ -333,8 +378,10 @@ func buildPlan(cfg Config) []job {
 // sample is one measured HTTP request.
 type sample struct {
 	op     string
+	tenant string
 	ms     float64
 	err    bool // transport failure or 5xx
+	shed   bool // final status 429: admission refusal, not a server fault
 	status int  // 0 on transport failure
 }
 
@@ -343,55 +390,104 @@ type sample struct {
 type worker struct {
 	cfg     *Config
 	pool    []instanceSpec
+	rng     *rand.Rand // backoff jitter only; the plan never touches it
+	tenant  string     // tenant of the job currently executing
 	samples []sample
 	energy  float64
+	retries int
 	status  map[int]int
 }
 
 // do issues one request and records it: latency from ref (the intended
 // arrival time for an op's first request, the actual send time for its
 // causally dependent follow-ups), error = transport failure or 5xx.
-// When dst is non-nil and the response is 2xx, the body is decoded into
-// it. Returns the status (0 on transport failure) and whether the
-// request succeeded.
+// Shed requests (429) retry up to MaxRetries with backoff (and 5xx /
+// transport failures too under RetryOn5xx); exactly one sample is
+// recorded per op regardless of attempts, measured from ref so the
+// backoff is priced into the tail. When dst is non-nil and the response
+// is 2xx, the body is decoded into it. Returns the final status (0 on
+// transport failure) and whether the request succeeded.
 func (w *worker) do(ctx context.Context, method, url string, body []byte, ref time.Time, op string, dst any) (int, bool) {
+	for attempt := 0; ; attempt++ {
+		status, ok, isErr, retryAfter := w.attempt(ctx, method, url, body, dst)
+		retriable := status == http.StatusTooManyRequests ||
+			(w.cfg.RetryOn5xx && (status == 0 || status >= 500))
+		if !retriable || attempt >= w.cfg.MaxRetries || ctx.Err() != nil {
+			w.record(op, ref, status, isErr)
+			return status, ok
+		}
+		w.retries++
+		w.backoff(ctx, attempt, retryAfter)
+	}
+}
+
+// attempt is one send. retryAfter carries the server's Retry-After hint
+// (0 when absent).
+func (w *worker) attempt(ctx context.Context, method, url string, body []byte, dst any) (status int, ok, isErr bool, retryAfter time.Duration) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		w.record(op, ref, 0, true)
-		return 0, false
+		return 0, false, true, 0
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if w.tenant != "" {
+		req.Header.Set("X-Tenant", w.tenant)
+	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
-		w.record(op, ref, 0, true)
-		return 0, false
+		return 0, false, true, 0
 	}
 	defer resp.Body.Close()
-	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	ok = resp.StatusCode >= 200 && resp.StatusCode < 300
 	if ok && dst != nil {
 		if derr := json.NewDecoder(resp.Body).Decode(dst); derr != nil {
 			// A 2xx with an undecodable body is a server bug: count it.
-			w.record(op, ref, resp.StatusCode, true)
-			return resp.StatusCode, false
+			return resp.StatusCode, false, true, retryAfter
 		}
 	} else {
 		io.Copy(io.Discard, resp.Body)
 	}
-	w.record(op, ref, resp.StatusCode, resp.StatusCode >= 500)
-	return resp.StatusCode, ok
+	return resp.StatusCode, ok, resp.StatusCode >= 500, retryAfter
+}
+
+// backoff sleeps before a retry: the server's Retry-After when hinted,
+// otherwise 50ms·2^attempt; either way jittered ×[0.5,1.5) and capped at
+// 1s so honoring a generous hint cannot stall the storm.
+func (w *worker) backoff(ctx context.Context, attempt int, hinted time.Duration) {
+	if attempt > 10 {
+		attempt = 10
+	}
+	d := 50 * time.Millisecond << uint(attempt)
+	if hinted > 0 {
+		d = hinted
+	}
+	d = time.Duration(float64(d) * (0.5 + w.rng.Float64()))
+	if d > time.Second {
+		d = time.Second
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 func (w *worker) record(op string, ref time.Time, status int, isErr bool) {
 	w.samples = append(w.samples, sample{
 		op:     op,
+		tenant: w.tenant,
 		ms:     float64(time.Since(ref)) / float64(time.Millisecond),
 		err:    isErr,
+		shed:   status == http.StatusTooManyRequests,
 		status: status,
 	})
 	w.status[status]++
@@ -435,6 +531,7 @@ func (w *worker) jitterBody(spec *instanceSpec, seed int64) ([]byte, []float64, 
 func (w *worker) run(ctx context.Context, jb job, intended time.Time) {
 	spec := &w.pool[jb.inst]
 	base := w.cfg.BaseURL
+	w.tenant = jb.tenant
 	switch jb.op {
 	case OpSolve:
 		body, _, err := w.jitterBody(spec, jb.seed)
@@ -582,6 +679,9 @@ func (w *worker) runStream(ctx context.Context, jb job, spec *instanceSpec, inte
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.tenant != "" {
+		req.Header.Set("X-Tenant", w.tenant)
+	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
 		w.record(OpStream, intended, 0, true)
@@ -630,9 +730,16 @@ func (w *worker) runStream(ctx context.Context, jb job, spec *instanceSpec, inte
 // energybench/v1 rows (one overall row carrying the SLO, plus one row
 // per op class), and the SLO clauses the overall row broke.
 type RunResult struct {
-	Wall         time.Duration
-	Requests     int
-	Errors       int
+	Wall     time.Duration
+	Requests int
+	Errors   int
+	// Sheds counts requests whose final status was 429 (admission refusal
+	// after any retries) — back-pressure working as designed, reported
+	// separately from hard errors.
+	Sheds int
+	// Retries counts extra attempts spent on 429 (and, under RetryOn5xx,
+	// 5xx/transport) responses.
+	Retries      int
 	Energy       float64
 	StatusCounts map[int]int
 	Rows         []benchkit.Result
@@ -681,7 +788,7 @@ func Run(ctx context.Context, cfg Config) (*RunResult, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := range workers {
-		w := &worker{cfg: &cfg, pool: pool, status: make(map[int]int)}
+		w := &worker{cfg: &cfg, pool: pool, status: make(map[int]int), rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*104729))}
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -708,13 +815,21 @@ func Run(ctx context.Context, cfg Config) (*RunResult, error) {
 
 	res := &RunResult{Wall: wall, StatusCounts: make(map[int]int)}
 	byOp := make(map[string][]sample)
+	byTenant := make(map[string][]sample)
 	for _, w := range workers {
 		res.Energy += w.energy
+		res.Retries += w.retries
 		for st, c := range w.status {
 			res.StatusCounts[st] += c
 		}
 		for _, s := range w.samples {
 			byOp[s.op] = append(byOp[s.op], s)
+			if s.shed {
+				res.Sheds++
+			}
+			if s.tenant != "" && s.op != opStreamFirstPlan {
+				byTenant[s.tenant] = append(byTenant[s.tenant], s)
+			}
 		}
 	}
 	all := make([]sample, 0)
@@ -747,7 +862,48 @@ func Run(ctx context.Context, cfg Config) (*RunResult, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	if len(byTenant) > 0 {
+		tenants := make([]string, 0, len(byTenant))
+		for tn := range byTenant {
+			tenants = append(tenants, tn)
+		}
+		sort.Strings(tenants)
+		rows := make(map[string]benchkit.Result, len(tenants))
+		for _, tn := range tenants {
+			row := buildRow(cfg, pool, "load/tenant/"+tn, byTenant[tn], wall)
+			rows[tn] = row
+			res.Rows = append(res.Rows, row)
+		}
+		res.Violations = append(res.Violations, fairnessViolations(cfg, tenants, rows)...)
+	}
 	return res, nil
+}
+
+// fairnessViolations gates per-tenant isolation: with FairnessK set, no
+// tenant's p99 may exceed K× the median tenant p99. The flooding tenant
+// queues behind its own share, so under working admission every tenant's
+// tail stays within a constant factor of the pack; a starving victim
+// shows up as one tenant far above the median.
+func fairnessViolations(cfg Config, tenants []string, rows map[string]benchkit.Result) []string {
+	if cfg.FairnessK <= 0 || len(tenants) < 2 {
+		return nil
+	}
+	p99s := make([]float64, 0, len(tenants))
+	for _, tn := range tenants {
+		p99s = append(p99s, rows[tn].P99MS)
+	}
+	sort.Float64s(p99s)
+	median := p99s[len(p99s)/2]
+	if median <= 0 {
+		return nil
+	}
+	var out []string
+	for _, tn := range tenants {
+		if p99 := rows[tn].P99MS; p99 > cfg.FairnessK*median {
+			out = append(out, fmt.Sprintf("tenant %s p99 %.1fms exceeds %g× the median tenant p99 %.1fms", tn, p99, cfg.FairnessK, median))
+		}
+	}
+	return out
 }
 
 // buildRow aggregates samples into one energybench/v1 result row.

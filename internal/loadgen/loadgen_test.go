@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -302,5 +303,130 @@ func TestRunValidatesConfig(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Family: "nope"}); err == nil {
 		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestTenantPlan pins the tenancy contract: the tenant assignment is
+// deterministic, rides a separate rng chain (so toggling tenancy never
+// disturbs the op/instance plan for a seed), and is zipf-skewed so
+// tenant-0 floods while the tail plays victim.
+func TestTenantPlan(t *testing.T) {
+	cfg, err := smokeConfig("http://unused").withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildPlan(cfg)
+	cfg.Tenants = 4
+	a, b := buildPlan(cfg), buildPlan(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(base) {
+		t.Fatalf("tenancy changed the plan length: %d vs %d", len(a), len(base))
+	}
+	counts := map[string]int{}
+	for i := range a {
+		if a[i].at != base[i].at || a[i].op != base[i].op || a[i].inst != base[i].inst || a[i].seed != base[i].seed {
+			t.Fatalf("tenancy disturbed job %d: %+v vs %+v", i, a[i], base[i])
+		}
+		if a[i].tenant == "" {
+			t.Fatalf("job %d has no tenant with Tenants=4", i)
+		}
+		counts[a[i].tenant]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("zipf draw collapsed to %v", counts)
+	}
+	for tn, c := range counts {
+		if tn != "tenant-0" && c >= counts["tenant-0"] {
+			t.Fatalf("tenant-0 is not the flooding tenant: %v", counts)
+		}
+	}
+}
+
+// TestFairnessViolations exercises the verdict arithmetic: one tenant far
+// above the median p99 trips the gate, the pack does not.
+func TestFairnessViolations(t *testing.T) {
+	cfg := Config{FairnessK: 8}
+	tenants := []string{"a", "b", "c"}
+	rows := map[string]benchkit.Result{
+		"a": {P99MS: 10},
+		"b": {P99MS: 12},
+		"c": {P99MS: 200}, // 200 > 8 × median(12)
+	}
+	v := fairnessViolations(cfg, tenants, rows)
+	if len(v) != 1 || !strings.Contains(v[0], "tenant c") {
+		t.Fatalf("violations = %v, want exactly one naming tenant c", v)
+	}
+	rows["c"] = benchkit.Result{P99MS: 90} // 90 ≤ 8 × 12
+	if v := fairnessViolations(cfg, tenants, rows); len(v) != 0 {
+		t.Fatalf("in-bound tenants flagged: %v", v)
+	}
+	if v := fairnessViolations(Config{}, tenants, rows); v != nil {
+		t.Fatalf("gate ran without FairnessK: %v", v)
+	}
+}
+
+// TestMultiTenantStorm drives a three-tenant storm against a healthy
+// server: per-tenant rows appear and a healthy server passes the
+// fairness gate — no tenant's tail detaches from the pack.
+func TestMultiTenantStorm(t *testing.T) {
+	srv := newServer(t, service.HTTPOptions{})
+	cfg := smokeConfig(srv.URL)
+	cfg.Tenants = 3
+	cfg.FairnessK = 10
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("healthy server produced %d errors (statuses %v)", res.Errors, res.StatusCounts)
+	}
+	if !res.Pass() {
+		t.Fatalf("fairness gate tripped on a healthy server: %v", res.Violations)
+	}
+	tenantRows := 0
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row.Scenario, "load/tenant/") && row.Requests > 0 {
+			tenantRows++
+		}
+	}
+	if tenantRows < 2 {
+		t.Fatalf("got %d tenant rows, want ≥ 2: %+v", tenantRows, res.Rows)
+	}
+}
+
+// TestRetryOn429 wires the backoff path: a server that sheds the first
+// request recovers through one jittered retry — the storm ends with zero
+// hard errors and zero final sheds, and the retry is accounted.
+func TestRetryOn429(t *testing.T) {
+	h := service.NewHandler(service.NewEngine(service.Options{}), service.HTTPOptions{})
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	cfg := smokeConfig(srv.URL)
+	cfg.Mix = Mix{Solve: 1}
+	cfg.Rate = 40
+	cfg.MaxRetries = 2
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("the shed request was not retried")
+	}
+	if res.Sheds != 0 || res.Errors != 0 {
+		t.Fatalf("sheds %d errors %d after retries, want 0 and 0 (statuses %v)", res.Sheds, res.Errors, res.StatusCounts)
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/resilience"
 )
 
 // Pipeline ties a set of stages to one cancellable context. Zero or
@@ -136,7 +138,7 @@ func Attach[I, O any](p *Pipeline, st Stage[I, O], in <-chan I) <-chan O {
 				case <-p.ctx.Done():
 					return
 				}
-				if err := st.Do(p.ctx, item, emit); err != nil {
+				if err := runStage(p.ctx, st, item, emit); err != nil {
 					p.cancel(stageError(st.Name, err))
 					return
 				}
@@ -149,6 +151,22 @@ func Attach[I, O any](p *Pipeline, st Stage[I, O], in <-chan I) <-chan O {
 		close(out)
 	}()
 	return out
+}
+
+// runStage invokes one Do call behind the fault-injection hook and a
+// recover barrier: a panicking stage (or feed) fails the pipeline with an
+// internal error instead of crashing the process — the stage goroutines
+// are spawned here, out of reach of any HTTP-layer recovery.
+func runStage[I, O any](ctx context.Context, st Stage[I, O], item I, emit func(O) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = resilience.RecoverPanic("pipeline stage "+st.Name, r)
+		}
+	}()
+	if err := resilience.Fire(resilience.SitePipeline); err != nil {
+		return err
+	}
+	return st.Do(ctx, item, emit)
 }
 
 // Source attaches a producer stage with no input: feed runs in a
@@ -168,7 +186,15 @@ func Source[T any](p *Pipeline, name string, buffer int, feed func(ctx context.C
 	go func() {
 		defer p.wg.Done()
 		defer close(out)
-		if err := feed(p.ctx, emit); err != nil {
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = resilience.RecoverPanic("pipeline source "+name, r)
+				}
+			}()
+			return feed(p.ctx, emit)
+		}()
+		if err != nil {
 			p.cancel(stageError(name, err))
 		}
 	}()

@@ -66,6 +66,18 @@ func (pl *Plan) ExecuteEmit(emit func(i int, sol *core.Solution)) (*core.Solutio
 // options; both leave every solver's result untouched (releases are extra
 // constraints, warm starts only shrink the work).
 func (rt *Router) Solve(p *core.Problem, cp ComponentPlan) (*core.Solution, error) {
+	if cp.Degraded {
+		// Overload reroute: one uniform speed for the whole component, with
+		// the W/CPW critical-path bound Route attached. Cheapest feasible
+		// schedule the model admits — O(n), no search, no barrier.
+		sol, err := p.SolveUniform(rt.m)
+		if err != nil {
+			return nil, err
+		}
+		sol.Stats.Algorithm = "degraded-uniform"
+		sol.Stats.BoundFactor = cp.BoundFactor
+		return sol, nil
+	}
 	m := rt.m
 	copts := rt.copts
 	copts.Release, copts.Warm = cp.release, cp.warm

@@ -65,6 +65,13 @@ type Options struct {
 	Continuous core.ContinuousOptions
 	// Discrete tunes the exact discrete solvers.
 	Discrete core.DiscreteOptions
+	// Degraded routes components that would need an expensive solver
+	// (interior point, branch-and-bound, the LP) to the bounded uniform
+	// heuristic instead — the serving layer's overload trade of optimality
+	// for availability. Exact closed forms stay exact (they are already
+	// cheap), forced algorithm selectors are honored, and every degraded
+	// component carries its a-priori bound in BoundFactor.
+	Degraded bool
 	// Structures, when non-nil, amortizes the structural work across
 	// requests: component classification (and its SP-recognition
 	// artifacts) is cached per structural fingerprint, and the continuous
@@ -139,6 +146,10 @@ type ComponentPlan struct {
 	// Cost is a rough relative cost estimate — comparable between the
 	// components of one plan, not across plans.
 	Cost float64
+	// Degraded marks a component rerouted to the bounded uniform heuristic
+	// under overload; BoundFactor then carries the a-priori guarantee of
+	// what the caller got instead of the optimum.
+	Degraded bool
 
 	art artifacts
 	// release holds component-local earliest starts on residual plans
@@ -184,12 +195,13 @@ type Plan struct {
 //
 // A Router is immutable after NewRouter and safe for concurrent use.
 type Router struct {
-	m       model.Model
-	algo    string
-	k       int
-	copts   core.ContinuousOptions
-	dopts   core.DiscreteOptions
-	structs *StructureCache
+	m        model.Model
+	algo     string
+	k        int
+	copts    core.ContinuousOptions
+	dopts    core.DiscreteOptions
+	structs  *StructureCache
+	degraded bool
 }
 
 // NewRouter validates the model/algorithm combination (the same checks
@@ -211,7 +223,7 @@ func NewRouter(m model.Model, opts Options) (*Router, error) {
 	if k <= 0 {
 		k = 4
 	}
-	rt := &Router{m: m, algo: algo, k: k, copts: opts.Continuous, dopts: opts.Discrete, structs: opts.Structures}
+	rt := &Router{m: m, algo: algo, k: k, copts: opts.Continuous, dopts: opts.Discrete, structs: opts.Structures, degraded: opts.Degraded}
 	if opts.Structures != nil && rt.copts.Kernels == nil {
 		rt.copts.Kernels = opts.Structures.Kernels()
 	}
@@ -235,7 +247,56 @@ func (rt *Router) Route(c core.Component, rel []float64) (ComponentPlan, error) 
 		return ComponentPlan{}, badPlan("algorithm %q cannot solve residual components with release times (component {%s})",
 			AlgoSP, idRange(cp.Tasks))
 	}
+	if rt.degraded {
+		rt.degrade(c, &cp)
+	}
 	return cp, nil
+}
+
+// degradable lists the solvers worth trading away under overload; the
+// closed forms and equivalent-weight algebra are already linear-time, so
+// degrading them would cost optimality for no relief.
+var degradable = map[string]bool{
+	"continuous-interior-point": true,
+	"discrete-bb":               true,
+	"discrete-sp-dp":            true,
+	"vdd-lp":                    true,
+	"incremental-approx":        true,
+}
+
+// degrade reroutes cp to the uniform-speed heuristic when the router is in
+// degraded mode and the planned solver is expensive. The bound comes from
+// the paper's critical-path relaxation: running everything at Σw/D uses
+// W·(Σw/D)²·1 = W³/D²·(W/W)… precisely E_uniform = W·(W_cp-normalized);
+// against OPT ≥ CPW³/D² (no schedule can beat the critical path run at its
+// slowest feasible uniform speed) the ratio is at most W/CPW for the
+// continuous model, times the (1+maxgap/smin)² rounding factor when speeds
+// must round up to a discrete set. Forced selectors are honored (the
+// caller asked for that algorithm) and residual components keep their
+// release-aware solvers (replans are correctness, not capacity).
+func (rt *Router) degrade(c core.Component, cp *ComponentPlan) {
+	if rt.algo != AlgoAuto || cp.release != nil || !degradable[cp.Solver] {
+		return
+	}
+	g := c.Prob.G
+	w := g.TotalWeight()
+	cpw, err := g.CriticalPathWeight()
+	if err != nil || cpw <= 0 || w <= 0 {
+		return
+	}
+	factor := w / cpw
+	if rt.m.Kind != model.Continuous {
+		if rt.m.SMin <= 0 {
+			return
+		}
+		r := 1 + rt.m.MaxGap()/rt.m.SMin
+		factor *= r * r
+	}
+	cp.Rationale = fmt.Sprintf("overload degraded mode: uniform speed CPW/D instead of %s, within %.4g× of optimal (W/CPW critical-path bound)", cp.Solver, factor)
+	cp.Solver = "degraded-uniform"
+	cp.Degraded = true
+	cp.BoundFactor = factor
+	cp.Cost = float64(g.N())
 }
 
 // Assemble builds a Plan from routing decisions produced incrementally with
@@ -482,6 +543,17 @@ func approxBound(m model.Model, k int) float64 {
 
 // NumTasks returns the instance size the plan covers.
 func (pl *Plan) NumTasks() int { return pl.prob.G.N() }
+
+// Degraded reports whether any component was rerouted to the overload
+// heuristic (responses surface this so callers know what they got).
+func (pl *Plan) Degraded() bool {
+	for _, cp := range pl.Components {
+		if cp.Degraded {
+			return true
+		}
+	}
+	return false
+}
 
 // Exact reports whether every routed solver is provably optimal for its
 // model (a-priori; heuristics and approximations make it false).

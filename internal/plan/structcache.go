@@ -173,3 +173,12 @@ func (sc *StructureCache) Len() int {
 	defer sc.mu.Unlock()
 	return sc.order.Len()
 }
+
+// Pinned returns the number of distinct structure keys currently pinned.
+// Leak detectors (the chaos suite) assert it returns to zero once every
+// session is closed — a nonzero residue means a session leaked its pins.
+func (sc *StructureCache) Pinned() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.pins)
+}

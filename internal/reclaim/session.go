@@ -41,6 +41,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 )
 
@@ -385,7 +386,18 @@ func (s *Session) ApplyEventGated(ev CompletionEvent, gate ReplanGate) (*EventRe
 			defer release()
 		}
 		s.stats.Replans++
-		rr, err := s.replanLocked()
+		rr, err := func() (rr *plan.ReplanResult, err error) {
+			// A panicking replan (solver bug, injected fault) fails this
+			// event like any re-solve error — the completion stays
+			// recorded, the next event retries — instead of unwinding
+			// through the HTTP handler with s.mu held.
+			defer func() {
+				if r := recover(); r != nil {
+					err = resilience.RecoverPanic("session replan", r)
+				}
+			}()
+			return s.replanLocked()
+		}()
 		if err != nil {
 			res.IncurredEnergy = s.energyIncurred
 			res.ResidualEnergy = s.residualEnergyLocked()

@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission errors. The service layer maps them to distinct wire codes
+// (503-style overloaded vs per-tenant 429) so callers can tell "the server
+// is full" from "you specifically are over quota".
+var (
+	// ErrOverloaded means the global capacity (workers + backlog) is
+	// exhausted regardless of tenant.
+	ErrOverloaded = errors.New("resilience: admission capacity exhausted")
+	// ErrTenantQuota means the requesting tenant is at its fair share while
+	// other tenants are active; global capacity may remain.
+	ErrTenantQuota = errors.New("resilience: tenant over fair-share quota")
+)
+
+// Admission is a weighted fair-queuing admission gate: a global capacity
+// (the engine's workers + backlog budget) divided among *active* tenants
+// in proportion to their weights. A tenant is active while it has work in
+// flight or has attempted admission within the recency window; the window
+// is what prevents starvation — when a victim tenant shows up against a
+// flooder that has the whole capacity to itself, the flooder's share
+// immediately drops to its fair fraction, so slots freed by its draining
+// work go to the victim rather than being instantly reclaimed.
+//
+// An Admission is cheap (one mutex, two small maps) and sits in front of
+// the worker-pool semaphore: Acquire before queueing, Release when the
+// work leaves the system.
+type Admission struct {
+	mu       sync.Mutex
+	capacity int64
+	window   time.Duration
+	weights  map[string]int
+	inflight map[string]int64
+	seen     map[string]time.Time
+	total    int64
+	now      func() time.Time // injectable for window tests
+}
+
+// activeWindow is how long after its last admission attempt a tenant with
+// nothing in flight still counts toward the fair-share divisor.
+const activeWindow = 5 * time.Second
+
+// NewAdmission builds a gate with the given global capacity. Weights are
+// per-tenant fair-share multipliers; tenants absent from the map get
+// weight 1. capacity must be positive (the engine guarantees this).
+func NewAdmission(capacity int64, weights map[string]int) *Admission {
+	w := make(map[string]int, len(weights))
+	for k, v := range weights {
+		if v > 0 {
+			w[k] = v
+		}
+	}
+	return &Admission{
+		capacity: capacity,
+		window:   activeWindow,
+		weights:  w,
+		inflight: make(map[string]int64),
+		seen:     make(map[string]time.Time),
+		now:      time.Now,
+	}
+}
+
+func (a *Admission) weight(tenant string) int {
+	if w, ok := a.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// Acquire admits one unit of work for tenant or reports why not. On nil
+// return the caller owns a slot and must Release(tenant) exactly once.
+func (a *Admission) Acquire(tenant string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	now := a.now()
+	a.seen[tenant] = now
+
+	if a.total >= a.capacity {
+		return ErrOverloaded
+	}
+
+	// Fair share over active tenants: anything in flight, or seen within
+	// the window. Stale seen entries are pruned as we pass them.
+	wsum := 0
+	for t, ts := range a.seen {
+		if a.inflight[t] == 0 && now.Sub(ts) > a.window {
+			delete(a.seen, t)
+			continue
+		}
+		wsum += a.weight(t)
+	}
+	for t := range a.inflight {
+		if _, ok := a.seen[t]; !ok {
+			wsum += a.weight(t)
+		}
+	}
+	if wsum <= 0 {
+		wsum = a.weight(tenant)
+	}
+
+	// float64 on purpose: capacity may be the unbounded sentinel (1<<62),
+	// and capacity*weight would overflow int64.
+	capT := int64(float64(a.capacity) * float64(a.weight(tenant)) / float64(wsum))
+	if capT < 1 {
+		capT = 1
+	}
+	if a.inflight[tenant] >= capT {
+		return ErrTenantQuota
+	}
+	a.inflight[tenant]++
+	a.total++
+	return nil
+}
+
+// Release returns tenant's slot. Callers pair it 1:1 with a successful
+// Acquire.
+func (a *Admission) Release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := a.inflight[tenant]; n > 1 {
+		a.inflight[tenant] = n - 1
+	} else {
+		delete(a.inflight, tenant)
+	}
+	if a.total > 0 {
+		a.total--
+	}
+}
+
+// Depth reports total admitted work currently in the system (queued or
+// running) — the overload signal the degraded-mode watermark and the
+// Retry-After hint read.
+func (a *Admission) Depth() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// InFlight snapshots per-tenant admitted counts for /v1/stats.
+func (a *Admission) InFlight() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.inflight))
+	for t, n := range a.inflight {
+		out[t] = n
+	}
+	return out
+}

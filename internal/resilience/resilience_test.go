@@ -1,0 +1,229 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A lone tenant gets the whole capacity: no other tenant is active, so its
+// fair share is everything.
+func TestAdmissionSingleTenantFullCapacity(t *testing.T) {
+	a := NewAdmission(4, nil)
+	for i := 0; i < 4; i++ {
+		if err := a.Acquire("solo"); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := a.Acquire("solo"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("5th acquire: got %v, want ErrOverloaded", err)
+	}
+	if got := a.Depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4", got)
+	}
+}
+
+// Once a second tenant shows up, the first is capped at half; slots it
+// frees become available to the newcomer instead of being reclaimable.
+func TestAdmissionTwoTenantFairShare(t *testing.T) {
+	a := NewAdmission(4, nil)
+	for i := 0; i < 4; i++ {
+		if err := a.Acquire("flood"); err != nil {
+			t.Fatalf("flood acquire %d: %v", i, err)
+		}
+	}
+	// Victim arrives: global capacity is full, but its attempt marks it
+	// active, halving flood's share.
+	if err := a.Acquire("victim"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("victim at full capacity: got %v, want ErrOverloaded", err)
+	}
+	a.Release("flood")
+	// Flood is at 3 > cap 2 now, so it cannot reclaim the freed slot...
+	if err := a.Acquire("flood"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("flood over quota: got %v, want ErrTenantQuota", err)
+	}
+	// ...but the victim can take it.
+	if err := a.Acquire("victim"); err != nil {
+		t.Fatalf("victim acquire: %v", err)
+	}
+	inflight := a.InFlight()
+	if inflight["flood"] != 3 || inflight["victim"] != 1 {
+		t.Fatalf("inflight = %v, want flood:3 victim:1", inflight)
+	}
+}
+
+// Weighted tenants split capacity in proportion to their weights.
+func TestAdmissionWeights(t *testing.T) {
+	// Capacity 9 leaves one slot of headroom so the per-tenant quota, not
+	// the global cap, is what trips below.
+	a := NewAdmission(9, map[string]int{"gold": 3, "bronze": 1})
+	// Both active.
+	if err := a.Acquire("gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire("bronze"); err != nil {
+		t.Fatal(err)
+	}
+	// gold's cap = ⌊9·3/4⌋ = 6, bronze's = ⌊9·1/4⌋ = 2.
+	if err := a.Acquire("bronze"); err != nil {
+		t.Fatalf("bronze second acquire: %v", err)
+	}
+	if err := a.Acquire("bronze"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("bronze over weight share: got %v, want ErrTenantQuota", err)
+	}
+	for i := 1; i < 6; i++ {
+		if err := a.Acquire("gold"); err != nil {
+			t.Fatalf("gold acquire %d: %v", i, err)
+		}
+	}
+	if err := a.Acquire("gold"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("gold over weight share: got %v, want ErrTenantQuota", err)
+	}
+}
+
+// A tenant that stops sending falls out of the active set after the
+// window, restoring full capacity to the survivors.
+func TestAdmissionRecencyWindow(t *testing.T) {
+	a := NewAdmission(4, nil)
+	clock := time.Unix(0, 0)
+	a.now = func() time.Time { return clock }
+
+	if err := a.Acquire("a"); err != nil {
+		t.Fatal(err)
+	}
+	a.Release("a") // a has nothing in flight but was just seen
+	if err := a.Acquire("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire("b"); err != nil {
+		t.Fatal(err)
+	}
+	// a is still inside the window: b's share is 2 of 4.
+	if err := a.Acquire("b"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("b with a active: got %v, want ErrTenantQuota", err)
+	}
+	clock = clock.Add(activeWindow + time.Second)
+	// a has aged out: b is alone again and may fill capacity.
+	if err := a.Acquire("b"); err != nil {
+		t.Fatalf("b after window: %v", err)
+	}
+	if err := a.Acquire("b"); err != nil {
+		t.Fatalf("b filling capacity: %v", err)
+	}
+}
+
+// The unbounded-backlog sentinel (1<<62) must not overflow the fair-share
+// arithmetic.
+func TestAdmissionHugeCapacityNoOverflow(t *testing.T) {
+	a := NewAdmission(1<<62, map[string]int{"x": 7})
+	for i := 0; i < 100; i++ {
+		if err := a.Acquire("x"); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := a.Depth(); got != 100 {
+		t.Fatalf("depth = %d, want 100", got)
+	}
+}
+
+func TestFaultsDeterministicBySeed(t *testing.T) {
+	cfg := map[Site]SiteFaults{SiteSolver: {ErrorRate: 0.5}}
+	seq := func() []bool {
+		f := NewFaults(7, cfg)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, f.fire(SiteSolver) != nil)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identically-seeded plans", i)
+		}
+	}
+	errs := 0
+	for _, e := range a {
+		if e {
+			errs++
+		}
+	}
+	if errs == 0 || errs == len(a) {
+		t.Fatalf("error count %d of %d not consistent with rate 0.5", errs, len(a))
+	}
+}
+
+func TestFaultsTimesCap(t *testing.T) {
+	f := NewFaults(1, map[Site]SiteFaults{SiteStore: {ErrorRate: 1, Times: 3}})
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if f.fire(SiteStore) != nil {
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("injected %d errors, want exactly 3 (Times cap)", errs)
+	}
+	if got := f.Injected(SiteStore); got != 3 {
+		t.Fatalf("Injected = %d, want 3", got)
+	}
+}
+
+func TestFaultsUnconfiguredSiteNeverFires(t *testing.T) {
+	f := NewFaults(1, map[Site]SiteFaults{SiteStore: {ErrorRate: 1}})
+	for i := 0; i < 32; i++ {
+		if err := f.fire(SiteMmap); err != nil {
+			t.Fatalf("unconfigured site injected: %v", err)
+		}
+	}
+}
+
+func TestFireDisarmedIsNil(t *testing.T) {
+	Disarm()
+	if err := Fire(SiteSolver); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestArmFire(t *testing.T) {
+	Arm(NewFaults(1, map[Site]SiteFaults{SitePipeline: {ErrorRate: 1}}))
+	t.Cleanup(Disarm)
+	err := Fire(SitePipeline)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Fire: got %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), string(SitePipeline)) {
+		t.Fatalf("error %q does not name the site", err)
+	}
+}
+
+func TestFaultsPanicInjection(t *testing.T) {
+	f := NewFaults(1, map[Site]SiteFaults{SiteSolver: {PanicRate: 1, Times: 1}})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected injected panic")
+			}
+		}()
+		f.fire(SiteSolver)
+	}()
+	// Times: 1 spent — next call must be quiet.
+	if err := f.fire(SiteSolver); err != nil {
+		t.Fatalf("after Times cap: %v", err)
+	}
+}
+
+func TestRecoverPanicCountsAndWraps(t *testing.T) {
+	before := PanicsRecovered()
+	err := RecoverPanic("unit test", "boom")
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("RecoverPanic error %v does not wrap ErrPanic", err)
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "unit test") {
+		t.Fatalf("error %q missing site or panic value", err)
+	}
+	if got := PanicsRecovered(); got != before+1 {
+		t.Fatalf("PanicsRecovered = %d, want %d", got, before+1)
+	}
+}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 )
 
 // Options configures an Engine. The zero value picks sensible defaults.
@@ -67,6 +68,20 @@ type Options struct {
 	// Unlike the instance cache, it hits whenever the *shape* repeats even
 	// if every weight and deadline changed (default 256; negative disables).
 	StructureCacheSize int
+	// TenantWeights sets per-tenant fair-share multipliers for the
+	// admission gate (see X-Tenant / SolveRequest.Tenant). Tenants absent
+	// from the map get weight 1. The gate divides Workers+MaxBacklog among
+	// *active* tenants in weight proportion, so a flooding tenant is capped
+	// at its share and rejected with tenant_quota instead of starving the
+	// rest out of the pool.
+	TenantWeights map[string]int
+	// DegradeWatermark is the overload fraction of MaxBacklog at which the
+	// planner reroutes expensive components to the bounded uniform
+	// heuristic (responses marked "degraded": true with the a-priori
+	// bound). Default 0.75; negative disables degraded mode; it is also
+	// disabled when shedding is (MaxBacklog < 0), since there is no
+	// meaningful depth to watermark against.
+	DegradeWatermark float64
 }
 
 func (o Options) workers() int {
@@ -105,6 +120,25 @@ func (o Options) cacheSize() int {
 	}
 }
 
+// degradeAt converts the watermark fraction into an absolute admission
+// depth; 0 disables (no degraded mode).
+func (o Options) degradeAt() int64 {
+	if o.DegradeWatermark < 0 || o.MaxBacklog < 0 {
+		return 0
+	}
+	frac := o.DegradeWatermark
+	if frac == 0 {
+		frac = 0.75
+	}
+	// The watermark is a fraction of the admission capacity (MaxBacklog
+	// bounds queued-plus-running work), clamped so tiny pools can degrade.
+	at := int64(frac * float64(o.maxBacklog()))
+	if at < 1 {
+		at = 1
+	}
+	return at
+}
+
 func (o Options) structureCacheSize() int {
 	switch {
 	case o.StructureCacheSize > 0:
@@ -125,19 +159,22 @@ type Engine struct {
 	structs     *plan.StructureCache // nil when disabled
 	verifyTol   float64
 	planWorkers int
-	maxBacklog  int64
-	backlog     atomic.Int64
+	adm         *resilience.Admission
+	degradeAt   int64 // admission depth that flips degraded mode on (0 = never)
 
 	flightMu sync.Mutex
 	flight   map[string]*call
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	solved    atomic.Uint64
-	failures  atomic.Uint64
-	shed      atomic.Uint64
-	canceled  atomic.Uint64
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	coalesced        atomic.Uint64
+	solved           atomic.Uint64
+	failures         atomic.Uint64
+	shed             atomic.Uint64
+	canceled         atomic.Uint64
+	degraded         atomic.Uint64
+	tenantRejections atomic.Uint64
+	deadlineShed     atomic.Uint64
 }
 
 // call is one in-flight solve that concurrent identical requests share.
@@ -157,7 +194,8 @@ func NewEngine(opts Options) *Engine {
 		cache:       newLRUCache(opts.cacheSize()),
 		verifyTol:   opts.VerifyTol,
 		planWorkers: opts.planWorkers(),
-		maxBacklog:  opts.maxBacklog(),
+		adm:         resilience.NewAdmission(opts.maxBacklog(), opts.TenantWeights),
+		degradeAt:   opts.degradeAt(),
 		flight:      make(map[string]*call),
 	}
 	if size := opts.structureCacheSize(); size > 0 {
@@ -193,6 +231,24 @@ type Stats struct {
 	// (client disconnect or deadline) before completing. Detached solves
 	// never cancel — they run to completion and populate the cache.
 	Canceled uint64 `json:"canceled"`
+	// Degraded counts responses answered by the bounded uniform heuristic
+	// under overload (marked "degraded": true on the wire).
+	Degraded uint64 `json:"degraded"`
+	// TenantRejections counts admissions refused by the per-tenant
+	// fair-share quota (wire code tenant_quota) — a subset of total
+	// rejections; global-capacity refusals count in Shed.
+	TenantRejections uint64 `json:"tenant_rejections"`
+	// DeadlineShed counts work abandoned because its deadline budget was
+	// already spent before it reached the pool (a subset of Shed).
+	DeadlineShed uint64 `json:"deadline_shed"`
+	// PanicsRecovered counts panics converted to internal_error responses
+	// by the recovery barriers (engine workers, pipeline stages, session
+	// replans). Process-wide, monotonic; nonzero without fault injection
+	// means a real solver bug was contained.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// TenantInFlight is the per-tenant admitted-work gauge (queued or
+	// running). Empty when the engine is idle.
+	TenantInFlight map[string]int64 `json:"tenant_in_flight,omitempty"`
 	// Backlog is the current queued-plus-running admission count — a gauge,
 	// not a counter. It returns to zero when the engine is idle; the
 	// streaming disconnect tests read it to prove no pool slot leaked.
@@ -215,16 +271,21 @@ type Stats struct {
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Hits:      e.hits.Load(),
-		Misses:    e.misses.Load(),
-		Coalesced: e.coalesced.Load(),
-		Solved:    e.solved.Load(),
-		Failures:  e.failures.Load(),
-		Shed:      e.shed.Load(),
-		Canceled:  e.canceled.Load(),
-		Backlog:   e.backlog.Load(),
-		CacheLen:  e.cache.Len(),
-		Workers:   cap(e.sem),
+		Hits:             e.hits.Load(),
+		Misses:           e.misses.Load(),
+		Coalesced:        e.coalesced.Load(),
+		Solved:           e.solved.Load(),
+		Failures:         e.failures.Load(),
+		Shed:             e.shed.Load(),
+		Canceled:         e.canceled.Load(),
+		Degraded:         e.degraded.Load(),
+		TenantRejections: e.tenantRejections.Load(),
+		DeadlineShed:     e.deadlineShed.Load(),
+		PanicsRecovered:  resilience.PanicsRecovered(),
+		TenantInFlight:   e.adm.InFlight(),
+		Backlog:          e.adm.Depth(),
+		CacheLen:         e.cache.Len(),
+		Workers:          cap(e.sem),
 	}
 	if e.structs != nil {
 		k := e.structs.Kernels()
@@ -262,21 +323,24 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		}
 	}
 
-	// An already-dead context must not commit the engine to background work.
-	if err := ctx.Err(); err != nil {
+	// Work whose deadline budget is already spent is shed before it can
+	// commit the engine to background work.
+	if err := e.checkBudget(ctx); err != nil {
 		return nil, err
 	}
 
+	tenant := e.tenant(ctx, req.Tenant)
 	var c *call
 	var follower bool
 	if req.NoCache {
 		// An explicit fresh solve never joins (or leads) a shared flight.
 		e.misses.Add(1)
-		if !e.admit() {
-			return nil, ErrOverloaded
+		release, err := e.admitFor(tenant)
+		if err != nil {
+			return nil, err
 		}
 		c = &call{done: make(chan struct{})}
-		e.spawn(inst, key, c, nil)
+		e.spawn(inst, key, e.degradedNow(), c, release, nil)
 	} else {
 		var leader bool
 		c, leader = e.join(key)
@@ -300,15 +364,16 @@ func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 				break
 			}
 			e.misses.Add(1)
-			if !e.admit() {
+			release, err := e.admitFor(tenant)
+			if err != nil {
 				// Publish the shed before deregistering: a waiter may have
 				// joined between our join and this point.
-				c.err = ErrOverloaded
+				c.err = err
 				e.unjoin(key)
 				close(c.done)
-				return nil, ErrOverloaded
+				return nil, err
 			}
-			e.spawn(inst, key, c, func() { e.unjoin(key) })
+			e.spawn(inst, key, e.degradedNow(), c, release, func() { e.unjoin(key) })
 		}
 	}
 
@@ -356,27 +421,97 @@ func (e *Engine) unjoin(key string) {
 	e.flightMu.Unlock()
 }
 
-// admit reserves a backlog slot, refusing (and counting the shed) when the
-// bound is reached.
-func (e *Engine) admit() bool {
-	if e.backlog.Add(1) > e.maxBacklog {
-		e.backlog.Add(-1)
-		e.shed.Add(1)
-		return false
+// DefaultTenant is the admission identity of requests that carry no
+// X-Tenant header and no request-level tenant field.
+const DefaultTenant = "default"
+
+// tenantKey is the context key the HTTP layer stores the X-Tenant header
+// under.
+type tenantKey struct{}
+
+// WithTenant attaches a tenant identity to the context; the engine's
+// admission gate reads it (header beats the request-body field).
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
 	}
-	return true
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// tenant resolves the admission identity: context (header) first, then the
+// request field, then DefaultTenant.
+func (e *Engine) tenant(ctx context.Context, reqTenant string) string {
+	if t, ok := ctx.Value(tenantKey{}).(string); ok && t != "" {
+		return t
+	}
+	if reqTenant != "" {
+		return reqTenant
+	}
+	return DefaultTenant
+}
+
+// checkBudget sheds work whose deadline budget is already spent before it
+// touches the admission gate or the pool.
+func (e *Engine) checkBudget(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.deadlineShed.Add(1)
+			e.shed.Add(1)
+		}
+		return err
+	}
+	return nil
+}
+
+// admitFor reserves an admission slot for tenant. On success the caller
+// must run the returned release exactly once when the work leaves the
+// system. Rejections are counted (shed for global overload,
+// tenant_rejections for fair-share refusals) and wrapped with a
+// Retry-After hint derived from the current queue depth.
+func (e *Engine) admitFor(tenant string) (func(), error) {
+	if err := e.adm.Acquire(tenant); err != nil {
+		var mapped error
+		if errors.Is(err, resilience.ErrTenantQuota) {
+			e.tenantRejections.Add(1)
+			mapped = ErrTenantQuota
+		} else {
+			e.shed.Add(1)
+			mapped = ErrOverloaded
+		}
+		return nil, e.retryAfter(mapped)
+	}
+	return func() { e.adm.Release(tenant) }, nil
+}
+
+// retryAfter wraps an admission rejection with a backoff hint: one second
+// of base plus the time the current queue needs to drain through the pool,
+// capped at 30s.
+func (e *Engine) retryAfter(err error) error {
+	secs := 1 + e.adm.Depth()/int64(cap(e.sem))
+	if secs > 30 {
+		secs = 30
+	}
+	return &RetryAfterError{Err: err, After: time.Duration(secs) * time.Second}
+}
+
+// degradedNow reports whether sustained pressure has crossed the
+// watermark; callers sample it after their own admission so the depth
+// includes the work being planned.
+func (e *Engine) degradedNow() bool {
+	return e.degradeAt > 0 && e.adm.Depth() >= e.degradeAt
 }
 
 // spawn runs the solve detached from any caller context: it waits for a
 // pool slot, solves, publishes into c, and closes c.done. cleanup (flight
 // deregistration) runs after the cache is populated and before the close,
 // so no request can observe "not in flight, not in cache" for a solved key.
-// The caller must have admitted the work; spawn releases the backlog slot.
-func (e *Engine) spawn(inst *instance, key string, c *call, cleanup func()) {
+// The caller must have admitted the work; spawn runs release (the
+// admission slot) when the solve leaves the system.
+func (e *Engine) spawn(inst *instance, key string, degraded bool, c *call, release, cleanup func()) {
 	go func() {
-		defer e.backlog.Add(-1)
+		defer release()
 		e.sem <- struct{}{}
-		c.resp, c.err = e.runSolver(inst, key)
+		c.resp, c.err = e.runSolver(inst, key, degraded)
 		<-e.sem
 		if cleanup != nil {
 			cleanup()
@@ -385,21 +520,40 @@ func (e *Engine) spawn(inst *instance, key string, c *call, cleanup func()) {
 	}()
 }
 
-// runSolver executes the planner dispatch, optionally verifies, and caches.
-func (e *Engine) runSolver(inst *instance, key string) (*SolveResponse, error) {
-	sol, pl, err := dispatch(inst, e.planWorkers, e.structs)
+// runSolver executes the planner dispatch behind a recover barrier,
+// optionally verifies, and caches. The barrier matters: this runs on a
+// detached goroutine no HTTP-layer recovery can reach, so a solver panic
+// here used to kill the whole process — now it fails this call with an
+// internal error and bumps panics_recovered.
+func (e *Engine) runSolver(inst *instance, key string, degraded bool) (resp *SolveResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, resilience.RecoverPanic("engine solve", r)
+			e.failures.Add(1)
+		}
+	}()
+	sol, pl, err := dispatch(inst, e.planWorkers, degraded, e.structs)
 	if err != nil {
 		e.failures.Add(1)
 		return nil, err
 	}
-	if e.verifyTol > 0 {
+	if e.verifyTol > 0 && !pl.Degraded() {
+		// Degraded schedules are deliberately suboptimal but still feasible;
+		// Verify's energy cross-check is against the solution itself, so it
+		// would pass — skipping it just avoids pointless work under overload.
 		if err := inst.prob.Verify(sol, e.verifyTol); err != nil {
 			e.failures.Add(1)
 			return nil, err
 		}
 	}
 	e.solved.Add(1)
-	resp := responseFromSolution(sol, pl)
+	resp = responseFromSolution(sol, pl)
+	if resp.Degraded {
+		// Overload answers must not poison the cache: the same instance
+		// asked for again under normal load deserves the real optimum.
+		e.degraded.Add(1)
+		return resp, nil
+	}
 	e.cache.Add(key, resp)
 	return resp, nil
 }
@@ -451,8 +605,13 @@ var ErrInfeasible = core.ErrInfeasible
 // ErrSearchLimit re-exports the exact-solver budget sentinel.
 var ErrSearchLimit = core.ErrSearchLimit
 
-// ErrOverloaded is returned when the solve backlog is full and new work is
-// shed instead of queued (see Options.MaxBacklog).
+// ErrOverloaded is returned when the solve backlog is full across all
+// tenants and new work is shed instead of queued (see Options.MaxBacklog).
 var ErrOverloaded = errors.New("service: overloaded — solve backlog full, retry later")
+
+// ErrTenantQuota is returned when the requesting tenant is at its
+// fair-share admission quota while other tenants are active (see
+// Options.TenantWeights and the X-Tenant header).
+var ErrTenantQuota = errors.New("service: tenant over fair-share quota, retry later")
 
 func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }

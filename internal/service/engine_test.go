@@ -399,7 +399,7 @@ func TestSolveCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	// A dead context must not have committed background work.
-	if st := e.Stats(); st.Solved != 0 || e.backlog.Load() != 0 {
+	if st := e.Stats(); st.Solved != 0 || e.adm.Depth() != 0 {
 		t.Fatalf("canceled request dispatched a solve: %+v", st)
 	}
 }
@@ -420,7 +420,7 @@ func TestSolveOverloadShedding(t *testing.T) {
 	}()
 	<-started
 	// Wait for the slow solve to occupy the backlog slot.
-	for i := 0; e.backlog.Load() == 0 && i < 1000; i++ {
+	for i := 0; e.adm.Depth() == 0 && i < 1000; i++ {
 		time.Sleep(100 * time.Microsecond)
 	}
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"time"
 
 	"repro/internal/reclaim"
 )
@@ -33,8 +34,13 @@ const (
 	CodeInfeasible Code = "infeasible"
 	// CodeSearchLimit: an exact solver hit its search budget.
 	CodeSearchLimit Code = "search_limit"
-	// CodeOverloaded: the solve backlog is full; retry later.
+	// CodeOverloaded: the solve backlog is full across all tenants; retry
+	// after the hinted delay.
 	CodeOverloaded Code = "overloaded"
+	// CodeTenantQuota: this tenant is at its fair-share quota while other
+	// tenants are active; global capacity may remain. Retry after the
+	// hinted delay.
+	CodeTenantQuota Code = "tenant_quota"
 	// CodeTimeout: the request exceeded its time budget.
 	CodeTimeout Code = "timeout"
 	// CodeCanceled: the client disconnected before the answer was ready.
@@ -52,8 +58,8 @@ func Codes() []Code {
 	return []Code{
 		CodeBadRequest, CodeBadEvent, CodeSessionNotFound, CodeSessionClosed,
 		CodeCapacity, CodeInfeasible, CodeSearchLimit, CodeOverloaded,
-		CodeTimeout, CodeCanceled, CodePayloadTooLarge, CodeUpgradeRequired,
-		CodeInternal,
+		CodeTenantQuota, CodeTimeout, CodeCanceled, CodePayloadTooLarge,
+		CodeUpgradeRequired, CodeInternal,
 	}
 }
 
@@ -73,8 +79,12 @@ func (c Code) Status() int {
 		return http.StatusUnprocessableEntity
 	case CodeUpgradeRequired:
 		return http.StatusUpgradeRequired
-	case CodeCapacity, CodeOverloaded:
+	case CodeCapacity:
 		return http.StatusServiceUnavailable
+	case CodeOverloaded, CodeTenantQuota:
+		// 429 (not 503): shedding is per-request admission control with a
+		// Retry-After hint, not a down server.
+		return http.StatusTooManyRequests
 	case CodeTimeout:
 		return http.StatusGatewayTimeout
 	case CodeCanceled:
@@ -116,6 +126,8 @@ func codeFor(err error) Code {
 		return CodeInfeasible
 	case errors.Is(err, ErrSearchLimit):
 		return CodeSearchLimit
+	case errors.Is(err, ErrTenantQuota):
+		return CodeTenantQuota
 	case errors.Is(err, ErrOverloaded):
 		return CodeOverloaded
 	case errors.Is(err, context.DeadlineExceeded):
@@ -127,6 +139,18 @@ func codeFor(err error) Code {
 	}
 }
 
+// RetryAfterError decorates an admission rejection with a retry hint
+// derived from the current queue depth. classify surfaces the hint in the
+// error envelope (retry_after_ms) and writeError in the Retry-After
+// header; errors.Is/As still see the underlying sentinel.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string { return e.Err.Error() }
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
 // classify maps an engine error to its HTTP status and stable wire error.
 func classify(err error) (int, APIError) {
 	code := codeFor(err)
@@ -137,5 +161,10 @@ func classify(err error) (int, APIError) {
 	case CodeCanceled:
 		msg = "request canceled"
 	}
-	return code.Status(), APIError{Code: string(code), Message: msg}
+	apiErr := APIError{Code: string(code), Message: msg}
+	var ra *RetryAfterError
+	if errors.As(err, &ra) && ra.After > 0 {
+		apiErr.RetryAfterMS = ra.After.Milliseconds()
+	}
+	return code.Status(), apiErr
 }

@@ -25,7 +25,8 @@ func TestCodeStatusClosedSet(t *testing.T) {
 		CodeSearchLimit:     http.StatusUnprocessableEntity,
 		CodeUpgradeRequired: http.StatusUpgradeRequired,
 		CodeCapacity:        http.StatusServiceUnavailable,
-		CodeOverloaded:      http.StatusServiceUnavailable,
+		CodeOverloaded:      http.StatusTooManyRequests,
+		CodeTenantQuota:     http.StatusTooManyRequests,
 		CodeTimeout:         http.StatusGatewayTimeout,
 		CodeCanceled:        499,
 		CodeInternal:        http.StatusInternalServerError,

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/ws"
 )
 
@@ -76,6 +77,10 @@ type APIError struct {
 	Code string `json:"code"`
 	// Message is the human-readable cause.
 	Message string `json:"message"`
+	// RetryAfterMS hints how long to back off before retrying (set on
+	// overloaded / tenant_quota rejections, derived from queue depth; the
+	// same hint rides the Retry-After header in whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // errorEnvelope wraps APIError at the top level of an error response.
@@ -314,7 +319,35 @@ func NewHandler(e *Engine, opts HTTPOptions) http.Handler {
 			"stats":  ServerStats{Stats: e.Stats(), Sessions: store.Stats()},
 		})
 	})
-	return mux
+	return withResilience(mux)
+}
+
+// withResilience is the transport half of the overload story: it resolves
+// the caller's tenant from the X-Tenant header into the request context
+// (the engine's fair-share admission reads it from there, taking precedence
+// over any tenant field in the body), and it is the outermost panic
+// barrier — a handler panic becomes one internal_error response and a
+// panics_recovered tick instead of a dead process. http.ErrAbortHandler is
+// re-raised untouched: it is net/http's own control flow for abandoning a
+// connection, not a fault.
+func withResilience(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t := r.Header.Get("X-Tenant"); t != "" {
+			r = r.WithContext(WithTenant(r.Context(), t))
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				err := resilience.RecoverPanic("http handler", rec)
+				// Best effort: if the handler already committed a
+				// response this write is a no-op on the status line.
+				writeError(w, err)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ServerStats is the GET /v1/stats payload: the engine counters inline
@@ -364,6 +397,13 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any)
 
 func writeError(w http.ResponseWriter, err error) {
 	status, apiErr := classify(err)
+	var ra *RetryAfterError
+	if errors.As(err, &ra) && ra.After > 0 {
+		// Whole seconds, rounded up: a 1-second hint must not truncate to
+		// "Retry-After: 0", which clients read as "immediately".
+		secs := int64((ra.After + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
 	writeJSON(w, status, errorEnvelope{Error: apiErr})
 }
 

@@ -150,7 +150,7 @@ func TestSessionDeleteDuringEvents(t *testing.T) {
 	if _, err := st.Events(ctx, sess.SessionID, []reclaim.CompletionEvent{{Task: 3, ActualDuration: 1}}); !errors.Is(err, ErrSessionNotFound) {
 		t.Fatalf("deleted session still accepts batches: %v", err)
 	}
-	if got := e.backlog.Load(); got != 0 {
+	if got := e.adm.Depth(); got != 0 {
 		t.Fatalf("backlog leaked %d tokens across the gated batch", got)
 	}
 }
@@ -190,7 +190,7 @@ func TestCleanEventsSkipEnginePool(t *testing.T) {
 	if r := resp.Results[0]; r.Result == nil || r.Error == nil || r.Error.Code != "timeout" {
 		t.Fatalf("gated deviation outcome: %+v, want recorded completion plus timeout", r)
 	}
-	if got := st.engine.backlog.Load(); got != 0 {
+	if got := st.engine.adm.Depth(); got != 0 {
 		t.Fatalf("backlog leaked %d tokens on gate timeout", got)
 	}
 	if stats := reclaimStats(t, st, sess.SessionID); stats.Replans != 0 {
@@ -209,7 +209,7 @@ func TestCleanEventsSkipEnginePool(t *testing.T) {
 	if stats := reclaimStats(t, st, sess.SessionID); stats.Replans == 0 {
 		t.Fatal("no replan ran after the pool freed up")
 	}
-	if got := e.backlog.Load(); got != 0 {
+	if got := e.adm.Depth(); got != 0 {
 		t.Fatalf("backlog leaked %d tokens", got)
 	}
 }

@@ -119,6 +119,10 @@ type SolveRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the result cache for this request (still populates it).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Tenant identifies the caller to the fair-share admission gate. The
+	// X-Tenant header takes precedence; empty means DefaultTenant. Not part
+	// of the cache key: tenancy decides admission, not answers.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // instance is a compiled, validated request ready to hand to the solvers.
@@ -220,6 +224,11 @@ type SolveResponse struct {
 	BoundFactor float64 `json:"bound_factor,omitempty"`
 	// CacheHit is true when the result came from the instance cache.
 	CacheHit bool `json:"cache_hit"`
+	// Degraded is true when overload rerouted some component to the bounded
+	// uniform heuristic: the schedule is feasible and BoundFactor bounds its
+	// distance from optimal, but it is not the answer a calm server would
+	// give. Degraded responses are never cached.
+	Degraded bool `json:"degraded,omitempty"`
 	// ElapsedMS is the server-side wall time of this request in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Plan is the structure-aware routing that produced the solution: one
@@ -282,6 +291,9 @@ type ComponentPlanJSON struct {
 	BoundFactor float64 `json:"bound_factor,omitempty"`
 	// EstCost is the planner's relative cost estimate.
 	EstCost float64 `json:"est_cost,omitempty"`
+	// Degraded marks a component rerouted to the uniform heuristic under
+	// overload; BoundFactor then carries the a-priori guarantee.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PlanJSON is the wire form of a solve plan (the `plan` response field and
@@ -293,6 +305,9 @@ type PlanJSON struct {
 	Exact bool `json:"exact"`
 	// Parallel is true when the components solve concurrently (more than one).
 	Parallel bool `json:"parallel"`
+	// Degraded is true when any component was rerouted to the overload
+	// heuristic.
+	Degraded bool `json:"degraded,omitempty"`
 	// Components holds one routing decision per weakly-connected component.
 	Components []ComponentPlanJSON `json:"components"`
 }
@@ -306,6 +321,7 @@ func planJSON(pl *plan.Plan) *PlanJSON {
 		Algorithm:  pl.Algorithm,
 		Exact:      pl.Exact(),
 		Parallel:   len(pl.Components) > 1,
+		Degraded:   pl.Degraded(),
 		Components: make([]ComponentPlanJSON, len(pl.Components)),
 	}
 	for i, cp := range pl.Components {
@@ -324,6 +340,9 @@ func responseFromSolution(sol *core.Solution, pl *plan.Plan) *SolveResponse {
 		Exact:       sol.Stats.Exact,
 		BoundFactor: sol.Stats.BoundFactor,
 		Plan:        planJSON(pl),
+	}
+	if pl != nil {
+		resp.Degraded = pl.Degraded()
 	}
 	if speeds, err := sol.Speeds(); err == nil {
 		resp.Speeds = speeds

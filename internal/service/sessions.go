@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/reclaim"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 )
 
@@ -245,6 +246,11 @@ func (st *SessionStore) Create(ctx context.Context, req *SessionRequest) (*Sessi
 	if req == nil {
 		return nil, badRequest("nil request")
 	}
+	// The store fault site, before any capacity is reserved: an injected
+	// store failure costs nothing to clean up.
+	if err := resilience.Fire(resilience.SiteStore); err != nil {
+		return nil, err
+	}
 	// Reserve capacity up front so a burst of creations cannot blow past
 	// the limit while solves are in flight.
 	if !st.reserve() {
@@ -376,24 +382,27 @@ func (st *SessionStore) Events(ctx context.Context, id string, events []reclaim.
 		return nil, badRequest("no events")
 	}
 
-	// gate admits one residual re-solve: a backlog token plus a pool slot,
-	// exactly like a solve request, held only for the solve itself.
+	// gate admits one residual re-solve: an admission slot (tenant
+	// fair-share included — the X-Tenant header rides in on ctx) plus a
+	// pool slot, exactly like a solve request, held only for the solve
+	// itself.
 	gate := func() (func(), error) {
-		if err := ctx.Err(); err != nil {
+		if err := st.engine.checkBudget(ctx); err != nil {
 			return nil, err
 		}
-		if !st.engine.admit() {
-			return nil, ErrOverloaded
+		release, err := st.engine.admitFor(st.engine.tenant(ctx, ""))
+		if err != nil {
+			return nil, err
 		}
 		select {
 		case st.engine.sem <- struct{}{}:
 		case <-ctx.Done():
-			st.engine.backlog.Add(-1)
+			release()
 			return nil, ctx.Err()
 		}
 		return func() {
 			<-st.engine.sem
-			st.engine.backlog.Add(-1)
+			release()
 		}, nil
 	}
 
@@ -544,6 +553,9 @@ func (st *SessionStore) Len() int {
 }
 
 func (st *SessionStore) lookup(id string) (*sessionEntry, error) {
+	if err := resilience.Fire(resilience.SiteStore); err != nil {
+		return nil, err
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := time.Now()

@@ -21,8 +21,8 @@ import (
 // stays the engine-wide concurrency bound instead of being multiplied per
 // request. The plan is returned alongside the solution so every response
 // can explain its own routing.
-func dispatch(inst *instance, workers int, structs *plan.StructureCache) (*core.Solution, *plan.Plan, error) {
-	return streamDispatch(context.Background(), inst, workers, nil, structs)
+func dispatch(inst *instance, workers int, degraded bool, structs *plan.StructureCache) (*core.Solution, *plan.Plan, error) {
+	return streamDispatch(context.Background(), inst, workers, degraded, nil, structs)
 }
 
 // Explain compiles a request and runs the planner's analysis without
@@ -39,13 +39,14 @@ func (e *Engine) Explain(ctx context.Context, req *SolveRequest) (*PlanResponse,
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
+	if err := e.checkBudget(ctx); err != nil {
 		return nil, err
 	}
-	if !e.admit() {
-		return nil, ErrOverloaded
+	release, err := e.admitFor(e.tenant(ctx, req.Tenant))
+	if err != nil {
+		return nil, err
 	}
-	defer e.backlog.Add(-1)
+	defer release()
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 )
 
 // The streaming solve path. A monolithic solve is a barrier: nothing leaves
@@ -191,15 +192,17 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 			return resp, nil
 		}
 	}
-	if err := ctx.Err(); err != nil {
+	if err := e.checkBudget(ctx); err != nil {
 		return nil, err
 	}
 
 	e.misses.Add(1)
-	if !e.admit() {
-		return nil, ErrOverloaded
+	release, err := e.admitFor(e.tenant(ctx, req.Tenant))
+	if err != nil {
+		return nil, err
 	}
-	defer e.backlog.Add(-1)
+	defer release()
+	degraded := e.degradedNow()
 	// One pool slot bounds the whole stream, like a monolithic solve; the
 	// per-plan worker count governs intra-stream concurrency.
 	select {
@@ -209,7 +212,7 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 	}
 	defer func() { <-e.sem }()
 
-	sol, pl, err := streamDispatch(ctx, inst, e.planWorkers, em, e.structs)
+	sol, pl, err := streamDispatch(ctx, inst, e.planWorkers, degraded, em, e.structs)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			e.canceled.Add(1)
@@ -218,7 +221,7 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 		}
 		return nil, err
 	}
-	if e.verifyTol > 0 {
+	if e.verifyTol > 0 && !pl.Degraded() {
 		if err := inst.prob.Verify(sol, e.verifyTol); err != nil {
 			e.failures.Add(1)
 			return nil, err
@@ -226,7 +229,11 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 	}
 	e.solved.Add(1)
 	resp := responseFromSolution(sol, pl)
-	e.cache.Add(key, resp)
+	if resp.Degraded {
+		e.degraded.Add(1) // never cached: calm-load repeats deserve the optimum
+	} else {
+		e.cache.Add(key, resp)
+	}
 	out := resp.Clone()
 	out.ID = req.ID
 	out.ElapsedMS = msSince(start)
@@ -241,8 +248,8 @@ func (e *Engine) SolveStream(ctx context.Context, req *SolveRequest, em *StreamE
 // solving. ctx cancellation (client disconnect, deadline) stops unstarted
 // work; in-flight solver kernels run to completion (they are not
 // interruptible) before Wait returns.
-func streamDispatch(ctx context.Context, inst *instance, workers int, em *StreamEmitter, structs *plan.StructureCache) (*core.Solution, *plan.Plan, error) {
-	rt, err := plan.NewRouter(inst.mdl, plan.Options{Algorithm: inst.algo, K: inst.k, Structures: structs})
+func streamDispatch(ctx context.Context, inst *instance, workers int, degraded bool, em *StreamEmitter, structs *plan.StructureCache) (*core.Solution, *plan.Plan, error) {
+	rt, err := plan.NewRouter(inst.mdl, plan.Options{Algorithm: inst.algo, K: inst.k, Structures: structs, Degraded: degraded})
 	if err != nil {
 		return nil, nil, planError(err)
 	}
@@ -298,6 +305,11 @@ func streamDispatch(ctx context.Context, inst *instance, workers int, em *Stream
 		Name:    "solve",
 		Workers: workers,
 		Do: func(ctx context.Context, i int, emit func(solvedComp) error) error {
+			// The solver fault site: every component solve — monolithic,
+			// streamed, or batched — passes through this stage.
+			if err := resilience.Fire(resilience.SiteSolver); err != nil {
+				return err
+			}
 			sol, err := rt.Solve(comps[i].Prob, cps[i])
 			if err != nil {
 				return err
@@ -378,6 +390,7 @@ func componentPlanJSON(cp plan.ComponentPlan) ComponentPlanJSON {
 		Rationale:   cp.Rationale,
 		BoundFactor: cp.BoundFactor,
 		EstCost:     cp.Cost,
+		Degraded:    cp.Degraded,
 	}
 	if math.IsInf(cj.BoundFactor, 1) {
 		cj.BoundFactor = 0 // heuristics: no finite guarantee
